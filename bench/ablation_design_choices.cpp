@@ -1,0 +1,175 @@
+// Ablations for the design choices DESIGN.md §5 calls out:
+//  (1) probability-aware ME term on/off   — recovery quality contribution
+//  (2) similarity factor: SAD-based vs Formula (3) (sim = 0) vs constant
+//  (3) motion search: full search vs diamond — energy-share sensitivity
+//  (4) concealment model constant (freeze-style) vs copy-based
+#include <cstdio>
+
+#include "bench_common.h"
+#include "codec/decoder.h"
+#include "net/loss_model.h"
+
+using namespace pbpair;
+
+namespace {
+
+sim::PipelineResult run_ablation(video::SequenceKind kind,
+                                 const core::PbpairConfig& pbpair,
+                                 const sim::PipelineConfig& config,
+                                 double plr) {
+  net::UniformFrameLoss loss(plr, 4242);
+  return bench::run_clip(kind, sim::SchemeSpec::pbpair(pbpair), &loss,
+                         config);
+}
+
+}  // namespace
+
+int main() {
+  const int frames = std::min(bench::bench_frames(), 150);
+  const video::SequenceKind kind = video::SequenceKind::kForemanLike;
+  const double plr = 0.10;
+  sim::PipelineConfig config = bench::paper_pipeline_config(frames);
+
+  std::printf("=== Ablations (foreman-like, %d frames, PLR 10%%) ===\n\n",
+              frames);
+
+  core::PbpairConfig base;
+  base.intra_th = 0.95;
+  base.plr = plr;
+
+  // (1) ME penalty on/off.
+  std::printf("--- (1) probability-aware ME term (Sec 3.1.2) ---\n");
+  sim::Table t1({"variant", "avg_PSNR", "bad_pixels_M", "size_KB", "encode_J"});
+  for (bool use_penalty : {true, false}) {
+    core::PbpairConfig c = base;
+    c.use_me_penalty = use_penalty;
+    sim::PipelineResult r = run_ablation(kind, c, config, plr);
+    t1.add_row({use_penalty ? "with ME penalty" : "mode-selection only",
+                sim::format("%.2f", r.avg_psnr_db),
+                sim::format("%.3f", static_cast<double>(r.total_bad_pixels) / 1e6),
+                sim::format("%.1f", static_cast<double>(r.total_bytes) / 1024.0),
+                sim::format("%.3f", r.encode_energy.total_j())});
+  }
+  t1.print();
+
+  // (2) similarity factor models.
+  std::printf("\n--- (2) similarity factor (Sec 3.1.3) ---\n");
+  sim::Table t2({"similarity", "intra_MBs/frame", "avg_PSNR", "bad_pixels_M",
+                 "size_KB", "encode_J"});
+  struct SimCase {
+    const char* name;
+    std::shared_ptr<const core::SimilarityModel> model;
+  };
+  SimCase cases[] = {
+      {"SAD-based (copy concealment)",
+       std::make_shared<const core::CopyConcealmentSimilarity>()},
+      {"Formula (3): sim = 0", std::make_shared<const core::NoSimilarity>()},
+      {"constant 0.5 (freeze-style)",
+       std::make_shared<const core::ConstantSimilarity>(
+           common::q16_from_double(0.5))},
+  };
+  for (const SimCase& sc : cases) {
+    core::PbpairConfig c = base;
+    c.similarity = sc.model;
+    sim::PipelineResult r = run_ablation(kind, c, config, plr);
+    t2.add_row({sc.name,
+                sim::format("%.1f", static_cast<double>(r.total_intra_mbs) / frames),
+                sim::format("%.2f", r.avg_psnr_db),
+                sim::format("%.3f", static_cast<double>(r.total_bad_pixels) / 1e6),
+                sim::format("%.1f", static_cast<double>(r.total_bytes) / 1024.0),
+                sim::format("%.3f", r.encode_energy.total_j())});
+  }
+  t2.print();
+
+  // (3) search strategy.
+  std::printf("\n--- (3) motion search strategy (energy-share sensitivity) ---\n");
+  sim::Table t3({"search", "scheme", "encode_J", "ME_J", "ME_share"});
+  for (auto strategy : {codec::SearchStrategy::kFullSearch,
+                        codec::SearchStrategy::kDiamondSearch}) {
+    sim::PipelineConfig c = config;
+    c.encoder.search.strategy = strategy;
+    const char* sname =
+        strategy == codec::SearchStrategy::kFullSearch ? "full +/-7" : "diamond";
+    for (bool use_pbpair : {true, false}) {
+      net::UniformFrameLoss loss(plr, 4242);
+      sim::PipelineResult r = bench::run_clip(
+          kind,
+          use_pbpair ? sim::SchemeSpec::pbpair(base)
+                     : sim::SchemeSpec::air(24),
+          &loss, c);
+      t3.add_row({sname, use_pbpair ? "PBPAIR" : "AIR-24",
+                  sim::format("%.3f", r.encode_energy.total_j()),
+                  sim::format("%.3f", r.encode_energy.me_j),
+                  sim::format("%.0f%%", 100.0 * r.encode_energy.me_j /
+                                            r.encode_energy.total_j())});
+    }
+  }
+  t3.print();
+
+  // (4) decoder concealment vs the similarity model that assumes it.
+  std::printf("\n--- (4) decoder concealment (garden-like: global pan) ---\n");
+  sim::Table t4({"concealment", "avg_PSNR", "bad_pixels_M"});
+  struct ConcealCase {
+    const char* name;
+    codec::ConcealmentMode mode;
+  };
+  ConcealCase conceal_cases[] = {
+      {"copy-previous (paper)", codec::ConcealmentMode::kCopyPrevious},
+      {"motion-compensated", codec::ConcealmentMode::kMotionCompensated},
+      {"freeze-gray", codec::ConcealmentMode::kFreezeGray},
+  };
+  for (const ConcealCase& cc : conceal_cases) {
+    sim::PipelineConfig c =
+        bench::paper_pipeline_config(std::min(bench::bench_frames(), 80));
+    c.concealment = cc.mode;
+    net::UniformFrameLoss loss(plr, 4242);
+    core::PbpairConfig pc = base;
+    sim::PipelineResult r = bench::run_clip(
+        video::SequenceKind::kGardenLike, sim::SchemeSpec::pbpair(pc), &loss,
+        c);
+    t4.add_row({cc.name, sim::format("%.2f", r.avg_psnr_db),
+                sim::format("%.3f",
+                            static_cast<double>(r.total_bad_pixels) / 1e6)});
+  }
+  t4.print();
+
+  // (5) in-loop deblocking at coarse QP (codec realism knob).
+  std::printf("\n--- (5) in-loop deblocking (QP 24, lossless channel) ---\n");
+  sim::Table t5({"deblocking", "avg_PSNR", "avg_SSIM", "size_KB"});
+  for (bool deblocking : {false, true}) {
+    const int n = std::min(bench::bench_frames(), 60);
+    sim::PipelineConfig c = bench::paper_pipeline_config(n);
+    c.encoder.qp = 24;
+    c.encoder.deblocking = deblocking;
+    // The filter must match on both sides (lockstep), so run the codec
+    // loop directly instead of through the pipeline's default decoder.
+    const auto& clip =
+        bench::cached_clip(video::SequenceKind::kForemanLike, n);
+    codec::NoRefreshPolicy policy;
+    codec::Encoder encoder(c.encoder, &policy);
+    codec::DecoderConfig dc;
+    dc.deblocking = deblocking;
+    codec::Decoder decoder(dc);
+    std::uint64_t bytes = 0;
+    double psnr = 0, ssim = 0;
+    for (int i = 0; i < n; ++i) {
+      codec::EncodedFrame f = encoder.encode_frame(clip[i]);
+      bytes += f.size_bytes();
+      const video::YuvFrame& d = decoder.decode_frame(f);
+      psnr += video::psnr_luma(clip[i], d);
+      ssim += video::ssim_luma(clip[i], d);
+    }
+    t5.add_row({deblocking ? "on" : "off", sim::format("%.2f", psnr / n),
+                sim::format("%.4f", ssim / n),
+                sim::format("%.1f", static_cast<double>(bytes) / 1024.0)});
+  }
+  t5.print();
+
+  std::printf(
+      "\nexpected: the ME term's quality effect is content/loss-pattern\n"
+      "dependent (it steers vectors away from suspect reference area, Fig 3);\n"
+      "Formula (3) ignores content and over-refreshes (much bigger files for\n"
+      "the same threshold); PBPAIR's energy edge over AIR grows with the ME\n"
+      "share (full search > diamond).\n");
+  return 0;
+}

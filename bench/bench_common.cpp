@@ -1,0 +1,107 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace pbpair::bench {
+
+int bench_frames() {
+  const char* env = std::getenv("PBPAIR_BENCH_FRAMES");
+  if (env != nullptr) {
+    int frames = std::atoi(env);
+    if (frames >= 10) return frames;
+  }
+  return 300;
+}
+
+const std::vector<video::YuvFrame>& cached_clip(video::SequenceKind kind,
+                                                int frames) {
+  static std::map<std::pair<int, int>, std::vector<video::YuvFrame>> cache;
+  auto key = std::make_pair(static_cast<int>(kind), frames);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    video::SyntheticSequence seq = video::make_paper_sequence(kind);
+    std::vector<video::YuvFrame> clip;
+    clip.reserve(static_cast<std::size_t>(frames));
+    for (int i = 0; i < frames; ++i) clip.push_back(seq.frame_at(i));
+    it = cache.emplace(key, std::move(clip)).first;
+  }
+  return it->second;
+}
+
+sim::FrameSource clip_source(video::SequenceKind kind, int frames) {
+  const std::vector<video::YuvFrame>& clip = cached_clip(kind, frames);
+  return [&clip](int i) { return clip[static_cast<std::size_t>(i)]; };
+}
+
+sim::PipelineConfig paper_pipeline_config(int frames) {
+  sim::PipelineConfig config;
+  config.frames = frames;
+  config.encoder.qp = 10;
+  config.encoder.search.strategy = codec::SearchStrategy::kFullSearch;
+  config.encoder.search.range = 7;
+  return config;
+}
+
+double calibrate_pbpair_to_size(video::SequenceKind kind,
+                                std::uint64_t target_bytes, double plr) {
+  // Calibrate on a 100-frame prefix: per-frame size is stationary, so the
+  // matching threshold transfers to the full run (and the bisection stays
+  // affordable: 8 encode passes).
+  const int frames = std::min(bench_frames(), 100);
+  const double scale =
+      static_cast<double>(frames) / static_cast<double>(bench_frames());
+  const auto scaled_target =
+      static_cast<std::uint64_t>(static_cast<double>(target_bytes) * scale);
+  sim::PipelineConfig config = paper_pipeline_config(frames);
+  sim::FrameSource source = clip_source(kind, bench_frames());
+
+  core::PbpairConfig pbpair;
+  pbpair.plr = plr;
+  double lo = 0.0, hi = 1.0, best = 0.9;
+  double best_err = -1.0;
+  for (int iter = 0; iter < 8; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    pbpair.intra_th = mid;
+    sim::PipelineResult r =
+        sim::run_pipeline(source, sim::SchemeSpec::pbpair(pbpair), nullptr,
+                          config);
+    double err = std::abs(static_cast<double>(r.total_bytes) -
+                          static_cast<double>(scaled_target));
+    if (best_err < 0 || err < best_err) {
+      best_err = err;
+      best = mid;
+    }
+    if (r.total_bytes > scaled_target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+void maybe_write_csv(const sim::Table& table, const std::string& name) {
+  const char* dir = std::getenv("PBPAIR_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  table.print_csv(f);
+  std::fclose(f);
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+sim::PipelineResult run_clip(video::SequenceKind kind,
+                             const sim::SchemeSpec& scheme,
+                             net::LossModel* loss,
+                             const sim::PipelineConfig& config) {
+  return sim::run_pipeline(clip_source(kind, config.frames), scheme, loss,
+                           config);
+}
+
+}  // namespace pbpair::bench

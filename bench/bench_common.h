@@ -1,0 +1,59 @@
+// Shared machinery for the figure/table benchmarks.
+//
+// Every bench uses the paper's evaluation setup (§4.1-§4.2):
+//  - QCIF, 300 frames per clip (override with PBPAIR_BENCH_FRAMES for quick
+//    runs), QP 10, GOB-per-row packetization, MTU 1400;
+//  - full-search motion estimation (the ITU reference encoder the paper
+//    builds on is a full-search encoder; ME dominance is what the energy
+//    experiments measure) with range +/-7;
+//  - PLR 10% via uniform frame discard unless the experiment says
+//    otherwise;
+//  - PBPAIR's Intra_Th calibrated per sequence so its encoded size matches
+//    PGOP-3's ("We choose Intra_Th that gives similar compression ratio
+//    with PGOP-3, GOP-3 and AIR-24", §4.2).
+#pragma once
+
+#include <vector>
+
+#include "sim/pipeline.h"
+#include "sim/report.h"
+#include "video/sequence.h"
+
+namespace pbpair::bench {
+
+/// Number of frames per run: 300 (the paper's clips) unless the
+/// PBPAIR_BENCH_FRAMES environment variable overrides it.
+int bench_frames();
+
+/// Frames of one synthetic clip, generated once and cached for the process.
+const std::vector<video::YuvFrame>& cached_clip(video::SequenceKind kind,
+                                                int frames);
+
+/// FrameSource over the cached clip.
+sim::FrameSource clip_source(video::SequenceKind kind, int frames);
+
+/// The paper's encoder/pipeline setup.
+sim::PipelineConfig paper_pipeline_config(int frames);
+
+/// Calibrates PBPAIR's Intra_Th so its lossless-channel encoded size is
+/// closest to `target_bytes` on this clip (shorter calibration runs keep
+/// bench time sane; size is monotone in Intra_Th so this transfers).
+double calibrate_pbpair_to_size(video::SequenceKind kind,
+                                std::uint64_t target_bytes, double plr);
+
+/// Runs the pipeline over a cached clip.
+sim::PipelineResult run_clip(video::SequenceKind kind,
+                             const sim::SchemeSpec& scheme,
+                             net::LossModel* loss,
+                             const sim::PipelineConfig& config);
+
+/// Writes `table` as CSV to $PBPAIR_BENCH_CSV_DIR/<name>.csv when that
+/// environment variable is set (for external plotting); no-op otherwise.
+void maybe_write_csv(const sim::Table& table, const std::string& name);
+
+/// All three paper clips.
+inline constexpr video::SequenceKind kPaperClips[] = {
+    video::SequenceKind::kForemanLike, video::SequenceKind::kAkiyoLike,
+    video::SequenceKind::kGardenLike};
+
+}  // namespace pbpair::bench

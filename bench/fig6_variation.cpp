@@ -1,0 +1,133 @@
+// Figure 6 — per-frame behaviour under scripted packet loss (PLR ~ 10%):
+//   (a) PSNR variation across frames, loss events e1..e7 marked
+//   (b) encoded frame-size variation (GOP's I-frame spikes)
+// 50 frames of the foreman-like clip; PBPAIR vs PGOP-1, GOP-8, AIR-10
+// (schemes that generate similar bitstream sizes, §4.2). Event e7 is
+// arranged to hit one of GOP-8's I-frames — the paper's worst case, where
+// GOP cannot recover for a whole GOP period.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "net/loss_model.h"
+
+using namespace pbpair;
+
+int main() {
+  const int frames = 50;
+  // e1..e7: scripted frame-loss events. Frame 36 is an I-frame of GOP-8
+  // (period 9: I at 0, 9, 18, 27, 36, 45) => e7 shows the I-frame loss.
+  const std::set<std::uint32_t> kLossEvents = {4, 7, 12, 19, 25, 31, 36};
+
+  std::printf(
+      "=== Figure 6: per-frame PSNR and size variation "
+      "(foreman-like, 50 frames, scripted losses) ===\n\n");
+  std::printf("loss events e1..e7 at frames: ");
+  for (std::uint32_t e : kLossEvents) std::printf("%u ", e);
+  std::printf("(e7=36 is a GOP-8 I-frame)\n\n");
+
+  sim::PipelineConfig config = bench::paper_pipeline_config(frames);
+  const video::SequenceKind kind = video::SequenceKind::kForemanLike;
+
+  // Size-match PBPAIR to PGOP-1 (the paper's Fig 6 trio are size-similar).
+  sim::PipelineResult pgop_clean =
+      bench::run_clip(kind, sim::SchemeSpec::pgop(1), nullptr, config);
+  double intra_th = bench::calibrate_pbpair_to_size(
+      kind, pgop_clean.total_bytes * bench::bench_frames() / frames, 0.10);
+  core::PbpairConfig pbpair;
+  pbpair.intra_th = intra_th;
+  pbpair.plr = 0.10;
+
+  std::vector<sim::SchemeSpec> schemes = {
+      sim::SchemeSpec::pbpair(pbpair), sim::SchemeSpec::pgop(1),
+      sim::SchemeSpec::gop(8), sim::SchemeSpec::air(10)};
+
+  std::vector<sim::PipelineResult> results;
+  for (const sim::SchemeSpec& scheme : schemes) {
+    net::ScriptedFrameLoss loss(kLossEvents);
+    results.push_back(bench::run_clip(kind, scheme, &loss, config));
+  }
+
+  std::printf("--- Fig 6(a): PSNR variation (dB per frame) ---\n");
+  sim::Table psnr_table(
+      {"frame", "loss", "PBPAIR", "PGOP-1", "GOP-8", "AIR-10"});
+  for (int f = 0; f < frames; ++f) {
+    psnr_table.add_row(
+        {sim::format("%d", f), kLossEvents.count(f) ? "X" : "",
+         sim::format("%.2f", results[0].frames[f].psnr_db),
+         sim::format("%.2f", results[1].frames[f].psnr_db),
+         sim::format("%.2f", results[2].frames[f].psnr_db),
+         sim::format("%.2f", results[3].frames[f].psnr_db)});
+  }
+  psnr_table.print();
+  bench::maybe_write_csv(psnr_table, "fig6a_psnr_variation");
+
+  std::printf("\n--- Fig 6(b): frame size variation (bytes per frame) ---\n");
+  sim::Table size_table({"frame", "PBPAIR", "PGOP-1", "GOP-8", "AIR-10"});
+  for (int f = 0; f < frames; ++f) {
+    size_table.add_row({sim::format("%d", f),
+                        sim::format("%zu", results[0].frames[f].bytes),
+                        sim::format("%zu", results[1].frames[f].bytes),
+                        sim::format("%zu", results[2].frames[f].bytes),
+                        sim::format("%zu", results[3].frames[f].bytes)});
+  }
+  size_table.print();
+  bench::maybe_write_csv(size_table, "fig6b_frame_size_variation");
+
+  // Summary lines that make the paper's qualitative claims checkable at a
+  // glance: recovery speed after each loss, and size burstiness.
+  std::printf(
+      "\n--- recovery summary: frames to regain (pre-loss PSNR - 2 dB), "
+      "counted up to the next loss event ---\n");
+  sim::Table rec({"event", "window", "PBPAIR", "PGOP-1", "GOP-8", "AIR-10"});
+  std::vector<std::uint32_t> events(kLossEvents.begin(), kLossEvents.end());
+  for (std::size_t ei = 0; ei < events.size(); ++ei) {
+    std::uint32_t e = events[ei];
+    int window_end =
+        ei + 1 < events.size() ? static_cast<int>(events[ei + 1]) : frames;
+    std::vector<std::string> row = {sim::format("e%zu@%u", ei + 1, e),
+                                    sim::format("%d", window_end - static_cast<int>(e))};
+    for (const sim::PipelineResult& r : results) {
+      // Clean baseline: PSNR of the frame right before the event.
+      double baseline = r.frames[e - 1].psnr_db;
+      int below = 0;
+      bool recovered = false;
+      for (int f = static_cast<int>(e); f < window_end; ++f) {
+        if (r.frames[f].psnr_db >= baseline - 2.0) {
+          recovered = true;
+          break;
+        }
+        ++below;
+      }
+      row.push_back(recovered ? sim::format("%d", below)
+                              : sim::format(">%d", below));
+    }
+    rec.add_row(std::move(row));
+  }
+  rec.print();
+
+  std::printf("\n--- burstiness: max/mean frame size ---\n");
+  // Frame 0 is the initial I-frame for every scheme; steady-state
+  // burstiness is what distinguishes GOP, so stats start at frame 1.
+  sim::Table burst({"scheme", "mean_bytes", "max_bytes", "max/mean"});
+  const char* names[] = {"PBPAIR", "PGOP-1", "GOP-8", "AIR-10"};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::uint64_t sum = 0;
+    std::size_t max_bytes = 0;
+    for (const sim::FrameTrace& f : results[i].frames) {
+      if (f.index == 0) continue;
+      sum += f.bytes;
+      max_bytes = std::max(max_bytes, f.bytes);
+    }
+    double mean = static_cast<double>(sum) / (frames - 1);
+    burst.add_row({names[i], sim::format("%.0f", mean),
+                   sim::format("%zu", max_bytes),
+                   sim::format("%.2f", static_cast<double>(max_bytes) / mean)});
+  }
+  burst.print();
+  std::printf(
+      "\nexpected shape (paper): PBPAIR recovers within a few frames of each\n"
+      "event; GOP-8 recovers only at the next I-frame and collapses for a\n"
+      "full GOP period after e7 (lost I-frame); GOP's max/mean size ratio is\n"
+      "far above the MB-level refresh schemes (bursty bitstream).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Visualize WHERE each refresh scheme spends its intra macroblocks, and
+// PBPAIR's probability-of-correctness field — the content-awareness
+// argument of the paper, made visible in ASCII.
+//
+//   ./examples/refresh_map [frames] [plr]
+//
+// Per scheme it prints an 11x9 map of per-MB intra counts over the run
+// ('.' = never refreshed, '9'/'#' = hot spot), plus PBPAIR's final σ
+// matrix. Expected picture: PGOP's counts are uniform columns, AIR and
+// PBPAIR concentrate on the moving head/face region of the foreman-like
+// clip — but PBPAIR does it while *skipping* ME for those MBs.
+#include <cstdio>
+#include <cstdlib>
+
+#include "codec/encoder.h"
+#include "core/pbpair_policy.h"
+#include "resilience/air_policy.h"
+#include "resilience/pgop_policy.h"
+#include "sim/scheme.h"
+#include "video/sequence.h"
+
+using namespace pbpair;
+
+namespace {
+
+char density_char(int count, int max_count) {
+  if (count == 0) return '.';
+  static const char kRamp[] = "123456789#";
+  int bucket = max_count <= 1 ? 9 : (count * 9) / max_count;
+  return kRamp[bucket < 0 ? 0 : (bucket > 9 ? 9 : bucket)];
+}
+
+void run_scheme(const sim::SchemeSpec& spec,
+                const video::SyntheticSequence& seq, int frames) {
+  auto policy = sim::make_policy(spec, 11, 9);
+  codec::Encoder encoder(codec::EncoderConfig{}, policy.get());
+  std::vector<int> intra_counts(99, 0);
+  std::uint64_t me_runs = 0;
+  for (int i = 0; i < frames; ++i) {
+    codec::EncodedFrame frame = encoder.encode_frame(seq.frame_at(i));
+    if (frame.type != codec::FrameType::kInter) continue;  // skip I-frames
+    for (int m = 0; m < 99; ++m) {
+      if (frame.mb_records[m].mode == codec::MbMode::kIntra) {
+        ++intra_counts[m];
+      }
+    }
+  }
+  me_runs = encoder.ops().me_invocations;
+
+  int max_count = 1;
+  for (int c : intra_counts) max_count = std::max(max_count, c);
+  std::printf("%s  (P-frame intra map, max %d refreshes/MB, %llu ME runs)\n",
+              spec.label().c_str(), max_count,
+              static_cast<unsigned long long>(me_runs));
+  for (int my = 0; my < 9; ++my) {
+    std::printf("  ");
+    for (int mx = 0; mx < 11; ++mx) {
+      std::putchar(density_char(intra_counts[my * 11 + mx], max_count));
+    }
+    std::putchar('\n');
+  }
+
+  if (auto* pbpair = dynamic_cast<core::PbpairPolicy*>(policy.get())) {
+    std::printf("  final probability-of-correctness matrix (0-9 = sigma*10):\n");
+    for (int my = 0; my < 9; ++my) {
+      std::printf("  ");
+      for (int mx = 0; mx < 11; ++mx) {
+        int tenth = static_cast<int>(
+            common::q16_to_double(pbpair->matrix().at(mx, my)) * 10.0);
+        std::putchar(static_cast<char>('0' + (tenth > 9 ? 9 : tenth)));
+      }
+      std::putchar('\n');
+    }
+  }
+  std::putchar('\n');
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 60;
+  const double plr = argc > 2 ? std::atof(argv[2]) : 0.10;
+
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  std::printf(
+      "Where does each scheme spend its refresh? (foreman-like, %d frames)\n"
+      "The clip's motion lives in the face/helmet region (center)."
+      " PGOP sweeps\ncolumns blindly; AIR and PBPAIR chase the motion —"
+      " and PBPAIR's hot MBs\nare exactly the ones whose ME it skips.\n\n",
+      frames);
+
+  core::PbpairConfig pbpair;
+  pbpair.intra_th = 0.93;
+  pbpair.plr = plr;
+  run_scheme(sim::SchemeSpec::pbpair(pbpair), seq, frames);
+  run_scheme(sim::SchemeSpec::pgop(3), seq, frames);
+  run_scheme(sim::SchemeSpec::air(24), seq, frames);
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "codec/bitstream.h"
+
+namespace pbpair::codec {
+
+void BitWriter::put_bits(std::uint32_t value, int count) {
+  PB_CHECK(count >= 0 && count <= 32);
+  if (count == 0) return;
+  if (count < 32) {
+    PB_DCHECK((value >> count) == 0);
+    value &= (1u << count) - 1;
+  }
+  bit_count_ += static_cast<std::uint64_t>(count);
+  // Feed bits into the accumulator MSB-first, flushing full bytes.
+  for (int i = count - 1; i >= 0; --i) {
+    acc_ = (acc_ << 1) | ((value >> i) & 1u);
+    if (++acc_bits_ == 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ = 0;
+      acc_bits_ = 0;
+    }
+  }
+}
+
+void BitWriter::align() {
+  if (acc_bits_ > 0) {
+    put_bits(0, 8 - acc_bits_);
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  align();
+  return std::move(bytes_);
+}
+
+bool BitReader::get_bits(int count, std::uint32_t* out) {
+  PB_CHECK(count >= 0 && count <= 32);
+  if (static_cast<std::uint64_t>(count) > bits_remaining()) return false;
+  std::uint32_t result = 0;
+  for (int i = 0; i < count; ++i) {
+    std::uint64_t byte_idx = bit_pos_ >> 3;
+    int bit_idx = 7 - static_cast<int>(bit_pos_ & 7);
+    result = (result << 1) | ((data_[byte_idx] >> bit_idx) & 1u);
+    ++bit_pos_;
+  }
+  *out = result;
+  return true;
+}
+
+}  // namespace pbpair::codec

@@ -1,0 +1,84 @@
+// Bit-level writer/reader for the H.263-style bitstream.
+//
+// The writer emits MSB-first into a byte buffer; the reader consumes the
+// same layout. Byte alignment is explicit (`align()`) because GOB resync
+// points must fall on byte boundaries so the packetizer can fragment an
+// encoded frame without re-writing any bits (see codec/encoder.h and
+// net/packetizer.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pbpair::codec {
+
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Writes the low `count` bits of `value`, MSB first. count in [0, 32].
+  void put_bits(std::uint32_t value, int count);
+
+  void put_bit(bool bit) { put_bits(bit ? 1u : 0u, 1); }
+
+  /// Pads with zero bits to the next byte boundary (no-op if aligned).
+  void align();
+
+  bool byte_aligned() const { return bit_count_ % 8 == 0; }
+
+  /// Total bits written so far.
+  std::uint64_t bit_count() const { return bit_count_; }
+
+  /// Finishes the stream (aligns) and returns the bytes.
+  std::vector<std::uint8_t> finish();
+
+  /// Byte offset of the current (aligned) position. Requires alignment.
+  std::size_t byte_offset() const {
+    PB_CHECK(byte_aligned());
+    return bytes_.size();
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t acc_ = 0;   // bits accumulated, left-aligned count in acc_bits_
+  int acc_bits_ = 0;
+  std::uint64_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : BitReader(bytes.data(), bytes.size()) {}
+
+  /// Reads `count` bits MSB-first. Returns false on underrun (stream
+  /// truncated — the caller treats the rest of the GOB as lost).
+  bool get_bits(int count, std::uint32_t* out);
+
+  bool get_bit(bool* out) {
+    std::uint32_t v = 0;
+    if (!get_bits(1, &v)) return false;
+    *out = v != 0;
+    return true;
+  }
+
+  /// Skips to the next byte boundary.
+  void align() { bit_pos_ = (bit_pos_ + 7) & ~std::uint64_t{7}; }
+
+  std::uint64_t bit_pos() const { return bit_pos_; }
+  std::uint64_t bits_remaining() const {
+    std::uint64_t total = static_cast<std::uint64_t>(size_) * 8;
+    return bit_pos_ >= total ? 0 : total - bit_pos_;
+  }
+  bool exhausted() const { return bits_remaining() == 0; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::uint64_t bit_pos_ = 0;
+};
+
+}  // namespace pbpair::codec

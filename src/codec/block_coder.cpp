@@ -1,0 +1,78 @@
+#include "codec/block_coder.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "codec/vlc_tables.h"
+#include "codec/zigzag.h"
+
+namespace pbpair::codec {
+
+void encode_block(BitWriter& writer, const std::int16_t* block, bool intra) {
+  int start = 0;
+  if (intra) {
+    int dc = block[0];
+    PB_CHECK(dc >= 1 && dc <= 254);
+    writer.put_bits(static_cast<std::uint32_t>(dc), 8);
+    start = 1;
+  }
+  // Find the last nonzero coefficient in scan order.
+  int last_nz = -1;
+  for (int i = start; i < 64; ++i) {
+    if (block[kZigzag[i]] != 0) last_nz = i;
+  }
+  if (last_nz < 0) {
+    PB_CHECK_MSG(intra, "inter block with no coefficients must not be coded");
+    // Intra block with no AC energy: a single "no AC" flag bit.
+    writer.put_bit(false);
+    return;
+  }
+  if (intra) writer.put_bit(true);  // has-AC flag
+
+  const CoeffVlc& vlc = coeff_vlc();
+  int run = 0;
+  for (int i = start; i <= last_nz; ++i) {
+    int level = block[kZigzag[i]];
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    vlc.encode(writer, CoeffEvent{i == last_nz, run, level});
+    run = 0;
+  }
+}
+
+bool decode_block(BitReader& reader, std::int16_t* block, bool intra) {
+  std::memset(block, 0, 64 * sizeof(std::int16_t));
+  int start = 0;
+  if (intra) {
+    std::uint32_t dc = 0;
+    if (!reader.get_bits(8, &dc)) return false;
+    if (dc < 1 || dc > 254) return false;
+    block[0] = static_cast<std::int16_t>(dc);
+    start = 1;
+    bool has_ac = false;
+    if (!reader.get_bit(&has_ac)) return false;
+    if (!has_ac) return true;
+  }
+  const CoeffVlc& vlc = coeff_vlc();
+  int pos = start;
+  for (;;) {
+    CoeffEvent event{};
+    if (!vlc.decode(reader, &event)) return false;
+    pos += event.run;
+    if (pos >= 64) return false;  // run overflows the block: corrupt stream
+    block[kZigzag[pos]] = static_cast<std::int16_t>(event.level);
+    ++pos;
+    if (event.last) return true;
+  }
+}
+
+bool block_is_empty(const std::int16_t* block, bool intra) {
+  for (int i = intra ? 1 : 0; i < 64; ++i) {
+    if (block[i] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace pbpair::codec

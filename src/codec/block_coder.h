@@ -1,0 +1,27 @@
+// 8x8 block coefficient (de)serialization: zig-zag scan + run/level/last
+// events through the coefficient VLC.
+#pragma once
+
+#include <cstdint>
+
+#include "codec/bitstream.h"
+
+namespace pbpair::codec {
+
+/// Encodes a quantized block (raster order). When `intra` is true, block[0]
+/// is the intra DC level and is written as a fixed 8-bit field (H.263
+/// INTRADC style); AC coefficients follow as events. When false, all 64
+/// coefficients are event-coded. The caller must only invoke this for
+/// blocks that are coded (intra blocks always are; inter blocks need at
+/// least one nonzero level, per the CBP).
+void encode_block(BitWriter& writer, const std::int16_t* block, bool intra);
+
+/// Decodes into `block` (raster order, zero-filled first).
+/// Returns false on malformed or truncated input.
+bool decode_block(BitReader& reader, std::int16_t* block, bool intra);
+
+/// True if all (intra: AC-only) coefficients of the block are zero, i.e.
+/// the inter block would not be coded / intra block has no AC events.
+bool block_is_empty(const std::int16_t* block, bool intra);
+
+}  // namespace pbpair::codec

@@ -1,0 +1,76 @@
+// 8x8 block <-> plane copy helpers shared by encoder and decoder.
+#pragma once
+
+#include <cstdint>
+
+#include "common/math_util.h"
+#include "video/frame.h"
+
+namespace pbpair::codec {
+
+/// Copies the 8x8 block at (x, y) from `plane` into `block` (row-major).
+inline void extract_block(const video::Plane& plane, int x, int y,
+                          std::int16_t* block) {
+  for (int row = 0; row < 8; ++row) {
+    const std::uint8_t* src = plane.row(y + row) + x;
+    for (int col = 0; col < 8; ++col) {
+      block[row * 8 + col] = static_cast<std::int16_t>(src[col]);
+    }
+  }
+}
+
+/// Writes an 8x8 block of sample values (clamped to [0,255]) at (x, y).
+inline void store_block(video::Plane& plane, int x, int y,
+                        const std::int16_t* block) {
+  for (int row = 0; row < 8; ++row) {
+    std::uint8_t* dst = plane.row(y + row) + x;
+    for (int col = 0; col < 8; ++col) {
+      dst[col] = common::clamp_pixel(block[row * 8 + col]);
+    }
+  }
+}
+
+/// Computes `cur - pred` for an 8x8 block: residual[i] in [-255, 255].
+inline void subtract_block(const video::Plane& cur, int cx, int cy,
+                           const video::Plane& pred, int px, int py,
+                           std::int16_t* residual) {
+  for (int row = 0; row < 8; ++row) {
+    const std::uint8_t* c = cur.row(cy + row) + cx;
+    const std::uint8_t* p = pred.row(py + row) + px;
+    for (int col = 0; col < 8; ++col) {
+      residual[row * 8 + col] =
+          static_cast<std::int16_t>(static_cast<int>(c[col]) - p[col]);
+    }
+  }
+}
+
+/// Writes `pred + residual` (clamped) into `dst` at (x, y); `pred` is read
+/// at (px, py).
+inline void add_block(video::Plane& dst, int x, int y,
+                      const video::Plane& pred, int px, int py,
+                      const std::int16_t* residual) {
+  for (int row = 0; row < 8; ++row) {
+    std::uint8_t* d = dst.row(y + row) + x;
+    const std::uint8_t* p = pred.row(py + row) + px;
+    for (int col = 0; col < 8; ++col) {
+      d[col] = common::clamp_pixel(static_cast<int>(p[col]) +
+                                   residual[row * 8 + col]);
+    }
+  }
+}
+
+/// Copies a wxh region between same-size planes.
+inline void copy_region(const video::Plane& src, int sx, int sy,
+                        video::Plane& dst, int dx, int dy, int w, int h) {
+  for (int row = 0; row < h; ++row) {
+    const std::uint8_t* s = src.row(sy + row) + sx;
+    std::uint8_t* d = dst.row(dy + row) + dx;
+    for (int col = 0; col < w; ++col) d[col] = s[col];
+  }
+}
+
+/// Chroma motion vector derived from a luma vector (half resolution,
+/// truncated toward zero — must match between encoder and decoder).
+inline int chroma_mv_component(int luma) { return luma / 2; }
+
+}  // namespace pbpair::codec

@@ -1,0 +1,129 @@
+#include "codec/container.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace pbpair::codec {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'B', 'P', 'R'};
+constexpr std::uint16_t kVersion = 1;
+
+bool write_u16(std::FILE* f, std::uint16_t v) {
+  std::uint8_t bytes[2] = {static_cast<std::uint8_t>(v & 0xFF),
+                           static_cast<std::uint8_t>(v >> 8)};
+  return std::fwrite(bytes, 1, 2, f) == 2;
+}
+
+bool write_u32(std::FILE* f, std::uint32_t v) {
+  std::uint8_t bytes[4] = {static_cast<std::uint8_t>(v & 0xFF),
+                           static_cast<std::uint8_t>((v >> 8) & 0xFF),
+                           static_cast<std::uint8_t>((v >> 16) & 0xFF),
+                           static_cast<std::uint8_t>((v >> 24) & 0xFF)};
+  return std::fwrite(bytes, 1, 4, f) == 4;
+}
+
+bool read_u16(std::FILE* f, std::uint16_t* v) {
+  std::uint8_t bytes[2];
+  if (std::fread(bytes, 1, 2, f) != 2) return false;
+  *v = static_cast<std::uint16_t>(bytes[0] | (bytes[1] << 8));
+  return true;
+}
+
+bool read_u32(std::FILE* f, std::uint32_t* v) {
+  std::uint8_t bytes[4];
+  if (std::fread(bytes, 1, 4, f) != 4) return false;
+  *v = static_cast<std::uint32_t>(bytes[0]) |
+       (static_cast<std::uint32_t>(bytes[1]) << 8) |
+       (static_cast<std::uint32_t>(bytes[2]) << 16) |
+       (static_cast<std::uint32_t>(bytes[3]) << 24);
+  return true;
+}
+
+}  // namespace
+
+ContainerWriter::ContainerWriter(const std::string& path,
+                                 const ContainerHeader& header) {
+  PB_CHECK(header.width > 0 && header.height > 0);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return;
+  ok_ = std::fwrite(kMagic, 1, 4, file_) == 4 && write_u16(file_, kVersion) &&
+        write_u16(file_, static_cast<std::uint16_t>(header.width)) &&
+        write_u16(file_, static_cast<std::uint16_t>(header.height)) &&
+        write_u16(file_, static_cast<std::uint16_t>(header.initial_qp));
+}
+
+ContainerWriter::~ContainerWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ContainerWriter::write_frame(const EncodedFrame& frame) {
+  if (file_ == nullptr || !ok_) return false;
+  PB_CHECK(!frame.gob_offsets.empty());
+  const std::size_t begin = frame.gob_offsets[0];
+  const std::size_t len = frame.bytes.size() - begin;
+  ok_ = write_u32(file_, static_cast<std::uint32_t>(len)) &&
+        std::fputc(frame.type == FrameType::kIntra ? 0 : 1, file_) != EOF &&
+        std::fputc(frame.qp, file_) != EOF &&
+        std::fwrite(frame.bytes.data() + begin, 1, len, file_) == len;
+  return ok_;
+}
+
+bool ContainerWriter::close() {
+  if (file_ == nullptr) return false;
+  bool ok = ok_ && std::fflush(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  return ok;
+}
+
+ContainerReader::ContainerReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return;
+  char magic[4];
+  std::uint16_t version = 0, width = 0, height = 0, qp = 0;
+  bool ok = std::fread(magic, 1, 4, file_) == 4 && magic[0] == 'P' &&
+            magic[1] == 'B' && magic[2] == 'P' && magic[3] == 'R' &&
+            read_u16(file_, &version) && version == kVersion &&
+            read_u16(file_, &width) && read_u16(file_, &height) &&
+            read_u16(file_, &qp) && width % 16 == 0 && height % 16 == 0 &&
+            width > 0 && height > 0;
+  if (!ok) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return;
+  }
+  header_.width = width;
+  header_.height = height;
+  header_.initial_qp = qp;
+}
+
+ContainerReader::~ContainerReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ContainerReader::read_frame(ReceivedFrame* frame) {
+  if (file_ == nullptr) return false;
+  std::uint32_t len = 0;
+  if (!read_u32(file_, &len)) return false;  // EOF
+  int type = std::fgetc(file_);
+  int qp = std::fgetc(file_);
+  if (type == EOF || qp == EOF || qp < 1 || qp > 31 || len == 0 ||
+      len > (1u << 24)) {
+    return false;
+  }
+  frame->frame_index = frame_index_++;
+  frame->type = type == 0 ? FrameType::kIntra : FrameType::kInter;
+  frame->qp = qp;
+  frame->any_data = true;
+  frame->spans.clear();
+  ReceivedFrame::GobSpan span;
+  span.first_gob = 0;
+  span.bytes.resize(len);
+  if (std::fread(span.bytes.data(), 1, len, file_) != len) return false;
+  frame->spans.push_back(std::move(span));
+  return true;
+}
+
+}  // namespace pbpair::codec

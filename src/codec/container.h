@@ -1,0 +1,69 @@
+// PBS — a minimal file container for PBPAIR bitstreams.
+//
+// Layout (all integers little-endian):
+//   header : magic "PBPR" | u16 version | u16 width | u16 height | u16 qp0
+//   frame  : u32 payload_len | u8 type | u8 qp | payload (GOB data,
+//            starting at the first GOB — the picture header is regenerated
+//            from the record fields on read)
+// This is the storage analogue of the RTP payload format: enough metadata
+// per frame to decode it standalone, nothing more.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codec/syntax.h"
+
+namespace pbpair::codec {
+
+struct ContainerHeader {
+  int width = 0;
+  int height = 0;
+  int initial_qp = 0;
+};
+
+class ContainerWriter {
+ public:
+  /// Opens `path` for writing and emits the header. is_open() reports
+  /// failure.
+  ContainerWriter(const std::string& path, const ContainerHeader& header);
+  ~ContainerWriter();
+
+  ContainerWriter(const ContainerWriter&) = delete;
+  ContainerWriter& operator=(const ContainerWriter&) = delete;
+
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Appends one encoded frame. Returns false on I/O error.
+  bool write_frame(const EncodedFrame& frame);
+
+  /// Flushes and closes; returns false if any write failed.
+  bool close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool ok_ = true;
+};
+
+class ContainerReader {
+ public:
+  explicit ContainerReader(const std::string& path);
+  ~ContainerReader();
+
+  ContainerReader(const ContainerReader&) = delete;
+  ContainerReader& operator=(const ContainerReader&) = delete;
+
+  bool is_open() const { return file_ != nullptr; }
+  const ContainerHeader& header() const { return header_; }
+
+  /// Reads the next frame into decoder-ready form. Returns false at EOF or
+  /// on a malformed record.
+  bool read_frame(ReceivedFrame* frame);
+
+ private:
+  std::FILE* file_ = nullptr;
+  ContainerHeader header_;
+  int frame_index_ = 0;
+};
+
+}  // namespace pbpair::codec

@@ -1,0 +1,25 @@
+// 8x8 integer DCT / inverse DCT.
+//
+// All arithmetic is integer (the paper's implementation is fixed-point
+// because the target PDAs have no FPU): the DCT basis is stored as a Q12
+// integer matrix and the two separable passes accumulate in 32/64-bit
+// integers. Encoder reconstruction and decoder use the *same* inverse, so
+// a lossless channel reproduces the encoder's reconstruction bit-exactly —
+// several tests and the error-propagation experiments rely on this.
+#pragma once
+
+#include <cstdint>
+
+namespace pbpair::codec {
+
+/// Forward DCT. `input` is 64 spatial samples (row-major, range fits in
+/// int16: pixels 0..255 or prediction residuals -255..255), `output` is 64
+/// transform coefficients, range approximately [-2048, 2047] for in-range
+/// input.
+void forward_dct_8x8(const std::int16_t* input, std::int16_t* output);
+
+/// Inverse DCT. Output values are clamped to [-2048, 2047]; the caller adds
+/// prediction and clamps to pixel range.
+void inverse_dct_8x8(const std::int16_t* input, std::int16_t* output);
+
+}  // namespace pbpair::codec

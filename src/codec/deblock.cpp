@@ -1,0 +1,67 @@
+#include "codec/deblock.h"
+
+#include "common/math_util.h"
+
+namespace pbpair::codec {
+namespace {
+
+/// Annex J's up-down ramp: passes small discontinuities (likely coding
+/// noise) through the correction, kills large ones (likely real edges).
+int up_down_ramp(int x, int strength) {
+  int magnitude = common::iabs(x);
+  int reduced = magnitude - common::clamp(2 * (magnitude - strength), 0,
+                                          magnitude);
+  return x >= 0 ? reduced : -reduced;
+}
+
+void filter_vertical_edges(video::Plane& plane, int strength) {
+  // Edges between columns x-1 | x for x = 8, 16, ...
+  for (int x = 8; x < plane.width(); x += 8) {
+    for (int y = 0; y < plane.height(); ++y) {
+      std::uint8_t* row = plane.row(y);
+      int a = row[x - 2];
+      int b = row[x - 1];
+      int c = row[x];
+      int d = row[x + 1 < plane.width() ? x + 1 : x];
+      int delta = deblock_delta(a, b, c, d, strength);
+      row[x - 1] = common::clamp_pixel(b + delta);
+      row[x] = common::clamp_pixel(c - delta);
+    }
+  }
+}
+
+void filter_horizontal_edges(video::Plane& plane, int strength) {
+  for (int y = 8; y < plane.height(); y += 8) {
+    std::uint8_t* rm2 = plane.row(y - 2);
+    std::uint8_t* rm1 = plane.row(y - 1);
+    std::uint8_t* r0 = plane.row(y);
+    std::uint8_t* rp1 = plane.row(y + 1 < plane.height() ? y + 1 : y);
+    for (int x = 0; x < plane.width(); ++x) {
+      int delta = deblock_delta(rm2[x], rm1[x], r0[x], rp1[x], strength);
+      rm1[x] = common::clamp_pixel(rm1[x] + delta);
+      r0[x] = common::clamp_pixel(r0[x] - delta);
+    }
+  }
+}
+
+}  // namespace
+
+int deblock_strength(int qp) { return common::clamp(qp / 2 + 1, 1, 12); }
+
+int deblock_delta(int a, int b, int c, int d, int strength) {
+  // Annex J's boundary-discontinuity estimate from the 4-tap stencil.
+  int d_raw = (a - 4 * b + 4 * c - d) / 8;
+  return up_down_ramp(d_raw, strength);
+}
+
+void deblock_frame(video::YuvFrame& frame, int qp) {
+  const int strength = deblock_strength(qp);
+  filter_vertical_edges(frame.y(), strength);
+  filter_horizontal_edges(frame.y(), strength);
+  filter_vertical_edges(frame.u(), strength);
+  filter_horizontal_edges(frame.u(), strength);
+  filter_vertical_edges(frame.v(), strength);
+  filter_horizontal_edges(frame.v(), strength);
+}
+
+}  // namespace pbpair::codec

@@ -1,0 +1,28 @@
+// In-loop deblocking filter (H.263 Annex J flavor).
+//
+// Block-based DCT coding at coarse QP leaves visible discontinuities at
+// 8x8 block boundaries. The filter smooths each boundary with a ramp
+// limited by a QP-derived strength, so real edges survive while
+// quantization seams fade. It runs identically in the encoder's
+// reconstruction loop and in the decoder (after each frame, before the
+// frame becomes a reference) — enabling it on only one side would break
+// the lockstep invariant, so it is a stream-level configuration
+// (EncoderConfig::deblocking / DecoderConfig::deblocking must match).
+#pragma once
+
+#include "video/frame.h"
+
+namespace pbpair::codec {
+
+/// Filter strength for a quantizer value (grows with QP; coarser
+/// quantization leaves bigger seams).
+int deblock_strength(int qp);
+
+/// Filters all internal 8-aligned block edges of every plane in place.
+void deblock_frame(video::YuvFrame& frame, int qp);
+
+/// Exposed for tests: filters one 4-pixel stencil (A B | C D across a
+/// block edge), returning the delta applied to B (and subtracted from C).
+int deblock_delta(int a, int b, int c, int d, int strength);
+
+}  // namespace pbpair::codec

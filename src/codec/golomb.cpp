@@ -1,0 +1,63 @@
+#include "codec/golomb.h"
+
+namespace pbpair::codec {
+namespace {
+
+int bit_width(std::uint32_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+}  // namespace
+
+void put_ue(BitWriter& writer, std::uint32_t value) {
+  PB_CHECK(value < 0xFFFFFFFFu);
+  std::uint32_t v = value + 1;
+  int width = bit_width(v);
+  // width-1 leading zeros, then the value itself (whose MSB is the 1).
+  writer.put_bits(0, width - 1);
+  writer.put_bits(v, width);
+}
+
+bool get_ue(BitReader& reader, std::uint32_t* out) {
+  int zeros = 0;
+  for (;;) {
+    bool bit = false;
+    if (!reader.get_bit(&bit)) return false;
+    if (bit) break;
+    if (++zeros > 31) return false;  // malformed: would overflow
+  }
+  std::uint32_t suffix = 0;
+  if (!reader.get_bits(zeros, &suffix)) return false;
+  *out = ((1u << zeros) | suffix) - 1;
+  return true;
+}
+
+void put_se(BitWriter& writer, std::int32_t value) {
+  // 0 -> 0, 1 -> 1, -1 -> 2, 2 -> 3, -2 -> 4, ...
+  std::uint32_t mapped =
+      value > 0 ? (static_cast<std::uint32_t>(value) * 2 - 1)
+                : (static_cast<std::uint32_t>(-static_cast<std::int64_t>(value)) * 2);
+  put_ue(writer, mapped);
+}
+
+bool get_se(BitReader& reader, std::int32_t* out) {
+  std::uint32_t mapped = 0;
+  if (!get_ue(reader, &mapped)) return false;
+  if (mapped % 2 == 1) {
+    *out = static_cast<std::int32_t>((mapped + 1) / 2);
+  } else {
+    *out = -static_cast<std::int32_t>(mapped / 2);
+  }
+  return true;
+}
+
+int ue_bit_length(std::uint32_t value) {
+  return 2 * bit_width(value + 1) - 1;
+}
+
+}  // namespace pbpair::codec

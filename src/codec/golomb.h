@@ -1,0 +1,30 @@
+// Exponential-Golomb codes over BitWriter/BitReader.
+//
+// Used for motion-vector differences and as the escape path of the
+// coefficient VLC. ue() is the classic unsigned Exp-Golomb code
+// (1, 010, 011, 00100, ...); se() maps signed values with the H.26x zigzag
+// convention 0, 1, -1, 2, -2, ...
+#pragma once
+
+#include <cstdint>
+
+#include "codec/bitstream.h"
+
+namespace pbpair::codec {
+
+/// Writes unsigned Exp-Golomb. value in [0, 2^31 - 2].
+void put_ue(BitWriter& writer, std::uint32_t value);
+
+/// Reads unsigned Exp-Golomb; false on malformed/truncated input.
+bool get_ue(BitReader& reader, std::uint32_t* out);
+
+/// Writes signed Exp-Golomb (0, 1, -1, 2, -2, ... mapping).
+void put_se(BitWriter& writer, std::int32_t value);
+
+/// Reads signed Exp-Golomb; false on malformed/truncated input.
+bool get_se(BitReader& reader, std::int32_t* out);
+
+/// Number of bits put_ue would emit for `value`.
+int ue_bit_length(std::uint32_t value);
+
+}  // namespace pbpair::codec

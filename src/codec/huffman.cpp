@@ -1,0 +1,146 @@
+#include "codec/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace pbpair::codec {
+namespace {
+
+struct Node {
+  std::uint64_t freq;
+  int order;       // deterministic tie-break: creation order
+  int symbol;      // >= 0 for leaves, -1 for internal
+  int left = -1;   // indices into the node pool
+  int right = -1;
+};
+
+}  // namespace
+
+HuffmanCode::HuffmanCode(const std::vector<std::uint64_t>& frequencies) {
+  const int n = static_cast<int>(frequencies.size());
+  PB_CHECK(n >= 2);
+  lengths_.assign(n, 0);
+  codes_.assign(n, 0);
+
+  // Build the Huffman tree with a min-heap. Tie-break on creation order so
+  // the construction is fully deterministic.
+  std::vector<Node> pool;
+  pool.reserve(2 * static_cast<std::size_t>(n));
+  auto cmp = [&pool](int a, int b) {
+    if (pool[a].freq != pool[b].freq) return pool[a].freq > pool[b].freq;
+    return pool[a].order > pool[b].order;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+  for (int s = 0; s < n; ++s) {
+    PB_CHECK_MSG(frequencies[s] >= 1, "huffman frequency must be >= 1");
+    pool.push_back(Node{frequencies[s], s, s});
+    heap.push(s);
+  }
+  int order = n;
+  while (heap.size() > 1) {
+    int a = heap.top();
+    heap.pop();
+    int b = heap.top();
+    heap.pop();
+    pool.push_back(Node{pool[a].freq + pool[b].freq, order++, -1, a, b});
+    heap.push(static_cast<int>(pool.size()) - 1);
+  }
+
+  // Depth-first traversal to extract code lengths (iterative).
+  std::vector<std::pair<int, int>> stack;  // (node index, depth)
+  stack.emplace_back(heap.top(), 0);
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = pool[idx];
+    if (node.symbol >= 0) {
+      lengths_[node.symbol] = depth == 0 ? 1 : depth;  // degenerate n==1 guard
+    } else {
+      stack.emplace_back(node.left, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+
+  assign_canonical_codes();
+}
+
+void HuffmanCode::assign_canonical_codes() {
+  const int n = symbol_count();
+  sorted_symbols_.resize(n);
+  for (int s = 0; s < n; ++s) sorted_symbols_[s] = s;
+  std::sort(sorted_symbols_.begin(), sorted_symbols_.end(),
+            [this](int a, int b) {
+              if (lengths_[a] != lengths_[b]) return lengths_[a] < lengths_[b];
+              return a < b;
+            });
+  max_length_ = lengths_[sorted_symbols_.back()];
+  PB_CHECK(max_length_ <= 31);
+
+  first_code_at_len_.assign(max_length_ + 1, 0);
+  first_index_at_len_.assign(max_length_ + 1, -1);
+
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (int i = 0; i < n; ++i) {
+    int s = sorted_symbols_[i];
+    int len = lengths_[s];
+    code <<= (len - prev_len);
+    if (first_index_at_len_[len] < 0) {
+      first_index_at_len_[len] = i;
+      first_code_at_len_[len] = code;
+    }
+    codes_[s] = code;
+    ++code;
+    prev_len = len;
+  }
+}
+
+void HuffmanCode::encode(BitWriter& writer, int symbol) const {
+  PB_CHECK(symbol >= 0 && symbol < symbol_count());
+  writer.put_bits(codes_[symbol], lengths_[symbol]);
+}
+
+bool HuffmanCode::decode(BitReader& reader, int* symbol) const {
+  std::uint32_t code = 0;
+  for (int len = 1; len <= max_length_; ++len) {
+    bool bit = false;
+    if (!reader.get_bit(&bit)) return false;
+    code = (code << 1) | (bit ? 1u : 0u);
+    int first_idx = first_index_at_len_[len];
+    if (first_idx < 0) continue;
+    std::uint32_t first_code = first_code_at_len_[len];
+    // Count of codes at this length: scan is avoided by checking the next
+    // occupied length's start index.
+    int next_idx = symbol_count();
+    for (int l2 = len + 1; l2 <= max_length_; ++l2) {
+      if (first_index_at_len_[l2] >= 0) {
+        next_idx = first_index_at_len_[l2];
+        break;
+      }
+    }
+    int count = next_idx - first_idx;
+    if (code >= first_code && code < first_code + static_cast<std::uint32_t>(count)) {
+      *symbol = sorted_symbols_[first_idx + (code - first_code)];
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HuffmanCode::is_prefix_free() const {
+  const int n = symbol_count();
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (lengths_[a] <= lengths_[b]) {
+        std::uint32_t prefix = codes_[b] >> (lengths_[b] - lengths_[a]);
+        if (prefix == codes_[a]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pbpair::codec

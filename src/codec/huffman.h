@@ -1,0 +1,52 @@
+// Static Huffman code construction for the entropy-coding tables.
+//
+// H.263 defines hand-tuned VLC tables (MCBPC, CBPY, TCOEF). Rather than
+// transcribing the standard's tables — our bitstream is H.263-*style*, not
+// bit-compatible — we build canonical Huffman codes from fixed frequency
+// models that reflect typical low-bitrate video statistics (vlc_tables.cpp).
+// Encoder and decoder construct identical codes from the same model, so the
+// tables never appear in the bitstream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/bitstream.h"
+
+namespace pbpair::codec {
+
+/// A canonical Huffman code over symbols 0..n-1.
+class HuffmanCode {
+ public:
+  /// Builds the code from per-symbol frequencies (one entry per symbol;
+  /// every frequency must be >= 1 so every symbol is encodable).
+  /// Construction is deterministic: ties are broken by symbol index.
+  explicit HuffmanCode(const std::vector<std::uint64_t>& frequencies);
+
+  int symbol_count() const { return static_cast<int>(lengths_.size()); }
+
+  /// Code length in bits for `symbol`.
+  int length(int symbol) const { return lengths_[symbol]; }
+
+  /// Writes the code for `symbol`.
+  void encode(BitWriter& writer, int symbol) const;
+
+  /// Reads one symbol; false on truncated input.
+  bool decode(BitReader& reader, int* symbol) const;
+
+  /// True if no codeword is a prefix of another (sanity check for tests).
+  bool is_prefix_free() const;
+
+ private:
+  void assign_canonical_codes();
+
+  std::vector<int> lengths_;          // per-symbol code length
+  std::vector<std::uint32_t> codes_;  // per-symbol canonical code bits
+  // Canonical decode tables indexed by code length (1..max):
+  std::vector<std::uint32_t> first_code_at_len_;
+  std::vector<int> first_index_at_len_;
+  std::vector<int> sorted_symbols_;   // symbols sorted by (length, symbol)
+  int max_length_ = 0;
+};
+
+}  // namespace pbpair::codec

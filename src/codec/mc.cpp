@@ -1,0 +1,88 @@
+#include "codec/mc.h"
+
+#include "common/math_util.h"
+
+namespace pbpair::codec {
+namespace {
+
+/// One interpolated sample at half-pel position (x2, y2), edge-clamped.
+inline int sample_halfpel(const video::Plane& ref, int x2, int y2) {
+  const int x = x2 >> 1;
+  const int y = y2 >> 1;
+  const bool hx = (x2 & 1) != 0;
+  const bool hy = (y2 & 1) != 0;
+  if (!hx && !hy) return ref.at_clamped(x, y);
+  if (hx && !hy) {
+    return (ref.at_clamped(x, y) + ref.at_clamped(x + 1, y) + 1) >> 1;
+  }
+  if (!hx) {
+    return (ref.at_clamped(x, y) + ref.at_clamped(x, y + 1) + 1) >> 1;
+  }
+  return (ref.at_clamped(x, y) + ref.at_clamped(x + 1, y) +
+          ref.at_clamped(x, y + 1) + ref.at_clamped(x + 1, y + 1) + 2) >>
+         2;
+}
+
+/// Fast path: fully aligned full-pel copy with in-bounds rows.
+bool full_pel_in_bounds(const video::Plane& ref, int x2, int y2, int w,
+                        int h) {
+  if ((x2 & 1) != 0 || (y2 & 1) != 0) return false;
+  int x = x2 >> 1;
+  int y = y2 >> 1;
+  return x >= 0 && y >= 0 && x + w <= ref.width() && y + h <= ref.height();
+}
+
+}  // namespace
+
+void predict_block(const video::Plane& ref, int x2, int y2, int w, int h,
+                   std::uint8_t* pred, energy::OpCounters& ops) {
+  if (full_pel_in_bounds(ref, x2, y2, w, h)) {
+    const int x = x2 >> 1;
+    const int y = y2 >> 1;
+    for (int row = 0; row < h; ++row) {
+      const std::uint8_t* src = ref.row(y + row) + x;
+      std::uint8_t* dst = pred + static_cast<std::ptrdiff_t>(row) * w;
+      for (int col = 0; col < w; ++col) dst[col] = src[col];
+    }
+    ops.mc_pixels += static_cast<std::uint64_t>(w) * h;
+    return;
+  }
+  for (int row = 0; row < h; ++row) {
+    std::uint8_t* dst = pred + static_cast<std::ptrdiff_t>(row) * w;
+    for (int col = 0; col < w; ++col) {
+      dst[col] = static_cast<std::uint8_t>(
+          sample_halfpel(ref, x2 + 2 * col, y2 + 2 * row));
+    }
+  }
+  ops.mc_halfpel_pixels += static_cast<std::uint64_t>(w) * h;
+}
+
+MotionVector chroma_mv(MotionVector luma) {
+  auto derive = [](int v) {
+    int sign = v < 0 ? -1 : 1;
+    int magnitude = common::iabs(v);
+    // Full chroma pixels when the luma vector is a multiple of 4 half-pels
+    // (one full chroma pixel); otherwise round to the half-pel position.
+    int half = magnitude % 4 == 0 ? magnitude / 2 : (magnitude / 4) * 2 + 1;
+    return sign * half;
+  };
+  return MotionVector{derive(luma.x), derive(luma.y)};
+}
+
+std::int64_t sad_16x16_halfpel(const video::Plane& cur, int cx, int cy,
+                               const video::Plane& ref, int rx2, int ry2,
+                               std::int64_t cutoff, energy::OpCounters& ops) {
+  std::int64_t sad = 0;
+  for (int row = 0; row < 16; ++row) {
+    const std::uint8_t* crow = cur.row(cy + row) + cx;
+    for (int col = 0; col < 16; ++col) {
+      sad += common::iabs(static_cast<int>(crow[col]) -
+                          sample_halfpel(ref, rx2 + 2 * col, ry2 + 2 * row));
+    }
+    ops.sad_halfpel_ops += 16;
+    if (sad >= cutoff) return sad;
+  }
+  return sad;
+}
+
+}  // namespace pbpair::codec

@@ -1,0 +1,36 @@
+// Half-pel motion compensation (H.263 clause 6.1.2 style).
+//
+// Predictions are formed with bilinear interpolation at half-pel positions
+// ((a+b+1)>>1 for one-dimensional halves, (a+b+c+d+2)>>2 for the center).
+// All reference reads are edge-clamped, so every syntactically valid vector
+// is safely decodable; encoder and decoder share these functions, which is
+// what keeps their reconstruction loops in lockstep.
+#pragma once
+
+#include <cstdint>
+
+#include "codec/motion.h"
+#include "energy/op_counters.h"
+#include "video/frame.h"
+
+namespace pbpair::codec {
+
+/// Builds a w x h prediction block from `ref` at half-pel position
+/// (x2, y2) (half-pel units, i.e. pixel position (x2/2, y2/2)).
+/// `pred` is row-major w*h. Meters mc_pixels / mc_halfpel_pixels.
+void predict_block(const video::Plane& ref, int x2, int y2, int w, int h,
+                   std::uint8_t* pred, energy::OpCounters& ops);
+
+/// Chroma motion vector (chroma-plane half-pel units) derived from a luma
+/// half-pel vector with the H.263 rounding rule: the luma vector is halved
+/// and any fractional part rounds to the half-pel position.
+MotionVector chroma_mv(MotionVector luma);
+
+/// SAD between the 16x16 block of `cur` at (cx, cy) and the half-pel
+/// interpolated reference block at half-pel position (rx2, ry2), with
+/// cutoff-based early termination. Meters sad_halfpel_ops.
+std::int64_t sad_16x16_halfpel(const video::Plane& cur, int cx, int cy,
+                               const video::Plane& ref, int rx2, int ry2,
+                               std::int64_t cutoff, energy::OpCounters& ops);
+
+}  // namespace pbpair::codec

@@ -1,0 +1,48 @@
+// Motion vector types shared by the search, encoder, decoder, and the
+// PBPAIR probability machinery.
+#pragma once
+
+#include <cstdint>
+
+namespace pbpair::codec {
+
+/// Motion vector in HALF-PEL units (H.263's resolution): x == 2 means one
+/// full luma pixel to the right, x == 1 means half a pixel. Integer-pel
+/// search produces even components; the half-pel refinement step adds the
+/// odd ones.
+struct MotionVector {
+  int x = 0;
+  int y = 0;
+
+  bool operator==(const MotionVector&) const = default;
+  bool is_zero() const { return x == 0 && y == 0; }
+  bool is_half_pel() const { return (x & 1) != 0 || (y & 1) != 0; }
+
+  /// Full-pel vector from pixel displacement.
+  static MotionVector from_pixels(int px, int py) {
+    return MotionVector{px * 2, py * 2};
+  }
+};
+
+/// Floor of a half-pel component in pixels (works for negatives).
+constexpr int halfpel_floor(int v) { return v >> 1; }
+
+/// Width in pixels of the reference span a half-pel component touches:
+/// 16 for full-pel, 17 when interpolation reads one extra column/row.
+constexpr int halfpel_span(int v) { return 16 + ((v & 1) != 0 ? 1 : 0); }
+
+/// Result of one block motion search.
+struct MotionResult {
+  MotionVector mv{};
+  std::int64_t sad = 0;        // plain SAD of the chosen candidate
+  std::int64_t cost = 0;       // SAD + policy penalty of the chosen candidate
+  std::uint64_t candidates = 0;  // candidates evaluated (for energy metering)
+  /// Exact SAD of the (0,0) candidate — the co-located block. Always
+  /// evaluated first; PBPAIR reuses it as the similarity-factor input so
+  /// the probability update costs no extra SAD work for searched MBs.
+  std::int64_t sad_zero = -1;
+};
+
+inline constexpr int kMbSize = 16;
+
+}  // namespace pbpair::codec

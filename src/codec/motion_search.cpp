@@ -1,0 +1,188 @@
+#include "codec/motion_search.h"
+
+#include "codec/mc.h"
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pbpair::codec {
+namespace {
+
+struct SearchContext {
+  const video::Plane& cur;
+  const video::Plane& ref;
+  int px;  // MB top-left in pixels
+  int py;
+  // Valid FULL-PEL vector bounds, in pixels.
+  int min_dx, max_dx, min_dy, max_dy;
+  const MePenaltyFn* penalty;
+  energy::OpCounters* ops;
+
+  bool in_bounds_pixels(int dx, int dy) const {
+    return dx >= min_dx && dx <= max_dx && dy >= min_dy && dy <= max_dy;
+  }
+
+  std::int64_t penalty_of(MotionVector mv, int mb_x, int mb_y) const {
+    if (penalty != nullptr && *penalty) return (*penalty)(mb_x, mb_y, mv);
+    return 0;
+  }
+
+  /// Evaluates one FULL-PEL candidate (dx, dy in pixels); returns its cost.
+  std::int64_t evaluate(int dx, int dy, std::int64_t best_cost,
+                        std::int64_t* out_sad, int mb_x, int mb_y) const {
+    std::int64_t pen = penalty_of(MotionVector::from_pixels(dx, dy), mb_x, mb_y);
+    // Early-out cutoff: the SAD alone only needs to reach best_cost - pen.
+    std::int64_t cutoff = best_cost - pen;
+    if (cutoff <= 0) {
+      // Penalty already disqualifies the candidate; spend no SAD work.
+      *out_sad = 0;
+      return best_cost;  // "not better" sentinel
+    }
+    std::int64_t sad = sad_16x16_cutoff(cur, px, py, ref, px + dx, py + dy,
+                                        cutoff, *ops);
+    *out_sad = sad;
+    return sad + pen;
+  }
+};
+
+void full_search(const SearchContext& ctx, int mb_x, int mb_y,
+                 MotionResult& best) {
+  for (int dy = ctx.min_dy; dy <= ctx.max_dy; ++dy) {
+    for (int dx = ctx.min_dx; dx <= ctx.max_dx; ++dx) {
+      if (dx == 0 && dy == 0) continue;  // seeded before dispatch
+      std::int64_t sad = 0;
+      std::int64_t cost = ctx.evaluate(dx, dy, best.cost, &sad, mb_x, mb_y);
+      ++best.candidates;
+      if (cost < best.cost) {
+        best.cost = cost;
+        best.sad = sad;
+        best.mv = MotionVector::from_pixels(dx, dy);
+      }
+    }
+  }
+}
+
+void diamond_search(const SearchContext& ctx, int mb_x, int mb_y,
+                    MotionResult& best) {
+  // Large diamond search pattern descent, then small diamond refinement,
+  // all in full-pel steps.
+  struct Step {
+    int dx, dy;
+  };
+  static constexpr Step kLarge[] = {{0, -2}, {-1, -1}, {1, -1}, {-2, 0},
+                                    {2, 0},  {-1, 1},  {1, 1},  {0, 2}};
+  static constexpr Step kSmall[] = {{0, -1}, {-1, 0}, {1, 0}, {0, 1}};
+
+  auto try_pixels = [&](int dx, int dy) {
+    if (!ctx.in_bounds_pixels(dx, dy)) return false;
+    std::int64_t sad = 0;
+    std::int64_t cost = ctx.evaluate(dx, dy, best.cost, &sad, mb_x, mb_y);
+    ++best.candidates;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.sad = sad;
+      best.mv = MotionVector::from_pixels(dx, dy);
+      return true;
+    }
+    return false;
+  };
+
+  bool improved = true;
+  int iterations = 0;
+  while (improved && iterations < 64) {
+    improved = false;
+    int cx = halfpel_floor(best.mv.x);
+    int cy = halfpel_floor(best.mv.y);
+    for (Step step : kLarge) improved |= try_pixels(cx + step.dx, cy + step.dy);
+    ++iterations;
+  }
+  int cx = halfpel_floor(best.mv.x);
+  int cy = halfpel_floor(best.mv.y);
+  for (Step step : kSmall) try_pixels(cx + step.dx, cy + step.dy);
+}
+
+void halfpel_refine(const SearchContext& ctx, int mb_x, int mb_y,
+                    MotionResult& best) {
+  // The 8 half-pel neighbors of the full-pel winner (TMN refinement).
+  const MotionVector center = best.mv;
+  for (int dy2 = -1; dy2 <= 1; ++dy2) {
+    for (int dx2 = -1; dx2 <= 1; ++dx2) {
+      if (dx2 == 0 && dy2 == 0) continue;
+      MotionVector mv{center.x + dx2, center.y + dy2};
+      // Keep the *floor* position inside the full-pel bounds so the
+      // interpolation only ever clamps on its +1 edge reads.
+      if (!ctx.in_bounds_pixels(halfpel_floor(mv.x), halfpel_floor(mv.y))) {
+        continue;
+      }
+      std::int64_t pen = ctx.penalty_of(mv, mb_x, mb_y);
+      std::int64_t cutoff = best.cost - pen;
+      if (cutoff <= 0) {
+        ++best.candidates;
+        continue;
+      }
+      std::int64_t sad = sad_16x16_halfpel(ctx.cur, ctx.px, ctx.py, ctx.ref,
+                                           ctx.px * 2 + mv.x,
+                                           ctx.py * 2 + mv.y, cutoff,
+                                           *ctx.ops);
+      ++best.candidates;
+      if (sad + pen < best.cost) {
+        best.cost = sad + pen;
+        best.sad = sad;
+        best.mv = mv;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MotionResult search_motion(const video::Plane& cur, const video::Plane& ref,
+                           int mb_x, int mb_y, const MotionSearchConfig& config,
+                           const MePenaltyFn& penalty,
+                           energy::OpCounters& ops) {
+  PB_CHECK(cur.same_size(ref));
+  PB_CHECK(config.range >= 0 && config.range <= 31);
+  const int px = mb_x * kMbSize;
+  const int py = mb_y * kMbSize;
+  PB_CHECK(px + kMbSize <= cur.width() && py + kMbSize <= cur.height());
+
+  SearchContext ctx{
+      cur,
+      ref,
+      px,
+      py,
+      common::clamp(-config.range, -px, 0),
+      common::clamp(config.range, 0, ref.width() - kMbSize - px),
+      common::clamp(-config.range, -py, 0),
+      common::clamp(config.range, 0, ref.height() - kMbSize - py),
+      &penalty,
+      &ops,
+  };
+
+  ops.me_invocations += 1;
+
+  // Seed with the exact zero-vector candidate: both strategies start here,
+  // and its SAD doubles as the co-located similarity input (motion.h).
+  MotionResult best;
+  best.sad_zero = sad_16x16(cur, px, py, ref, px, py, ops);
+  best.mv = MotionVector{0, 0};
+  best.sad = best.sad_zero;
+  best.cost = best.sad_zero - config.zero_mv_bias;
+  if (best.cost < 0) best.cost = 0;
+  if (penalty) best.cost += penalty(mb_x, mb_y, MotionVector{0, 0});
+  best.candidates = 1;
+
+  switch (config.strategy) {
+    case SearchStrategy::kFullSearch:
+      full_search(ctx, mb_x, mb_y, best);
+      break;
+    case SearchStrategy::kDiamondSearch:
+      diamond_search(ctx, mb_x, mb_y, best);
+      break;
+  }
+  if (config.half_pel) {
+    halfpel_refine(ctx, mb_x, mb_y, best);
+  }
+  return best;
+}
+
+}  // namespace pbpair::codec

@@ -1,0 +1,69 @@
+#include "codec/quant.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pbpair::codec {
+
+int quantize_intra_dc(int coeff) {
+  int level = (coeff + 4) / 8;  // round to nearest step of 8
+  return common::clamp(level, 1, 254);
+}
+
+int dequantize_intra_dc(int level) { return level * 8; }
+
+int quantize_coeff(int coeff, int qp, bool intra) {
+  PB_CHECK(qp >= kMinQp && qp <= kMaxQp);
+  int magnitude = common::iabs(coeff);
+  int level;
+  if (intra) {
+    level = magnitude / (2 * qp);
+  } else {
+    level = (magnitude - qp / 2) / (2 * qp);
+    if (level < 0) level = 0;
+  }
+  level = common::clamp(level, 0, kMaxLevel);
+  return coeff >= 0 ? level : -level;
+}
+
+int dequantize_coeff(int level, int qp) {
+  if (level == 0) return 0;
+  int magnitude = common::iabs(level);
+  int rec = qp * (2 * magnitude + 1);
+  if (qp % 2 == 0) rec -= 1;
+  rec = common::clamp(rec, 0, 2047);
+  return level > 0 ? rec : -rec;
+}
+
+int quantize_block(std::int16_t* block, int qp, bool intra,
+                   energy::OpCounters& ops) {
+  int nonzero = 0;
+  int start = 0;
+  if (intra) {
+    block[0] = static_cast<std::int16_t>(quantize_intra_dc(block[0]));
+    ++nonzero;  // intra DC is always coded
+    start = 1;
+  }
+  for (int i = start; i < 64; ++i) {
+    int level = quantize_coeff(block[i], qp, intra);
+    block[i] = static_cast<std::int16_t>(level);
+    if (level != 0) ++nonzero;
+  }
+  ops.quant_coeffs += 64;
+  return nonzero;
+}
+
+void dequantize_block(std::int16_t* block, int qp, bool intra,
+                      energy::OpCounters& ops) {
+  int start = 0;
+  if (intra) {
+    block[0] = static_cast<std::int16_t>(dequantize_intra_dc(block[0]));
+    start = 1;
+  }
+  for (int i = start; i < 64; ++i) {
+    block[i] = static_cast<std::int16_t>(dequantize_coeff(block[i], qp));
+  }
+  ops.dequant_coeffs += 64;
+}
+
+}  // namespace pbpair::codec

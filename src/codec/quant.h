@@ -1,0 +1,43 @@
+// H.263-style scalar quantization (clause 6.2 of the recommendation).
+//
+// Intra DC uses a fixed step of 8 (coded 1..254). All other coefficients
+// use step 2*QP with a dead zone for inter blocks. Reconstruction follows
+// the H.263 "oddification" rule, which avoids zero-centered drift:
+//   |REC| = QP * (2*|LEVEL| + 1)          (QP odd)
+//   |REC| = QP * (2*|LEVEL| + 1) - 1      (QP even)
+#pragma once
+
+#include <cstdint>
+
+#include "energy/op_counters.h"
+
+namespace pbpair::codec {
+
+inline constexpr int kMinQp = 1;
+inline constexpr int kMaxQp = 31;
+inline constexpr int kMaxLevel = 127;
+
+/// Quantizes the intra DC coefficient (step 8, level clamped to [1, 254]).
+int quantize_intra_dc(int coeff);
+
+/// Reconstructs the intra DC coefficient from its level.
+int dequantize_intra_dc(int level);
+
+/// Quantizes one AC (or inter DC) coefficient.
+/// `intra` selects the no-dead-zone intra rule.
+int quantize_coeff(int coeff, int qp, bool intra);
+
+/// Reconstructs one AC (or inter DC) coefficient.
+int dequantize_coeff(int level, int qp);
+
+/// Quantizes a full 64-coefficient block in place (raster order).
+/// block[0] is treated as intra DC when `intra` is true. Returns the number
+/// of nonzero levels, and meters quant_coeffs into `ops`.
+int quantize_block(std::int16_t* block, int qp, bool intra,
+                   energy::OpCounters& ops);
+
+/// Dequantizes a full block in place; meters dequant_coeffs.
+void dequantize_block(std::int16_t* block, int qp, bool intra,
+                      energy::OpCounters& ops);
+
+}  // namespace pbpair::codec

@@ -1,0 +1,84 @@
+// Simple reactive rate control (TMN-flavored).
+//
+// The paper notes PBPAIR is "independent from any other encoder and/or
+// decoder side control mechanisms (i.e. rate control, channel coding,
+// etc.)" (§5) — this controller demonstrates that: it adjusts QP from the
+// running bit budget and composes with any refresh policy. One QP step per
+// frame, proportional to the buffer error, with an I-frame allowance so a
+// GOP refresh does not whipsaw the quantizer.
+#pragma once
+
+#include <cstdint>
+
+#include "codec/quant.h"
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pbpair::codec {
+
+struct RateControlConfig {
+  double target_kbps = 64.0;   // channel rate the stream must fit
+  double frame_rate = 25.0;    // frames per second
+  int initial_qp = 10;
+  int min_qp = kMinQp;
+  int max_qp = kMaxQp;
+  /// Fraction of the per-frame budget an I-frame may exceed before the
+  /// controller reacts (I-frames are legitimately several times larger).
+  double intra_allowance = 3.0;
+};
+
+class RateController {
+ public:
+  explicit RateController(const RateControlConfig& config)
+      : config_(config), qp_(config.initial_qp) {
+    PB_CHECK(config.target_kbps > 0 && config.frame_rate > 0);
+    PB_CHECK(config.min_qp >= kMinQp && config.max_qp <= kMaxQp &&
+             config.min_qp <= config.max_qp);
+    PB_CHECK(config.initial_qp >= config.min_qp &&
+             config.initial_qp <= config.max_qp);
+  }
+
+  int qp() const { return qp_; }
+
+  /// Per-frame bit budget implied by the target rate.
+  double frame_budget_bytes() const {
+    return config_.target_kbps * 1000.0 / 8.0 / config_.frame_rate;
+  }
+
+  /// Smoothed fullness of the virtual buffer, in frame budgets
+  /// (positive = over target).
+  double buffer_fullness() const { return buffer_; }
+
+  /// Feed the size of the frame just encoded; adjusts QP for the next one.
+  void on_frame_encoded(std::size_t bytes, bool intra_frame) {
+    const double budget = frame_budget_bytes();
+    double used = static_cast<double>(bytes);
+    if (intra_frame) {
+      // Spread the I-frame's legitimate excess over the allowance window.
+      used = used / config_.intra_allowance;
+    }
+    buffer_ += (used - budget) / budget;
+    // Leaky buffer: the channel drains one budget per frame regardless.
+    buffer_ = common::clamp(buffer_, -8.0, 8.0);
+
+    if (buffer_ > 0.5) {
+      qp_ = common::clamp(qp_ + (buffer_ > 2.0 ? 2 : 1), config_.min_qp,
+                          config_.max_qp);
+    } else if (buffer_ < -0.5) {
+      qp_ = common::clamp(qp_ - (buffer_ < -2.0 ? 2 : 1), config_.min_qp,
+                          config_.max_qp);
+    }
+  }
+
+  void reset() {
+    qp_ = config_.initial_qp;
+    buffer_ = 0.0;
+  }
+
+ private:
+  RateControlConfig config_;
+  int qp_;
+  double buffer_ = 0.0;
+};
+
+}  // namespace pbpair::codec

@@ -1,0 +1,62 @@
+#include "codec/sad.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pbpair::codec {
+
+std::int64_t sad_16x16(const video::Plane& cur, int cx, int cy,
+                       const video::Plane& ref, int rx, int ry,
+                       energy::OpCounters& ops) {
+  PB_DCHECK(cx >= 0 && cy >= 0 && cx + 16 <= cur.width() &&
+            cy + 16 <= cur.height());
+  PB_DCHECK(rx >= 0 && ry >= 0 && rx + 16 <= ref.width() &&
+            ry + 16 <= ref.height());
+  std::int64_t sad = 0;
+  for (int y = 0; y < 16; ++y) {
+    const std::uint8_t* crow = cur.row(cy + y) + cx;
+    const std::uint8_t* rrow = ref.row(ry + y) + rx;
+    for (int x = 0; x < 16; ++x) {
+      sad += common::iabs(static_cast<int>(crow[x]) - static_cast<int>(rrow[x]));
+    }
+  }
+  ops.sad_pixel_ops += 256;
+  return sad;
+}
+
+std::int64_t sad_16x16_cutoff(const video::Plane& cur, int cx, int cy,
+                              const video::Plane& ref, int rx, int ry,
+                              std::int64_t cutoff, energy::OpCounters& ops) {
+  std::int64_t sad = 0;
+  for (int y = 0; y < 16; ++y) {
+    const std::uint8_t* crow = cur.row(cy + y) + cx;
+    const std::uint8_t* rrow = ref.row(ry + y) + rx;
+    for (int x = 0; x < 16; ++x) {
+      sad += common::iabs(static_cast<int>(crow[x]) - static_cast<int>(rrow[x]));
+    }
+    ops.sad_pixel_ops += 16;
+    if (sad >= cutoff) return sad;  // cannot become the best candidate
+  }
+  return sad;
+}
+
+std::int64_t sad_self_16x16(const video::Plane& cur, int cx, int cy,
+                            energy::OpCounters& ops) {
+  std::int64_t sum = 0;
+  for (int y = 0; y < 16; ++y) {
+    const std::uint8_t* crow = cur.row(cy + y) + cx;
+    for (int x = 0; x < 16; ++x) sum += crow[x];
+  }
+  int mean = static_cast<int>(sum / 256);
+  std::int64_t dev = 0;
+  for (int y = 0; y < 16; ++y) {
+    const std::uint8_t* crow = cur.row(cy + y) + cx;
+    for (int x = 0; x < 16; ++x) {
+      dev += common::iabs(static_cast<int>(crow[x]) - mean);
+    }
+  }
+  ops.sad_pixel_ops += 256;
+  return dev;
+}
+
+}  // namespace pbpair::codec

@@ -1,0 +1,128 @@
+#include "codec/vlc_tables.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "codec/golomb.h"
+#include "codec/quant.h"
+
+namespace pbpair::codec {
+namespace {
+
+// Frequency model for (last, run, |level|) events. Shaped like H.263's
+// TCOEF statistics: probability decays geometrically in run and level;
+// last=1 events are rarer than last=0 within a block but always present.
+std::uint64_t event_frequency(bool last, int run, int level_mag) {
+  // Base weight decays by ~x0.6 per run step and ~x0.25 per level step.
+  std::uint64_t w = 1u << 20;
+  for (int r = 0; r < run; ++r) w = (w * 6) / 10;
+  for (int l = 1; l < level_mag; ++l) w /= 4;
+  if (last) w /= 3;
+  return w == 0 ? 1 : w;
+}
+
+// Frequency model for 6-bit CBP patterns: sparse patterns (few coded
+// blocks) dominate at low bitrates; luma blocks are coded more often than
+// chroma.
+std::uint64_t cbp_frequency(int cbp) {
+  int luma_bits = 0, chroma_bits = 0;
+  for (int b = 0; b < 4; ++b) luma_bits += (cbp >> b) & 1;
+  for (int b = 4; b < 6; ++b) chroma_bits += (cbp >> b) & 1;
+  std::uint64_t w = 1u << 20;
+  for (int i = 0; i < luma_bits; ++i) w = (w * 45) / 100;
+  for (int i = 0; i < chroma_bits; ++i) w = (w * 20) / 100;
+  return w == 0 ? 1 : w;
+}
+
+}  // namespace
+
+int CoeffVlc::symbol_of(bool last, int run, int level_mag) const {
+  PB_DCHECK(run >= 0 && run <= kMaxTableRun);
+  PB_DCHECK(level_mag >= 1 && level_mag <= kMaxTableLevel);
+  return ((last ? 1 : 0) * (kMaxTableRun + 1) + run) * kMaxTableLevel +
+         (level_mag - 1);
+}
+
+CoeffVlc::CoeffVlc()
+    : code_([] {
+        std::vector<std::uint64_t> freqs;
+        freqs.reserve(kTableEvents + 1);
+        for (int last = 0; last <= 1; ++last) {
+          for (int run = 0; run <= kMaxTableRun; ++run) {
+            for (int lvl = 1; lvl <= kMaxTableLevel; ++lvl) {
+              freqs.push_back(event_frequency(last != 0, run, lvl));
+            }
+          }
+        }
+        freqs.push_back(1u << 14);  // escape symbol
+        return freqs;
+      }()) {}
+
+void CoeffVlc::encode(BitWriter& writer, const CoeffEvent& event) const {
+  PB_CHECK(event.level != 0 && event.run >= 0 && event.run <= 63);
+  int mag = common::iabs(event.level);
+  PB_CHECK(mag <= kMaxLevel);
+  if (event.run <= kMaxTableRun && mag <= kMaxTableLevel) {
+    code_.encode(writer, symbol_of(event.last, event.run, mag));
+    writer.put_bit(event.level < 0);
+    return;
+  }
+  // Escape: last bit, run as ue, level as se.
+  code_.encode(writer, kTableEvents);
+  writer.put_bit(event.last);
+  put_ue(writer, static_cast<std::uint32_t>(event.run));
+  put_se(writer, event.level);
+}
+
+bool CoeffVlc::decode(BitReader& reader, CoeffEvent* event) const {
+  int symbol = 0;
+  if (!code_.decode(reader, &symbol)) return false;
+  if (symbol == kTableEvents) {
+    bool last = false;
+    std::uint32_t run = 0;
+    std::int32_t level = 0;
+    if (!reader.get_bit(&last)) return false;
+    if (!get_ue(reader, &run)) return false;
+    if (!get_se(reader, &level)) return false;
+    if (run > 63 || level == 0 || common::iabs(level) > kMaxLevel) return false;
+    *event = CoeffEvent{last, static_cast<int>(run), level};
+    return true;
+  }
+  int level_mag = symbol % kMaxTableLevel + 1;
+  int rest = symbol / kMaxTableLevel;
+  int run = rest % (kMaxTableRun + 1);
+  bool last = rest / (kMaxTableRun + 1) != 0;
+  bool negative = false;
+  if (!reader.get_bit(&negative)) return false;
+  *event = CoeffEvent{last, run, negative ? -level_mag : level_mag};
+  return true;
+}
+
+CbpVlc::CbpVlc()
+    : code_([] {
+        std::vector<std::uint64_t> freqs(64);
+        for (int cbp = 0; cbp < 64; ++cbp) freqs[cbp] = cbp_frequency(cbp);
+        return freqs;
+      }()) {}
+
+void CbpVlc::encode(BitWriter& writer, int cbp) const {
+  PB_CHECK(cbp >= 0 && cbp < 64);
+  code_.encode(writer, cbp);
+}
+
+bool CbpVlc::decode(BitReader& reader, int* cbp) const {
+  return code_.decode(reader, cbp);
+}
+
+const CoeffVlc& coeff_vlc() {
+  static const CoeffVlc instance;
+  return instance;
+}
+
+const CbpVlc& cbp_vlc() {
+  static const CbpVlc instance;
+  return instance;
+}
+
+}  // namespace pbpair::codec

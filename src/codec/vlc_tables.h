@@ -1,0 +1,68 @@
+// Entropy-coding tables for the macroblock and block layers.
+//
+// Modeled on H.263's TCOEF/CBPY/MCBPC structure: common (LAST, RUN, LEVEL)
+// coefficient events and common coded-block-patterns get short Huffman
+// codes; everything else takes an escape into Exp-Golomb. The Huffman codes
+// are built once from fixed frequency models typical of low-bitrate video
+// (heavily skewed toward small runs, |level| 1..2, and sparse CBPs).
+#pragma once
+
+#include <cstdint>
+
+#include "codec/bitstream.h"
+#include "codec/huffman.h"
+
+namespace pbpair::codec {
+
+/// One run-length coefficient event: RUN zeros, then LEVEL, LAST marks the
+/// final event of a block.
+struct CoeffEvent {
+  bool last;
+  int run;    // 0..63
+  int level;  // nonzero, [-kMaxLevel, kMaxLevel]
+};
+
+/// Coefficient-event VLC (the TCOEF analogue).
+class CoeffVlc {
+ public:
+  CoeffVlc();
+
+  void encode(BitWriter& writer, const CoeffEvent& event) const;
+  bool decode(BitReader& reader, CoeffEvent* event) const;
+
+  /// Exposed for table tests.
+  const HuffmanCode& table() const { return code_; }
+
+ private:
+  // Symbols 0..(kTableEvents-1) map to (last, run, |level|) triples from
+  // the frequency model, each followed by a sign bit. The final symbol is
+  // the escape (explicit last bit + ue(run) + se(level)).
+  static constexpr int kMaxTableRun = 10;
+  static constexpr int kMaxTableLevel = 3;
+  static constexpr int kTableEvents = 2 * (kMaxTableRun + 1) * kMaxTableLevel;
+
+  int symbol_of(bool last, int run, int level_mag) const;
+
+  HuffmanCode code_;
+};
+
+/// Coded-block-pattern VLC: 6-bit pattern (bit b set => block b of the MB
+/// has coded coefficients; blocks ordered Y0..Y3, U, V).
+class CbpVlc {
+ public:
+  CbpVlc();
+
+  void encode(BitWriter& writer, int cbp) const;
+  bool decode(BitReader& reader, int* cbp) const;
+
+  const HuffmanCode& table() const { return code_; }
+
+ private:
+  HuffmanCode code_;
+};
+
+/// Process-wide shared instances (construction is deterministic).
+const CoeffVlc& coeff_vlc();
+const CbpVlc& cbp_vlc();
+
+}  // namespace pbpair::codec

@@ -1,0 +1,36 @@
+#include "codec/zigzag.h"
+
+namespace pbpair::codec {
+namespace {
+
+std::array<int, 64> build_zigzag() {
+  std::array<int, 64> scan{};
+  int idx = 0;
+  for (int d = 0; d < 15; ++d) {  // anti-diagonals
+    if (d % 2 == 0) {
+      // Walk up-right.
+      for (int row = (d < 8 ? d : 7); row >= 0 && d - row < 8; --row) {
+        scan[idx++] = row * 8 + (d - row);
+      }
+    } else {
+      // Walk down-left.
+      for (int col = (d < 8 ? d : 7); col >= 0 && d - col < 8; --col) {
+        scan[idx++] = (d - col) * 8 + col;
+      }
+    }
+  }
+  return scan;
+}
+
+std::array<int, 64> build_inverse(const std::array<int, 64>& scan) {
+  std::array<int, 64> inv{};
+  for (int i = 0; i < 64; ++i) inv[scan[i]] = i;
+  return inv;
+}
+
+}  // namespace
+
+const std::array<int, 64> kZigzag = build_zigzag();
+const std::array<int, 64> kZigzagInverse = build_inverse(kZigzag);
+
+}  // namespace pbpair::codec

@@ -1,0 +1,13 @@
+// Zig-zag coefficient scan order (identical to H.263/MPEG 8x8 scan).
+#pragma once
+
+#include <array>
+
+namespace pbpair::codec {
+
+/// kZigzag[i] is the raster index (row*8+col) of the i-th coefficient in
+/// scan order; kZigzagInverse is the inverse permutation.
+extern const std::array<int, 64> kZigzag;
+extern const std::array<int, 64> kZigzagInverse;
+
+}  // namespace pbpair::codec

@@ -1,0 +1,83 @@
+// Minimal command-line flag parser for the tools and examples.
+//
+// Supports `--name value`, `--name=value`, boolean `--name`, and
+// positional arguments. No registration step: callers query by name after
+// parsing, and unknown-flag detection is explicit via `unknown_flags()`.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pbpair::common {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string body = arg.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+          flags_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+          flags_[body] = argv[++i];
+        } else {
+          flags_[body] = "";  // boolean flag
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  bool has(const std::string& name) const {
+    consumed_.insert(name);
+    return flags_.count(name) > 0;
+  }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    consumed_.insert(name);
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    auto it = flags_.find(name);
+    consumed_.insert(name);
+    return it == flags_.end() || it->second.empty()
+               ? fallback
+               : std::atof(it->second.c_str());
+  }
+
+  int get_int(const std::string& name, int fallback) const {
+    auto it = flags_.find(name);
+    consumed_.insert(name);
+    return it == flags_.end() || it->second.empty()
+               ? fallback
+               : std::atoi(it->second.c_str());
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but never queried (typo detection).
+  std::vector<std::string> unknown_flags() const {
+    std::vector<std::string> unknown;
+    for (const auto& [name, value] : flags_) {
+      (void)value;
+      if (consumed_.count(name) == 0) unknown.push_back(name);
+    }
+    return unknown;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace pbpair::common

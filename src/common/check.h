@@ -1,0 +1,42 @@
+// Invariant-checking macros used across the PBPAIR library.
+//
+// PB_CHECK fires in all build types: codec state corruption must never be
+// silently carried forward into an encoded bitstream, so the cost of the
+// branch is accepted even in release builds. PB_DCHECK compiles away unless
+// PBPAIR_DEBUG_CHECKS is defined and is meant for hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pbpair::common {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "PB_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace pbpair::common
+
+#define PB_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::pbpair::common::check_failed(#expr, __FILE__, __LINE__);    \
+    }                                                               \
+  } while (false)
+
+#define PB_CHECK_MSG(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::pbpair::common::check_failed(msg, __FILE__, __LINE__);      \
+    }                                                               \
+  } while (false)
+
+#if defined(PBPAIR_DEBUG_CHECKS)
+#define PB_DCHECK(expr) PB_CHECK(expr)
+#else
+#define PB_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#endif

@@ -1,0 +1,59 @@
+// Q16 fixed-point probability arithmetic.
+//
+// The paper targets FPU-less PDAs (iPAQ H5555 / Zaurus SL-5600, XScale
+// PXA255-class cores), and states the H.263 implementation uses fixed-point
+// arithmetic throughout. The probability-of-correctness machinery therefore
+// runs on unsigned Q16: value 0x0000'0000 == 0.0, 0x0001'0000 == 1.0.
+// Probabilities never exceed 1.0, so products of two Q16 probabilities fit
+// comfortably in 64-bit intermediates.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace pbpair::common {
+
+/// Q16 unsigned fixed-point value in [0, 1].
+using Q16 = std::uint32_t;
+
+inline constexpr Q16 kQ16One = 1u << 16;
+
+/// Converts a double in [0,1] to Q16 (round-to-nearest, clamped).
+constexpr Q16 q16_from_double(double v) {
+  if (v <= 0.0) return 0;
+  if (v >= 1.0) return kQ16One;
+  return static_cast<Q16>(v * static_cast<double>(kQ16One) + 0.5);
+}
+
+/// Converts Q16 back to double (exact).
+constexpr double q16_to_double(Q16 v) {
+  return static_cast<double>(v) / static_cast<double>(kQ16One);
+}
+
+/// Q16 product of two probabilities; result stays in [0,1] if inputs do.
+constexpr Q16 q16_mul(Q16 a, Q16 b) {
+  return static_cast<Q16>(
+      (static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)) >> 16);
+}
+
+/// Saturating Q16 addition, capped at 1.0 (probabilities only).
+constexpr Q16 q16_add_sat(Q16 a, Q16 b) {
+  std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+  return s > kQ16One ? kQ16One : static_cast<Q16>(s);
+}
+
+/// 1.0 - v. Requires v <= 1.0 in Q16.
+constexpr Q16 q16_complement(Q16 v) {
+  return v > kQ16One ? 0 : kQ16One - v;
+}
+
+/// Ratio a/b as Q16, clamped to [0,1]. Returns 1.0 for b == 0 by convention
+/// (used for similarity factors where a zero denominator means "identical").
+constexpr Q16 q16_ratio_clamped(std::uint64_t a, std::uint64_t b) {
+  if (b == 0) return kQ16One;
+  if (a >= b) return kQ16One;
+  return static_cast<Q16>((a << 16) / b);
+}
+
+}  // namespace pbpair::common

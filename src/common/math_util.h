@@ -1,0 +1,38 @@
+// Small integer math helpers shared by the codec and simulation layers.
+#pragma once
+
+#include <cstdint>
+
+namespace pbpair::common {
+
+template <typename T>
+constexpr T clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Clamps to the 8-bit pixel range.
+constexpr std::uint8_t clamp_pixel(int v) {
+  return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+/// Integer division rounding up; b must be positive.
+constexpr int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+/// abs() that is safe for INT_MIN-free codec ranges.
+constexpr int iabs(int v) { return v < 0 ? -v : v; }
+
+/// Integer square root (floor), for metrics on integer accumulators.
+constexpr std::uint32_t isqrt(std::uint64_t v) {
+  std::uint64_t lo = 0, hi = 0xFFFFFFFFULL;
+  while (lo < hi) {
+    std::uint64_t mid = (lo + hi + 1) >> 1;
+    if (mid * mid <= v) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return static_cast<std::uint32_t>(lo);
+}
+
+}  // namespace pbpair::common

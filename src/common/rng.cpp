@@ -1,0 +1,57 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace pbpair::common {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) {
+  // Standard PCG32 seeding sequence: mix the seed through SplitMix64 so
+  // that small consecutive seeds still give well-separated states.
+  SplitMix64 mixer(seed);
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0u;
+  (void)next_u32();
+  state_ += mixer.next();
+  (void)next_u32();
+}
+
+std::uint32_t Pcg32::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Pcg32::next_below(std::uint32_t bound) {
+  PB_CHECK(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int32_t Pcg32::next_in_range(std::int32_t lo, std::int32_t hi) {
+  PB_CHECK(lo <= hi);
+  std::uint32_t span =
+      static_cast<std::uint32_t>(static_cast<std::int64_t>(hi) - lo + 1);
+  return lo + static_cast<std::int32_t>(next_below(span));
+}
+
+double Pcg32::next_double() {
+  // 53 random bits scaled into [0,1).
+  std::uint64_t hi = next_u32();
+  std::uint64_t lo = next_u32();
+  std::uint64_t bits = ((hi << 21) ^ lo) & ((1ULL << 53) - 1);
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+bool Pcg32::next_bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+}  // namespace pbpair::common

@@ -1,0 +1,101 @@
+// Power-aware parameter adaptation (paper §3.2).
+//
+// PBPAIR's operating point is (Intra_Th, α): raising Intra_Th (or seeing a
+// higher PLR) produces more intra MBs, which means MORE resilience, LESS
+// encoding energy (ME skipped), but a LARGER bitstream. The paper sketches
+// two closed-loop uses of this trade-off; this controller implements both:
+//
+//  - kHoldIntraRate ("compression-efficiency mode"): when network feedback
+//    reports a PLR change, shift Intra_Th in the opposite direction so the
+//    number of intra MBs — and hence the bit rate — stays roughly constant
+//    ("adapting the Intra_Th by the amount of the PLR increase can generate
+//    similar number of intra macro blocks", §3.2).
+//
+//  - kMaxResilienceInBudget: keep Intra_Th as high as the remaining energy
+//    budget allows. If the projected session energy exceeds the budget,
+//    raise Intra_Th (intra coding is cheaper); when comfortably under
+//    budget, relax back toward the user's base expectation.
+#pragma once
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pbpair::core {
+
+enum class AdaptationGoal {
+  kHoldIntraRate,
+  kMaxResilienceInBudget,
+};
+
+struct AdaptationConfig {
+  AdaptationGoal goal = AdaptationGoal::kHoldIntraRate;
+
+  double base_intra_th = 0.85;  // the user's resiliency expectation
+  double base_plr = 0.10;       // PLR at which base_intra_th was chosen
+
+  /// dIntra_Th/dPLR used by kHoldIntraRate. With the Formula (3)
+  /// approximation σ decays by factor (1-α) per frame, so a PLR increase
+  /// of Δ lowers σ^k by ≈ k·Δ after k frames; coupling ≈ refresh period
+  /// keeps the below-threshold count stable. 1.0 is a robust default.
+  double plr_coupling = 1.0;
+
+  /// Energy budget for kMaxResilienceInBudget (Joules over the session).
+  double energy_budget_j = 0.0;
+  int planned_frames = 0;
+
+  double step = 0.02;  // per-update Intra_Th adjustment
+};
+
+class PowerAwareController {
+ public:
+  explicit PowerAwareController(const AdaptationConfig& config)
+      : config_(config), intra_th_(config.base_intra_th) {
+    PB_CHECK(config.base_intra_th >= 0.0 && config.base_intra_th <= 1.0);
+    if (config.goal == AdaptationGoal::kMaxResilienceInBudget) {
+      PB_CHECK(config.energy_budget_j > 0.0 && config.planned_frames > 0);
+    }
+  }
+
+  double intra_th() const { return intra_th_; }
+
+  /// Receiver feedback: the measured packet-loss rate changed.
+  void on_plr_update(double plr) {
+    last_plr_ = plr;
+    if (config_.goal == AdaptationGoal::kHoldIntraRate) {
+      // PLR up ⇒ σ decays faster ⇒ same threshold would mark more MBs
+      // intra; lower the threshold to compensate (and vice versa).
+      intra_th_ = common::clamp(
+          config_.base_intra_th -
+              config_.plr_coupling * (plr - config_.base_plr),
+          0.0, 1.0);
+    }
+  }
+
+  /// Energy telemetry: total Joules spent after `frames_done` frames.
+  void on_energy_update(double spent_j, int frames_done) {
+    if (config_.goal != AdaptationGoal::kMaxResilienceInBudget ||
+        frames_done <= 0) {
+      return;
+    }
+    double projected =
+        spent_j * static_cast<double>(config_.planned_frames) / frames_done;
+    if (projected > config_.energy_budget_j) {
+      // Over budget: more intra (higher threshold) cuts ME energy.
+      intra_th_ = common::clamp(intra_th_ + config_.step, 0.0, 1.0);
+    } else if (projected < 0.9 * config_.energy_budget_j &&
+               intra_th_ > config_.base_intra_th) {
+      // Comfortably under: relax toward the user's base expectation.
+      intra_th_ = common::clamp(intra_th_ - config_.step,
+                                config_.base_intra_th, 1.0);
+    }
+  }
+
+  double last_plr() const { return last_plr_; }
+
+ private:
+  AdaptationConfig config_;
+  double intra_th_;
+  double last_plr_ = -1.0;
+};
+
+}  // namespace pbpair::core

@@ -1,0 +1,50 @@
+#include "core/operating_points.h"
+
+#include "common/check.h"
+
+namespace pbpair::core {
+
+std::vector<OperatingPoint> explore_operating_points(
+    const std::vector<double>& intra_ths, const std::vector<double>& plrs,
+    const PointEvaluator& evaluate) {
+  PB_CHECK(!intra_ths.empty() && !plrs.empty());
+  PB_CHECK(static_cast<bool>(evaluate));
+  std::vector<OperatingPoint> points;
+  points.reserve(intra_ths.size() * plrs.size());
+  for (double plr : plrs) {
+    for (double th : intra_ths) {
+      OperatingPoint point;
+      point.intra_th = th;
+      point.plr = plr;
+      evaluate(point);
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+int mark_pareto_frontier(
+    std::vector<OperatingPoint>& points,
+    const std::function<double(const OperatingPoint&)>& quality,
+    const std::function<double(const OperatingPoint&)>& cost) {
+  int efficient = 0;
+  for (OperatingPoint& candidate : points) {
+    bool dominated = false;
+    for (const OperatingPoint& other : points) {
+      if (&other == &candidate) continue;
+      bool geq_quality = quality(other) >= quality(candidate);
+      bool leq_cost = cost(other) <= cost(candidate);
+      bool strictly_better = quality(other) > quality(candidate) ||
+                             cost(other) < cost(candidate);
+      if (geq_quality && leq_cost && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    candidate.pareto_efficient = !dominated;
+    if (!dominated) ++efficient;
+  }
+  return efficient;
+}
+
+}  // namespace pbpair::core

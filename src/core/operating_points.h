@@ -1,0 +1,51 @@
+// Operating-point exploration (the paper's design-space pitch).
+//
+// "Our approach allows system designers to evaluate various operating
+// points in terms of error resilient level and energy consumption over a
+// wide range of system operating conditions" (abstract). This module turns
+// that sentence into an API: sweep (Intra_Th, PLR) through the full
+// pipeline, collect (resilience, quality, bit rate, energy) per point, and
+// mark the Pareto-efficient set under a chosen objective pair.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace pbpair::core {
+
+/// One evaluated operating point.
+struct OperatingPoint {
+  double intra_th = 0.0;
+  double plr = 0.0;
+
+  // Measured outcomes (filled by the evaluator).
+  double avg_psnr_db = 0.0;
+  double bad_pixels_m = 0.0;      // millions, lower is better
+  double size_kb = 0.0;           // encoded bitstream
+  double encode_energy_j = 0.0;
+  double total_energy_j = 0.0;    // encode + transmit
+  double intra_mbs_per_frame = 0.0;
+
+  bool pareto_efficient = false;  // set by mark_pareto_frontier
+};
+
+/// Evaluator callback: fills the measured fields of a point in place.
+/// (The sim layer provides one that runs the full pipeline; tests inject
+/// synthetic evaluators.)
+using PointEvaluator = std::function<void(OperatingPoint&)>;
+
+/// Evaluates the cross product of thresholds x loss rates.
+std::vector<OperatingPoint> explore_operating_points(
+    const std::vector<double>& intra_ths, const std::vector<double>& plrs,
+    const PointEvaluator& evaluate);
+
+/// Marks the points that are Pareto-efficient for (maximize quality,
+/// minimize cost), where quality and cost are extracted by the accessors.
+/// A point is dominated if another point has >= quality and <= cost with
+/// at least one strict inequality. Returns the efficient count.
+int mark_pareto_frontier(
+    std::vector<OperatingPoint>& points,
+    const std::function<double(const OperatingPoint&)>& quality,
+    const std::function<double(const OperatingPoint&)>& cost);
+
+}  // namespace pbpair::core

@@ -1,0 +1,43 @@
+#include "core/similarity.h"
+
+#include "codec/sad.h"
+#include "common/check.h"
+
+namespace pbpair::core {
+
+CopyConcealmentSimilarity::CopyConcealmentSimilarity(int full_scale_diff)
+    : full_scale_diff_(full_scale_diff) {
+  PB_CHECK(full_scale_diff >= 1 && full_scale_diff <= 255);
+}
+
+common::Q16 CopyConcealmentSimilarity::from_sad(std::int64_t sad) const {
+  std::uint64_t scale = 256ull * static_cast<std::uint64_t>(full_scale_diff_);
+  if (static_cast<std::uint64_t>(sad) >= scale) return 0;
+  return common::kQ16One -
+         common::q16_ratio_clamped(static_cast<std::uint64_t>(sad), scale);
+}
+
+common::Q16 CopyConcealmentSimilarity::similarity(const video::YuvFrame& cur,
+                                                  const video::YuvFrame* prev,
+                                                  int mb_x, int mb_y,
+                                                  energy::OpCounters& ops) const {
+  if (prev == nullptr) return common::kQ16One;
+  std::int64_t sad = codec::sad_16x16(cur.y(), mb_x * 16, mb_y * 16, prev->y(),
+                                      mb_x * 16, mb_y * 16, ops);
+  return from_sad(sad);
+}
+
+common::Q16 CopyConcealmentSimilarity::similarity_with_hint(
+    const video::YuvFrame& cur, const video::YuvFrame* prev, int mb_x,
+    int mb_y, std::int64_t sad_zero_hint, energy::OpCounters& ops) const {
+  // NOTE: the hint is the SAD against the previous *reconstructed* frame
+  // (the ME reference), while the pure path compares originals. At
+  // encoding quality the difference is a few gray levels per pixel --
+  // negligible against full_scale_diff_ -- and reusing it makes the
+  // probability update free for searched MBs (paper counts ME as the
+  // dominant cost precisely because everything else reuses its work).
+  if (sad_zero_hint >= 0) return from_sad(sad_zero_hint);
+  return similarity(cur, prev, mb_x, mb_y, ops);
+}
+
+}  // namespace pbpair::core

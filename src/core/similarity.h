@@ -1,0 +1,106 @@
+// Similarity factor models (paper §3.1.3).
+//
+// The α-weighted term of Formulas (1) and (2) multiplies σ^{k-1} by a
+// "similarity factor between m^k and m^{k-1}" that depends on the error
+// concealment the decoder uses: if a lost MB is concealed by copying the
+// co-located MB of the previous frame, the concealment is good exactly when
+// the two MBs are similar — so the factor is derived from their SAD. The
+// paper notes other concealment schemes plug in by swapping this factor;
+// that is the SimilarityModel interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/fixed.h"
+#include "energy/op_counters.h"
+#include "video/frame.h"
+
+namespace pbpair::core {
+
+class SimilarityModel {
+ public:
+  virtual ~SimilarityModel() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Similarity (Q16, [0,1]) between MB (mb_x, mb_y) of `cur` and the
+  /// co-located MB of `prev`. `prev` may be null (no previous frame), in
+  /// which case the model returns its no-reference default. Work done here
+  /// is metered into `ops` — the paper counts the similarity computation
+  /// as encoder-side cost.
+  virtual common::Q16 similarity(const video::YuvFrame& cur,
+                                 const video::YuvFrame* prev, int mb_x,
+                                 int mb_y, energy::OpCounters& ops) const = 0;
+
+  /// Like similarity(), but with the co-located SAD already known
+  /// (`sad_zero_hint` >= 0): the encoder's motion search always evaluates
+  /// the (0,0) candidate, so for searched MBs the factor comes for free.
+  /// SAD-based models override this to skip the recomputation; the default
+  /// ignores the hint.
+  virtual common::Q16 similarity_with_hint(const video::YuvFrame& cur,
+                                           const video::YuvFrame* prev,
+                                           int mb_x, int mb_y,
+                                           std::int64_t sad_zero_hint,
+                                           energy::OpCounters& ops) const {
+    (void)sad_zero_hint;
+    return similarity(cur, prev, mb_x, mb_y, ops);
+  }
+};
+
+/// Copy-from-previous concealment (the paper's §4.1 choice): similarity is
+/// 1 - SAD/(256*full_scale_diff), floored at 0. `full_scale_diff` is the
+/// mean per-pixel difference treated as "completely dissimilar".
+class CopyConcealmentSimilarity final : public SimilarityModel {
+ public:
+  explicit CopyConcealmentSimilarity(int full_scale_diff = 48);
+
+  const char* name() const override { return "copy-concealment"; }
+
+  common::Q16 similarity(const video::YuvFrame& cur,
+                         const video::YuvFrame* prev, int mb_x, int mb_y,
+                         energy::OpCounters& ops) const override;
+
+  common::Q16 similarity_with_hint(const video::YuvFrame& cur,
+                                   const video::YuvFrame* prev, int mb_x,
+                                   int mb_y, std::int64_t sad_zero_hint,
+                                   energy::OpCounters& ops) const override;
+
+  /// The SAD -> similarity mapping shared by both entry points.
+  common::Q16 from_sad(std::int64_t sad) const;
+
+ private:
+  int full_scale_diff_;
+};
+
+/// The Formula (3) approximation: "no similarity between consecutive
+/// frames" — the factor is always 0, so σ^k decays as (1-α)^k for an
+/// all-inter sequence. Used as the cheap-compute ablation.
+class NoSimilarity final : public SimilarityModel {
+ public:
+  const char* name() const override { return "none"; }
+
+  common::Q16 similarity(const video::YuvFrame&, const video::YuvFrame*, int,
+                         int, energy::OpCounters&) const override {
+    return 0;
+  }
+};
+
+/// Constant factor: models concealment whose quality does not depend on
+/// content (e.g. freeze-to-gray gives a uniformly poor, fixed factor).
+class ConstantSimilarity final : public SimilarityModel {
+ public:
+  explicit ConstantSimilarity(common::Q16 value) : value_(value) {}
+
+  const char* name() const override { return "constant"; }
+
+  common::Q16 similarity(const video::YuvFrame&, const video::YuvFrame*, int,
+                         int, energy::OpCounters&) const override {
+    return value_;
+  }
+
+ private:
+  common::Q16 value_;
+};
+
+}  // namespace pbpair::core

@@ -1,0 +1,38 @@
+// Residual-energy tracking for the power-aware adaptation loop (§3.2).
+//
+// The paper's extension adjusts Intra_Th "to maximize error resilient level
+// within current residual energy constraint". The battery model gives the
+// adaptation controller something to budget against: a capacity in Joules
+// drained by encode + transmit energy, with a session-length target.
+#pragma once
+
+#include "common/check.h"
+
+namespace pbpair::energy {
+
+class Battery {
+ public:
+  /// capacity_j: usable energy budget for the encoding session, in Joules.
+  explicit Battery(double capacity_j)
+      : capacity_j_(capacity_j), remaining_j_(capacity_j) {
+    PB_CHECK(capacity_j > 0.0);
+  }
+
+  double capacity_j() const { return capacity_j_; }
+  double remaining_j() const { return remaining_j_; }
+  double fraction_remaining() const { return remaining_j_ / capacity_j_; }
+  bool depleted() const { return remaining_j_ <= 0.0; }
+
+  /// Drains energy; clamps at zero.
+  void drain(double joules) {
+    PB_CHECK(joules >= 0.0);
+    remaining_j_ -= joules;
+    if (remaining_j_ < 0.0) remaining_j_ = 0.0;
+  }
+
+ private:
+  double capacity_j_;
+  double remaining_j_;
+};
+
+}  // namespace pbpair::energy

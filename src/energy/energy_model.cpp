@@ -1,0 +1,76 @@
+#include "energy/energy_model.h"
+
+namespace pbpair::energy {
+namespace {
+
+// Cycle estimates for a fixed-point H.263 encoder on a 400 MHz XScale,
+// times ~1.05 nJ/cycle active energy (PXA25x-class core + SDRAM traffic).
+// The absolute numbers are a model; what the experiments rely on is the
+// *ratio* structure — ME's inner SAD loop dominating everything else —
+// which matches both the paper's premise ("motion estimation ... is the
+// most power consuming operation") and published XScale codec profiles.
+constexpr double kNjPerCycle = 1.05;
+
+DeviceProfile make_profile(const char* name, double memory_scale) {
+  DeviceProfile p;
+  p.name = name;
+  p.sad_pixel_nj = 4.0 * kNjPerCycle * memory_scale;   // ld,ld,sub,abs-acc
+  p.sad_halfpel_nj = 10.0 * kNjPerCycle * memory_scale; // + bilinear interp
+  p.me_setup_nj = 350.0 * kNjPerCycle;
+  p.dct_block_nj = 980.0 * kNjPerCycle;                // fast 8x8 int DCT
+  p.idct_block_nj = 900.0 * kNjPerCycle;
+  p.quant_coeff_nj = 4.5 * kNjPerCycle;
+  p.dequant_coeff_nj = 3.5 * kNjPerCycle;
+  p.mc_pixel_nj = 3.0 * kNjPerCycle * memory_scale;
+  p.mc_halfpel_nj = 8.0 * kNjPerCycle * memory_scale;
+  p.vlc_bit_nj = 6.0 * kNjPerCycle;
+  p.mb_overhead_nj = 220.0 * kNjPerCycle;
+  p.frame_overhead_nj = 30000.0 * kNjPerCycle;
+  // 802.11b transmit at ~1.3 uJ/byte effective (card + protocol overhead).
+  p.tx_byte_nj = 1300.0;
+  return p;
+}
+
+}  // namespace
+
+EnergyBreakdown encode_energy(const OpCounters& ops,
+                              const DeviceProfile& profile) {
+  EnergyBreakdown e;
+  constexpr double kJ = 1e-9;  // nanojoule -> joule
+  e.me_j = (static_cast<double>(ops.sad_pixel_ops) * profile.sad_pixel_nj +
+            static_cast<double>(ops.sad_halfpel_ops) * profile.sad_halfpel_nj +
+            static_cast<double>(ops.me_invocations) * profile.me_setup_nj) *
+           kJ;
+  e.dct_j = static_cast<double>(ops.dct_blocks) * profile.dct_block_nj * kJ;
+  e.idct_j = static_cast<double>(ops.idct_blocks) * profile.idct_block_nj * kJ;
+  e.quant_j =
+      (static_cast<double>(ops.quant_coeffs) * profile.quant_coeff_nj +
+       static_cast<double>(ops.dequant_coeffs) * profile.dequant_coeff_nj) *
+      kJ;
+  e.mc_j = (static_cast<double>(ops.mc_pixels) * profile.mc_pixel_nj +
+            static_cast<double>(ops.mc_halfpel_pixels) * profile.mc_halfpel_nj) *
+           kJ;
+  e.vlc_j = static_cast<double>(ops.bits_written) * profile.vlc_bit_nj * kJ;
+  e.overhead_j =
+      (static_cast<double>(ops.total_mbs()) * profile.mb_overhead_nj +
+       static_cast<double>(ops.frames) * profile.frame_overhead_nj) *
+      kJ;
+  return e;
+}
+
+double tx_energy_j(std::uint64_t bytes, const DeviceProfile& profile) {
+  return static_cast<double>(bytes) * profile.tx_byte_nj * 1e-9;
+}
+
+const DeviceProfile& ipaq_h5555() {
+  static const DeviceProfile profile = make_profile("iPAQ H5555", 1.0);
+  return profile;
+}
+
+const DeviceProfile& zaurus_sl5600() {
+  // 32 MB SDRAM part with a slower memory path; scale memory-bound ops.
+  static const DeviceProfile profile = make_profile("Zaurus SL-5600", 1.18);
+  return profile;
+}
+
+}  // namespace pbpair::energy

@@ -1,0 +1,70 @@
+// Operation-count → Joule conversion with per-device profiles.
+//
+// Substitution for the paper's physical power measurement (DESIGN.md §2).
+// Profiles are calibrated to a 400 MHz Intel XScale-class core (both the
+// iPAQ H5555 and Zaurus SL-5600 use that part) drawing on the order of
+// 1 nJ/cycle when active; per-operation costs are cycle estimates for a
+// fixed-point H.263 encoder on that core times the per-cycle energy. The
+// two PDAs differ in memory system and peripherals, which we reflect as a
+// scale factor — the paper likewise reports the same qualitative results on
+// both devices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "energy/op_counters.h"
+
+namespace pbpair::energy {
+
+/// Per-operation energy costs in nanojoules.
+struct DeviceProfile {
+  std::string name;
+
+  double sad_pixel_nj;     // one |a-b| accumulate in ME inner loop
+  double sad_halfpel_nj;   // interpolated |a-b| (bilinear + accumulate)
+  double me_setup_nj;      // per search invocation (window setup etc.)
+  double dct_block_nj;     // one 8x8 forward DCT
+  double idct_block_nj;    // one 8x8 inverse DCT
+  double quant_coeff_nj;   // quantize one coefficient
+  double dequant_coeff_nj; // dequantize one coefficient
+  double mc_pixel_nj;      // fetch one full-pel prediction pixel
+  double mc_halfpel_nj;    // interpolate one half-pel prediction pixel
+  double vlc_bit_nj;       // emit one bit of entropy-coded output
+  double mb_overhead_nj;   // per-MB control/bookkeeping
+  double frame_overhead_nj;// per-frame control (headers, loop setup)
+
+  double tx_byte_nj;       // WLAN transmit energy per payload byte
+};
+
+/// Breakdown of encoding energy by operation class, in Joules.
+struct EnergyBreakdown {
+  double me_j = 0.0;
+  double dct_j = 0.0;
+  double idct_j = 0.0;
+  double quant_j = 0.0;
+  double mc_j = 0.0;
+  double vlc_j = 0.0;
+  double overhead_j = 0.0;
+
+  double total_j() const {
+    return me_j + dct_j + idct_j + quant_j + mc_j + vlc_j + overhead_j;
+  }
+};
+
+/// Computes encoding energy from metered operation counts.
+EnergyBreakdown encode_energy(const OpCounters& ops,
+                              const DeviceProfile& profile);
+
+/// Transmission energy for a payload of `bytes` (communication energy; kept
+/// separate from encoding energy as in the paper's Figure 5(d)).
+double tx_energy_j(std::uint64_t bytes, const DeviceProfile& profile);
+
+/// HP iPAQ H5555: 400 MHz XScale, 128 MB SDRAM (paper's primary device).
+const DeviceProfile& ipaq_h5555();
+
+/// Sharp Zaurus SL-5600: 400 MHz XScale, 32 MB SDRAM. Slightly costlier
+/// memory path than the iPAQ.
+const DeviceProfile& zaurus_sl5600();
+
+}  // namespace pbpair::energy

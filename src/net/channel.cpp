@@ -1,0 +1,30 @@
+#include "net/channel.h"
+
+#include "common/check.h"
+
+namespace pbpair::net {
+
+Channel::Channel(LossModel* loss) : loss_(loss) { PB_CHECK(loss != nullptr); }
+
+std::vector<Packet> Channel::transmit(const std::vector<Packet>& packets) {
+  std::vector<Packet> delivered;
+  delivered.reserve(packets.size());
+  for (const Packet& packet : packets) {
+    stats_.packets_sent += 1;
+    stats_.bytes_sent += packet.wire_size();
+    if (loss_->should_drop(packet)) {
+      stats_.packets_dropped += 1;
+      continue;
+    }
+    stats_.bytes_delivered += packet.wire_size();
+    delivered.push_back(packet);
+  }
+  return delivered;
+}
+
+void Channel::reset() {
+  stats_ = ChannelStats{};
+  loss_->reset();
+}
+
+}  // namespace pbpair::net

@@ -1,0 +1,65 @@
+#include "net/feedback.h"
+
+#include "common/check.h"
+
+namespace pbpair::net {
+
+PlrEstimator::PlrEstimator(int window) : window_(window) {
+  PB_CHECK(window >= 1);
+}
+
+void PlrEstimator::push(bool lost) {
+  events_.push_back(lost);
+  if (lost) ++lost_in_window_;
+  while (static_cast<int>(events_.size()) > window_) {
+    if (events_.front()) --lost_in_window_;
+    events_.pop_front();
+  }
+}
+
+void PlrEstimator::on_packet_received(std::uint16_t sequence) {
+  if (have_last_) {
+    // Sequence arithmetic mod 2^16; anything other than +1 is a gap.
+    std::uint16_t expected = static_cast<std::uint16_t>(last_sequence_ + 1);
+    std::uint16_t gap = static_cast<std::uint16_t>(sequence - expected);
+    // Treat absurd gaps (reordering/wrap glitches) as zero rather than
+    // flooding the window.
+    if (gap < 1000) {
+      for (std::uint16_t i = 0; i < gap; ++i) {
+        push(true);
+        ++lost_;
+      }
+    }
+  }
+  push(false);
+  ++received_;
+  last_sequence_ = sequence;
+  have_last_ = true;
+}
+
+void PlrEstimator::on_known_loss(int count) {
+  PB_CHECK(count >= 0);
+  for (int i = 0; i < count; ++i) {
+    push(true);
+    ++lost_;
+  }
+  // Known losses advance the expected sequence too.
+  last_sequence_ = static_cast<std::uint16_t>(last_sequence_ + count);
+}
+
+double PlrEstimator::estimate() const {
+  if (events_.empty()) return 0.0;
+  return static_cast<double>(lost_in_window_) /
+         static_cast<double>(events_.size());
+}
+
+void PlrEstimator::reset() {
+  events_.clear();
+  lost_in_window_ = 0;
+  have_last_ = false;
+  last_sequence_ = 0;
+  received_ = 0;
+  lost_ = 0;
+}
+
+}  // namespace pbpair::net

@@ -1,0 +1,49 @@
+// Receiver-side packet-loss estimation (the "proper interfacing mechanism
+// between the codec and the network" the paper's §3.2/§5 calls for).
+//
+// The receiver watches RTP sequence numbers and reports a windowed loss
+// estimate, RTCP receiver-report style; the sender feeds it to
+// PbpairPolicy::set_plr / PowerAwareController::on_plr_update.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.h"
+
+namespace pbpair::net {
+
+class PlrEstimator {
+ public:
+  /// `window`: number of most-recent expected packets the estimate covers.
+  explicit PlrEstimator(int window = 100);
+
+  /// Records a delivered packet (by sequence number). Gaps in the sequence
+  /// are counted as losses.
+  void on_packet_received(std::uint16_t sequence);
+
+  /// Records that `count` packets were expected but the receiver knows they
+  /// are gone (used by simulations that bypass sequence tracking).
+  void on_known_loss(int count);
+
+  /// Current loss-rate estimate in [0,1]; 0 until any packet is seen.
+  double estimate() const;
+
+  std::uint64_t received() const { return received_; }
+  std::uint64_t lost() const { return lost_; }
+
+  void reset();
+
+ private:
+  void push(bool lost);
+
+  int window_;
+  std::deque<bool> events_;  // true = lost
+  int lost_in_window_ = 0;
+  bool have_last_ = false;
+  std::uint16_t last_sequence_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace pbpair::net

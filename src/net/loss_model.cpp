@@ -1,0 +1,69 @@
+#include "net/loss_model.h"
+
+#include "common/check.h"
+
+namespace pbpair::net {
+
+UniformFrameLoss::UniformFrameLoss(double rate, std::uint64_t seed)
+    : rate_(rate), seed_(seed), rng_(seed) {
+  PB_CHECK(rate >= 0.0 && rate <= 1.0);
+}
+
+bool UniformFrameLoss::should_drop(const Packet& packet) {
+  if (packet.header.timestamp != current_frame_) {
+    current_frame_ = packet.header.timestamp;
+    drop_current_ = rng_.next_bernoulli(rate_);
+  }
+  return drop_current_;
+}
+
+void UniformFrameLoss::reset() {
+  rng_ = common::Pcg32(seed_);
+  current_frame_ = 0xFFFFFFFF;
+  drop_current_ = false;
+}
+
+BernoulliPacketLoss::BernoulliPacketLoss(double rate, std::uint64_t seed)
+    : rate_(rate), seed_(seed), rng_(seed) {
+  PB_CHECK(rate >= 0.0 && rate <= 1.0);
+}
+
+bool BernoulliPacketLoss::should_drop(const Packet&) {
+  return rng_.next_bernoulli(rate_);
+}
+
+void BernoulliPacketLoss::reset() { rng_ = common::Pcg32(seed_); }
+
+GilbertElliottLoss::GilbertElliottLoss(const Params& params,
+                                       std::uint64_t seed)
+    : params_(params), seed_(seed), rng_(seed) {
+  PB_CHECK(params.p_good_to_bad >= 0.0 && params.p_good_to_bad <= 1.0);
+  PB_CHECK(params.p_bad_to_good > 0.0 && params.p_bad_to_good <= 1.0);
+  PB_CHECK(params.loss_in_good >= 0.0 && params.loss_in_good <= 1.0);
+  PB_CHECK(params.loss_in_bad >= 0.0 && params.loss_in_bad <= 1.0);
+}
+
+bool GilbertElliottLoss::should_drop(const Packet&) {
+  // State transition first, then the state-conditioned loss draw.
+  if (in_bad_state_) {
+    if (rng_.next_bernoulli(params_.p_bad_to_good)) in_bad_state_ = false;
+  } else {
+    if (rng_.next_bernoulli(params_.p_good_to_bad)) in_bad_state_ = true;
+  }
+  return rng_.next_bernoulli(in_bad_state_ ? params_.loss_in_bad
+                                           : params_.loss_in_good);
+}
+
+void GilbertElliottLoss::reset() {
+  rng_ = common::Pcg32(seed_);
+  in_bad_state_ = false;
+}
+
+double GilbertElliottLoss::average_loss_rate() const {
+  // Stationary distribution of the two-state chain.
+  double pi_bad = params_.p_good_to_bad /
+                  (params_.p_good_to_bad + params_.p_bad_to_good);
+  return pi_bad * params_.loss_in_bad + (1.0 - pi_bad) * params_.loss_in_good;
+}
+
+}  // namespace pbpair::net

@@ -1,0 +1,129 @@
+// Packet-loss models for the channel simulator.
+//
+// The paper's evaluation uses "a uniform distribution of frame discard" —
+// whole frames are dropped with probability PLR (UniformFrameLoss). The
+// richer models support the extension studies: per-packet Bernoulli loss,
+// bursty Gilbert–Elliott loss, and scripted loss schedules that pin the
+// exact loss events (Fig. 6's e1..e7, including the I-frame loss e7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "net/packet.h"
+
+namespace pbpair::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  virtual const char* name() const = 0;
+  /// Decides the fate of one packet. Called in transmission order.
+  virtual bool should_drop(const Packet& packet) = 0;
+  virtual void reset() {}
+};
+
+/// Delivers everything.
+class NoLoss final : public LossModel {
+ public:
+  const char* name() const override { return "no-loss"; }
+  bool should_drop(const Packet&) override { return false; }
+};
+
+/// The paper's model: each FRAME is discarded with probability `rate`;
+/// all packets of a discarded frame are dropped together.
+class UniformFrameLoss final : public LossModel {
+ public:
+  UniformFrameLoss(double rate, std::uint64_t seed);
+  const char* name() const override { return "uniform-frame"; }
+  bool should_drop(const Packet& packet) override;
+  void reset() override;
+
+ private:
+  double rate_;
+  std::uint64_t seed_;
+  common::Pcg32 rng_;
+  std::uint32_t current_frame_ = 0xFFFFFFFF;
+  bool drop_current_ = false;
+};
+
+/// Independent per-packet loss with probability `rate`.
+class BernoulliPacketLoss final : public LossModel {
+ public:
+  BernoulliPacketLoss(double rate, std::uint64_t seed);
+  const char* name() const override { return "bernoulli-packet"; }
+  bool should_drop(const Packet&) override;
+  void reset() override;
+
+ private:
+  double rate_;
+  std::uint64_t seed_;
+  common::Pcg32 rng_;
+};
+
+/// Two-state Gilbert–Elliott burst-loss model: per-packet transition
+/// between Good and Bad states with state-dependent loss probability.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.05;
+    double p_bad_to_good = 0.40;
+    double loss_in_good = 0.005;
+    double loss_in_bad = 0.50;
+  };
+  GilbertElliottLoss(const Params& params, std::uint64_t seed);
+  const char* name() const override { return "gilbert-elliott"; }
+  bool should_drop(const Packet&) override;
+  void reset() override;
+
+  /// Stationary average loss rate implied by the parameters.
+  double average_loss_rate() const;
+
+ private:
+  Params params_;
+  std::uint64_t seed_;
+  common::Pcg32 rng_;
+  bool in_bad_state_ = false;
+};
+
+/// Replays a recorded per-packet loss trace (true = drop), repeating from
+/// the start when exhausted. Lets experiments run against captured channel
+/// behaviour instead of a statistical model.
+class TraceLoss final : public LossModel {
+ public:
+  explicit TraceLoss(std::vector<bool> trace) : trace_(std::move(trace)) {
+    PB_CHECK(!trace_.empty());
+  }
+  const char* name() const override { return "trace"; }
+  bool should_drop(const Packet&) override {
+    bool drop = trace_[position_];
+    position_ = (position_ + 1) % trace_.size();
+    return drop;
+  }
+  void reset() override { position_ = 0; }
+
+ private:
+  std::vector<bool> trace_;
+  std::size_t position_ = 0;
+};
+
+/// Drops exactly the frames in `frame_indices` (every packet of each).
+/// Used to reproduce Fig. 6's pinned loss events.
+class ScriptedFrameLoss final : public LossModel {
+ public:
+  explicit ScriptedFrameLoss(std::set<std::uint32_t> frame_indices)
+      : frames_(std::move(frame_indices)) {}
+  const char* name() const override { return "scripted-frame"; }
+  bool should_drop(const Packet& packet) override {
+    return frames_.count(packet.header.timestamp) > 0;
+  }
+
+ private:
+  std::set<std::uint32_t> frames_;
+};
+
+}  // namespace pbpair::net

@@ -1,0 +1,74 @@
+#include "net/packet.h"
+
+#include "common/check.h"
+
+namespace pbpair::net {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+constexpr std::uint8_t kRtpVersion = 2;
+constexpr std::uint8_t kPayloadTypeH263 = 34;  // RFC 3551 static type
+
+}  // namespace
+
+std::size_t Packet::wire_size() const {
+  return kHeaderWireSize + payload.size();
+}
+
+std::vector<std::uint8_t> serialize_packet(const Packet& packet) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(packet.wire_size());
+  // Byte 0: V(2)=2, P=0, X=0, CC=0. Byte 1: M(1), PT(7).
+  wire.push_back(kRtpVersion << 6);
+  wire.push_back(static_cast<std::uint8_t>((packet.header.marker ? 0x80 : 0) |
+                                           kPayloadTypeH263));
+  put_u16(wire, packet.header.sequence);
+  put_u32(wire, packet.header.timestamp);
+  put_u32(wire, packet.header.ssrc);
+  // Payload header: frame_type, qp, first_gob, num_gobs.
+  wire.push_back(packet.header.frame_type);
+  wire.push_back(packet.header.qp);
+  wire.push_back(packet.header.first_gob);
+  wire.push_back(packet.header.num_gobs);
+  wire.insert(wire.end(), packet.payload.begin(), packet.payload.end());
+  return wire;
+}
+
+bool parse_packet(const std::vector<std::uint8_t>& wire, Packet* packet) {
+  if (wire.size() < kHeaderWireSize) return false;
+  if ((wire[0] >> 6) != kRtpVersion) return false;
+  if ((wire[1] & 0x7F) != kPayloadTypeH263) return false;
+  packet->header.marker = (wire[1] & 0x80) != 0;
+  packet->header.sequence = get_u16(&wire[2]);
+  packet->header.timestamp = get_u32(&wire[4]);
+  packet->header.ssrc = get_u32(&wire[8]);
+  packet->header.frame_type = wire[12];
+  packet->header.qp = wire[13];
+  packet->header.first_gob = wire[14];
+  packet->header.num_gobs = wire[15];
+  packet->payload.assign(wire.begin() + kHeaderWireSize, wire.end());
+  return true;
+}
+
+}  // namespace pbpair::net

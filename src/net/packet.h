@@ -1,0 +1,46 @@
+// RTP-style packet types (paper §4.1: "we use the real time protocol (RTP)
+// and the variable-size encoded output of each frame is contained by a
+// single packet as long as it does not exceed the MTU").
+//
+// The payload header mirrors RFC 2190 mode B: enough picture-level state
+// (frame type, QP, GOB range) for each packet to be decoded independently
+// of its siblings, so losing one fragment of a frame costs only the GOBs
+// it carried.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pbpair::net {
+
+struct RtpHeader {
+  // Core RTP fields (RFC 3550 subset).
+  std::uint16_t sequence = 0;
+  std::uint32_t timestamp = 0;  // frame index
+  std::uint32_t ssrc = 0;
+  bool marker = false;          // last packet of the frame
+
+  // H.263-style payload header (RFC 2190 mode B analogue).
+  std::uint8_t frame_type = 0;  // 0 = I, 1 = P
+  std::uint8_t qp = 0;
+  std::uint8_t first_gob = 0;
+  std::uint8_t num_gobs = 0;
+};
+
+struct Packet {
+  RtpHeader header;
+  std::vector<std::uint8_t> payload;
+
+  std::size_t wire_size() const;  // serialized header + payload bytes
+};
+
+/// Serialized size of the fixed header (12-byte RTP + 4-byte payload hdr).
+inline constexpr std::size_t kHeaderWireSize = 16;
+
+/// Serializes header+payload to wire format.
+std::vector<std::uint8_t> serialize_packet(const Packet& packet);
+
+/// Parses wire format back; returns false on malformed input.
+bool parse_packet(const std::vector<std::uint8_t>& wire, Packet* packet);
+
+}  // namespace pbpair::net

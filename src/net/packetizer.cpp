@@ -1,0 +1,72 @@
+#include "net/packetizer.h"
+
+#include "common/check.h"
+
+namespace pbpair::net {
+
+Packetizer::Packetizer(const PacketizerConfig& config) : config_(config) {
+  PB_CHECK(config.mtu > kHeaderWireSize);
+}
+
+std::vector<Packet> Packetizer::packetize(const codec::EncodedFrame& frame) {
+  PB_CHECK(!frame.gob_offsets.empty());
+  const std::size_t max_payload = config_.mtu - kHeaderWireSize;
+  const int gobs = static_cast<int>(frame.gob_offsets.size());
+
+  auto gob_end = [&](int gob) -> std::size_t {
+    return gob + 1 < gobs ? frame.gob_offsets[gob + 1] : frame.bytes.size();
+  };
+
+  std::vector<Packet> packets;
+  int gob = 0;
+  while (gob < gobs) {
+    int last = gob;  // inclusive; always take at least one GOB
+    while (last + 1 < gobs &&
+           gob_end(last + 1) - frame.gob_offsets[gob] <= max_payload) {
+      ++last;
+    }
+    Packet packet;
+    packet.header.sequence = next_sequence_++;
+    packet.header.timestamp = static_cast<std::uint32_t>(frame.frame_index);
+    packet.header.ssrc = config_.ssrc;
+    packet.header.frame_type =
+        frame.type == codec::FrameType::kIntra ? 0 : 1;
+    packet.header.qp = static_cast<std::uint8_t>(frame.qp);
+    packet.header.first_gob = static_cast<std::uint8_t>(gob);
+    packet.header.num_gobs = static_cast<std::uint8_t>(last - gob + 1);
+    packet.header.marker = last == gobs - 1;
+    packet.payload.assign(
+        frame.bytes.begin() +
+            static_cast<std::ptrdiff_t>(frame.gob_offsets[gob]),
+        frame.bytes.begin() + static_cast<std::ptrdiff_t>(gob_end(last)));
+    packets.push_back(std::move(packet));
+    gob = last + 1;
+  }
+  return packets;
+}
+
+codec::ReceivedFrame depacketize(const std::vector<Packet>& packets,
+                                 int frame_index) {
+  codec::ReceivedFrame received;
+  received.frame_index = frame_index;
+  if (packets.empty()) {
+    received.any_data = false;
+    return received;
+  }
+  received.any_data = true;
+  received.type = packets.front().header.frame_type == 0
+                      ? codec::FrameType::kIntra
+                      : codec::FrameType::kInter;
+  received.qp = packets.front().header.qp;
+  for (const Packet& packet : packets) {
+    PB_CHECK(packet.header.timestamp ==
+             static_cast<std::uint32_t>(frame_index));
+    codec::ReceivedFrame::GobSpan span;
+    span.first_gob = packet.header.first_gob;
+    span.bytes = packet.payload;
+    received.spans.push_back(std::move(span));
+  }
+  return received;
+}
+
+}  // namespace pbpair::net

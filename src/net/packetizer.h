@@ -1,0 +1,44 @@
+// EncodedFrame <-> packets.
+//
+// A frame that fits in one MTU travels in a single packet (the paper's
+// setup); larger frames — typically GOP's I-frames — are fragmented at GOB
+// boundaries, each fragment carrying its GOB range in the payload header so
+// it is independently decodable (RFC 2190 mode B style).
+#pragma once
+
+#include <vector>
+
+#include "codec/syntax.h"
+#include "net/packet.h"
+
+namespace pbpair::net {
+
+struct PacketizerConfig {
+  std::size_t mtu = 1400;       // max wire size per packet (header incl.)
+  std::uint32_t ssrc = 0x50425041;  // "PBPA"
+};
+
+class Packetizer {
+ public:
+  explicit Packetizer(const PacketizerConfig& config);
+
+  /// Splits one encoded frame into >= 1 packets. GOB boundaries are never
+  /// broken; a GOB larger than the MTU gets a packet of its own (the wire
+  /// would fragment it at IP level — loss granularity stays per-GOB).
+  std::vector<Packet> packetize(const codec::EncodedFrame& frame);
+
+  void reset() { next_sequence_ = 0; }
+
+ private:
+  PacketizerConfig config_;
+  std::uint16_t next_sequence_ = 0;
+};
+
+/// Reassembles whatever packets of one frame arrived into the decoder's
+/// input. `packets` must all share one timestamp; pass an empty vector for
+/// a fully lost frame (frame_index then tells the decoder which frame to
+/// conceal).
+codec::ReceivedFrame depacketize(const std::vector<Packet>& packets,
+                                 int frame_index);
+
+}  // namespace pbpair::net

@@ -1,0 +1,35 @@
+#include "resilience/air_policy.h"
+
+#include <algorithm>
+
+namespace pbpair::resilience {
+
+void AirPolicy::select_post_me(int frame_index,
+                               const std::vector<codec::MbMeInfo>& me_info,
+                               int mb_cols, int mb_rows,
+                               std::vector<std::uint8_t>* force_intra) {
+  (void)frame_index;
+  (void)mb_rows;
+  (void)mb_cols;
+  // Rank searched MBs by SAD, highest first; deterministic tie-break on
+  // index so identical inputs give identical refresh maps.
+  std::vector<int> order;
+  order.reserve(me_info.size());
+  for (int i = 0; i < static_cast<int>(me_info.size()); ++i) {
+    if (me_info[i].searched) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&me_info](int a, int b) {
+    if (me_info[a].sad != me_info[b].sad) return me_info[a].sad > me_info[b].sad;
+    return a < b;
+  });
+  int marked = 0;
+  for (int idx : order) {
+    if (marked >= n_) break;
+    if (!(*force_intra)[idx]) {
+      (*force_intra)[idx] = 1;
+      ++marked;
+    }
+  }
+}
+
+}  // namespace pbpair::resilience

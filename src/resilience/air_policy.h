@@ -1,0 +1,36 @@
+// AIR-N: adaptive intra refresh (MPEG-4 style, refs [5,6] of the paper).
+//
+// After motion estimation has run for the whole frame, the N macroblocks
+// with the highest SAD — the most active image regions, where propagated
+// errors are most visible — are re-coded intra. Because the decision is
+// taken *after* ME, AIR pays the full motion-estimation cost for every MB:
+// the paper observes its encoding energy is essentially that of the
+// no-resilience encoder.
+#pragma once
+
+#include <vector>
+
+#include "codec/refresh_policy.h"
+#include "common/check.h"
+
+namespace pbpair::resilience {
+
+class AirPolicy final : public codec::RefreshPolicy {
+ public:
+  /// `refresh_mbs`: N in the paper's AIR-N notation.
+  explicit AirPolicy(int refresh_mbs) : n_(refresh_mbs) {
+    PB_CHECK(refresh_mbs >= 0);
+  }
+
+  const char* name() const override { return "AIR"; }
+
+  void select_post_me(int frame_index,
+                      const std::vector<codec::MbMeInfo>& me_info, int mb_cols,
+                      int mb_rows,
+                      std::vector<std::uint8_t>* force_intra) override;
+
+ private:
+  int n_;
+};
+
+}  // namespace pbpair::resilience

@@ -1,0 +1,34 @@
+// GOP-N: periodic I-frame refresh (the classic group-of-pictures scheme).
+//
+// GOP-N codes one I-frame followed by N P-frames. The I-frame cleans all
+// propagated errors at once, but (a) I-frames are several times larger than
+// P-frames, producing the bit-rate spikes of Fig. 6(b), and (b) losing an
+// I-frame leaves the decoder without a valid reference for the next N
+// frames — the e7 event of Fig. 6(a).
+#pragma once
+
+#include "codec/refresh_policy.h"
+#include "common/check.h"
+
+namespace pbpair::resilience {
+
+class GopPolicy final : public codec::RefreshPolicy {
+ public:
+  /// `p_frames_per_i`: N in the paper's GOP-N notation (I:P ratio 1:N).
+  explicit GopPolicy(int p_frames_per_i) : n_(p_frames_per_i) {
+    PB_CHECK(p_frames_per_i >= 1);
+  }
+
+  const char* name() const override { return "GOP"; }
+
+  bool want_intra_frame(int frame_index) override {
+    return frame_index % (n_ + 1) == 0;
+  }
+
+  int period() const { return n_ + 1; }
+
+ private:
+  int n_;
+};
+
+}  // namespace pbpair::resilience

@@ -1,0 +1,52 @@
+#include "resilience/pgop_policy.h"
+
+#include "codec/motion.h"
+
+namespace pbpair::resilience {
+
+bool PgopPolicy::force_intra_pre_me(int frame_index, int mb_x, int mb_y) {
+  (void)frame_index;
+  (void)mb_y;
+  // Refresh band: columns [sweep_start, sweep_start + n). The band never
+  // wraps mid-frame; a sweep that reaches the right edge restarts at 0 on
+  // the next frame (on_frame_encoded advances it).
+  return mb_x >= sweep_start_ && mb_x < sweep_start_ + n_;
+}
+
+void PgopPolicy::select_post_me(int frame_index,
+                                const std::vector<codec::MbMeInfo>& me_info,
+                                int mb_cols, int mb_rows,
+                                std::vector<std::uint8_t>* force_intra) {
+  (void)frame_index;
+  // Stride back: in the previous decoded frame, columns [0, sweep_start)
+  // are clean (refreshed earlier in this sweep). An inter MB inside the
+  // clean region whose reference block extends to x >= sweep_start*16
+  // would predict from the dirty region, so it is refreshed as well.
+  const int dirty_x = sweep_start_ * 16;
+  if (sweep_start_ == 0) return;  // sweep just began: no clean region yet
+  for (int my = 0; my < mb_rows; ++my) {
+    for (int mx = 0; mx < sweep_start_; ++mx) {
+      const int i = my * mb_cols + mx;
+      if (!me_info[i].searched || (*force_intra)[i]) continue;
+      const codec::MotionVector mv = me_info[i].mv;  // half-pel units
+      const int ref_right =
+          mx * 16 + codec::halfpel_floor(mv.x) + codec::halfpel_span(mv.x);
+      if (ref_right > dirty_x) {
+        (*force_intra)[i] = 1;
+        ++stride_back_count_;
+      }
+    }
+  }
+}
+
+void PgopPolicy::on_frame_encoded(const codec::FrameEncodeInfo& info) {
+  if (info.type != codec::FrameType::kInter) {
+    // An I-frame refreshes everything; restart the sweep.
+    sweep_start_ = 0;
+    return;
+  }
+  sweep_start_ += n_;
+  if (sweep_start_ >= info.mb_cols) sweep_start_ = 0;
+}
+
+}  // namespace pbpair::resilience

@@ -1,0 +1,54 @@
+// PGOP-N: progressive group of pictures (refs [3,4] of the paper).
+//
+// Instead of whole I-frames, PGOP refreshes N columns of intra MBs per
+// P-frame, sweeping left to right; after ceil(mb_cols/N) frames every MB
+// has been refreshed and the sweep restarts. Columns being refreshed skip
+// motion estimation (they are intra by construction), but PGOP must also
+// prevent errors from leaking *around* the refresh wall: an MB in the
+// already-refreshed (clean) region whose motion vector reaches into the
+// not-yet-refreshed (dirty) region would re-import propagated errors. PGOP
+// intra-codes those MBs too — the "stride back" MBs — and those DO require
+// motion estimation first, which is why PGOP's energy stays above PBPAIR's
+// (paper §4.2).
+#pragma once
+
+#include <vector>
+
+#include "codec/refresh_policy.h"
+#include "common/check.h"
+
+namespace pbpair::resilience {
+
+class PgopPolicy final : public codec::RefreshPolicy {
+ public:
+  /// `columns_per_frame`: N in the paper's PGOP-N notation.
+  explicit PgopPolicy(int columns_per_frame) : n_(columns_per_frame) {
+    PB_CHECK(columns_per_frame >= 1);
+  }
+
+  const char* name() const override { return "PGOP"; }
+
+  bool force_intra_pre_me(int frame_index, int mb_x, int mb_y) override;
+
+  void select_post_me(int frame_index,
+                      const std::vector<codec::MbMeInfo>& me_info, int mb_cols,
+                      int mb_rows,
+                      std::vector<std::uint8_t>* force_intra) override;
+
+  void on_frame_encoded(const codec::FrameEncodeInfo& info) override;
+
+  void reset() override { sweep_start_ = 0; }
+
+  /// First column of the current refresh band (exposed for tests).
+  int sweep_start() const { return sweep_start_; }
+
+  /// Number of stride-back MBs forced so far (exposed for tests/stats).
+  std::uint64_t stride_back_count() const { return stride_back_count_; }
+
+ private:
+  int n_;
+  int sweep_start_ = 0;  // leftmost column of the band refreshed this frame
+  std::uint64_t stride_back_count_ = 0;
+};
+
+}  // namespace pbpair::resilience

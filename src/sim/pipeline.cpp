@@ -1,0 +1,140 @@
+#include "sim/pipeline.h"
+
+#include <cmath>
+
+#include "codec/decoder.h"
+#include "net/loss_model.h"
+#include "common/check.h"
+
+namespace pbpair::sim {
+
+PipelineResult run_pipeline(const FrameSource& source,
+                            const SchemeSpec& scheme, net::LossModel* loss,
+                            const PipelineConfig& config) {
+  PB_CHECK(config.frames > 0);
+  const int mb_cols = config.encoder.width / 16;
+  const int mb_rows = config.encoder.height / 16;
+
+  std::unique_ptr<codec::RefreshPolicy> policy =
+      make_policy(scheme, mb_cols, mb_rows);
+  codec::Encoder encoder(config.encoder, policy.get());
+  codec::Decoder decoder(codec::DecoderConfig{
+      config.encoder.width, config.encoder.height, config.concealment});
+  net::Packetizer packetizer(config.packetizer);
+  net::NoLoss no_loss;
+  net::Channel channel(loss != nullptr ? loss : &no_loss);
+
+  std::optional<codec::RateController> rate;
+  if (config.rate_control.has_value()) rate.emplace(*config.rate_control);
+
+  PipelineResult result;
+  result.frames.reserve(static_cast<std::size_t>(config.frames));
+  double psnr_sum = 0.0;
+
+  for (int i = 0; i < config.frames; ++i) {
+    if (config.pre_frame) config.pre_frame(i, *policy);
+    if (rate) encoder.set_qp(rate->qp());
+
+    video::YuvFrame original = source(i);
+    codec::EncodedFrame encoded = encoder.encode_frame(original);
+    if (rate) {
+      rate->on_frame_encoded(encoded.size_bytes(),
+                             encoded.type == codec::FrameType::kIntra);
+    }
+
+    std::vector<net::Packet> packets = packetizer.packetize(encoded);
+    std::vector<net::Packet> delivered = channel.transmit(packets);
+    codec::ReceivedFrame received = net::depacketize(delivered, i);
+    const video::YuvFrame& output = decoder.decode_frame(received);
+
+    FrameTrace trace;
+    trace.index = i;
+    trace.qp = encoded.qp;
+    trace.type = encoded.type;
+    trace.bytes = encoded.size_bytes();
+    trace.intra_mbs = encoded.intra_mb_count();
+    for (const codec::MbEncodeRecord& record : encoded.mb_records) {
+      if (record.pre_me_intra) ++trace.pre_me_intra_mbs;
+    }
+    trace.lost = delivered.size() != packets.size();
+    trace.psnr_db = video::psnr_luma(original, output);
+    trace.bad_pixels =
+        video::bad_pixel_count(original, output, config.bad_pixel_threshold);
+
+    psnr_sum += trace.psnr_db;
+    result.total_bytes += trace.bytes;
+    result.total_bad_pixels += trace.bad_pixels;
+    result.total_intra_mbs += static_cast<std::uint64_t>(trace.intra_mbs);
+    result.frames.push_back(trace);
+  }
+
+  result.avg_psnr_db = psnr_sum / config.frames;
+  result.encoder_ops = encoder.ops();
+  result.encode_energy = encode_energy(encoder.ops(), *config.profile);
+  result.channel = channel.stats();
+  result.tx_energy_j =
+      energy::tx_energy_j(channel.stats().bytes_sent, *config.profile);
+  result.concealed_mbs = decoder.concealed_mbs();
+  return result;
+}
+
+PipelineResult run_pipeline(const video::SyntheticSequence& sequence,
+                            const SchemeSpec& scheme, net::LossModel* loss,
+                            const PipelineConfig& config) {
+  return run_pipeline(
+      [&sequence](int i) { return sequence.frame_at(i); }, scheme, loss,
+      config);
+}
+
+core::PointEvaluator make_pipeline_evaluator(
+    const video::SyntheticSequence& sequence, const PipelineConfig& config,
+    std::uint64_t seed) {
+  return [&sequence, config, seed](core::OperatingPoint& point) {
+    core::PbpairConfig pbpair;
+    pbpair.intra_th = point.intra_th;
+    pbpair.plr = point.plr;
+    net::UniformFrameLoss loss(point.plr, seed);
+    PipelineResult r = run_pipeline(sequence, SchemeSpec::pbpair(pbpair),
+                                    &loss, config);
+    point.avg_psnr_db = r.avg_psnr_db;
+    point.bad_pixels_m = static_cast<double>(r.total_bad_pixels) / 1e6;
+    point.size_kb = static_cast<double>(r.total_bytes) / 1024.0;
+    point.encode_energy_j = r.encode_energy.total_j();
+    point.total_energy_j = r.total_energy_j();
+    point.intra_mbs_per_frame =
+        static_cast<double>(r.total_intra_mbs) / config.frames;
+  };
+}
+
+double calibrate_intra_th(const video::SyntheticSequence& sequence,
+                          const core::PbpairConfig& base_config,
+                          std::uint64_t target_bytes,
+                          const PipelineConfig& config, double lo, double hi,
+                          int iterations) {
+  PB_CHECK(lo <= hi);
+  // Encoded size grows monotonically with Intra_Th (more intra MBs), so a
+  // bisection on the lossless-channel size converges.
+  double best_th = lo;
+  double best_err = -1.0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    core::PbpairConfig candidate = base_config;
+    candidate.intra_th = mid;
+    PipelineResult r = run_pipeline(sequence, SchemeSpec::pbpair(candidate),
+                                    nullptr, config);
+    double err = std::abs(static_cast<double>(r.total_bytes) -
+                          static_cast<double>(target_bytes));
+    if (best_err < 0 || err < best_err) {
+      best_err = err;
+      best_th = mid;
+    }
+    if (r.total_bytes > target_bytes) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return best_th;
+}
+
+}  // namespace pbpair::sim

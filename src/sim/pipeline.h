@@ -1,0 +1,112 @@
+// The end-to-end video-communication pipeline (paper Fig. 1):
+//
+//   source frames -> encoder (with refresh policy) -> RTP packetizer
+//   -> lossy channel -> depacketizer -> decoder (with concealment)
+//   -> quality metrics vs the original frames
+//
+// plus the energy model over the encoder's metered operations. Every
+// experiment in the paper's evaluation is one or more pipeline runs with
+// different (scheme, sequence, loss model, device) choices.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include <optional>
+
+#include "codec/decoder.h"
+#include "core/operating_points.h"
+#include "codec/encoder.h"
+#include "codec/rate_control.h"
+#include "energy/energy_model.h"
+#include "net/channel.h"
+#include "net/packetizer.h"
+#include "sim/scheme.h"
+#include "video/metrics.h"
+#include "video/sequence.h"
+
+namespace pbpair::sim {
+
+struct PipelineConfig {
+  codec::EncoderConfig encoder{};
+  net::PacketizerConfig packetizer{};
+  codec::ConcealmentMode concealment = codec::ConcealmentMode::kCopyPrevious;
+  int frames = 300;  // the paper's clips are 300 frames
+  const energy::DeviceProfile* profile = &energy::ipaq_h5555();
+  int bad_pixel_threshold = video::kDefaultBadPixelThreshold;
+
+  /// Optional rate control: when set, QP tracks the target bit rate
+  /// instead of staying fixed at encoder.qp.
+  std::optional<codec::RateControlConfig> rate_control;
+
+  /// Optional per-frame hook, called BEFORE encoding frame `index` with
+  /// the live policy — the adaptation experiments adjust Intra_Th here.
+  std::function<void(int index, codec::RefreshPolicy& policy)> pre_frame;
+};
+
+/// Per-frame trace row (Fig. 6 plots these directly).
+struct FrameTrace {
+  int index = 0;
+  int qp = 0;
+  codec::FrameType type = codec::FrameType::kIntra;
+  std::size_t bytes = 0;       // encoded frame size
+  int intra_mbs = 0;
+  int pre_me_intra_mbs = 0;    // intra MBs that skipped motion estimation
+  bool lost = false;           // at least one packet of this frame dropped
+  double psnr_db = 0.0;        // decoder output vs original
+  std::uint64_t bad_pixels = 0;
+};
+
+struct PipelineResult {
+  std::vector<FrameTrace> frames;
+
+  // Totals.
+  std::uint64_t total_bytes = 0;  // encoded bitstream ("file size")
+  double avg_psnr_db = 0.0;
+  std::uint64_t total_bad_pixels = 0;
+  std::uint64_t total_intra_mbs = 0;
+  std::uint64_t concealed_mbs = 0;
+
+  energy::OpCounters encoder_ops;
+  energy::EnergyBreakdown encode_energy;  // on the configured device
+  double tx_energy_j = 0.0;
+  net::ChannelStats channel;
+
+  double total_energy_j() const {
+    return encode_energy.total_j() + tx_energy_j;
+  }
+};
+
+/// A frame source: frame_at(i) for i in [0, frames).
+using FrameSource = std::function<video::YuvFrame(int)>;
+
+/// Runs the full pipeline. `loss` may be null (lossless channel).
+PipelineResult run_pipeline(const FrameSource& source,
+                            const SchemeSpec& scheme, net::LossModel* loss,
+                            const PipelineConfig& config);
+
+/// Convenience overload for the synthetic sequences.
+PipelineResult run_pipeline(const video::SyntheticSequence& sequence,
+                            const SchemeSpec& scheme, net::LossModel* loss,
+                            const PipelineConfig& config);
+
+/// Builds a core::PointEvaluator that measures each (Intra_Th, PLR)
+/// operating point by running the full pipeline on `sequence` with the
+/// paper's uniform frame-discard channel at the point's own PLR
+/// (seeded deterministically from `seed`).
+core::PointEvaluator make_pipeline_evaluator(
+    const video::SyntheticSequence& sequence, const PipelineConfig& config,
+    std::uint64_t seed = 2005);
+
+/// Picks the Intra_Th giving an encoded size closest to `target_bytes`
+/// under a lossless channel (the paper matches PBPAIR's compression ratio
+/// to the baselines before comparing quality/energy: §4.2 "We choose
+/// Intra_Th that gives similar compression ratio with PGOP-3, GOP-3 and
+/// AIR-24"). Binary search over Intra_Th in [lo, hi].
+double calibrate_intra_th(const video::SyntheticSequence& sequence,
+                          const core::PbpairConfig& base_config,
+                          std::uint64_t target_bytes,
+                          const PipelineConfig& config, double lo = 0.0,
+                          double hi = 1.0, int iterations = 9);
+
+}  // namespace pbpair::sim

@@ -1,0 +1,55 @@
+#include "sim/report.h"
+
+#include <cstdarg>
+
+namespace pbpair::sim {
+
+void Table::print(std::FILE* out) const {
+  // Column widths from header + rows.
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::FILE* out) const {
+  auto print_row = [out](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", c == 0 ? "" : ",", row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buffer[256];
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return std::string(buffer);
+}
+
+}  // namespace pbpair::sim

@@ -1,0 +1,36 @@
+// Plain-text table / CSV rendering for benchmark output.
+//
+// Every figure/table bench prints an aligned text table (the "same rows the
+// paper reports") and can optionally dump CSV for external plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pbpair::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with aligned columns to stdout.
+  void print(std::FILE* out = stdout) const;
+
+  /// Renders as CSV.
+  void print_csv(std::FILE* out) const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pbpair::sim

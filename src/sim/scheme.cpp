@@ -1,0 +1,70 @@
+#include "sim/scheme.h"
+
+#include "common/check.h"
+#include "resilience/air_policy.h"
+#include "resilience/gop_policy.h"
+#include "resilience/pgop_policy.h"
+
+namespace pbpair::sim {
+
+std::string SchemeSpec::label() const {
+  switch (kind) {
+    case SchemeKind::kNoResilience: return "NO";
+    case SchemeKind::kPbpair: return "PBPAIR";
+    case SchemeKind::kPgop: return "PGOP-" + std::to_string(param);
+    case SchemeKind::kGop: return "GOP-" + std::to_string(param);
+    case SchemeKind::kAir: return "AIR-" + std::to_string(param);
+  }
+  return "?";
+}
+
+SchemeSpec SchemeSpec::no_resilience() { return SchemeSpec{}; }
+
+SchemeSpec SchemeSpec::gop(int p_frames_per_i) {
+  SchemeSpec s;
+  s.kind = SchemeKind::kGop;
+  s.param = p_frames_per_i;
+  return s;
+}
+
+SchemeSpec SchemeSpec::air(int refresh_mbs) {
+  SchemeSpec s;
+  s.kind = SchemeKind::kAir;
+  s.param = refresh_mbs;
+  return s;
+}
+
+SchemeSpec SchemeSpec::pgop(int columns) {
+  SchemeSpec s;
+  s.kind = SchemeKind::kPgop;
+  s.param = columns;
+  return s;
+}
+
+SchemeSpec SchemeSpec::pbpair(const core::PbpairConfig& config) {
+  SchemeSpec s;
+  s.kind = SchemeKind::kPbpair;
+  s.pbpair_config = config;
+  return s;
+}
+
+std::unique_ptr<codec::RefreshPolicy> make_policy(const SchemeSpec& spec,
+                                                  int mb_cols, int mb_rows) {
+  switch (spec.kind) {
+    case SchemeKind::kNoResilience:
+      return std::make_unique<codec::NoRefreshPolicy>();
+    case SchemeKind::kPbpair:
+      return std::make_unique<core::PbpairPolicy>(mb_cols, mb_rows,
+                                                  spec.pbpair_config);
+    case SchemeKind::kPgop:
+      return std::make_unique<resilience::PgopPolicy>(spec.param);
+    case SchemeKind::kGop:
+      return std::make_unique<resilience::GopPolicy>(spec.param);
+    case SchemeKind::kAir:
+      return std::make_unique<resilience::AirPolicy>(spec.param);
+  }
+  PB_CHECK_MSG(false, "unknown scheme kind");
+  return nullptr;
+}
+
+}  // namespace pbpair::sim

@@ -1,0 +1,44 @@
+// Named error-resilience scheme specifications and the policy factory.
+//
+// A SchemeSpec is a value-type description ("PGOP-3", "AIR-24", "PBPAIR
+// with Intra_Th 0.87 at PLR 10%") that the pipeline turns into a live
+// RefreshPolicy. This is what benchmarks and examples enumerate.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codec/refresh_policy.h"
+#include "core/pbpair_policy.h"
+
+namespace pbpair::sim {
+
+enum class SchemeKind {
+  kNoResilience,
+  kPbpair,
+  kPgop,
+  kGop,
+  kAir,
+};
+
+struct SchemeSpec {
+  SchemeKind kind = SchemeKind::kNoResilience;
+  int param = 0;  // N of GOP-N / AIR-N / PGOP-N
+  core::PbpairConfig pbpair_config{};  // used when kind == kPbpair
+
+  /// Display label ("GOP-3", "PBPAIR", ...).
+  std::string label() const;
+
+  static SchemeSpec no_resilience();
+  static SchemeSpec gop(int p_frames_per_i);
+  static SchemeSpec air(int refresh_mbs);
+  static SchemeSpec pgop(int columns);
+  static SchemeSpec pbpair(const core::PbpairConfig& config);
+};
+
+/// Instantiates the policy for a frame geometry. The returned policy is
+/// freshly reset.
+std::unique_ptr<codec::RefreshPolicy> make_policy(const SchemeSpec& spec,
+                                                  int mb_cols, int mb_rows);
+
+}  // namespace pbpair::sim

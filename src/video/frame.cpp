@@ -1,0 +1,18 @@
+#include "video/frame.h"
+
+namespace pbpair::video {
+
+YuvFrame::YuvFrame(int width, int height)
+    : y_(width, height), u_(width / 2, height / 2), v_(width / 2, height / 2) {
+  PB_CHECK(width % 16 == 0 && height % 16 == 0);
+}
+
+void YuvFrame::fill_gray() {
+  y_.fill(128);
+  u_.fill(128);
+  v_.fill(128);
+}
+
+YuvFrame make_qcif_frame() { return YuvFrame(kQcifWidth, kQcifHeight); }
+
+}  // namespace pbpair::video

@@ -1,0 +1,118 @@
+// Planar YUV 4:2:0 frame storage.
+//
+// The codec operates on 16x16 luma macroblocks (8x8 chroma), so frame
+// dimensions are required to be multiples of 16. QCIF (176x144) — the
+// paper's evaluation format, 11x9 macroblocks — is the default everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pbpair::video {
+
+/// One 8-bit image plane with row-major storage (stride == width).
+class Plane {
+ public:
+  Plane() = default;
+  Plane(int width, int height, std::uint8_t fill = 0)
+      : width_(width),
+        height_(height),
+        data_(static_cast<std::size_t>(width) * height, fill) {
+    PB_CHECK(width > 0 && height > 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  std::uint8_t at(int x, int y) const {
+    PB_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, std::uint8_t v) {
+    PB_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    data_[static_cast<std::size_t>(y) * width_ + x] = v;
+  }
+
+  /// Clamped read: coordinates outside the plane are clamped to the edge.
+  /// Used by motion compensation at frame borders.
+  std::uint8_t at_clamped(int x, int y) const {
+    if (x < 0) x = 0;
+    if (x >= width_) x = width_ - 1;
+    if (y < 0) y = 0;
+    if (y >= height_) y = height_ - 1;
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  const std::uint8_t* row(int y) const {
+    PB_DCHECK(y >= 0 && y < height_);
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
+  std::uint8_t* row(int y) {
+    PB_DCHECK(y >= 0 && y < height_);
+    return data_.data() + static_cast<std::size_t>(y) * width_;
+  }
+
+  const std::vector<std::uint8_t>& data() const { return data_; }
+  std::vector<std::uint8_t>& data() { return data_; }
+
+  void fill(std::uint8_t v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool same_size(const Plane& other) const {
+    return width_ == other.width_ && height_ == other.height_;
+  }
+
+  bool operator==(const Plane& other) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// A YUV 4:2:0 frame. Luma is width x height; chroma planes are half size
+/// in each dimension.
+class YuvFrame {
+ public:
+  YuvFrame() = default;
+  YuvFrame(int width, int height);
+
+  int width() const { return y_.width(); }
+  int height() const { return y_.height(); }
+  int mb_cols() const { return y_.width() / 16; }
+  int mb_rows() const { return y_.height() / 16; }
+  int mb_count() const { return mb_cols() * mb_rows(); }
+
+  const Plane& y() const { return y_; }
+  Plane& y() { return y_; }
+  const Plane& u() const { return u_; }
+  Plane& u() { return u_; }
+  const Plane& v() const { return v_; }
+  Plane& v() { return v_; }
+
+  bool same_size(const YuvFrame& other) const {
+    return y_.same_size(other.y_);
+  }
+
+  /// Fills all planes with a mid-gray (Y=128, U=V=128).
+  void fill_gray();
+
+  bool operator==(const YuvFrame& other) const = default;
+
+ private:
+  Plane y_;
+  Plane u_;
+  Plane v_;
+};
+
+/// Standard frame sizes used in the paper's evaluation.
+inline constexpr int kQcifWidth = 176;
+inline constexpr int kQcifHeight = 144;
+inline constexpr int kCifWidth = 352;
+inline constexpr int kCifHeight = 288;
+
+/// Creates a QCIF frame (176x144, the paper's evaluation format).
+YuvFrame make_qcif_frame();
+
+}  // namespace pbpair::video

@@ -1,0 +1,58 @@
+#include "video/noise.h"
+
+#include "common/check.h"
+
+namespace pbpair::video {
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+int ValueNoise::lattice(int ix, int iy) const {
+  std::uint64_t h = seed_;
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ix))
+                 << 32 |
+                 static_cast<std::uint32_t>(iy)));
+  return static_cast<int>(h & 0xFF);
+}
+
+int ValueNoise::sample(int x, int y, int cell) const {
+  PB_DCHECK(cell >= 1);
+  // Floor-divide into lattice cells (handle negatives correctly).
+  int ix = x >= 0 ? x / cell : -((-x + cell - 1) / cell);
+  int iy = y >= 0 ? y / cell : -((-y + cell - 1) / cell);
+  int fx = x - ix * cell;  // in [0, cell)
+  int fy = y - iy * cell;
+
+  int v00 = lattice(ix, iy);
+  int v10 = lattice(ix + 1, iy);
+  int v01 = lattice(ix, iy + 1);
+  int v11 = lattice(ix + 1, iy + 1);
+
+  // Bilinear interpolation scaled by cell size; all integer.
+  int top = v00 * (cell - fx) + v10 * fx;
+  int bot = v01 * (cell - fx) + v11 * fx;
+  int val = top * (cell - fy) + bot * fy;
+  return val / (cell * cell);
+}
+
+int ValueNoise::fractal(int x, int y, int base_cell, int octaves) const {
+  PB_CHECK(octaves >= 1 && octaves <= 6);
+  int acc = 0;
+  int weight_sum = 0;
+  for (int o = 0; o < octaves; ++o) {
+    int cell = base_cell >> o;
+    if (cell < 1) break;
+    int w = 1 << (octaves - 1 - o);
+    acc += sample(x + o * 7919, y + o * 104729, cell) * w;
+    weight_sum += w;
+  }
+  return weight_sum > 0 ? acc / weight_sum : 128;
+}
+
+}  // namespace pbpair::video

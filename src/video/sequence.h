@@ -1,0 +1,75 @@
+// Procedural video sequences standing in for the paper's test clips.
+//
+// The paper evaluates on three 300-frame QCIF clips whose motion activity
+// spans the spectrum: AKIYO (news anchor, near-static), FOREMAN (handheld
+// camera, moderate motion), GARDEN (panning camera over flower garden, high
+// motion and detail). The clips themselves are not redistributable, so we
+// generate deterministic synthetic equivalents that preserve the property
+// the experiments depend on: the motion-activity and detail ordering
+// akiyo < foreman < garden, which drives SAD distributions, intra/inter
+// decisions, bit rates, and concealment quality. See DESIGN.md §2.
+//
+// Frames are produced by random access (`frame_at(i)`), fully determined by
+// (kind, size, seed, i); there is no hidden generator state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "video/frame.h"
+
+namespace pbpair::video {
+
+enum class SequenceKind {
+  kAkiyoLike,    // static background, small head-and-shoulders motion
+  kForemanLike,  // camera jitter + moving face, moderate motion
+  kGardenLike,   // global pan over high-detail texture, high motion
+};
+
+/// Human-readable name used in benchmark output tables ("akiyo" etc.).
+const char* sequence_kind_name(SequenceKind kind);
+
+/// Deterministic procedural sequence.
+class SyntheticSequence {
+ public:
+  SyntheticSequence(SequenceKind kind, int width, int height,
+                    std::uint64_t seed);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  SequenceKind kind() const { return kind_; }
+
+  /// Generates frame `index` (>= 0). Pure function of the constructor
+  /// arguments and `index`.
+  YuvFrame frame_at(int index) const;
+
+ private:
+  struct Sprite {
+    int cx;            // rest center x (luma pixels)
+    int cy;            // rest center y
+    int rx;            // ellipse x radius
+    int ry;            // ellipse y radius
+    int amp_x;         // horizontal motion amplitude
+    int amp_y;         // vertical motion amplitude
+    int period;        // motion period in frames
+    int phase;         // phase offset in frames
+    int tex_offset;    // noise-space offset so sprites get distinct texture
+    int chroma_u;      // mean U inside the sprite
+    int chroma_v;      // mean V inside the sprite
+  };
+
+  void global_offset(int index, int* off_x, int* off_y) const;
+  int sprite_count() const;
+  Sprite sprite(int which, int index) const;
+
+  SequenceKind kind_;
+  int width_;
+  int height_;
+  std::uint64_t seed_;
+};
+
+/// Convenience factory for the paper's QCIF evaluation clips.
+SyntheticSequence make_paper_sequence(SequenceKind kind,
+                                      std::uint64_t seed = 2005);
+
+}  // namespace pbpair::video

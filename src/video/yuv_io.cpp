@@ -1,0 +1,50 @@
+#include "video/yuv_io.h"
+
+#include <cstdio>
+
+namespace pbpair::video {
+namespace {
+
+bool read_plane(std::FILE* f, Plane& plane) {
+  std::size_t want = plane.data().size();
+  return std::fread(plane.data().data(), 1, want, f) == want;
+}
+
+bool write_plane(std::FILE* f, const Plane& plane) {
+  std::size_t want = plane.data().size();
+  return std::fwrite(plane.data().data(), 1, want, f) == want;
+}
+
+}  // namespace
+
+std::vector<YuvFrame> read_yuv_file(const std::string& path, int width,
+                                    int height, int max_frames) {
+  std::vector<YuvFrame> frames;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return frames;
+  while (max_frames == 0 || static_cast<int>(frames.size()) < max_frames) {
+    YuvFrame frame(width, height);
+    if (!read_plane(f, frame.y()) || !read_plane(f, frame.u()) ||
+        !read_plane(f, frame.v())) {
+      break;
+    }
+    frames.push_back(std::move(frame));
+  }
+  std::fclose(f);
+  return frames;
+}
+
+bool write_yuv_file(const std::string& path,
+                    const std::vector<YuvFrame>& frames) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const YuvFrame& frame : frames) {
+    ok = ok && write_plane(f, frame.y()) && write_plane(f, frame.u()) &&
+         write_plane(f, frame.v());
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace pbpair::video

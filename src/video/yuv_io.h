@@ -1,0 +1,27 @@
+// Raw planar YUV 4:2:0 file I/O.
+//
+// The synthetic generators are the default workload, but users with the
+// real FOREMAN/AKIYO/GARDEN clips (or any raw 4:2:0 material) can run every
+// experiment on them through this reader. The format is the bare
+// concatenation of Y, U, V planes per frame (the common ".yuv" convention).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace pbpair::video {
+
+/// Reads up to `max_frames` frames (0 = all) of WxH 4:2:0 video.
+/// Returns an empty vector if the file cannot be opened or is truncated
+/// before the first full frame.
+std::vector<YuvFrame> read_yuv_file(const std::string& path, int width,
+                                    int height, int max_frames = 0);
+
+/// Appends the frames to a raw .yuv file. Returns false on I/O failure.
+bool write_yuv_file(const std::string& path,
+                    const std::vector<YuvFrame>& frames);
+
+}  // namespace pbpair::video

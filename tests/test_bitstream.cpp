@@ -1,0 +1,244 @@
+// Tests for the bit-level writer/reader and Exp-Golomb codes.
+#include <gtest/gtest.h>
+
+#include "codec/bitstream.h"
+#include "codec/golomb.h"
+#include "common/rng.h"
+
+namespace pbpair::codec {
+namespace {
+
+TEST(BitWriter, EmptyStreamFinishesEmpty) {
+  BitWriter writer;
+  EXPECT_EQ(writer.bit_count(), 0u);
+  EXPECT_TRUE(writer.finish().empty());
+}
+
+TEST(BitWriter, SingleByteMsbFirst) {
+  BitWriter writer;
+  writer.put_bits(0b10110001, 8);
+  auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10110001);
+}
+
+TEST(BitWriter, CrossByteBoundary) {
+  BitWriter writer;
+  writer.put_bits(0b101, 3);
+  writer.put_bits(0b11110000111, 11);
+  auto bytes = writer.finish();  // 14 bits -> 2 bytes, zero-padded
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0b10111110);
+  EXPECT_EQ(bytes[1], 0b00011100);
+}
+
+TEST(BitWriter, AlignPadsWithZeros) {
+  BitWriter writer;
+  writer.put_bits(0b1, 1);
+  writer.align();
+  EXPECT_TRUE(writer.byte_aligned());
+  EXPECT_EQ(writer.bit_count(), 8u);
+  auto bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10000000);
+}
+
+TEST(BitWriter, AlignOnBoundaryIsNoop) {
+  BitWriter writer;
+  writer.put_bits(0xAB, 8);
+  writer.align();
+  EXPECT_EQ(writer.bit_count(), 8u);
+}
+
+TEST(BitWriter, ByteOffsetTracksAlignedPosition) {
+  BitWriter writer;
+  writer.put_bits(0xFF, 8);
+  writer.put_bits(0x12, 8);
+  EXPECT_EQ(writer.byte_offset(), 2u);
+}
+
+TEST(BitWriter, ZeroCountWriteIsNoop) {
+  BitWriter writer;
+  writer.put_bits(0, 0);
+  EXPECT_EQ(writer.bit_count(), 0u);
+}
+
+TEST(BitReader, ReadsBackWrittenBits) {
+  BitWriter writer;
+  writer.put_bits(0x3A, 7);
+  writer.put_bits(0x1FFFF, 17);
+  writer.put_bit(true);
+  auto bytes = writer.finish();
+
+  BitReader reader(bytes);
+  std::uint32_t v = 0;
+  ASSERT_TRUE(reader.get_bits(7, &v));
+  EXPECT_EQ(v, 0x3Au);
+  ASSERT_TRUE(reader.get_bits(17, &v));
+  EXPECT_EQ(v, 0x1FFFFu);
+  bool bit = false;
+  ASSERT_TRUE(reader.get_bit(&bit));
+  EXPECT_TRUE(bit);
+}
+
+TEST(BitReader, UnderrunReturnsFalse) {
+  std::vector<std::uint8_t> bytes = {0xAA};
+  BitReader reader(bytes);
+  std::uint32_t v = 0;
+  EXPECT_TRUE(reader.get_bits(8, &v));
+  EXPECT_FALSE(reader.get_bits(1, &v));
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BitReader, AlignSkipsToNextByte) {
+  std::vector<std::uint8_t> bytes = {0xFF, 0x55};
+  BitReader reader(bytes);
+  std::uint32_t v = 0;
+  ASSERT_TRUE(reader.get_bits(3, &v));
+  reader.align();
+  ASSERT_TRUE(reader.get_bits(8, &v));
+  EXPECT_EQ(v, 0x55u);
+}
+
+TEST(BitReader, BitsRemainingCountsDown) {
+  std::vector<std::uint8_t> bytes = {0, 0};
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.bits_remaining(), 16u);
+  std::uint32_t v;
+  reader.get_bits(5, &v);
+  EXPECT_EQ(reader.bits_remaining(), 11u);
+}
+
+TEST(BitRoundTrip, RandomPatterns) {
+  common::Pcg32 rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<std::uint32_t, int>> fields;
+    BitWriter writer;
+    for (int i = 0; i < 100; ++i) {
+      int count = static_cast<int>(rng.next_below(32)) + 1;
+      std::uint32_t value =
+          count == 32 ? rng.next_u32() : rng.next_u32() & ((1u << count) - 1);
+      fields.emplace_back(value, count);
+      writer.put_bits(value, count);
+    }
+    auto bytes = writer.finish();
+    BitReader reader(bytes);
+    for (auto [value, count] : fields) {
+      std::uint32_t got = 0;
+      ASSERT_TRUE(reader.get_bits(count, &got));
+      ASSERT_EQ(got, value);
+    }
+  }
+}
+
+// --- Exp-Golomb ---
+
+TEST(Golomb, UeKnownCodes) {
+  // Classic table: 0 -> "1", 1 -> "010", 2 -> "011", 3 -> "00100".
+  BitWriter writer;
+  put_ue(writer, 0);
+  put_ue(writer, 1);
+  put_ue(writer, 2);
+  put_ue(writer, 3);
+  EXPECT_EQ(writer.bit_count(), 1u + 3 + 3 + 5);
+  auto bytes = writer.finish();
+  BitReader reader(bytes);
+  std::uint32_t v;
+  EXPECT_TRUE(get_ue(reader, &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(get_ue(reader, &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(get_ue(reader, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(get_ue(reader, &v));
+  EXPECT_EQ(v, 3u);
+}
+
+TEST(Golomb, UeBitLengthMatchesWriter) {
+  for (std::uint32_t v : {0u, 1u, 2u, 3u, 7u, 8u, 100u, 65535u, 1000000u}) {
+    BitWriter writer;
+    put_ue(writer, v);
+    EXPECT_EQ(static_cast<int>(writer.bit_count()), ue_bit_length(v)) << v;
+  }
+}
+
+class GolombRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GolombRoundTrip, UeRoundTrips) {
+  BitWriter writer;
+  put_ue(writer, GetParam());
+  auto bytes = writer.finish();
+  BitReader reader(bytes);
+  std::uint32_t got = 0;
+  ASSERT_TRUE(get_ue(reader, &got));
+  EXPECT_EQ(got, GetParam());
+}
+
+TEST_P(GolombRoundTrip, SeRoundTripsBothSigns) {
+  auto v = static_cast<std::int32_t>(GetParam() % 100000);
+  for (std::int32_t value : {v, -v}) {
+    BitWriter writer;
+    put_se(writer, value);
+    auto bytes = writer.finish();
+    BitReader reader(bytes);
+    std::int32_t got = 0;
+    ASSERT_TRUE(get_se(reader, &got));
+    EXPECT_EQ(got, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, GolombRoundTrip,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 7u, 8u, 15u,
+                                           16u, 255u, 256u, 65535u, 1u << 20,
+                                           (1u << 30) - 1));
+
+TEST(Golomb, SeMappingIsOrdered) {
+  // se mapping: 0, 1, -1, 2, -2 ... ensures small magnitudes get short codes.
+  auto bits_for = [](std::int32_t v) {
+    BitWriter writer;
+    put_se(writer, v);
+    return writer.bit_count();
+  };
+  EXPECT_LE(bits_for(0), bits_for(1));
+  EXPECT_LE(bits_for(1), bits_for(-1));
+  EXPECT_LE(bits_for(-1), bits_for(2));
+  EXPECT_LT(bits_for(2), bits_for(100));
+}
+
+TEST(Golomb, TruncatedInputFailsCleanly) {
+  BitWriter writer;
+  put_ue(writer, 1000000);  // long code
+  auto bytes = writer.finish();
+  bytes.resize(1);  // truncate
+  BitReader reader(bytes);
+  std::uint32_t v;
+  EXPECT_FALSE(get_ue(reader, &v));
+}
+
+TEST(Golomb, AllZerosInputFailsCleanly) {
+  std::vector<std::uint8_t> bytes(8, 0x00);  // 64 zero bits: malformed
+  BitReader reader(bytes);
+  std::uint32_t v;
+  EXPECT_FALSE(get_ue(reader, &v));
+}
+
+TEST(Golomb, MixedStreamRoundTrips) {
+  common::Pcg32 rng(123);
+  BitWriter writer;
+  std::vector<std::int32_t> values;
+  for (int i = 0; i < 500; ++i) {
+    std::int32_t v = rng.next_in_range(-1000, 1000);
+    values.push_back(v);
+    put_se(writer, v);
+  }
+  auto bytes = writer.finish();
+  BitReader reader(bytes);
+  for (std::int32_t expected : values) {
+    std::int32_t got = 0;
+    ASSERT_TRUE(get_se(reader, &got));
+    ASSERT_EQ(got, expected);
+  }
+}
+
+}  // namespace
+}  // namespace pbpair::codec

@@ -1,0 +1,358 @@
+// Encoder/decoder integration tests: bitstream round trips, reconstruction
+// lockstep, skip/intra/inter modes, GOB structure, robustness to loss.
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "video/metrics.h"
+#include "video/sequence.h"
+
+namespace pbpair::codec {
+namespace {
+
+EncoderConfig test_config(int qp = 8) {
+  EncoderConfig config;
+  config.qp = qp;
+  return config;
+}
+
+TEST(Encoder, FirstFrameIsIntra) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  EncodedFrame frame = encoder.encode_frame(seq.frame_at(0));
+  EXPECT_EQ(frame.type, FrameType::kIntra);
+  EXPECT_EQ(frame.intra_mb_count(), 99);
+  EXPECT_EQ(frame.mb_cols, 11);
+  EXPECT_EQ(frame.mb_rows, 9);
+  EXPECT_EQ(frame.gob_offsets.size(), 9u);
+}
+
+TEST(Encoder, SubsequentFramesAreInter) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  encoder.encode_frame(seq.frame_at(0));
+  EncodedFrame frame = encoder.encode_frame(seq.frame_at(1));
+  EXPECT_EQ(frame.type, FrameType::kInter);
+  EXPECT_LT(frame.intra_mb_count(), 99);
+}
+
+TEST(Encoder, PFramesAreSmallerThanIFrames) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  EncodedFrame i_frame = encoder.encode_frame(seq.frame_at(0));
+  EncodedFrame p_frame = encoder.encode_frame(seq.frame_at(1));
+  EXPECT_LT(p_frame.size_bytes() * 2, i_frame.size_bytes());
+}
+
+TEST(Encoder, StaticContentProducesSkips) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kAkiyoLike);
+  encoder.encode_frame(seq.frame_at(0));
+  encoder.encode_frame(seq.frame_at(1));
+  // Akiyo's background is pixel-static: a healthy share of MBs skip.
+  EXPECT_GT(encoder.ops().skip_mbs, 30u);
+}
+
+TEST(Encoder, GobOffsetsAreMonotoneAndAligned) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kGardenLike);
+  EncodedFrame frame = encoder.encode_frame(seq.frame_at(0));
+  for (std::size_t g = 1; g < frame.gob_offsets.size(); ++g) {
+    EXPECT_GT(frame.gob_offsets[g], frame.gob_offsets[g - 1]);
+  }
+  EXPECT_LT(frame.gob_offsets.back(), frame.bytes.size());
+  // Each GOB starts with its row index (the sync byte).
+  for (std::size_t g = 0; g < frame.gob_offsets.size(); ++g) {
+    EXPECT_EQ(frame.bytes[frame.gob_offsets[g]], g);
+  }
+}
+
+TEST(Encoder, MeterssFrameAndMbCounts) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  for (int i = 0; i < 3; ++i) encoder.encode_frame(seq.frame_at(i));
+  EXPECT_EQ(encoder.ops().frames, 3u);
+  EXPECT_EQ(encoder.ops().total_mbs(), 3u * 99u);
+}
+
+TEST(Encoder, ResetRestartsSequence) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  EncodedFrame first = encoder.encode_frame(seq.frame_at(0));
+  encoder.encode_frame(seq.frame_at(1));
+  encoder.reset();
+  EncodedFrame again = encoder.encode_frame(seq.frame_at(0));
+  EXPECT_EQ(again.type, FrameType::kIntra);
+  EXPECT_EQ(first.bytes, again.bytes);  // bit-identical restart
+}
+
+TEST(Encoder, DeterministicAcrossInstances) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kGardenLike);
+  NoRefreshPolicy p1, p2;
+  Encoder e1(test_config(), &p1);
+  Encoder e2(test_config(), &p2);
+  for (int i = 0; i < 4; ++i) {
+    EncodedFrame f1 = e1.encode_frame(seq.frame_at(i));
+    EncodedFrame f2 = e2.encode_frame(seq.frame_at(i));
+    ASSERT_EQ(f1.bytes, f2.bytes) << "frame " << i;
+  }
+}
+
+TEST(Encoder, PerMbBitsSumToFrameSize) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  EncodedFrame frame = encoder.encode_frame(seq.frame_at(0));
+  std::uint64_t mb_bits = 0;
+  for (const MbEncodeRecord& r : frame.mb_records) mb_bits += r.bits;
+  // Frame bits = picture header + 9 GOB headers + MB bits + alignment pad.
+  std::uint64_t total_bits = frame.bytes.size() * 8;
+  EXPECT_GE(total_bits, mb_bits);
+  EXPECT_LE(total_bits - mb_bits, 16u + 9u * 16u);  // headers + padding only
+}
+
+// --- Decoder lockstep ---
+
+class CodecRoundTrip
+    : public ::testing::TestWithParam<video::SequenceKind> {};
+
+TEST_P(CodecRoundTrip, LosslessChannelMatchesEncoderReconstruction) {
+  // The load-bearing invariant of the whole experiment design: over a
+  // lossless channel the decoder reproduces the encoder's reconstruction
+  // loop BIT-EXACTLY, so any divergence in the lossy experiments is due to
+  // loss, not codec drift.
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  Decoder decoder(DecoderConfig{});
+  video::SyntheticSequence seq = video::make_paper_sequence(GetParam());
+  for (int i = 0; i < 6; ++i) {
+    EncodedFrame frame = encoder.encode_frame(seq.frame_at(i));
+    const video::YuvFrame& decoded = decoder.decode_frame(frame);
+    ASSERT_EQ(decoded, encoder.reconstructed()) << "frame " << i;
+  }
+  EXPECT_EQ(decoder.concealed_mbs(), 0u);
+}
+
+TEST_P(CodecRoundTrip, QualityIsReasonableAtQp8) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(8), &policy);
+  Decoder decoder(DecoderConfig{});
+  video::SyntheticSequence seq = video::make_paper_sequence(GetParam());
+  double worst_psnr = 99.0;
+  for (int i = 0; i < 6; ++i) {
+    video::YuvFrame original = seq.frame_at(i);
+    EncodedFrame frame = encoder.encode_frame(original);
+    const video::YuvFrame& decoded = decoder.decode_frame(frame);
+    worst_psnr = std::min(worst_psnr, video::psnr_luma(original, decoded));
+  }
+  EXPECT_GT(worst_psnr, 28.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sequences, CodecRoundTrip,
+                         ::testing::Values(video::SequenceKind::kAkiyoLike,
+                                           video::SequenceKind::kForemanLike,
+                                           video::SequenceKind::kGardenLike));
+
+TEST(Codec, HigherQpGivesSmallerFilesAndLowerQuality) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  std::uint64_t size_lo_qp = 0, size_hi_qp = 0;
+  double psnr_lo_qp = 0, psnr_hi_qp = 0;
+  for (int qp : {4, 20}) {
+    NoRefreshPolicy policy;
+    Encoder encoder(test_config(qp), &policy);
+    Decoder decoder(DecoderConfig{});
+    std::uint64_t bytes = 0;
+    double psnr = 0;
+    for (int i = 0; i < 4; ++i) {
+      video::YuvFrame original = seq.frame_at(i);
+      EncodedFrame frame = encoder.encode_frame(original);
+      bytes += frame.size_bytes();
+      psnr += video::psnr_luma(original, decoder.decode_frame(frame));
+    }
+    if (qp == 4) {
+      size_lo_qp = bytes;
+      psnr_lo_qp = psnr;
+    } else {
+      size_hi_qp = bytes;
+      psnr_hi_qp = psnr;
+    }
+  }
+  EXPECT_LT(size_hi_qp, size_lo_qp);
+  EXPECT_LT(psnr_hi_qp, psnr_lo_qp);
+}
+
+TEST(Decoder, WhollyLostFrameIsConcealedByRepetition) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  Decoder decoder(DecoderConfig{});
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  video::YuvFrame f0 = seq.frame_at(0);
+  const video::YuvFrame first = decoder.decode_frame(encoder.encode_frame(f0));
+
+  ReceivedFrame lost;
+  lost.frame_index = 1;
+  lost.any_data = false;
+  const video::YuvFrame& concealed = decoder.decode_frame(lost);
+  EXPECT_EQ(concealed, first);  // copy-previous concealment
+  EXPECT_EQ(decoder.concealed_mbs(), 99u);
+}
+
+TEST(Decoder, MissingGobIsConcealedOthersDecode) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  Decoder decoder(DecoderConfig{});
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kGardenLike);
+  EncodedFrame frame = encoder.encode_frame(seq.frame_at(0));
+
+  // Deliver every GOB except row 4.
+  ReceivedFrame received;
+  received.frame_index = 0;
+  received.type = frame.type;
+  received.qp = frame.qp;
+  received.any_data = true;
+  for (int g = 0; g < 9; ++g) {
+    if (g == 4) continue;
+    ReceivedFrame::GobSpan span;
+    span.first_gob = g;
+    std::size_t begin = frame.gob_offsets[g];
+    std::size_t end =
+        g + 1 < 9 ? frame.gob_offsets[g + 1] : frame.bytes.size();
+    span.bytes.assign(frame.bytes.begin() + begin, frame.bytes.begin() + end);
+    received.spans.push_back(std::move(span));
+  }
+  const video::YuvFrame& decoded = decoder.decode_frame(received);
+  EXPECT_EQ(decoder.concealed_mbs(), 11u);  // one QCIF row
+
+  // Rows other than 4 match the encoder's reconstruction exactly.
+  const video::YuvFrame& recon = encoder.reconstructed();
+  for (int y = 0; y < 144; ++y) {
+    if (y >= 64 && y < 80) continue;  // the concealed row
+    for (int x = 0; x < 176; ++x) {
+      ASSERT_EQ(decoded.y().at(x, y), recon.y().at(x, y))
+          << "pixel " << x << "," << y;
+    }
+  }
+}
+
+TEST(Decoder, MultiGobSpanDecodesSequentially) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  Decoder decoder(DecoderConfig{});
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  EncodedFrame frame = encoder.encode_frame(seq.frame_at(0));
+  // One span with all GOBs == the EncodedFrame convenience overload.
+  const video::YuvFrame& decoded = decoder.decode_frame(frame);
+  EXPECT_EQ(decoded, encoder.reconstructed());
+}
+
+TEST(Decoder, CorruptSpanConcealsFromFailurePoint) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  Decoder decoder(DecoderConfig{});
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  EncodedFrame frame = encoder.encode_frame(seq.frame_at(0));
+
+  ReceivedFrame received;
+  received.frame_index = 0;
+  received.type = frame.type;
+  received.qp = frame.qp;
+  received.any_data = true;
+  ReceivedFrame::GobSpan span;
+  span.first_gob = 0;
+  span.bytes.assign(frame.bytes.begin() + frame.gob_offsets[0],
+                    frame.bytes.end());
+  // Corrupt the second GOB's sync byte: rows 1.. are abandoned.
+  std::size_t second = frame.gob_offsets[1] - frame.gob_offsets[0];
+  span.bytes[second] = 0xEE;
+  received.spans.push_back(std::move(span));
+
+  decoder.decode_frame(received);
+  EXPECT_EQ(decoder.concealed_mbs(), 8u * 11u);  // rows 1..8 concealed
+}
+
+TEST(Decoder, ResetClearsState) {
+  NoRefreshPolicy policy;
+  Encoder encoder(test_config(), &policy);
+  Decoder decoder(DecoderConfig{});
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  decoder.decode_frame(encoder.encode_frame(seq.frame_at(0)));
+  decoder.reset();
+  EXPECT_EQ(decoder.concealed_mbs(), 0u);
+  EXPECT_EQ(decoder.ops().frames, 0u);
+}
+
+TEST(Codec, ErrorPropagatesWithoutRefreshAndStopsWithIntra) {
+  // The mechanism the whole paper is about, in miniature: lose frame 1,
+  // watch the error persist through inter frames, then clean it with an
+  // all-intra frame and watch PSNR snap back to the lossless path.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+
+  class ScriptedIntra final : public RefreshPolicy {
+   public:
+    const char* name() const override { return "scripted"; }
+    bool want_intra_frame(int frame_index) override {
+      return frame_index == 0 || frame_index == 6;
+    }
+  };
+
+  ScriptedIntra policy;
+  Encoder encoder(test_config(), &policy);
+  Decoder decoder(DecoderConfig{});
+
+  std::vector<double> psnr;
+  for (int i = 0; i < 8; ++i) {
+    video::YuvFrame original = seq.frame_at(i);
+    EncodedFrame frame = encoder.encode_frame(original);
+    ReceivedFrame received;
+    if (i == 1) {
+      received.frame_index = i;
+      received.any_data = false;  // frame 1 lost entirely
+    } else {
+      received = [&] {
+        ReceivedFrame r;
+        r.frame_index = i;
+        r.any_data = true;
+        r.type = frame.type;
+        r.qp = frame.qp;
+        ReceivedFrame::GobSpan span;
+        span.first_gob = 0;
+        span.bytes.assign(frame.bytes.begin() + frame.gob_offsets[0],
+                          frame.bytes.end());
+        r.spans.push_back(std::move(span));
+        return r;
+      }();
+    }
+    psnr.push_back(video::psnr_luma(original, decoder.decode_frame(received)));
+  }
+  // Frames 2..5: error propagated (PSNR well below the clean frame 0).
+  for (int i = 2; i <= 5; ++i) EXPECT_LT(psnr[i], psnr[0] - 2.0) << i;
+  // Frame 6 is an I-frame: full recovery to intra quality.
+  EXPECT_GT(psnr[6], psnr[5] + 3.0);
+  EXPECT_GT(psnr[7], psnr[5]);
+}
+
+}  // namespace
+}  // namespace pbpair::codec

@@ -1,0 +1,163 @@
+// Composition matrix: the codec's feature knobs (QP, search strategy,
+// half-pel, deblocking) and the refresh schemes must compose freely — the
+// lockstep invariant and basic sanity must hold for every combination a
+// user can configure.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "net/loss_model.h"
+#include "sim/pipeline.h"
+#include "video/metrics.h"
+#include "video/sequence.h"
+
+namespace pbpair {
+namespace {
+
+// (qp, full_search, half_pel, deblocking)
+using CodecKnobs = std::tuple<int, bool, bool, bool>;
+
+class CodecKnobMatrix : public ::testing::TestWithParam<CodecKnobs> {};
+
+TEST_P(CodecKnobMatrix, LockstepAndQualityHold) {
+  auto [qp, full_search, half_pel, deblocking] = GetParam();
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+
+  codec::EncoderConfig econfig;
+  econfig.qp = qp;
+  econfig.search.strategy = full_search ? codec::SearchStrategy::kFullSearch
+                                        : codec::SearchStrategy::kDiamondSearch;
+  econfig.search.range = 7;
+  econfig.search.half_pel = half_pel;
+  econfig.deblocking = deblocking;
+  codec::NoRefreshPolicy policy;
+  codec::Encoder encoder(econfig, &policy);
+
+  codec::DecoderConfig dconfig;
+  dconfig.deblocking = deblocking;
+  codec::Decoder decoder(dconfig);
+
+  for (int i = 0; i < 3; ++i) {
+    video::YuvFrame original = seq.frame_at(i);
+    codec::EncodedFrame frame = encoder.encode_frame(original);
+    const video::YuvFrame& out = decoder.decode_frame(frame);
+    ASSERT_EQ(out, encoder.reconstructed())
+        << "lockstep broke at frame " << i << " (qp=" << qp
+        << " full=" << full_search << " half=" << half_pel
+        << " deblock=" << deblocking << ")";
+    double psnr = video::psnr_luma(original, out);
+    // Coarse QP still has to stay visually plausible.
+    ASSERT_GT(psnr, qp <= 10 ? 30.0 : 24.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, CodecKnobMatrix,
+    ::testing::Combine(::testing::Values(4, 10, 24),  // qp
+                       ::testing::Bool(),             // full search
+                       ::testing::Bool(),             // half-pel
+                       ::testing::Bool()));           // deblocking
+
+// Every scheme must survive the full lossy pipeline with every concealment
+// mode — no combination may crash or collapse.
+class SchemeConcealmentMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<int, codec::ConcealmentMode>> {};
+
+TEST_P(SchemeConcealmentMatrix, PipelineStaysSane) {
+  auto [scheme_index, concealment] = GetParam();
+  sim::SchemeSpec scheme;
+  switch (scheme_index) {
+    case 0: scheme = sim::SchemeSpec::no_resilience(); break;
+    case 1: {
+      core::PbpairConfig c;
+      c.intra_th = 0.93;
+      c.plr = 0.15;
+      scheme = sim::SchemeSpec::pbpair(c);
+      break;
+    }
+    case 2: scheme = sim::SchemeSpec::pgop(2); break;
+    case 3: scheme = sim::SchemeSpec::gop(5); break;
+    case 4: scheme = sim::SchemeSpec::air(15); break;
+  }
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  sim::PipelineConfig config;
+  config.frames = 20;
+  config.concealment = concealment;
+  net::UniformFrameLoss loss(0.15, 31337);
+  sim::PipelineResult r = sim::run_pipeline(seq, scheme, &loss, config);
+  EXPECT_GT(r.avg_psnr_db, 15.0) << scheme.label();
+  EXPECT_GT(r.total_bytes, 1000u);
+  EXPECT_EQ(r.frames.size(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SchemeConcealmentMatrix,
+    ::testing::Combine(
+        ::testing::Range(0, 5),
+        ::testing::Values(codec::ConcealmentMode::kCopyPrevious,
+                          codec::ConcealmentMode::kMotionCompensated,
+                          codec::ConcealmentMode::kFreezeGray)));
+
+TEST(Composition, AllFeaturesAtOnce) {
+  // The kitchen sink: PBPAIR + rate control + deblocking + half-pel full
+  // search + bursty loss + motion-compensated concealment, end to end.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kGardenLike);
+  sim::PipelineConfig config;
+  config.frames = 30;
+  config.encoder.search.strategy = codec::SearchStrategy::kFullSearch;
+  config.encoder.search.range = 7;
+  config.encoder.deblocking = false;  // pipeline decoder uses defaults
+  config.concealment = codec::ConcealmentMode::kMotionCompensated;
+  codec::RateControlConfig rate;
+  rate.target_kbps = 96.0;
+  rate.frame_rate = 25.0;
+  config.rate_control = rate;
+
+  core::PbpairConfig pbpair;
+  pbpair.intra_th = 0.9;
+  pbpair.plr = 0.1;
+
+  net::GilbertElliottLoss loss(net::GilbertElliottLoss::Params{}, 7);
+  sim::PipelineResult r = sim::run_pipeline(
+      seq, sim::SchemeSpec::pbpair(pbpair), &loss, config);
+  EXPECT_GT(r.avg_psnr_db, 20.0);
+  EXPECT_GT(r.total_intra_mbs, 50u);
+  // Rate control engaged: QP must have moved off its initial value.
+  bool qp_moved = false;
+  for (const sim::FrameTrace& f : r.frames) {
+    if (f.qp != rate.initial_qp) qp_moved = true;
+  }
+  EXPECT_TRUE(qp_moved);
+}
+
+TEST(Composition, PipelineDeterministicAcrossAllSchemes) {
+  // Determinism is per-scheme: identical config => identical result,
+  // including policies with internal state (PGOP sweep, PBPAIR matrix).
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  core::PbpairConfig pc;
+  pc.intra_th = 0.95;
+  pc.plr = 0.1;
+  for (const sim::SchemeSpec& scheme :
+       {sim::SchemeSpec::pbpair(pc), sim::SchemeSpec::pgop(3),
+        sim::SchemeSpec::gop(4), sim::SchemeSpec::air(12)}) {
+    sim::PipelineConfig config;
+    config.frames = 12;
+    net::UniformFrameLoss loss_a(0.2, 5);
+    net::UniformFrameLoss loss_b(0.2, 5);
+    sim::PipelineResult a = sim::run_pipeline(seq, scheme, &loss_a, config);
+    sim::PipelineResult b = sim::run_pipeline(seq, scheme, &loss_b, config);
+    ASSERT_EQ(a.total_bytes, b.total_bytes) << scheme.label();
+    ASSERT_DOUBLE_EQ(a.avg_psnr_db, b.avg_psnr_db) << scheme.label();
+    ASSERT_EQ(a.total_intra_mbs, b.total_intra_mbs) << scheme.label();
+  }
+}
+
+}  // namespace
+}  // namespace pbpair

@@ -1,0 +1,113 @@
+// Tests for the decoder's concealment modes and their quality ordering.
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "video/metrics.h"
+#include "video/sequence.h"
+
+namespace pbpair::codec {
+namespace {
+
+/// Encodes `frames` frames, losing frame `lost_index` entirely, and returns
+/// the PSNR of the lost frame's concealed output.
+double concealment_psnr(video::SequenceKind kind, ConcealmentMode mode,
+                        int lost_index, int frames) {
+  video::SyntheticSequence seq = video::make_paper_sequence(kind);
+  NoRefreshPolicy policy;
+  Encoder encoder(EncoderConfig{}, &policy);
+  DecoderConfig dconfig;
+  dconfig.concealment = mode;
+  Decoder decoder(dconfig);
+  double psnr = 0.0;
+  for (int i = 0; i < frames; ++i) {
+    video::YuvFrame original = seq.frame_at(i);
+    EncodedFrame encoded = encoder.encode_frame(original);
+    ReceivedFrame received;
+    received.frame_index = i;
+    if (i == lost_index) {
+      received.any_data = false;
+    } else {
+      received.any_data = true;
+      received.type = encoded.type;
+      received.qp = encoded.qp;
+      ReceivedFrame::GobSpan span;
+      span.first_gob = 0;
+      span.bytes.assign(encoded.bytes.begin() + encoded.gob_offsets[0],
+                        encoded.bytes.end());
+      received.spans.push_back(std::move(span));
+    }
+    const video::YuvFrame& output = decoder.decode_frame(received);
+    if (i == lost_index) psnr = video::psnr_luma(original, output);
+  }
+  return psnr;
+}
+
+TEST(Concealment, FreezeGrayBlanksLostMbs) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  NoRefreshPolicy policy;
+  Encoder encoder(EncoderConfig{}, &policy);
+  DecoderConfig dconfig;
+  dconfig.concealment = ConcealmentMode::kFreezeGray;
+  Decoder decoder(dconfig);
+  decoder.decode_frame(encoder.encode_frame(seq.frame_at(0)));
+  ReceivedFrame lost;
+  lost.frame_index = 1;
+  lost.any_data = false;
+  const video::YuvFrame& out = decoder.decode_frame(lost);
+  EXPECT_EQ(out.y().at(50, 50), 128);
+  EXPECT_EQ(out.u().at(10, 10), 128);
+  EXPECT_EQ(decoder.concealed_mbs(), 99u);
+}
+
+TEST(Concealment, CopyPreviousBeatsFreezeOnEveryClip) {
+  for (video::SequenceKind kind :
+       {video::SequenceKind::kAkiyoLike, video::SequenceKind::kForemanLike,
+        video::SequenceKind::kGardenLike}) {
+    double copy = concealment_psnr(kind, ConcealmentMode::kCopyPrevious, 3, 5);
+    double freeze = concealment_psnr(kind, ConcealmentMode::kFreezeGray, 3, 5);
+    EXPECT_GT(copy, freeze + 3.0) << video::sequence_kind_name(kind);
+  }
+}
+
+TEST(Concealment, MotionCompensatedBeatsCopyOnPanningContent) {
+  // Garden pans globally: copying the co-located MB is off by the pan,
+  // while reusing the previous frame's vectors tracks it.
+  double copy = concealment_psnr(video::SequenceKind::kGardenLike,
+                                 ConcealmentMode::kCopyPrevious, 4, 6);
+  double mc = concealment_psnr(video::SequenceKind::kGardenLike,
+                               ConcealmentMode::kMotionCompensated, 4, 6);
+  EXPECT_GT(mc, copy + 2.0);
+}
+
+TEST(Concealment, MotionCompensatedMatchesCopyOnStaticContent) {
+  // Akiyo's vectors are ~zero, so motion-copy degenerates to copy.
+  double copy = concealment_psnr(video::SequenceKind::kAkiyoLike,
+                                 ConcealmentMode::kCopyPrevious, 4, 6);
+  double mc = concealment_psnr(video::SequenceKind::kAkiyoLike,
+                               ConcealmentMode::kMotionCompensated, 4, 6);
+  EXPECT_NEAR(mc, copy, 1.5);
+}
+
+TEST(Concealment, LosslessPathIdenticalAcrossModes) {
+  // The concealment mode must not affect clean decoding.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  for (ConcealmentMode mode :
+       {ConcealmentMode::kCopyPrevious, ConcealmentMode::kMotionCompensated,
+        ConcealmentMode::kFreezeGray}) {
+    NoRefreshPolicy policy;
+    Encoder encoder(EncoderConfig{}, &policy);
+    DecoderConfig dconfig;
+    dconfig.concealment = mode;
+    Decoder decoder(dconfig);
+    for (int i = 0; i < 3; ++i) {
+      EncodedFrame frame = encoder.encode_frame(seq.frame_at(i));
+      ASSERT_EQ(decoder.decode_frame(frame), encoder.reconstructed());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbpair::codec

@@ -1,0 +1,312 @@
+// Tests for the integer DCT/IDCT, quantizer, zig-zag, and block coder.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "codec/block_coder.h"
+#include "codec/dct.h"
+#include "codec/quant.h"
+#include "codec/zigzag.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "energy/op_counters.h"
+
+namespace pbpair::codec {
+namespace {
+
+TEST(Zigzag, IsAPermutation) {
+  bool seen[64] = {};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_GE(kZigzag[i], 0);
+    ASSERT_LT(kZigzag[i], 64);
+    EXPECT_FALSE(seen[kZigzag[i]]);
+    seen[kZigzag[i]] = true;
+  }
+}
+
+TEST(Zigzag, InverseIsConsistent) {
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(kZigzagInverse[kZigzag[i]], i);
+  }
+}
+
+TEST(Zigzag, KnownPrefix) {
+  // Standard 8x8 scan starts 0, 1, 8, 16, 9, 2, 3, 10 ...
+  EXPECT_EQ(kZigzag[0], 0);
+  EXPECT_EQ(kZigzag[1], 1);
+  EXPECT_EQ(kZigzag[2], 8);
+  EXPECT_EQ(kZigzag[3], 16);
+  EXPECT_EQ(kZigzag[4], 9);
+  EXPECT_EQ(kZigzag[5], 2);
+  EXPECT_EQ(kZigzag[6], 3);
+  EXPECT_EQ(kZigzag[7], 10);
+  EXPECT_EQ(kZigzag[63], 63);
+}
+
+TEST(Dct, FlatBlockHasOnlyDc) {
+  std::int16_t in[64];
+  std::int16_t out[64];
+  for (auto& v : in) v = 128;
+  forward_dct_8x8(in, out);
+  // DC of the orthonormal DCT-II is 8 * mean = 1024 for mean 128.
+  EXPECT_NEAR(out[0], 1024, 1);
+  for (int i = 1; i < 64; ++i) EXPECT_EQ(out[i], 0) << "coeff " << i;
+}
+
+TEST(Dct, ZeroBlockStaysZero) {
+  std::int16_t in[64] = {};
+  std::int16_t out[64];
+  forward_dct_8x8(in, out);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], 0);
+  inverse_dct_8x8(in, out);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(Dct, RoundTripErrorIsTiny) {
+  common::Pcg32 rng(314);
+  std::int64_t max_err = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::int16_t in[64], coeffs[64], back[64];
+    for (auto& v : in) v = static_cast<std::int16_t>(rng.next_below(256));
+    forward_dct_8x8(in, coeffs);
+    inverse_dct_8x8(coeffs, back);
+    for (int i = 0; i < 64; ++i) {
+      max_err = std::max<std::int64_t>(max_err, common::iabs(in[i] - back[i]));
+    }
+  }
+  // Coefficients are stored as integers, so each carries up to 0.5 of
+  // rounding error; the worst-case spatial accumulation over 64 basis
+  // functions is ~6 gray levels (same envelope real integer codecs have).
+  EXPECT_LE(max_err, 6);
+}
+
+TEST(Dct, RoundTripForResidualRange) {
+  common::Pcg32 rng(315);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::int16_t in[64], coeffs[64], back[64];
+    for (auto& v : in) v = static_cast<std::int16_t>(rng.next_in_range(-255, 255));
+    forward_dct_8x8(in, coeffs);
+    inverse_dct_8x8(coeffs, back);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_LE(common::iabs(in[i] - back[i]), 6);
+    }
+  }
+}
+
+TEST(Dct, LinearityApproximatelyHolds) {
+  common::Pcg32 rng(316);
+  std::int16_t a[64], b[64], sum[64], fa[64], fb[64], fsum[64];
+  for (int i = 0; i < 64; ++i) {
+    a[i] = static_cast<std::int16_t>(rng.next_in_range(-100, 100));
+    b[i] = static_cast<std::int16_t>(rng.next_in_range(-100, 100));
+    sum[i] = static_cast<std::int16_t>(a[i] + b[i]);
+  }
+  forward_dct_8x8(a, fa);
+  forward_dct_8x8(b, fb);
+  forward_dct_8x8(sum, fsum);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_LE(common::iabs(fsum[i] - (fa[i] + fb[i])), 2) << "coeff " << i;
+  }
+}
+
+TEST(Dct, HorizontalEdgeProducesVerticalFrequencies) {
+  // Top half 0, bottom half 200: energy lands in column 0 (v=0) rows u>0.
+  std::int16_t in[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) in[y * 8 + x] = y < 4 ? 0 : 200;
+  }
+  std::int16_t out[64];
+  forward_dct_8x8(in, out);
+  EXPECT_NEAR(out[0], 800, 2);  // DC = 8 * mean = 8 * 100
+  EXPECT_GT(common::iabs(out[1 * 8 + 0]), 100);  // strong (u=1, v=0)
+  EXPECT_EQ(out[0 * 8 + 1], 0);                  // no horizontal variation
+}
+
+TEST(Dct, EnergyIsPreserved) {
+  // Orthonormal transform: sum of squares preserved (Parseval).
+  common::Pcg32 rng(317);
+  std::int16_t in[64], out[64];
+  for (auto& v : in) v = static_cast<std::int16_t>(rng.next_in_range(-200, 200));
+  forward_dct_8x8(in, out);
+  double e_in = 0, e_out = 0;
+  for (int i = 0; i < 64; ++i) {
+    e_in += static_cast<double>(in[i]) * in[i];
+    e_out += static_cast<double>(out[i]) * out[i];
+  }
+  EXPECT_NEAR(e_out / e_in, 1.0, 0.01);
+}
+
+// --- Quantizer ---
+
+TEST(Quant, IntraDcRoundTripsWithinStep) {
+  for (int dc = 8; dc <= 2032; dc += 97) {
+    int level = quantize_intra_dc(dc);
+    int rec = dequantize_intra_dc(level);
+    EXPECT_LE(common::iabs(rec - dc), 4) << "dc " << dc;
+  }
+}
+
+TEST(Quant, IntraDcLevelBounds) {
+  EXPECT_EQ(quantize_intra_dc(0), 1);     // clamps up (level 0 reserved)
+  EXPECT_EQ(quantize_intra_dc(2047), 254);
+}
+
+class QuantRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantRoundTrip, ReconstructionWithinQuantizerStep) {
+  const int qp = GetParam();
+  common::Pcg32 rng(400 + qp);
+  for (int trial = 0; trial < 200; ++trial) {
+    int coeff = rng.next_in_range(-2000, 2000);
+    for (bool intra : {false, true}) {
+      int level = quantize_coeff(coeff, qp, intra);
+      int rec = dequantize_coeff(level, qp);
+      if (level == 0) continue;
+      if (common::iabs(level) == kMaxLevel) {
+        // Saturated level (|coeff| beyond the 127-level range of the
+        // bitstream, reachable only at very small QP): reconstruction
+        // clips toward zero by design; only the sign must survive.
+        EXPECT_EQ(rec > 0, coeff > 0);
+        continue;
+      }
+      // Reconstruction error bounded by ~1.5 steps (dead zone included).
+      EXPECT_LE(common::iabs(rec - coeff), 3 * qp + 1)
+          << "qp " << qp << " coeff " << coeff << " intra " << intra;
+      EXPECT_EQ(rec > 0, coeff > 0);
+    }
+  }
+}
+
+TEST_P(QuantRoundTrip, InterDeadZoneZeroesSmallCoeffs) {
+  const int qp = GetParam();
+  // |coeff| below ~2.5*qp quantizes to 0 in inter mode (dead zone).
+  EXPECT_EQ(quantize_coeff(qp, qp, /*intra=*/false), 0);
+  EXPECT_EQ(quantize_coeff(-qp, qp, /*intra=*/false), 0);
+}
+
+TEST_P(QuantRoundTrip, LevelsAreClamped) {
+  const int qp = GetParam();
+  int level = quantize_coeff(2047, qp, /*intra=*/true);
+  EXPECT_LE(level, kMaxLevel);
+  level = quantize_coeff(-2047, qp, /*intra=*/true);
+  EXPECT_GE(level, -kMaxLevel);
+}
+
+INSTANTIATE_TEST_SUITE_P(QpSweep, QuantRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 10, 13, 16, 22, 31));
+
+TEST(Quant, OddificationRule) {
+  // QP odd: |rec| = qp*(2|level|+1); QP even: minus 1.
+  EXPECT_EQ(dequantize_coeff(2, 5), 5 * 5);       // 5*(4+1) = 25
+  EXPECT_EQ(dequantize_coeff(2, 6), 6 * 5 - 1);   // 29
+  EXPECT_EQ(dequantize_coeff(-2, 5), -25);
+  EXPECT_EQ(dequantize_coeff(0, 9), 0);
+}
+
+TEST(Quant, BlockQuantCountsNonzeros) {
+  energy::OpCounters ops;
+  std::int16_t block[64] = {};
+  block[0] = 800;   // intra DC
+  block[5] = 300;
+  block[9] = -4;    // below dead zone at qp 10 -> 0 in inter, also 0 intra
+  int nz = quantize_block(block, 10, /*intra=*/true, ops);
+  EXPECT_EQ(nz, 2);  // DC + coeff 5
+  EXPECT_EQ(ops.quant_coeffs, 64u);
+}
+
+TEST(Quant, BlockDequantMetersOps) {
+  energy::OpCounters ops;
+  std::int16_t block[64] = {};
+  block[0] = 100;
+  dequantize_block(block, 10, /*intra=*/true, ops);
+  EXPECT_EQ(ops.dequant_coeffs, 64u);
+  EXPECT_EQ(block[0], 800);
+}
+
+// --- Block coder ---
+
+TEST(BlockCoder, InterBlockRoundTrips) {
+  std::int16_t block[64] = {};
+  block[0] = 5;
+  block[kZigzag[3]] = -2;
+  block[kZigzag[20]] = 1;
+  BitWriter writer;
+  encode_block(writer, block, /*intra=*/false);
+  auto bytes = writer.finish();
+  BitReader reader(bytes);
+  std::int16_t got[64];
+  ASSERT_TRUE(decode_block(reader, got, /*intra=*/false));
+  EXPECT_EQ(0, std::memcmp(block, got, sizeof(block)));
+}
+
+TEST(BlockCoder, IntraBlockWithNoAcRoundTrips) {
+  std::int16_t block[64] = {};
+  block[0] = 77;  // DC level only
+  BitWriter writer;
+  encode_block(writer, block, /*intra=*/true);
+  auto bytes = writer.finish();
+  EXPECT_LE(bytes.size(), 2u);  // 8-bit DC + 1 flag bit
+  BitReader reader(bytes);
+  std::int16_t got[64];
+  ASSERT_TRUE(decode_block(reader, got, /*intra=*/true));
+  EXPECT_EQ(0, std::memcmp(block, got, sizeof(block)));
+}
+
+class BlockCoderFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockCoderFuzz, RandomSparseBlocksRoundTrip) {
+  const int density_percent = GetParam();
+  common::Pcg32 rng(500 + density_percent);
+  for (int trial = 0; trial < 100; ++trial) {
+    for (bool intra : {false, true}) {
+      std::int16_t block[64] = {};
+      if (intra) block[0] = static_cast<std::int16_t>(1 + rng.next_below(254));
+      bool any = intra;
+      for (int i = intra ? 1 : 0; i < 64; ++i) {
+        if (rng.next_below(100) < static_cast<std::uint32_t>(density_percent)) {
+          int level = rng.next_in_range(-127, 127);
+          if (level == 0) level = 1;
+          block[i] = static_cast<std::int16_t>(level);
+          any = true;
+        }
+      }
+      if (!any) continue;  // inter block with nothing coded is not written
+      BitWriter writer;
+      encode_block(writer, block, intra);
+      auto bytes = writer.finish();
+      BitReader reader(bytes);
+      std::int16_t got[64];
+      ASSERT_TRUE(decode_block(reader, got, intra));
+      ASSERT_EQ(0, std::memcmp(block, got, sizeof(block)))
+          << "density " << density_percent << " intra " << intra;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Density, BlockCoderFuzz,
+                         ::testing::Values(2, 5, 10, 25, 50, 90));
+
+TEST(BlockCoder, TruncatedStreamFails) {
+  std::int16_t block[64] = {};
+  block[kZigzag[63]] = 3;  // long run forces several bits
+  BitWriter writer;
+  encode_block(writer, block, /*intra=*/false);
+  auto bytes = writer.finish();
+  bytes.resize(bytes.size() / 2);
+  BitReader reader(bytes);
+  std::int16_t got[64];
+  EXPECT_FALSE(decode_block(reader, got, /*intra=*/false));
+}
+
+TEST(BlockCoder, BlockIsEmptyRespectsIntraDc) {
+  std::int16_t block[64] = {};
+  EXPECT_TRUE(block_is_empty(block, false));
+  block[0] = 10;
+  EXPECT_FALSE(block_is_empty(block, false));
+  EXPECT_TRUE(block_is_empty(block, true));  // DC ignored for intra
+  block[1] = 1;
+  EXPECT_FALSE(block_is_empty(block, true));
+}
+
+}  // namespace
+}  // namespace pbpair::codec

@@ -1,0 +1,231 @@
+// Tests for half-pel motion compensation and its codec integration.
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/mc.h"
+#include "video/metrics.h"
+#include "video/sequence.h"
+
+namespace pbpair::codec {
+namespace {
+
+video::Plane gradient_plane(int w, int h) {
+  video::Plane plane(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      plane.set(x, y, static_cast<std::uint8_t>((x * 3 + y * 5) & 0xFF));
+    }
+  }
+  return plane;
+}
+
+TEST(Mc, FullPelPredictionIsVerbatimCopy) {
+  video::Plane ref = gradient_plane(64, 64);
+  std::uint8_t pred[16 * 16];
+  energy::OpCounters ops;
+  predict_block(ref, 2 * 8, 2 * 12, 16, 16, pred, ops);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      ASSERT_EQ(pred[y * 16 + x], ref.at(8 + x, 12 + y));
+    }
+  }
+  EXPECT_EQ(ops.mc_pixels, 256u);
+  EXPECT_EQ(ops.mc_halfpel_pixels, 0u);
+}
+
+TEST(Mc, HorizontalHalfPelAveragesNeighbors) {
+  video::Plane ref(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      ref.set(x, y, static_cast<std::uint8_t>(x * 7 % 251));
+    }
+  }
+  std::uint8_t pred[8 * 8];
+  energy::OpCounters ops;
+  predict_block(ref, 2 * 4 + 1, 2 * 4, 8, 8, pred, ops);  // half right
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      int expected = (ref.at(4 + x, 4 + y) + ref.at(5 + x, 4 + y) + 1) >> 1;
+      ASSERT_EQ(pred[y * 8 + x], expected);
+    }
+  }
+  EXPECT_EQ(ops.mc_halfpel_pixels, 64u);
+}
+
+TEST(Mc, VerticalHalfPelAveragesNeighbors) {
+  video::Plane ref = gradient_plane(32, 32);
+  std::uint8_t pred[8 * 8];
+  energy::OpCounters ops;
+  predict_block(ref, 2 * 4, 2 * 4 + 1, 8, 8, pred, ops);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      int expected = (ref.at(4 + x, 4 + y) + ref.at(4 + x, 5 + y) + 1) >> 1;
+      ASSERT_EQ(pred[y * 8 + x], expected);
+    }
+  }
+}
+
+TEST(Mc, CenterHalfPelAveragesFourNeighbors) {
+  video::Plane ref = gradient_plane(32, 32);
+  std::uint8_t pred[8 * 8];
+  energy::OpCounters ops;
+  predict_block(ref, 2 * 4 + 1, 2 * 4 + 1, 8, 8, pred, ops);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      int expected = (ref.at(4 + x, 4 + y) + ref.at(5 + x, 4 + y) +
+                      ref.at(4 + x, 5 + y) + ref.at(5 + x, 5 + y) + 2) >>
+                     2;
+      ASSERT_EQ(pred[y * 8 + x], expected);
+    }
+  }
+}
+
+TEST(Mc, EdgeReadsAreClamped) {
+  video::Plane ref(32, 32, 0);
+  for (int y = 0; y < 32; ++y) ref.set(31, y, 200);  // bright last column
+  std::uint8_t pred[8 * 8];
+  energy::OpCounters ops;
+  // Block whose +1 interpolation reads fall past the right edge.
+  predict_block(ref, 2 * 24 + 1, 0, 8, 8, pred, ops);
+  // Rightmost predicted column: (ref(31,y) + clamped ref(32,y)) / 2 = 200.
+  for (int y = 0; y < 8; ++y) ASSERT_EQ(pred[y * 8 + 7], 200);
+}
+
+TEST(Mc, ChromaMvDerivation) {
+  // H.263 rule: halve the luma vector; any fractional part rounds to the
+  // half-pel position. (Units: half-pel in the respective plane.)
+  EXPECT_EQ(chroma_mv(MotionVector{0, 0}), (MotionVector{0, 0}));
+  EXPECT_EQ(chroma_mv(MotionVector{4, 0}).x, 2);    // 2 px luma -> 1 px chroma
+  EXPECT_EQ(chroma_mv(MotionVector{2, 0}).x, 1);    // 1 px -> 0.5 px
+  EXPECT_EQ(chroma_mv(MotionVector{1, 0}).x, 1);    // 0.5 px -> 0.5 px
+  EXPECT_EQ(chroma_mv(MotionVector{3, 0}).x, 1);    // 1.5 px -> 0.5 px
+  EXPECT_EQ(chroma_mv(MotionVector{6, 0}).x, 3);    // 3 px -> 1.5 px
+  EXPECT_EQ(chroma_mv(MotionVector{8, 0}).x, 4);    // 4 px -> 2 px
+  EXPECT_EQ(chroma_mv(MotionVector{-4, -2}), (MotionVector{-2, -1}));
+  EXPECT_EQ(chroma_mv(MotionVector{-3, 0}).x, -1);
+}
+
+TEST(Mc, HalfpelSadMatchesPrediction) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  video::YuvFrame cur = seq.frame_at(1);
+  video::YuvFrame ref = seq.frame_at(0);
+  energy::OpCounters ops;
+  // SAD via the half-pel path at an odd position must equal a manual SAD
+  // against the interpolated prediction.
+  const int px = 48, py = 48, mvx = 3, mvy = -1;  // half-pel units
+  std::uint8_t pred[16 * 16];
+  predict_block(ref.y(), px * 2 + mvx, py * 2 + mvy, 16, 16, pred, ops);
+  std::int64_t manual = 0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      manual += std::abs(static_cast<int>(cur.y().at(px + x, py + y)) -
+                         pred[y * 16 + x]);
+    }
+  }
+  std::int64_t sad = sad_16x16_halfpel(cur.y(), px, py, ref.y(),
+                                       px * 2 + mvx, py * 2 + mvy,
+                                       INT64_MAX, ops);
+  EXPECT_EQ(sad, manual);
+  EXPECT_GT(ops.sad_halfpel_ops, 0u);
+}
+
+TEST(Mc, HalfpelMotionVectorHelpers) {
+  EXPECT_EQ(halfpel_floor(5), 2);
+  EXPECT_EQ(halfpel_floor(4), 2);
+  EXPECT_EQ(halfpel_floor(-1), -1);
+  EXPECT_EQ(halfpel_floor(-2), -1);
+  EXPECT_EQ(halfpel_span(4), 16);
+  EXPECT_EQ(halfpel_span(5), 17);
+  EXPECT_TRUE((MotionVector{1, 0}).is_half_pel());
+  EXPECT_FALSE(MotionVector::from_pixels(3, -2).is_half_pel());
+}
+
+// --- Codec-level integration ---
+
+TEST(McIntegration, HalfPelImprovesCompressionOnPanningContent) {
+  // Garden pans ~2.5 px/frame: the true motion is half-pel, so half-pel
+  // vectors shrink residuals and the bitstream.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kGardenLike);
+  auto total_bytes = [&seq](bool half_pel) {
+    NoRefreshPolicy policy;
+    EncoderConfig config;
+    config.search.half_pel = half_pel;
+    Encoder encoder(config, &policy);
+    std::uint64_t bytes = 0;
+    for (int i = 0; i < 6; ++i) {
+      bytes += encoder.encode_frame(seq.frame_at(i)).size_bytes();
+    }
+    return bytes;
+  };
+  std::uint64_t without = total_bytes(false);
+  std::uint64_t with = total_bytes(true);
+  EXPECT_LT(with, without);
+}
+
+TEST(McIntegration, HalfPelVectorsActuallyOccur) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kGardenLike);
+  NoRefreshPolicy policy;
+  Encoder encoder(EncoderConfig{}, &policy);
+  encoder.encode_frame(seq.frame_at(0));
+  EncodedFrame frame = encoder.encode_frame(seq.frame_at(1));
+  int half_pel_mbs = 0;
+  for (const MbEncodeRecord& r : frame.mb_records) {
+    if (r.mode == MbMode::kInter && r.mv.is_half_pel()) ++half_pel_mbs;
+  }
+  // Garden's vertical drift is 0.25 px/frame: the best approximation for
+  // many MBs is a half-pel vector. (The horizontal pan lands on full
+  // pixels frame-to-frame, so it does not contribute.)
+  EXPECT_GT(half_pel_mbs, 20);
+}
+
+TEST(McIntegration, LockstepHoldsWithHalfPelVectors) {
+  // The decisive invariant: decoder reproduces the encoder reconstruction
+  // bit-exactly even when half-pel prediction and differential MVs are in
+  // heavy use (garden forces both).
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kGardenLike);
+  NoRefreshPolicy policy;
+  Encoder encoder(EncoderConfig{}, &policy);
+  Decoder decoder(DecoderConfig{});
+  for (int i = 0; i < 5; ++i) {
+    EncodedFrame frame = encoder.encode_frame(seq.frame_at(i));
+    ASSERT_EQ(decoder.decode_frame(frame), encoder.reconstructed())
+        << "frame " << i;
+  }
+}
+
+TEST(McIntegration, DifferentialMvCodingShrinksCoherentMotion) {
+  // With a global pan, neighboring MBs share the same vector, so MVDs are
+  // mostly zero and cheaper than absolute vectors would be. Verify the MV
+  // bit cost indirectly: garden P-frame inter-MB bits with prediction must
+  // beat a build where the predictor is suppressed. We emulate "no
+  // prediction" by measuring the entropy cost difference of the vectors.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kGardenLike);
+  NoRefreshPolicy policy;
+  Encoder encoder(EncoderConfig{}, &policy);
+  encoder.encode_frame(seq.frame_at(0));
+  EncodedFrame frame = encoder.encode_frame(seq.frame_at(1));
+  // Count how many inter MBs repeat their left neighbor's vector.
+  int repeats = 0, inters = 0;
+  for (int my = 0; my < frame.mb_rows; ++my) {
+    for (int mx = 1; mx < frame.mb_cols; ++mx) {
+      const MbEncodeRecord& cur = frame.mb_records[my * frame.mb_cols + mx];
+      const MbEncodeRecord& left =
+          frame.mb_records[my * frame.mb_cols + mx - 1];
+      if (cur.mode != MbMode::kInter) continue;
+      ++inters;
+      if (left.mode == MbMode::kInter && left.mv == cur.mv) ++repeats;
+    }
+  }
+  ASSERT_GT(inters, 40);
+  // The pan makes the field strongly coherent; most vectors repeat.
+  EXPECT_GT(repeats * 2, inters);
+}
+
+}  // namespace
+}  // namespace pbpair::codec

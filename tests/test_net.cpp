@@ -1,0 +1,321 @@
+// Tests for the network layer: RTP packets, packetization, loss models,
+// channel statistics, and the receiver-side PLR estimator.
+#include <gtest/gtest.h>
+
+#include "codec/encoder.h"
+#include "net/channel.h"
+#include "net/feedback.h"
+#include "net/loss_model.h"
+#include "net/packetizer.h"
+#include "video/sequence.h"
+
+namespace pbpair::net {
+namespace {
+
+Packet make_test_packet(std::uint16_t seq, std::uint32_t ts,
+                        std::size_t payload_size = 100) {
+  Packet p;
+  p.header.sequence = seq;
+  p.header.timestamp = ts;
+  p.header.ssrc = 0xDEADBEEF;
+  p.header.marker = true;
+  p.header.frame_type = 1;
+  p.header.qp = 10;
+  p.header.first_gob = 2;
+  p.header.num_gobs = 3;
+  p.payload.assign(payload_size, static_cast<std::uint8_t>(seq & 0xFF));
+  return p;
+}
+
+TEST(Packet, SerializeParseRoundTrip) {
+  Packet p = make_test_packet(12345, 678);
+  auto wire = serialize_packet(p);
+  EXPECT_EQ(wire.size(), kHeaderWireSize + 100);
+  Packet q;
+  ASSERT_TRUE(parse_packet(wire, &q));
+  EXPECT_EQ(q.header.sequence, p.header.sequence);
+  EXPECT_EQ(q.header.timestamp, p.header.timestamp);
+  EXPECT_EQ(q.header.ssrc, p.header.ssrc);
+  EXPECT_EQ(q.header.marker, p.header.marker);
+  EXPECT_EQ(q.header.frame_type, p.header.frame_type);
+  EXPECT_EQ(q.header.qp, p.header.qp);
+  EXPECT_EQ(q.header.first_gob, p.header.first_gob);
+  EXPECT_EQ(q.header.num_gobs, p.header.num_gobs);
+  EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(Packet, ParseRejectsTruncatedHeader) {
+  std::vector<std::uint8_t> wire(kHeaderWireSize - 1, 0);
+  Packet p;
+  EXPECT_FALSE(parse_packet(wire, &p));
+}
+
+TEST(Packet, ParseRejectsWrongVersion) {
+  Packet p = make_test_packet(1, 1);
+  auto wire = serialize_packet(p);
+  wire[0] = 0;  // version 0
+  EXPECT_FALSE(parse_packet(wire, &p));
+}
+
+codec::EncodedFrame encode_one_frame(int frame_count = 1) {
+  static video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kGardenLike);
+  static codec::NoRefreshPolicy policy;
+  codec::Encoder encoder(codec::EncoderConfig{}, &policy);
+  codec::EncodedFrame out;
+  for (int i = 0; i < frame_count; ++i) {
+    out = encoder.encode_frame(seq.frame_at(i));
+  }
+  return out;
+}
+
+TEST(Packetizer, SmallFrameIsOnePacket) {
+  codec::EncodedFrame frame = encode_one_frame(2);  // P-frame, small
+  Packetizer packetizer(PacketizerConfig{});
+  auto packets = packetizer.packetize(frame);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_TRUE(packets[0].header.marker);
+  EXPECT_EQ(packets[0].header.first_gob, 0);
+  EXPECT_EQ(packets[0].header.num_gobs, 9);
+  EXPECT_EQ(packets[0].header.frame_type, 1);  // P
+}
+
+TEST(Packetizer, LargeFrameFragmentsAtGobBoundaries) {
+  codec::EncodedFrame frame = encode_one_frame(1);  // garden I-frame: big
+  PacketizerConfig config;
+  config.mtu = 1400;
+  Packetizer packetizer(config);
+  auto packets = packetizer.packetize(frame);
+  ASSERT_GT(packets.size(), 1u);
+  int covered = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_LE(packets[i].wire_size(), config.mtu);
+    EXPECT_EQ(packets[i].header.marker, i == packets.size() - 1);
+    EXPECT_EQ(packets[i].header.first_gob, covered);
+    covered += packets[i].header.num_gobs;
+    // Payload starts with the GOB sync byte of its first GOB.
+    EXPECT_EQ(packets[i].payload[0], packets[i].header.first_gob);
+  }
+  EXPECT_EQ(covered, 9);
+}
+
+TEST(Packetizer, SequenceNumbersAreConsecutive) {
+  codec::EncodedFrame frame = encode_one_frame(1);
+  Packetizer packetizer(PacketizerConfig{});
+  auto first = packetizer.packetize(frame);
+  auto second = packetizer.packetize(frame);
+  std::uint16_t expected = 0;
+  for (const Packet& p : first) EXPECT_EQ(p.header.sequence, expected++);
+  for (const Packet& p : second) EXPECT_EQ(p.header.sequence, expected++);
+}
+
+TEST(Packetizer, ReassemblyMatchesOriginalBytes) {
+  codec::EncodedFrame frame = encode_one_frame(1);
+  PacketizerConfig config;
+  config.mtu = 600;  // force heavy fragmentation
+  Packetizer packetizer(config);
+  auto packets = packetizer.packetize(frame);
+  ASSERT_GT(packets.size(), 2u);
+  std::vector<std::uint8_t> reassembled;
+  for (const Packet& p : packets) {
+    reassembled.insert(reassembled.end(), p.payload.begin(), p.payload.end());
+  }
+  std::vector<std::uint8_t> original(
+      frame.bytes.begin() + frame.gob_offsets[0], frame.bytes.end());
+  EXPECT_EQ(reassembled, original);
+}
+
+TEST(Depacketize, FullDeliveryDecodesEverywhere) {
+  codec::EncodedFrame frame = encode_one_frame(1);
+  Packetizer packetizer(PacketizerConfig{});
+  auto packets = packetizer.packetize(frame);
+  codec::ReceivedFrame received = depacketize(packets, frame.frame_index);
+  EXPECT_TRUE(received.any_data);
+  EXPECT_EQ(received.type, codec::FrameType::kIntra);
+  EXPECT_EQ(received.qp, frame.qp);
+}
+
+TEST(Depacketize, EmptyDeliveryMarksFrameLost) {
+  codec::ReceivedFrame received = depacketize({}, 7);
+  EXPECT_FALSE(received.any_data);
+  EXPECT_EQ(received.frame_index, 7);
+}
+
+// --- Loss models ---
+
+TEST(UniformFrameLoss, AllPacketsOfAFrameShareFate) {
+  UniformFrameLoss loss(0.5, 99);
+  for (int frame = 0; frame < 50; ++frame) {
+    Packet p0 = make_test_packet(0, frame);
+    Packet p1 = make_test_packet(1, frame);
+    Packet p2 = make_test_packet(2, frame);
+    bool d0 = loss.should_drop(p0);
+    EXPECT_EQ(loss.should_drop(p1), d0);
+    EXPECT_EQ(loss.should_drop(p2), d0);
+  }
+}
+
+TEST(UniformFrameLoss, RateIsRespected) {
+  UniformFrameLoss loss(0.10, 7);
+  int dropped = 0;
+  const int frames = 20000;
+  for (int frame = 0; frame < frames; ++frame) {
+    if (loss.should_drop(make_test_packet(0, frame))) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / frames, 0.10, 0.01);
+}
+
+TEST(UniformFrameLoss, DeterministicPerSeedAndResets) {
+  UniformFrameLoss a(0.3, 5);
+  UniformFrameLoss b(0.3, 5);
+  std::vector<bool> fates_a, fates_b;
+  for (int frame = 0; frame < 100; ++frame) {
+    fates_a.push_back(a.should_drop(make_test_packet(0, frame)));
+    fates_b.push_back(b.should_drop(make_test_packet(0, frame)));
+  }
+  EXPECT_EQ(fates_a, fates_b);
+  a.reset();
+  for (int frame = 0; frame < 100; ++frame) {
+    EXPECT_EQ(a.should_drop(make_test_packet(0, frame)), fates_a[frame]);
+  }
+}
+
+TEST(UniformFrameLoss, ZeroRateDropsNothing) {
+  UniformFrameLoss loss(0.0, 3);
+  for (int frame = 0; frame < 100; ++frame) {
+    EXPECT_FALSE(loss.should_drop(make_test_packet(0, frame)));
+  }
+}
+
+TEST(BernoulliPacketLoss, IndependentPerPacket) {
+  BernoulliPacketLoss loss(0.2, 11);
+  int dropped = 0;
+  const int packets = 20000;
+  for (int i = 0; i < packets; ++i) {
+    if (loss.should_drop(make_test_packet(i & 0xFFFF, i / 3))) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / packets, 0.2, 0.01);
+}
+
+TEST(GilbertElliott, AverageRateMatchesStationaryFormula) {
+  GilbertElliottLoss::Params params;
+  GilbertElliottLoss loss(params, 13);
+  const double expected = loss.average_loss_rate();
+  int dropped = 0;
+  const int packets = 100000;
+  for (int i = 0; i < packets; ++i) {
+    if (loss.should_drop(make_test_packet(0, i))) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / packets, expected, 0.01);
+}
+
+TEST(GilbertElliott, LossesAreBurstierThanBernoulli) {
+  // Compare mean run length of consecutive losses at matched average rate.
+  GilbertElliottLoss::Params params;
+  GilbertElliottLoss ge(params, 17);
+  BernoulliPacketLoss bern(ge.average_loss_rate(), 17);
+
+  auto mean_burst = [](LossModel& model) {
+    int bursts = 0, losses = 0;
+    bool in_burst = false;
+    Packet p = make_test_packet(0, 0);
+    for (int i = 0; i < 200000; ++i) {
+      bool drop = model.should_drop(p);
+      if (drop) {
+        ++losses;
+        if (!in_burst) ++bursts;
+      }
+      in_burst = drop;
+    }
+    return bursts == 0 ? 0.0 : static_cast<double>(losses) / bursts;
+  };
+  EXPECT_GT(mean_burst(ge), 1.25 * mean_burst(bern));
+}
+
+TEST(ScriptedFrameLoss, DropsExactlyTheListedFrames) {
+  ScriptedFrameLoss loss({3, 7, 8});
+  for (int frame = 0; frame < 12; ++frame) {
+    bool expected = frame == 3 || frame == 7 || frame == 8;
+    EXPECT_EQ(loss.should_drop(make_test_packet(0, frame)), expected)
+        << "frame " << frame;
+  }
+}
+
+TEST(Channel, StatsAccumulate) {
+  BernoulliPacketLoss loss(0.5, 19);
+  Channel channel(&loss);
+  std::vector<Packet> packets;
+  for (int i = 0; i < 100; ++i) packets.push_back(make_test_packet(i, i, 50));
+  auto delivered = channel.transmit(packets);
+  const ChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.packets_sent, 100u);
+  EXPECT_EQ(stats.packets_dropped + delivered.size(), 100u);
+  EXPECT_EQ(stats.bytes_sent, 100u * (kHeaderWireSize + 50));
+  EXPECT_EQ(stats.bytes_delivered, delivered.size() * (kHeaderWireSize + 50));
+  EXPECT_NEAR(stats.loss_rate(), 0.5, 0.2);
+  channel.reset();
+  EXPECT_EQ(channel.stats().packets_sent, 0u);
+}
+
+// --- PLR estimator ---
+
+TEST(PlrEstimator, NoLossGivesZero) {
+  PlrEstimator est;
+  for (int i = 0; i < 50; ++i) est.on_packet_received(i);
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+  EXPECT_EQ(est.received(), 50u);
+  EXPECT_EQ(est.lost(), 0u);
+}
+
+TEST(PlrEstimator, DetectsSequenceGaps) {
+  PlrEstimator est(100);
+  est.on_packet_received(0);
+  est.on_packet_received(1);
+  est.on_packet_received(4);  // 2 and 3 lost
+  EXPECT_EQ(est.lost(), 2u);
+  EXPECT_NEAR(est.estimate(), 2.0 / 5.0, 1e-9);
+}
+
+TEST(PlrEstimator, WindowForgetsOldLosses) {
+  PlrEstimator est(10);
+  est.on_packet_received(0);
+  est.on_packet_received(3);  // 2 losses, early
+  for (int i = 4; i < 30; ++i) est.on_packet_received(i);
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);  // losses aged out of the window
+  EXPECT_EQ(est.lost(), 2u);              // lifetime counter remembers
+}
+
+TEST(PlrEstimator, SequenceWrapIsHandled) {
+  PlrEstimator est;
+  est.on_packet_received(65534);
+  est.on_packet_received(65535);
+  est.on_packet_received(0);  // wrap, no loss
+  est.on_packet_received(2);  // packet 1 lost across the wrap
+  EXPECT_EQ(est.lost(), 1u);
+}
+
+TEST(PlrEstimator, KnownLossFeedsWindow) {
+  PlrEstimator est(10);
+  est.on_packet_received(0);
+  est.on_known_loss(4);
+  EXPECT_NEAR(est.estimate(), 4.0 / 5.0, 1e-9);
+  est.reset();
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+}
+
+TEST(PlrEstimator, TracksConfiguredRateEndToEnd) {
+  // Feed it a real channel at PLR 15% and check the estimate converges.
+  BernoulliPacketLoss loss(0.15, 23);
+  Channel channel(&loss);
+  PlrEstimator est(500);
+  std::uint16_t seq_no = 0;
+  for (int frame = 0; frame < 3000; ++frame) {
+    Packet p = make_test_packet(seq_no++, frame);
+    auto delivered = channel.transmit({p});
+    for (const Packet& d : delivered) est.on_packet_received(d.header.sequence);
+  }
+  EXPECT_NEAR(est.estimate(), 0.15, 0.05);
+}
+
+}  // namespace
+}  // namespace pbpair::net

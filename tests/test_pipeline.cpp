@@ -1,0 +1,310 @@
+// End-to-end pipeline and experiment-harness tests: the system-level
+// behaviours every figure bench relies on.
+#include <gtest/gtest.h>
+
+#include "core/adaptation.h"
+#include "net/loss_model.h"
+#include "sim/pipeline.h"
+#include "sim/report.h"
+
+namespace pbpair::sim {
+namespace {
+
+PipelineConfig short_config(int frames = 30) {
+  PipelineConfig config;
+  config.frames = frames;
+  return config;
+}
+
+core::PbpairConfig pbpair_config(double th, double plr) {
+  core::PbpairConfig c;
+  c.intra_th = th;
+  c.plr = plr;
+  return c;
+}
+
+TEST(Pipeline, LosslessChannelGivesCleanQuality) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  PipelineResult r = run_pipeline(seq, SchemeSpec::no_resilience(), nullptr,
+                                  short_config());
+  EXPECT_GT(r.avg_psnr_db, 30.0);
+  EXPECT_EQ(r.concealed_mbs, 0u);
+  EXPECT_EQ(r.channel.packets_dropped, 0u);
+  for (const FrameTrace& f : r.frames) EXPECT_FALSE(f.lost);
+}
+
+TEST(Pipeline, LossDegradesQuality) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  PipelineResult clean = run_pipeline(seq, SchemeSpec::no_resilience(),
+                                      nullptr, short_config());
+  net::UniformFrameLoss loss(0.2, 42);
+  PipelineResult lossy = run_pipeline(seq, SchemeSpec::no_resilience(), &loss,
+                                      short_config());
+  EXPECT_LT(lossy.avg_psnr_db, clean.avg_psnr_db - 2.0);
+  EXPECT_GT(lossy.total_bad_pixels, clean.total_bad_pixels);
+  EXPECT_GT(lossy.concealed_mbs, 0u);
+}
+
+TEST(Pipeline, DeterministicForSameSeed) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kAkiyoLike);
+  net::UniformFrameLoss loss_a(0.1, 7);
+  net::UniformFrameLoss loss_b(0.1, 7);
+  PipelineResult a = run_pipeline(seq, SchemeSpec::pbpair(pbpair_config(0.9, 0.1)),
+                                  &loss_a, short_config());
+  PipelineResult b = run_pipeline(seq, SchemeSpec::pbpair(pbpair_config(0.9, 0.1)),
+                                  &loss_b, short_config());
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_DOUBLE_EQ(a.avg_psnr_db, b.avg_psnr_db);
+  EXPECT_EQ(a.total_bad_pixels, b.total_bad_pixels);
+}
+
+TEST(Pipeline, SchemeLabelsReadLikeThePaper) {
+  EXPECT_EQ(SchemeSpec::no_resilience().label(), "NO");
+  EXPECT_EQ(SchemeSpec::gop(3).label(), "GOP-3");
+  EXPECT_EQ(SchemeSpec::air(24).label(), "AIR-24");
+  EXPECT_EQ(SchemeSpec::pgop(3).label(), "PGOP-3");
+  EXPECT_EQ(SchemeSpec::pbpair(pbpair_config(0.9, 0.1)).label(), "PBPAIR");
+}
+
+TEST(Pipeline, RefreshSchemesRecoverFasterThanNo) {
+  // Drop frame 5 entirely; compare the tail PSNR (frames 20..29) — with a
+  // refresh scheme the error is cleaned, without it the error lingers.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  auto tail_psnr = [&seq](const SchemeSpec& scheme) {
+    net::ScriptedFrameLoss loss({5});
+    PipelineResult r = run_pipeline(seq, scheme, &loss, short_config(30));
+    double sum = 0;
+    for (int i = 20; i < 30; ++i) sum += r.frames[i].psnr_db;
+    return sum / 10.0;
+  };
+  double none = tail_psnr(SchemeSpec::no_resilience());
+  double pbpair = tail_psnr(SchemeSpec::pbpair(pbpair_config(0.93, 0.10)));
+  double gop = tail_psnr(SchemeSpec::gop(8));
+  double pgop = tail_psnr(SchemeSpec::pgop(2));
+  EXPECT_GT(pbpair, none + 1.0);
+  EXPECT_GT(gop, none + 1.0);
+  EXPECT_GT(pgop, none + 1.0);
+}
+
+TEST(Pipeline, PbpairUsesLessEnergyThanAirAtSimilarIntraRate) {
+  // The headline mechanism: AIR pays ME for every MB; PBPAIR skips ME for
+  // its refresh MBs. At comparable intra rates PBPAIR's ME energy is lower.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  PipelineConfig config = short_config(40);
+  PipelineResult air =
+      run_pipeline(seq, SchemeSpec::air(24), nullptr, config);
+  PipelineResult pbpair = run_pipeline(
+      seq, SchemeSpec::pbpair(pbpair_config(0.97, 0.10)), nullptr, config);
+  EXPECT_LT(pbpair.encode_energy.me_j, air.encode_energy.me_j);
+  EXPECT_LT(pbpair.encode_energy.total_j(), air.encode_energy.total_j());
+}
+
+TEST(Pipeline, MoreIntraMeansBiggerFilesLessEncodeEnergy) {
+  // §4.3's trade-off curve in two points.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  PipelineConfig config = short_config(40);
+  PipelineResult low = run_pipeline(
+      seq, SchemeSpec::pbpair(pbpair_config(0.55, 0.10)), nullptr, config);
+  PipelineResult high = run_pipeline(
+      seq, SchemeSpec::pbpair(pbpair_config(0.995, 0.10)), nullptr, config);
+  EXPECT_GT(high.total_intra_mbs, low.total_intra_mbs);
+  EXPECT_GT(high.total_bytes, low.total_bytes);
+  EXPECT_LT(high.encode_energy.total_j(), low.encode_energy.total_j());
+}
+
+TEST(Pipeline, TxEnergyTracksBytes) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kAkiyoLike);
+  PipelineResult r = run_pipeline(seq, SchemeSpec::no_resilience(), nullptr,
+                                  short_config());
+  EXPECT_GT(r.tx_energy_j, 0.0);
+  EXPECT_NEAR(r.tx_energy_j,
+              energy::tx_energy_j(r.channel.bytes_sent, energy::ipaq_h5555()),
+              1e-12);
+}
+
+TEST(Pipeline, PreFrameHookDrivesAdaptation) {
+  // Raise Intra_Th sharply at frame 10 and watch the intra count jump.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  PipelineConfig config = short_config(20);
+  config.pre_frame = [](int index, codec::RefreshPolicy& policy) {
+    auto* pbpair = dynamic_cast<core::PbpairPolicy*>(&policy);
+    ASSERT_NE(pbpair, nullptr);
+    pbpair->set_intra_th(index >= 10 ? 0.999 : 0.2);
+  };
+  PipelineResult r = run_pipeline(
+      seq, SchemeSpec::pbpair(pbpair_config(0.2, 0.1)), nullptr, config);
+  int early = 0, late = 0;
+  for (int i = 1; i < 10; ++i) early += r.frames[i].intra_mbs;
+  for (int i = 10; i < 20; ++i) late += r.frames[i].intra_mbs;
+  EXPECT_GT(late, early * 3);
+}
+
+TEST(Pipeline, FrameSourceOverloadMatchesSequenceOverload) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kAkiyoLike);
+  PipelineResult a = run_pipeline(seq, SchemeSpec::no_resilience(), nullptr,
+                                  short_config(10));
+  PipelineResult b = run_pipeline([&seq](int i) { return seq.frame_at(i); },
+                                  SchemeSpec::no_resilience(), nullptr,
+                                  short_config(10));
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+}
+
+TEST(Calibration, FindsSizeMatchingIntraTh) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  PipelineConfig config = short_config(25);
+  // Target: PGOP-2's encoded size.
+  PipelineResult target =
+      run_pipeline(seq, SchemeSpec::pgop(2), nullptr, config);
+  double th = calibrate_intra_th(seq, pbpair_config(0.9, 0.10),
+                                 target.total_bytes, config);
+  PipelineResult matched = run_pipeline(
+      seq, SchemeSpec::pbpair(pbpair_config(th, 0.10)), nullptr, config);
+  double ratio = static_cast<double>(matched.total_bytes) /
+                 static_cast<double>(target.total_bytes);
+  EXPECT_GT(ratio, 0.80);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Calibration, SizeIsMonotoneInIntraTh) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  PipelineConfig config = short_config(20);
+  std::uint64_t prev = 0;
+  for (double th : {0.2, 0.9, 0.999}) {
+    PipelineResult r = run_pipeline(
+        seq, SchemeSpec::pbpair(pbpair_config(th, 0.10)), nullptr, config);
+    EXPECT_GE(r.total_bytes, prev) << "th " << th;
+    prev = r.total_bytes;
+  }
+}
+
+// --- Adaptation controller ---
+
+TEST(Adaptation, HoldIntraRateLowersThresholdWhenPlrRises) {
+  core::AdaptationConfig config;
+  config.goal = core::AdaptationGoal::kHoldIntraRate;
+  config.base_intra_th = 0.85;
+  config.base_plr = 0.10;
+  config.plr_coupling = 1.0;
+  core::PowerAwareController controller(config);
+  EXPECT_DOUBLE_EQ(controller.intra_th(), 0.85);
+  controller.on_plr_update(0.20);  // PLR up 10 points
+  EXPECT_NEAR(controller.intra_th(), 0.75, 1e-9);
+  controller.on_plr_update(0.05);  // PLR below baseline
+  EXPECT_NEAR(controller.intra_th(), 0.90, 1e-9);
+}
+
+TEST(Adaptation, HoldIntraRateClampsToValidRange) {
+  core::AdaptationConfig config;
+  config.base_intra_th = 0.9;
+  config.base_plr = 0.10;
+  config.plr_coupling = 5.0;
+  core::PowerAwareController controller(config);
+  controller.on_plr_update(1.0);
+  EXPECT_GE(controller.intra_th(), 0.0);
+  controller.on_plr_update(0.0);
+  EXPECT_LE(controller.intra_th(), 1.0);
+}
+
+TEST(Adaptation, BudgetModeRaisesThresholdWhenOverBudget) {
+  core::AdaptationConfig config;
+  config.goal = core::AdaptationGoal::kMaxResilienceInBudget;
+  config.base_intra_th = 0.80;
+  config.energy_budget_j = 10.0;
+  config.planned_frames = 100;
+  core::PowerAwareController controller(config);
+  // 50 frames used 8 J -> projected 16 J > 10 J: tighten.
+  controller.on_energy_update(8.0, 50);
+  EXPECT_GT(controller.intra_th(), 0.80);
+  double tightened = controller.intra_th();
+  // Now comfortably under budget: relax toward base, never below it.
+  controller.on_energy_update(2.0, 60);
+  EXPECT_LT(controller.intra_th(), tightened);
+  for (int i = 0; i < 50; ++i) controller.on_energy_update(2.0, 70);
+  EXPECT_GE(controller.intra_th(), 0.80);
+}
+
+TEST(Adaptation, BudgetModeIgnoresPlrCoupling) {
+  core::AdaptationConfig config;
+  config.goal = core::AdaptationGoal::kMaxResilienceInBudget;
+  config.base_intra_th = 0.80;
+  config.energy_budget_j = 10.0;
+  config.planned_frames = 100;
+  core::PowerAwareController controller(config);
+  controller.on_plr_update(0.5);
+  EXPECT_DOUBLE_EQ(controller.intra_th(), 0.80);
+  EXPECT_DOUBLE_EQ(controller.last_plr(), 0.5);
+}
+
+TEST(Adaptation, ClosedLoopKeepsIntraRateStableUnderPlrSwings) {
+  // End-to-end §3.2 check: with kHoldIntraRate the per-frame intra count
+  // under PLR 0.05 vs 0.25 stays in a narrow band, while a fixed-threshold
+  // PBPAIR diverges strongly.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+
+  auto intra_with = [&seq](double plr, bool adapt) {
+    core::AdaptationConfig aconfig;
+    aconfig.base_intra_th = 0.92;
+    aconfig.base_plr = 0.10;
+    aconfig.plr_coupling = 0.6;
+    core::PowerAwareController controller(aconfig);
+    PipelineConfig config;
+    config.frames = 40;
+    config.pre_frame = [&, adapt](int, codec::RefreshPolicy& policy) {
+      auto* p = dynamic_cast<core::PbpairPolicy*>(&policy);
+      p->set_plr(plr);
+      if (adapt) {
+        controller.on_plr_update(plr);
+        p->set_intra_th(controller.intra_th());
+      }
+    };
+    PipelineResult r = run_pipeline(
+        seq, SchemeSpec::pbpair(pbpair_config(0.92, plr)), nullptr, config);
+    return static_cast<double>(r.total_intra_mbs);
+  };
+
+  double fixed_low = intra_with(0.05, false);
+  double fixed_high = intra_with(0.25, false);
+  double adapt_low = intra_with(0.05, true);
+  double adapt_high = intra_with(0.25, true);
+  double fixed_swing = fixed_high / std::max(fixed_low, 1.0);
+  double adapt_swing = adapt_high / std::max(adapt_low, 1.0);
+  EXPECT_LT(adapt_swing, fixed_swing);
+}
+
+// --- Report tables ---
+
+TEST(Report, TableAlignsAndPrints) {
+  Table table({"scheme", "psnr"});
+  table.add_row({"PBPAIR", "31.2"});
+  table.add_row({"GOP-3", "29.8"});
+  EXPECT_EQ(table.rows().size(), 2u);
+  // Smoke: print to a scratch file and verify content lands there.
+  std::FILE* f = std::fopen("/tmp/pbpair_table_test.txt", "w+");
+  ASSERT_NE(f, nullptr);
+  table.print(f);
+  table.print_csv(f);
+  long size = std::ftell(f);
+  EXPECT_GT(size, 40);
+  std::fclose(f);
+  std::remove("/tmp/pbpair_table_test.txt");
+}
+
+TEST(Report, FormatBuildsStrings) {
+  EXPECT_EQ(format("%s-%d", "GOP", 3), "GOP-3");
+  EXPECT_EQ(format("%.2f", 1.2345), "1.23");
+}
+
+}  // namespace
+}  // namespace pbpair::sim

@@ -1,0 +1,277 @@
+// Tests for the baseline refresh policies: GOP, AIR, PGOP.
+#include <gtest/gtest.h>
+
+#include "codec/encoder.h"
+#include "resilience/air_policy.h"
+#include "resilience/gop_policy.h"
+#include "resilience/pgop_policy.h"
+#include "video/sequence.h"
+
+namespace pbpair::resilience {
+namespace {
+
+using codec::EncodedFrame;
+using codec::Encoder;
+using codec::EncoderConfig;
+using codec::FrameType;
+using codec::MbMeInfo;
+using codec::MbMode;
+
+TEST(GopPolicy, PeriodicIntraFrames) {
+  GopPolicy gop(3);  // I P P P I P P P ...
+  EXPECT_EQ(gop.period(), 4);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(gop.want_intra_frame(i), i % 4 == 0) << "frame " << i;
+  }
+}
+
+TEST(GopPolicy, EncoderHonorsSchedule) {
+  GopPolicy gop(2);
+  Encoder encoder(EncoderConfig{}, &gop);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  for (int i = 0; i < 7; ++i) {
+    EncodedFrame frame = encoder.encode_frame(seq.frame_at(i));
+    EXPECT_EQ(frame.type, i % 3 == 0 ? FrameType::kIntra : FrameType::kInter)
+        << "frame " << i;
+  }
+}
+
+TEST(GopPolicy, ProducesFrameSizeSpikes) {
+  // Fig. 6(b)'s point: GOP's I-frames are several times larger than its
+  // P-frames, giving a bursty bitstream.
+  GopPolicy gop(7);
+  Encoder encoder(EncoderConfig{}, &gop);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  std::size_t max_i = 0, max_p = 0;
+  for (int i = 0; i < 16; ++i) {
+    EncodedFrame frame = encoder.encode_frame(seq.frame_at(i));
+    if (frame.type == FrameType::kIntra) {
+      max_i = std::max(max_i, frame.size_bytes());
+    } else {
+      max_p = std::max(max_p, frame.size_bytes());
+    }
+  }
+  EXPECT_GT(max_i, 2 * max_p);
+}
+
+TEST(AirPolicy, MarksTopNSadBlocks) {
+  AirPolicy air(3);
+  std::vector<MbMeInfo> me(10);
+  for (int i = 0; i < 10; ++i) {
+    me[i].searched = true;
+    me[i].sad = i * 100;  // MBs 9, 8, 7 have the highest SAD
+  }
+  std::vector<std::uint8_t> force(10, 0);
+  air.select_post_me(1, me, 10, 1, &force);
+  EXPECT_EQ(force[9], 1);
+  EXPECT_EQ(force[8], 1);
+  EXPECT_EQ(force[7], 1);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(force[i], 0) << i;
+}
+
+TEST(AirPolicy, SkipsAlreadyForcedAndUnsearched) {
+  AirPolicy air(2);
+  std::vector<MbMeInfo> me(5);
+  for (int i = 0; i < 5; ++i) {
+    me[i].searched = i != 4;  // MB 4 never searched (pre-ME intra)
+    me[i].sad = i * 10;
+  }
+  std::vector<std::uint8_t> force(5, 0);
+  force[3] = 1;  // already forced by someone else
+  air.select_post_me(1, me, 5, 1, &force);
+  // Picks MB 3 first (highest searched SAD) but it's taken, so the budget
+  // goes to the next two: MBs 2 and 1.
+  EXPECT_EQ(force[2], 1);
+  EXPECT_EQ(force[1], 1);
+  EXPECT_EQ(force[4], 0);
+  EXPECT_EQ(force[0], 0);
+}
+
+TEST(AirPolicy, DeterministicTieBreak) {
+  AirPolicy air(2);
+  std::vector<MbMeInfo> me(4);
+  for (auto& m : me) {
+    m.searched = true;
+    m.sad = 500;  // all tied
+  }
+  std::vector<std::uint8_t> force(4, 0);
+  air.select_post_me(1, me, 4, 1, &force);
+  EXPECT_EQ(force[0], 1);  // lowest indices win ties
+  EXPECT_EQ(force[1], 1);
+  EXPECT_EQ(force[2], 0);
+}
+
+TEST(AirPolicy, EncoderInsertsExactlyNIntraPerPFrame) {
+  AirPolicy air(10);
+  Encoder encoder(EncoderConfig{}, &air);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kAkiyoLike);
+  encoder.encode_frame(seq.frame_at(0));
+  EncodedFrame frame = encoder.encode_frame(seq.frame_at(1));
+  // At least the 10 forced MBs; the SAD-based efficiency rule may add more
+  // on busy content, but akiyo has none of that.
+  EXPECT_GE(frame.intra_mb_count(), 10);
+  EXPECT_LE(frame.intra_mb_count(), 12);
+}
+
+TEST(AirPolicy, RunsMotionEstimationForEveryMb) {
+  // The paper's energy argument: AIR decides after ME, so it pays full ME
+  // cost — identical invocation count to the NO encoder.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+
+  AirPolicy air(24);
+  Encoder air_encoder(EncoderConfig{}, &air);
+  codec::NoRefreshPolicy none;
+  Encoder no_encoder(EncoderConfig{}, &none);
+  for (int i = 0; i < 4; ++i) {
+    air_encoder.encode_frame(seq.frame_at(i));
+    no_encoder.encode_frame(seq.frame_at(i));
+  }
+  EXPECT_EQ(air_encoder.ops().me_invocations, no_encoder.ops().me_invocations);
+}
+
+TEST(PgopPolicy, SweepsColumnsLeftToRight) {
+  PgopPolicy pgop(3);
+  // Frame 1: columns 0-2; frame 2: 3-5; frame 3: 6-8; frame 4: 9-10;
+  // frame 5: wraps to 0-2 again (11 columns in QCIF).
+  codec::FrameEncodeInfo info;
+  info.type = FrameType::kInter;
+  info.mb_cols = 11;
+  info.mb_rows = 9;
+
+  EXPECT_TRUE(pgop.force_intra_pre_me(1, 0, 4));
+  EXPECT_TRUE(pgop.force_intra_pre_me(1, 2, 0));
+  EXPECT_FALSE(pgop.force_intra_pre_me(1, 3, 0));
+  pgop.on_frame_encoded(info);
+  EXPECT_EQ(pgop.sweep_start(), 3);
+  EXPECT_FALSE(pgop.force_intra_pre_me(2, 2, 0));
+  EXPECT_TRUE(pgop.force_intra_pre_me(2, 4, 8));
+  pgop.on_frame_encoded(info);
+  pgop.on_frame_encoded(info);
+  EXPECT_EQ(pgop.sweep_start(), 9);
+  EXPECT_TRUE(pgop.force_intra_pre_me(4, 10, 0));
+  pgop.on_frame_encoded(info);
+  EXPECT_EQ(pgop.sweep_start(), 0);  // wrapped
+}
+
+TEST(PgopPolicy, IntraFrameRestartsSweep) {
+  PgopPolicy pgop(2);
+  codec::FrameEncodeInfo inter;
+  inter.type = FrameType::kInter;
+  inter.mb_cols = 11;
+  inter.mb_rows = 9;
+  pgop.on_frame_encoded(inter);
+  pgop.on_frame_encoded(inter);
+  EXPECT_EQ(pgop.sweep_start(), 4);
+  codec::FrameEncodeInfo intra = inter;
+  intra.type = FrameType::kIntra;
+  pgop.on_frame_encoded(intra);
+  EXPECT_EQ(pgop.sweep_start(), 0);
+}
+
+TEST(PgopPolicy, StrideBackCatchesLeakingVectors) {
+  PgopPolicy pgop(3);
+  codec::FrameEncodeInfo info;
+  info.type = FrameType::kInter;
+  info.mb_cols = 11;
+  info.mb_rows = 9;
+  pgop.on_frame_encoded(info);  // sweep_start now 3: columns 0-2 are clean
+
+  std::vector<MbMeInfo> me(99);
+  for (auto& m : me) {
+    m.searched = true;
+    m.mv = codec::MotionVector{0, 0};
+    m.sad = 100;
+  }
+  // MB (2, 0) points right into the dirty region (x >= 48 after +16 span).
+  me[2].mv = codec::MotionVector{5, 0};
+  // MB (1, 0) stays within clean columns even with its vector.
+  me[1].mv = codec::MotionVector{-5, 0};
+
+  std::vector<std::uint8_t> force(99, 0);
+  // Refresh band MBs (cols 3-5) would be pre-ME intra; mark them to mimic
+  // the encoder.
+  for (int my = 0; my < 9; ++my) {
+    for (int mx = 3; mx < 6; ++mx) force[my * 11 + mx] = 1;
+  }
+  pgop.select_post_me(2, me, 11, 9, &force);
+  EXPECT_EQ(force[2], 1) << "leaking MB must be stride-back refreshed";
+  EXPECT_EQ(force[1], 0);
+  EXPECT_EQ(force[0], 0);
+  EXPECT_GE(pgop.stride_back_count(), 1u);
+}
+
+TEST(PgopPolicy, ColocatedVectorAtCleanDirtyBoundaryLeaks) {
+  // An MB in the last clean column with zero motion still touches its own
+  // column only — zero vector must NOT trigger stride back.
+  PgopPolicy pgop(1);
+  codec::FrameEncodeInfo info;
+  info.type = FrameType::kInter;
+  info.mb_cols = 11;
+  info.mb_rows = 9;
+  pgop.on_frame_encoded(info);  // sweep_start = 1, clean = column 0
+
+  std::vector<MbMeInfo> me(99);
+  for (auto& m : me) {
+    m.searched = true;
+    m.sad = 10;
+  }
+  me[0].mv = codec::MotionVector{0, 0};   // stays in column 0
+  std::vector<std::uint8_t> force(99, 0);
+  pgop.select_post_me(1, me, 11, 9, &force);
+  EXPECT_EQ(force[0], 0);
+
+  me[0].mv = codec::MotionVector{1, 0};   // reaches 1 px into column 1
+  std::fill(force.begin(), force.end(), 0);
+  pgop.select_post_me(1, me, 11, 9, &force);
+  EXPECT_EQ(force[0], 1);
+}
+
+TEST(PgopPolicy, EncoderSkipsMeForRefreshColumns) {
+  PgopPolicy pgop(3);
+  Encoder encoder(EncoderConfig{}, &pgop);
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  encoder.encode_frame(seq.frame_at(0));
+  auto before = encoder.ops().me_invocations;
+  encoder.encode_frame(seq.frame_at(1));
+  auto delta = encoder.ops().me_invocations - before;
+  // 99 MBs, 27 in the refresh band skip ME.
+  EXPECT_EQ(delta, 99u - 27u);
+}
+
+TEST(PgopPolicy, FullSweepRefreshesEveryColumn) {
+  PgopPolicy pgop(3);
+  codec::FrameEncodeInfo info;
+  info.type = FrameType::kInter;
+  info.mb_cols = 11;
+  info.mb_rows = 9;
+  std::vector<bool> refreshed(11, false);
+  for (int frame = 1; frame <= 4; ++frame) {
+    for (int col = 0; col < 11; ++col) {
+      if (pgop.force_intra_pre_me(frame, col, 0)) refreshed[col] = true;
+    }
+    pgop.on_frame_encoded(info);
+  }
+  for (int col = 0; col < 11; ++col) {
+    EXPECT_TRUE(refreshed[col]) << "column " << col;
+  }
+}
+
+TEST(PgopPolicy, ResetRestartsSweep) {
+  PgopPolicy pgop(4);
+  codec::FrameEncodeInfo info;
+  info.type = FrameType::kInter;
+  info.mb_cols = 11;
+  info.mb_rows = 9;
+  pgop.on_frame_encoded(info);
+  EXPECT_NE(pgop.sweep_start(), 0);
+  pgop.reset();
+  EXPECT_EQ(pgop.sweep_start(), 0);
+}
+
+}  // namespace
+}  // namespace pbpair::resilience

@@ -1,0 +1,99 @@
+// Tests for RTCP receiver reports and the trace-driven loss model.
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+#include "net/loss_model.h"
+#include "net/rtcp.h"
+
+namespace pbpair::net {
+namespace {
+
+TEST(Rtcp, SerializeParseRoundTrip) {
+  ReceiverReport rr;
+  rr.reporter_ssrc = 0x11223344;
+  rr.reportee_ssrc = 0x50425041;
+  rr.fraction_lost = 64;  // 25%
+  rr.cumulative_lost = 1234;
+  rr.highest_sequence = 55555;
+  auto wire = serialize_receiver_report(rr);
+  EXPECT_EQ(wire.size(), 32u);
+  ReceiverReport back;
+  ASSERT_TRUE(parse_receiver_report(wire, &back));
+  EXPECT_EQ(back.reporter_ssrc, rr.reporter_ssrc);
+  EXPECT_EQ(back.reportee_ssrc, rr.reportee_ssrc);
+  EXPECT_EQ(back.fraction_lost, rr.fraction_lost);
+  EXPECT_EQ(back.cumulative_lost, rr.cumulative_lost);
+  EXPECT_EQ(back.highest_sequence, rr.highest_sequence);
+  EXPECT_NEAR(back.fraction_lost_as_double(), 0.25, 1e-9);
+}
+
+TEST(Rtcp, ParseRejectsMalformedInput) {
+  ReceiverReport rr;
+  EXPECT_FALSE(parse_receiver_report({}, &rr));
+  std::vector<std::uint8_t> short_wire(16, 0);
+  EXPECT_FALSE(parse_receiver_report(short_wire, &rr));
+  ReceiverReport good;
+  auto wire = serialize_receiver_report(good);
+  wire[0] = 0;  // wrong version
+  EXPECT_FALSE(parse_receiver_report(wire, &rr));
+  wire = serialize_receiver_report(good);
+  wire[1] = 200;  // SR, not RR
+  EXPECT_FALSE(parse_receiver_report(wire, &rr));
+}
+
+TEST(Rtcp, BuilderComputesIntervalFraction) {
+  PlrEstimator estimator;
+  ReceiverReportBuilder builder(1, 2);
+
+  // Interval 1: 9 received, 2 lost => fraction 2/11.
+  for (int i = 0; i < 4; ++i) estimator.on_packet_received(i);
+  estimator.on_packet_received(6);  // 4, 5 lost
+  for (int i = 7; i < 11; ++i) estimator.on_packet_received(i);
+  ReceiverReport rr1 = builder.build(estimator, 10);
+  EXPECT_EQ(rr1.cumulative_lost, 2u);
+  EXPECT_NEAR(rr1.fraction_lost_as_double(), 2.0 / 11.0, 0.005);
+
+  // Interval 2: all received => fraction 0, cumulative unchanged.
+  for (int i = 11; i < 21; ++i) estimator.on_packet_received(i);
+  ReceiverReport rr2 = builder.build(estimator, 20);
+  EXPECT_EQ(rr2.cumulative_lost, 2u);
+  EXPECT_EQ(rr2.fraction_lost, 0);
+}
+
+TEST(Rtcp, FeedbackLoopOverSerializedReports) {
+  // Receiver measures, serializes; sender parses and learns the loss rate.
+  BernoulliPacketLoss loss(0.2, 31);
+  Channel channel(&loss);
+  PlrEstimator estimator(1000);
+  ReceiverReportBuilder builder(7, 8);
+  std::uint16_t seq = 0;
+  for (int i = 0; i < 3000; ++i) {
+    Packet p;
+    p.header.sequence = seq++;
+    p.header.timestamp = i;
+    auto delivered = channel.transmit({p});
+    for (const Packet& d : delivered) {
+      estimator.on_packet_received(d.header.sequence);
+    }
+  }
+  auto wire = serialize_receiver_report(builder.build(estimator, seq - 1));
+  ReceiverReport at_sender;
+  ASSERT_TRUE(parse_receiver_report(wire, &at_sender));
+  EXPECT_NEAR(at_sender.fraction_lost_as_double(), 0.2, 0.04);
+}
+
+TEST(TraceLoss, ReplaysTheTraceExactly) {
+  TraceLoss loss({true, false, false, true});
+  Packet p;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    EXPECT_TRUE(loss.should_drop(p));
+    EXPECT_FALSE(loss.should_drop(p));
+    EXPECT_FALSE(loss.should_drop(p));
+    EXPECT_TRUE(loss.should_drop(p));
+  }
+  loss.reset();
+  EXPECT_TRUE(loss.should_drop(p));
+}
+
+}  // namespace
+}  // namespace pbpair::net

@@ -1,0 +1,161 @@
+// Tests for the tooling layer: argument parser, PBS container, and
+// non-QCIF (CIF) operation of the full stack.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "codec/container.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "common/args.h"
+#include "core/pbpair_policy.h"
+#include "video/metrics.h"
+#include "video/sequence.h"
+
+namespace pbpair {
+namespace {
+
+// --- ArgParser ---
+
+TEST(ArgParser, ParsesFlagStyles) {
+  const char* argv[] = {"prog",      "--alpha", "1.5",  "--beta=x",
+                        "positional", "--flag",  "--n",  "42"};
+  common::ArgParser args(8, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(args.get("beta"), "x");
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get_int("n", 0), 42);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(ArgParser, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  common::ArgParser args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgParser, UnknownFlagsAreReported) {
+  const char* argv[] = {"prog", "--known", "1", "--typo", "2"};
+  common::ArgParser args(5, const_cast<char**>(argv));
+  (void)args.get_int("known", 0);
+  auto unknown = args.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+// --- Container ---
+
+TEST(Container, RoundTripsThroughDecoder) {
+  const std::string path = "/tmp/pbpair_test_container.pbs";
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  codec::NoRefreshPolicy policy;
+  codec::Encoder encoder(codec::EncoderConfig{}, &policy);
+  std::vector<video::YuvFrame> recons;
+  {
+    codec::ContainerWriter writer(path,
+                                  codec::ContainerHeader{176, 144, 10});
+    ASSERT_TRUE(writer.is_open());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(writer.write_frame(encoder.encode_frame(seq.frame_at(i))));
+      recons.push_back(encoder.reconstructed());
+    }
+    ASSERT_TRUE(writer.close());
+  }
+
+  codec::ContainerReader reader(path);
+  ASSERT_TRUE(reader.is_open());
+  EXPECT_EQ(reader.header().width, 176);
+  EXPECT_EQ(reader.header().height, 144);
+  EXPECT_EQ(reader.header().initial_qp, 10);
+
+  codec::Decoder decoder(codec::DecoderConfig{});
+  codec::ReceivedFrame frame;
+  int count = 0;
+  while (reader.read_frame(&frame)) {
+    EXPECT_EQ(frame.frame_index, count);
+    const video::YuvFrame& out = decoder.decode_frame(frame);
+    ASSERT_EQ(out, recons[count]) << "frame " << count;  // bit-exact
+    ++count;
+  }
+  EXPECT_EQ(count, 4);
+  std::remove(path.c_str());
+}
+
+TEST(Container, RejectsBadMagicAndTruncation) {
+  const std::string path = "/tmp/pbpair_test_badmagic.pbs";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("NOPE000000", 1, 10, f);
+  std::fclose(f);
+  codec::ContainerReader reader(path);
+  EXPECT_FALSE(reader.is_open());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(codec::ContainerReader("/tmp/does_not_exist.pbs").is_open());
+}
+
+TEST(Container, TruncatedFrameRecordStopsCleanly) {
+  const std::string path = "/tmp/pbpair_test_trunc.pbs";
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kAkiyoLike);
+  codec::NoRefreshPolicy policy;
+  codec::Encoder encoder(codec::EncoderConfig{}, &policy);
+  {
+    codec::ContainerWriter writer(path,
+                                  codec::ContainerHeader{176, 144, 10});
+    writer.write_frame(encoder.encode_frame(seq.frame_at(0)));
+    writer.close();
+  }
+  // Truncate the payload mid-frame.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(0, truncate(path.c_str(), size - 50));
+  }
+  codec::ContainerReader reader(path);
+  ASSERT_TRUE(reader.is_open());
+  codec::ReceivedFrame frame;
+  EXPECT_FALSE(reader.read_frame(&frame));
+  std::remove(path.c_str());
+}
+
+// --- CIF operation ---
+
+TEST(Cif, FullStackWorksAt352x288) {
+  // Everything is QCIF in the paper, but the library is size-generic:
+  // the PBPAIR matrix becomes 22x18 and the whole loop must hold.
+  video::SyntheticSequence seq(video::SequenceKind::kForemanLike,
+                               video::kCifWidth, video::kCifHeight, 99);
+  core::PbpairConfig config;
+  config.intra_th = 0.9;
+  config.plr = 0.1;
+  core::PbpairPolicy policy(22, 18, config);
+  codec::EncoderConfig econfig;
+  econfig.width = video::kCifWidth;
+  econfig.height = video::kCifHeight;
+  codec::Encoder encoder(econfig, &policy);
+  codec::Decoder decoder(
+      codec::DecoderConfig{video::kCifWidth, video::kCifHeight});
+  for (int i = 0; i < 3; ++i) {
+    video::YuvFrame original = seq.frame_at(i);
+    codec::EncodedFrame frame = encoder.encode_frame(original);
+    EXPECT_EQ(frame.mb_cols, 22);
+    EXPECT_EQ(frame.mb_rows, 18);
+    EXPECT_EQ(frame.gob_offsets.size(), 18u);
+    const video::YuvFrame& out = decoder.decode_frame(frame);
+    ASSERT_EQ(out, encoder.reconstructed()) << "frame " << i;
+    EXPECT_GT(video::psnr_luma(original, out), 28.0);
+  }
+  EXPECT_EQ(policy.matrix().cols(), 22);
+  EXPECT_EQ(policy.matrix().rows(), 18);
+}
+
+}  // namespace
+}  // namespace pbpair

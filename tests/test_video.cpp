@@ -1,0 +1,276 @@
+// Tests for frames, metrics, noise, and the synthetic sequences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "codec/sad.h"
+#include "video/frame.h"
+#include "video/metrics.h"
+#include "video/noise.h"
+#include "video/sequence.h"
+#include "video/yuv_io.h"
+
+namespace pbpair::video {
+namespace {
+
+TEST(Frame, QcifGeometry) {
+  YuvFrame frame = make_qcif_frame();
+  EXPECT_EQ(frame.width(), 176);
+  EXPECT_EQ(frame.height(), 144);
+  EXPECT_EQ(frame.mb_cols(), 11);
+  EXPECT_EQ(frame.mb_rows(), 9);
+  EXPECT_EQ(frame.mb_count(), 99);  // the paper's 9x11 matrix
+  EXPECT_EQ(frame.u().width(), 88);
+  EXPECT_EQ(frame.u().height(), 72);
+}
+
+TEST(Frame, FillGray) {
+  YuvFrame frame(32, 32);
+  frame.fill_gray();
+  EXPECT_EQ(frame.y().at(5, 5), 128);
+  EXPECT_EQ(frame.u().at(3, 3), 128);
+  EXPECT_EQ(frame.v().at(0, 0), 128);
+}
+
+TEST(Frame, EqualityIsDeep) {
+  YuvFrame a(32, 32);
+  YuvFrame b(32, 32);
+  a.fill_gray();
+  b.fill_gray();
+  EXPECT_EQ(a, b);
+  b.y().set(1, 1, 99);
+  EXPECT_NE(a, b);
+}
+
+TEST(Plane, ClampedReadAtBorders) {
+  Plane plane(8, 8, 0);
+  plane.set(0, 0, 11);
+  plane.set(7, 7, 22);
+  EXPECT_EQ(plane.at_clamped(-5, -5), 11);
+  EXPECT_EQ(plane.at_clamped(100, 100), 22);
+  EXPECT_EQ(plane.at_clamped(0, 100), plane.at(0, 7));
+}
+
+TEST(Metrics, IdenticalFramesHitPsnrCap) {
+  YuvFrame a(32, 32);
+  a.fill_gray();
+  EXPECT_DOUBLE_EQ(psnr_luma(a, a), 99.0);
+  EXPECT_EQ(bad_pixel_count(a, a), 0u);
+  EXPECT_EQ(sse_luma(a, a), 0u);
+}
+
+TEST(Metrics, KnownMseGivesKnownPsnr) {
+  YuvFrame a(32, 32);
+  YuvFrame b(32, 32);
+  a.fill_gray();
+  b.fill_gray();
+  // Perturb every pixel by +5 => MSE 25 => PSNR = 10*log10(255^2/25).
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) b.y().set(x, y, 133);
+  }
+  EXPECT_NEAR(psnr_luma(a, b), 10.0 * std::log10(255.0 * 255.0 / 25.0), 1e-9);
+}
+
+TEST(Metrics, BadPixelThresholdIsStrict) {
+  YuvFrame a(32, 32);
+  YuvFrame b(32, 32);
+  a.fill_gray();
+  b.fill_gray();
+  b.y().set(0, 0, 128 + 20);  // == threshold: not bad
+  b.y().set(1, 0, 128 + 21);  // > threshold: bad
+  EXPECT_EQ(bad_pixel_count(a, b, 20), 1u);
+}
+
+TEST(Metrics, BadPixelCountsEachPixelOnce) {
+  YuvFrame a(32, 32);
+  YuvFrame b(32, 32);
+  a.fill_gray();
+  b.fill_gray();
+  for (int x = 0; x < 10; ++x) b.y().set(x, 3, 255);
+  EXPECT_EQ(bad_pixel_count(a, b), 10u);
+}
+
+TEST(Noise, DeterministicAcrossInstances) {
+  ValueNoise a(42);
+  ValueNoise b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.sample(i * 3, i * 7, 16), b.sample(i * 3, i * 7, 16));
+    EXPECT_EQ(a.fractal(i, -i, 32, 3), b.fractal(i, -i, 32, 3));
+  }
+}
+
+TEST(Noise, SamplesWithinByteRange) {
+  ValueNoise noise(7);
+  for (int y = -50; y < 50; y += 7) {
+    for (int x = -50; x < 50; x += 5) {
+      int v = noise.fractal(x, y, 16, 4);
+      EXPECT_GE(v, 0);
+      EXPECT_LE(v, 255);
+    }
+  }
+}
+
+TEST(Noise, DifferentSeedsGiveDifferentFields) {
+  ValueNoise a(1);
+  ValueNoise b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.sample(i * 11, i * 13, 16) != b.sample(i * 11, i * 13, 16)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 25);
+}
+
+TEST(Noise, SpatialCorrelationWithinCell) {
+  // Neighboring samples inside one lattice cell differ less than samples
+  // from far apart cells on average.
+  ValueNoise noise(99);
+  long long near_diff = 0, far_diff = 0;
+  for (int i = 0; i < 200; ++i) {
+    int x = i * 3, y = i * 5;
+    near_diff += std::abs(noise.sample(x, y, 32) - noise.sample(x + 1, y, 32));
+    far_diff +=
+        std::abs(noise.sample(x, y, 32) - noise.sample(x + 500, y + 700, 32));
+  }
+  EXPECT_LT(near_diff, far_diff);
+}
+
+// --- Synthetic sequences ---
+
+TEST(Sequence, FrameAtIsPure) {
+  SyntheticSequence seq = make_paper_sequence(SequenceKind::kForemanLike);
+  YuvFrame a = seq.frame_at(17);
+  YuvFrame b = seq.frame_at(17);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sequence, DifferentSeedsDiffer) {
+  SyntheticSequence a(SequenceKind::kForemanLike, 176, 144, 1);
+  SyntheticSequence b(SequenceKind::kForemanLike, 176, 144, 2);
+  EXPECT_NE(a.frame_at(0), b.frame_at(0));
+}
+
+TEST(Sequence, NamesMatchPaperClips) {
+  EXPECT_STREQ(sequence_kind_name(SequenceKind::kAkiyoLike), "akiyo");
+  EXPECT_STREQ(sequence_kind_name(SequenceKind::kForemanLike), "foreman");
+  EXPECT_STREQ(sequence_kind_name(SequenceKind::kGardenLike), "garden");
+}
+
+// Mean co-located SAD between consecutive frames = motion activity proxy.
+double motion_activity(SequenceKind kind, int frames) {
+  SyntheticSequence seq = make_paper_sequence(kind);
+  energy::OpCounters ops;
+  std::int64_t total = 0;
+  int blocks = 0;
+  YuvFrame prev = seq.frame_at(0);
+  for (int i = 1; i <= frames; ++i) {
+    YuvFrame cur = seq.frame_at(i);
+    for (int my = 0; my < cur.mb_rows(); ++my) {
+      for (int mx = 0; mx < cur.mb_cols(); ++mx) {
+        total += codec::sad_16x16(cur.y(), mx * 16, my * 16, prev.y(),
+                                  mx * 16, my * 16, ops);
+        ++blocks;
+      }
+    }
+    prev = cur;
+  }
+  return static_cast<double>(total) / blocks;
+}
+
+TEST(Sequence, MotionActivityOrderingMatchesPaperClips) {
+  // The experiments depend on akiyo < foreman < garden motion activity
+  // (DESIGN.md §2); this is the load-bearing property of the substitution.
+  double akiyo = motion_activity(SequenceKind::kAkiyoLike, 12);
+  double foreman = motion_activity(SequenceKind::kForemanLike, 12);
+  double garden = motion_activity(SequenceKind::kGardenLike, 12);
+  EXPECT_LT(akiyo * 1.2, foreman);
+  EXPECT_LT(foreman * 1.5, garden);
+}
+
+TEST(Sequence, AkiyoBackgroundIsNearStatic) {
+  SyntheticSequence seq = make_paper_sequence(SequenceKind::kAkiyoLike);
+  YuvFrame f0 = seq.frame_at(0);
+  YuvFrame f1 = seq.frame_at(1);
+  // Top-left corner MB is background: only sensor noise (+/-2 per pixel)
+  // separates consecutive frames on a tripod shot.
+  energy::OpCounters ops;
+  std::int64_t sad = codec::sad_16x16(f0.y(), 0, 0, f1.y(), 0, 0, ops);
+  EXPECT_GT(sad, 0);          // noise exists (concealment is not perfect)
+  EXPECT_LT(sad, 256 * 3);    // but it is tiny (tripod, studio light)
+}
+
+TEST(Sequence, GardenPansEveryRegion) {
+  SyntheticSequence seq = make_paper_sequence(SequenceKind::kGardenLike);
+  YuvFrame f0 = seq.frame_at(0);
+  YuvFrame f4 = seq.frame_at(4);
+  energy::OpCounters ops;
+  // After 4 frames of ~2.5 px/frame pan every MB should have moved.
+  int moved = 0;
+  for (int my = 0; my < f0.mb_rows(); ++my) {
+    for (int mx = 0; mx < f0.mb_cols(); ++mx) {
+      if (codec::sad_16x16(f4.y(), mx * 16, my * 16, f0.y(), mx * 16,
+                           my * 16, ops) > 1000) {
+        ++moved;
+      }
+    }
+  }
+  EXPECT_GT(moved, 90);  // out of 99
+}
+
+TEST(Sequence, GardenPanIsTrueTranslation) {
+  // frame k+2 shifted by the pan vector should match frame k almost
+  // exactly in the interior (integer pan of 5 px per 2 frames).
+  SyntheticSequence seq = make_paper_sequence(SequenceKind::kGardenLike);
+  YuvFrame f0 = seq.frame_at(0);
+  YuvFrame f2 = seq.frame_at(2);
+  energy::OpCounters ops;
+  // pan offset between frame 0 and 2: (5, 0) with the /4 vertical drift 0.
+  std::int64_t sad =
+      codec::sad_16x16(f2.y(), 32, 32, f0.y(), 32 + 5, 32 + 0, ops);
+  EXPECT_EQ(sad, 0);
+}
+
+TEST(YuvIo, WriteReadRoundTrip) {
+  SyntheticSequence seq = make_paper_sequence(SequenceKind::kAkiyoLike);
+  std::vector<YuvFrame> frames = {seq.frame_at(0), seq.frame_at(1)};
+  const std::string path = "/tmp/pbpair_test_roundtrip.yuv";
+  ASSERT_TRUE(write_yuv_file(path, frames));
+  std::vector<YuvFrame> back = read_yuv_file(path, 176, 144);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], frames[0]);
+  EXPECT_EQ(back[1], frames[1]);
+  std::remove(path.c_str());
+}
+
+TEST(YuvIo, MaxFramesLimitsRead) {
+  SyntheticSequence seq = make_paper_sequence(SequenceKind::kAkiyoLike);
+  std::vector<YuvFrame> frames = {seq.frame_at(0), seq.frame_at(1),
+                                  seq.frame_at(2)};
+  const std::string path = "/tmp/pbpair_test_maxframes.yuv";
+  ASSERT_TRUE(write_yuv_file(path, frames));
+  EXPECT_EQ(read_yuv_file(path, 176, 144, 2).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(YuvIo, MissingFileGivesEmpty) {
+  EXPECT_TRUE(read_yuv_file("/tmp/does_not_exist_pbpair.yuv", 176, 144).empty());
+}
+
+TEST(YuvIo, TruncatedFileDropsPartialFrame) {
+  SyntheticSequence seq = make_paper_sequence(SequenceKind::kAkiyoLike);
+  std::vector<YuvFrame> frames = {seq.frame_at(0)};
+  const std::string path = "/tmp/pbpair_test_trunc.yuv";
+  ASSERT_TRUE(write_yuv_file(path, frames));
+  // Append half a frame worth of garbage.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  std::vector<std::uint8_t> garbage(1000, 7);
+  std::fwrite(garbage.data(), 1, garbage.size(), f);
+  std::fclose(f);
+  EXPECT_EQ(read_yuv_file(path, 176, 144).size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pbpair::video

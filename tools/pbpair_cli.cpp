@@ -1,0 +1,233 @@
+// pbpair — command-line front end to the library.
+//
+//   pbpair encode --in clip.yuv --width 176 --height 144 --out clip.pbs
+//                 [--qp 10] [--intra-th 0.9] [--plr 0.1] [--scheme pbpair|
+//                  no|gop-N|air-N|pgop-N] [--rate-kbps K] [--deblocking]
+//   pbpair decode --in clip.pbs --out clip.yuv [--deblocking]
+//   pbpair simulate [--clip foreman|akiyo|garden] [--frames 120]
+//                   [--plr 0.1] [--scheme ...] [--intra-th 0.9]
+//                   [--mtu 1400] [--seed 2005] [--qp 10]
+//
+// encode/decode work on real raw 4:2:0 material through the PBS container;
+// simulate runs the full lossy pipeline on a synthetic clip and prints the
+// result row.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "codec/container.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/rate_control.h"
+#include "common/args.h"
+#include "net/loss_model.h"
+#include "sim/pipeline.h"
+#include "sim/report.h"
+#include "video/yuv_io.h"
+
+using namespace pbpair;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pbpair <encode|decode|simulate> [--flags]\n"
+               "  encode   --in f.yuv --width W --height H --out f.pbs\n"
+               "           [--qp N] [--scheme S] [--intra-th X] [--plr X]\n"
+               "           [--rate-kbps K] [--deblocking]\n"
+               "  decode   --in f.pbs --out f.yuv [--deblocking]\n"
+               "  simulate [--clip C] [--frames N] [--plr X] [--scheme S]\n"
+               "           [--intra-th X] [--mtu N] [--seed N] [--qp N]\n"
+               "  schemes: pbpair (default), no, gop-N, air-N, pgop-N\n");
+  return 2;
+}
+
+/// Parses "pbpair" / "no" / "gop-3" / "air-24" / "pgop-1" etc.
+bool parse_scheme(const std::string& text, double intra_th, double plr,
+                  sim::SchemeSpec* spec) {
+  if (text == "pbpair" || text.empty()) {
+    core::PbpairConfig config;
+    config.intra_th = intra_th;
+    config.plr = plr;
+    *spec = sim::SchemeSpec::pbpair(config);
+    return true;
+  }
+  if (text == "no") {
+    *spec = sim::SchemeSpec::no_resilience();
+    return true;
+  }
+  auto dash = text.find('-');
+  if (dash == std::string::npos) return false;
+  std::string kind = text.substr(0, dash);
+  int param = std::atoi(text.c_str() + dash + 1);
+  if (param <= 0) return false;
+  if (kind == "gop") {
+    *spec = sim::SchemeSpec::gop(param);
+  } else if (kind == "air") {
+    *spec = sim::SchemeSpec::air(param);
+  } else if (kind == "pgop") {
+    *spec = sim::SchemeSpec::pgop(param);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int cmd_encode(const common::ArgParser& args) {
+  const std::string in = args.get("in");
+  const std::string out = args.get("out");
+  const int width = args.get_int("width", 176);
+  const int height = args.get_int("height", 144);
+  if (in.empty() || out.empty()) return usage();
+  if (width % 16 != 0 || height % 16 != 0 || width <= 0 || height <= 0) {
+    std::fprintf(stderr, "width/height must be positive multiples of 16\n");
+    return 1;
+  }
+
+  std::vector<video::YuvFrame> frames = video::read_yuv_file(in, width, height);
+  if (frames.empty()) {
+    std::fprintf(stderr, "no %dx%d frames readable from %s\n", width, height,
+                 in.c_str());
+    return 1;
+  }
+
+  sim::SchemeSpec scheme;
+  if (!parse_scheme(args.get("scheme", "pbpair"),
+                    args.get_double("intra-th", 0.9),
+                    args.get_double("plr", 0.1), &scheme)) {
+    return usage();
+  }
+  auto policy = sim::make_policy(scheme, width / 16, height / 16);
+
+  codec::EncoderConfig econfig;
+  econfig.width = width;
+  econfig.height = height;
+  econfig.qp = args.get_int("qp", 10);
+  econfig.deblocking = args.has("deblocking");
+  codec::Encoder encoder(econfig, policy.get());
+
+  std::unique_ptr<codec::RateController> rate;
+  if (args.has("rate-kbps")) {
+    codec::RateControlConfig rconfig;
+    rconfig.target_kbps = args.get_double("rate-kbps", 64.0);
+    rconfig.initial_qp = econfig.qp;
+    rate = std::make_unique<codec::RateController>(rconfig);
+  }
+
+  codec::ContainerWriter writer(
+      out, codec::ContainerHeader{width, height, econfig.qp});
+  if (!writer.is_open()) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  std::uint64_t bytes = 0;
+  for (const video::YuvFrame& frame : frames) {
+    if (rate) encoder.set_qp(rate->qp());
+    codec::EncodedFrame encoded = encoder.encode_frame(frame);
+    if (rate) {
+      rate->on_frame_encoded(encoded.size_bytes(),
+                             encoded.type == codec::FrameType::kIntra);
+    }
+    bytes += encoded.size_bytes();
+    if (!writer.write_frame(encoded)) {
+      std::fprintf(stderr, "write error on %s\n", out.c_str());
+      return 1;
+    }
+  }
+  if (!writer.close()) return 1;
+  std::printf("encoded %zu frames (%s, QP %d%s) -> %s, %.1f KB\n",
+              frames.size(), scheme.label().c_str(), econfig.qp,
+              rate ? ", rate-controlled" : "", out.c_str(), bytes / 1024.0);
+  return 0;
+}
+
+int cmd_decode(const common::ArgParser& args) {
+  const std::string in = args.get("in");
+  const std::string out = args.get("out");
+  if (in.empty() || out.empty()) return usage();
+  codec::ContainerReader reader(in);
+  if (!reader.is_open()) {
+    std::fprintf(stderr, "cannot read container %s\n", in.c_str());
+    return 1;
+  }
+  codec::DecoderConfig dconfig;
+  dconfig.width = reader.header().width;
+  dconfig.height = reader.header().height;
+  dconfig.deblocking = args.has("deblocking");
+  codec::Decoder decoder(dconfig);
+  std::vector<video::YuvFrame> frames;
+  codec::ReceivedFrame frame;
+  while (reader.read_frame(&frame)) {
+    frames.push_back(decoder.decode_frame(frame));
+  }
+  if (frames.empty()) {
+    std::fprintf(stderr, "no frames decoded from %s\n", in.c_str());
+    return 1;
+  }
+  if (!video::write_yuv_file(out, frames)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("decoded %zu frames of %dx%d -> %s\n", frames.size(),
+              dconfig.width, dconfig.height, out.c_str());
+  return 0;
+}
+
+int cmd_simulate(const common::ArgParser& args) {
+  video::SequenceKind kind = video::SequenceKind::kForemanLike;
+  std::string clip = args.get("clip", "foreman");
+  if (clip == "akiyo") kind = video::SequenceKind::kAkiyoLike;
+  if (clip == "garden") kind = video::SequenceKind::kGardenLike;
+
+  const double plr = args.get_double("plr", 0.10);
+  sim::SchemeSpec scheme;
+  if (!parse_scheme(args.get("scheme", "pbpair"),
+                    args.get_double("intra-th", 0.9), plr, &scheme)) {
+    return usage();
+  }
+
+  sim::PipelineConfig config;
+  config.frames = args.get_int("frames", 120);
+  config.encoder.qp = args.get_int("qp", 10);
+  config.packetizer.mtu = static_cast<std::size_t>(args.get_int("mtu", 1400));
+
+  video::SyntheticSequence sequence = video::make_paper_sequence(kind);
+  net::UniformFrameLoss loss(plr, static_cast<std::uint64_t>(
+                                      args.get_int("seed", 2005)));
+  sim::PipelineResult r = sim::run_pipeline(sequence, scheme, &loss, config);
+
+  sim::Table table({"scheme", "clip", "PLR", "PSNR_dB", "bad_px_M", "size_KB",
+                    "encode_J", "tx_J"});
+  table.add_row(
+      {scheme.label(), clip, sim::format("%.2f", plr),
+       sim::format("%.2f", r.avg_psnr_db),
+       sim::format("%.3f", static_cast<double>(r.total_bad_pixels) / 1e6),
+       sim::format("%.1f", static_cast<double>(r.total_bytes) / 1024.0),
+       sim::format("%.3f", r.encode_energy.total_j()),
+       sim::format("%.3f", r.tx_energy_j)});
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string command = argv[1];
+  common::ArgParser args(argc - 1, argv + 1);
+
+  int result;
+  if (command == "encode") {
+    result = cmd_encode(args);
+  } else if (command == "decode") {
+    result = cmd_decode(args);
+  } else if (command == "simulate") {
+    result = cmd_simulate(args);
+  } else {
+    return usage();
+  }
+  for (const std::string& flag : args.unknown_flags()) {
+    std::fprintf(stderr, "warning: unrecognized flag --%s\n", flag.c_str());
+  }
+  return result;
+}
