@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptation.dir/ext_adaptation.cpp.o"
+  "CMakeFiles/ext_adaptation.dir/ext_adaptation.cpp.o.d"
+  "ext_adaptation"
+  "ext_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

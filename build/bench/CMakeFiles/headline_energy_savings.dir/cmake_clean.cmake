@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_energy_savings.dir/headline_energy_savings.cpp.o"
+  "CMakeFiles/headline_energy_savings.dir/headline_energy_savings.cpp.o.d"
+  "headline_energy_savings"
+  "headline_energy_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_energy_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpbpair_bench_common.a"
+)

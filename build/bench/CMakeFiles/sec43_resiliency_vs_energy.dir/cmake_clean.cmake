@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_resiliency_vs_energy.dir/sec43_resiliency_vs_energy.cpp.o"
+  "CMakeFiles/sec43_resiliency_vs_energy.dir/sec43_resiliency_vs_energy.cpp.o.d"
+  "sec43_resiliency_vs_energy"
+  "sec43_resiliency_vs_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_resiliency_vs_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

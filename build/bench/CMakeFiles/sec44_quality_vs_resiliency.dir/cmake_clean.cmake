@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_quality_vs_resiliency.dir/sec44_quality_vs_resiliency.cpp.o"
+  "CMakeFiles/sec44_quality_vs_resiliency.dir/sec44_quality_vs_resiliency.cpp.o.d"
+  "sec44_quality_vs_resiliency"
+  "sec44_quality_vs_resiliency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_quality_vs_resiliency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

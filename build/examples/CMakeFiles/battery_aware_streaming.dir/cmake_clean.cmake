@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_aware_streaming.dir/battery_aware_streaming.cpp.o"
+  "CMakeFiles/battery_aware_streaming.dir/battery_aware_streaming.cpp.o.d"
+  "battery_aware_streaming"
+  "battery_aware_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_aware_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

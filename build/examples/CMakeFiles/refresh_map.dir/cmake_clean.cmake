@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refresh_map.dir/refresh_map.cpp.o"
+  "CMakeFiles/refresh_map.dir/refresh_map.cpp.o.d"
+  "refresh_map"
+  "refresh_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refresh_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

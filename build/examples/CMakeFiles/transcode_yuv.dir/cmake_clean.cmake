@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transcode_yuv.dir/transcode_yuv.cpp.o"
+  "CMakeFiles/transcode_yuv.dir/transcode_yuv.cpp.o.d"
+  "transcode_yuv"
+  "transcode_yuv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transcode_yuv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

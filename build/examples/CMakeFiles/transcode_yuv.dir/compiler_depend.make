@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for transcode_yuv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/video_call.cpp" "examples/CMakeFiles/video_call.dir/video_call.cpp.o" "gcc" "examples/CMakeFiles/video_call.dir/video_call.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pbpair_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pbpair_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/pbpair_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pbpair_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/pbpair_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pbpair_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/pbpair_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pbpair_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

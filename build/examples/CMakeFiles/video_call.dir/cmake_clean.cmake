@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_call.dir/video_call.cpp.o"
+  "CMakeFiles/video_call.dir/video_call.cpp.o.d"
+  "video_call"
+  "video_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

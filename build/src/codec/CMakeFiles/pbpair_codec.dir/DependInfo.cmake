@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitstream.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/bitstream.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/bitstream.cpp.o.d"
+  "/root/repo/src/codec/block_coder.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/block_coder.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/block_coder.cpp.o.d"
+  "/root/repo/src/codec/container.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/container.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/container.cpp.o.d"
+  "/root/repo/src/codec/dct.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/dct.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/dct.cpp.o.d"
+  "/root/repo/src/codec/deblock.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/deblock.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/deblock.cpp.o.d"
+  "/root/repo/src/codec/decoder.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/decoder.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/decoder.cpp.o.d"
+  "/root/repo/src/codec/encoder.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/encoder.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/encoder.cpp.o.d"
+  "/root/repo/src/codec/golomb.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/golomb.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/golomb.cpp.o.d"
+  "/root/repo/src/codec/huffman.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/huffman.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/huffman.cpp.o.d"
+  "/root/repo/src/codec/mc.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/mc.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/mc.cpp.o.d"
+  "/root/repo/src/codec/motion_search.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/motion_search.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/motion_search.cpp.o.d"
+  "/root/repo/src/codec/quant.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/quant.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/quant.cpp.o.d"
+  "/root/repo/src/codec/sad.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/sad.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/sad.cpp.o.d"
+  "/root/repo/src/codec/vlc_tables.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/vlc_tables.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/vlc_tables.cpp.o.d"
+  "/root/repo/src/codec/zigzag.cpp" "src/codec/CMakeFiles/pbpair_codec.dir/zigzag.cpp.o" "gcc" "src/codec/CMakeFiles/pbpair_codec.dir/zigzag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbpair_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/pbpair_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pbpair_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

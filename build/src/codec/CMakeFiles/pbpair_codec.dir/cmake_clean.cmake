@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbpair_codec.dir/bitstream.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/bitstream.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/block_coder.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/block_coder.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/container.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/container.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/dct.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/dct.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/deblock.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/deblock.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/decoder.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/decoder.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/encoder.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/encoder.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/golomb.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/golomb.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/huffman.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/huffman.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/mc.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/mc.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/motion_search.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/motion_search.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/quant.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/quant.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/sad.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/sad.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/vlc_tables.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/vlc_tables.cpp.o.d"
+  "CMakeFiles/pbpair_codec.dir/zigzag.cpp.o"
+  "CMakeFiles/pbpair_codec.dir/zigzag.cpp.o.d"
+  "libpbpair_codec.a"
+  "libpbpair_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbpair_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbpair_common.dir/rng.cpp.o"
+  "CMakeFiles/pbpair_common.dir/rng.cpp.o.d"
+  "libpbpair_common.a"
+  "libpbpair_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbpair_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

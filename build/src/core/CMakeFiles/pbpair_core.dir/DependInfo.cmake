@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/correctness_matrix.cpp" "src/core/CMakeFiles/pbpair_core.dir/correctness_matrix.cpp.o" "gcc" "src/core/CMakeFiles/pbpair_core.dir/correctness_matrix.cpp.o.d"
+  "/root/repo/src/core/operating_points.cpp" "src/core/CMakeFiles/pbpair_core.dir/operating_points.cpp.o" "gcc" "src/core/CMakeFiles/pbpair_core.dir/operating_points.cpp.o.d"
+  "/root/repo/src/core/pbpair_policy.cpp" "src/core/CMakeFiles/pbpair_core.dir/pbpair_policy.cpp.o" "gcc" "src/core/CMakeFiles/pbpair_core.dir/pbpair_policy.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/pbpair_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/pbpair_core.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/pbpair_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/pbpair_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pbpair_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pbpair_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbpair_core.dir/correctness_matrix.cpp.o"
+  "CMakeFiles/pbpair_core.dir/correctness_matrix.cpp.o.d"
+  "CMakeFiles/pbpair_core.dir/operating_points.cpp.o"
+  "CMakeFiles/pbpair_core.dir/operating_points.cpp.o.d"
+  "CMakeFiles/pbpair_core.dir/pbpair_policy.cpp.o"
+  "CMakeFiles/pbpair_core.dir/pbpair_policy.cpp.o.d"
+  "CMakeFiles/pbpair_core.dir/similarity.cpp.o"
+  "CMakeFiles/pbpair_core.dir/similarity.cpp.o.d"
+  "libpbpair_core.a"
+  "libpbpair_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbpair_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

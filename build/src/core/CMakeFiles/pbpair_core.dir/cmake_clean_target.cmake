@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpbpair_core.a"
+)

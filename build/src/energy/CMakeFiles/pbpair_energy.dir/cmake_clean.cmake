@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbpair_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/pbpair_energy.dir/energy_model.cpp.o.d"
+  "libpbpair_energy.a"
+  "libpbpair_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbpair_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

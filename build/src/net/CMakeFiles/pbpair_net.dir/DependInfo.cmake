@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/pbpair_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/pbpair_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/feedback.cpp" "src/net/CMakeFiles/pbpair_net.dir/feedback.cpp.o" "gcc" "src/net/CMakeFiles/pbpair_net.dir/feedback.cpp.o.d"
+  "/root/repo/src/net/loss_model.cpp" "src/net/CMakeFiles/pbpair_net.dir/loss_model.cpp.o" "gcc" "src/net/CMakeFiles/pbpair_net.dir/loss_model.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/pbpair_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/pbpair_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/packetizer.cpp" "src/net/CMakeFiles/pbpair_net.dir/packetizer.cpp.o" "gcc" "src/net/CMakeFiles/pbpair_net.dir/packetizer.cpp.o.d"
+  "/root/repo/src/net/rtcp.cpp" "src/net/CMakeFiles/pbpair_net.dir/rtcp.cpp.o" "gcc" "src/net/CMakeFiles/pbpair_net.dir/rtcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbpair_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/pbpair_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/pbpair_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pbpair_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

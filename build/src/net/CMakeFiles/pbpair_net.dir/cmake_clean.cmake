@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbpair_net.dir/channel.cpp.o"
+  "CMakeFiles/pbpair_net.dir/channel.cpp.o.d"
+  "CMakeFiles/pbpair_net.dir/feedback.cpp.o"
+  "CMakeFiles/pbpair_net.dir/feedback.cpp.o.d"
+  "CMakeFiles/pbpair_net.dir/loss_model.cpp.o"
+  "CMakeFiles/pbpair_net.dir/loss_model.cpp.o.d"
+  "CMakeFiles/pbpair_net.dir/packet.cpp.o"
+  "CMakeFiles/pbpair_net.dir/packet.cpp.o.d"
+  "CMakeFiles/pbpair_net.dir/packetizer.cpp.o"
+  "CMakeFiles/pbpair_net.dir/packetizer.cpp.o.d"
+  "CMakeFiles/pbpair_net.dir/rtcp.cpp.o"
+  "CMakeFiles/pbpair_net.dir/rtcp.cpp.o.d"
+  "libpbpair_net.a"
+  "libpbpair_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbpair_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

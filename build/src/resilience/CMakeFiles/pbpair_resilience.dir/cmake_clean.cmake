@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbpair_resilience.dir/air_policy.cpp.o"
+  "CMakeFiles/pbpair_resilience.dir/air_policy.cpp.o.d"
+  "CMakeFiles/pbpair_resilience.dir/pgop_policy.cpp.o"
+  "CMakeFiles/pbpair_resilience.dir/pgop_policy.cpp.o.d"
+  "libpbpair_resilience.a"
+  "libpbpair_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbpair_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

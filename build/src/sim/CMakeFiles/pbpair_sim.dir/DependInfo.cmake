@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/pbpair_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/pbpair_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/pbpair_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/pbpair_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/scheme.cpp" "src/sim/CMakeFiles/pbpair_sim.dir/scheme.cpp.o" "gcc" "src/sim/CMakeFiles/pbpair_sim.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/pbpair_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pbpair_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/pbpair_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pbpair_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pbpair_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/pbpair_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pbpair_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbpair_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/pbpair_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pbpair_sim.dir/report.cpp.o"
+  "CMakeFiles/pbpair_sim.dir/report.cpp.o.d"
+  "CMakeFiles/pbpair_sim.dir/scheme.cpp.o"
+  "CMakeFiles/pbpair_sim.dir/scheme.cpp.o.d"
+  "libpbpair_sim.a"
+  "libpbpair_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbpair_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

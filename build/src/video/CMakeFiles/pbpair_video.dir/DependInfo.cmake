@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/frame.cpp" "src/video/CMakeFiles/pbpair_video.dir/frame.cpp.o" "gcc" "src/video/CMakeFiles/pbpair_video.dir/frame.cpp.o.d"
+  "/root/repo/src/video/metrics.cpp" "src/video/CMakeFiles/pbpair_video.dir/metrics.cpp.o" "gcc" "src/video/CMakeFiles/pbpair_video.dir/metrics.cpp.o.d"
+  "/root/repo/src/video/noise.cpp" "src/video/CMakeFiles/pbpair_video.dir/noise.cpp.o" "gcc" "src/video/CMakeFiles/pbpair_video.dir/noise.cpp.o.d"
+  "/root/repo/src/video/sequence.cpp" "src/video/CMakeFiles/pbpair_video.dir/sequence.cpp.o" "gcc" "src/video/CMakeFiles/pbpair_video.dir/sequence.cpp.o.d"
+  "/root/repo/src/video/yuv_io.cpp" "src/video/CMakeFiles/pbpair_video.dir/yuv_io.cpp.o" "gcc" "src/video/CMakeFiles/pbpair_video.dir/yuv_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pbpair_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbpair_video.dir/frame.cpp.o"
+  "CMakeFiles/pbpair_video.dir/frame.cpp.o.d"
+  "CMakeFiles/pbpair_video.dir/metrics.cpp.o"
+  "CMakeFiles/pbpair_video.dir/metrics.cpp.o.d"
+  "CMakeFiles/pbpair_video.dir/noise.cpp.o"
+  "CMakeFiles/pbpair_video.dir/noise.cpp.o.d"
+  "CMakeFiles/pbpair_video.dir/sequence.cpp.o"
+  "CMakeFiles/pbpair_video.dir/sequence.cpp.o.d"
+  "CMakeFiles/pbpair_video.dir/yuv_io.cpp.o"
+  "CMakeFiles/pbpair_video.dir/yuv_io.cpp.o.d"
+  "libpbpair_video.a"
+  "libpbpair_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbpair_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitstream.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_bitstream.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_bitstream.cpp.o.d"
+  "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_composition.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_composition.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_composition.cpp.o.d"
+  "/root/repo/tests/test_concealment.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_concealment.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_concealment.cpp.o.d"
+  "/root/repo/tests/test_dct_quant.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_dct_quant.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_dct_quant.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_huffman.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_huffman.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_huffman.cpp.o.d"
+  "/root/repo/tests/test_mc.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_mc.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_mc.cpp.o.d"
+  "/root/repo/tests/test_motion.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_motion.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_motion.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_paper_shapes.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_paper_shapes.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_paper_shapes.cpp.o.d"
+  "/root/repo/tests/test_pbpair.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_pbpair.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_pbpair.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_rate_control.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_rate_control.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_rate_control.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_rtcp.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_rtcp.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_rtcp.cpp.o.d"
+  "/root/repo/tests/test_tools.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_tools.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_tools.cpp.o.d"
+  "/root/repo/tests/test_video.cpp" "tests/CMakeFiles/pbpair_tests.dir/test_video.cpp.o" "gcc" "tests/CMakeFiles/pbpair_tests.dir/test_video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pbpair_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pbpair_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/pbpair_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pbpair_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/pbpair_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pbpair_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/pbpair_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pbpair_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbpair_cli.dir/pbpair_cli.cpp.o"
+  "CMakeFiles/pbpair_cli.dir/pbpair_cli.cpp.o.d"
+  "pbpair"
+  "pbpair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbpair_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
