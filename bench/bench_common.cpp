@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 
 namespace pbpair::bench {
 
@@ -17,7 +18,12 @@ int bench_frames() {
 
 const std::vector<video::YuvFrame>& cached_clip(video::SequenceKind kind,
                                                 int frames) {
+  // Sweep tasks resolve their clips concurrently; the mutex makes the
+  // lazy fill safe. Returned references stay valid (values are never
+  // erased, and node-based map inserts don't move existing values).
+  static std::mutex mutex;
   static std::map<std::pair<int, int>, std::vector<video::YuvFrame>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
   auto key = std::make_pair(static_cast<int>(kind), frames);
   auto it = cache.find(key);
   if (it == cache.end()) {
@@ -102,6 +108,18 @@ sim::PipelineResult run_clip(video::SequenceKind kind,
                              const sim::PipelineConfig& config) {
   return sim::run_pipeline(clip_source(kind, config.frames), scheme, loss,
                            config);
+}
+
+sim::SweepTask clip_task(
+    video::SequenceKind kind, const sim::SchemeSpec& scheme,
+    const sim::PipelineConfig& config,
+    std::function<std::unique_ptr<net::LossModel>()> make_loss) {
+  sim::SweepTask task;
+  task.scheme = scheme;
+  task.config = config;
+  task.source = clip_source(kind, config.frames);
+  task.make_loss = std::move(make_loss);
+  return task;
 }
 
 }  // namespace pbpair::bench

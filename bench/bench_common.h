@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "sim/parallel_sweep.h"
 #include "sim/pipeline.h"
 #include "sim/report.h"
 #include "video/sequence.h"
@@ -46,6 +47,14 @@ sim::PipelineResult run_clip(video::SequenceKind kind,
                              const sim::SchemeSpec& scheme,
                              net::LossModel* loss,
                              const sim::PipelineConfig& config);
+
+/// A sim::SweepTask over a cached clip, for run_parallel_sweep. The loss
+/// factory may be null (lossless channel); when set, it is invoked inside
+/// the worker so every task gets its own deterministically seeded model.
+sim::SweepTask clip_task(
+    video::SequenceKind kind, const sim::SchemeSpec& scheme,
+    const sim::PipelineConfig& config,
+    std::function<std::unique_ptr<net::LossModel>()> make_loss = nullptr);
 
 /// Writes `table` as CSV to $PBPAIR_BENCH_CSV_DIR/<name>.csv when that
 /// environment variable is set (for external plotting); no-op otherwise.

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/thread_pool.h"
 #include "net/loss_model.h"
 
 using namespace pbpair;
@@ -27,39 +28,56 @@ int main() {
   };
   std::vector<Row> rows;
 
-  for (int s = 0; s < 3; ++s) {
-    video::SequenceKind kind = bench::kPaperClips[s];
-    sim::PipelineConfig config = bench::paper_pipeline_config(frames);
+  const sim::PipelineConfig config = bench::paper_pipeline_config(frames);
 
+  // Phase 1, parallel over the clips: PGOP-3 lossless size target, then
+  // the Intra_Th calibration bisection (§4.2). Each clip's calibration is
+  // an independent serial bisection; the clips run concurrently.
+  double intra_ths[3] = {};
+  common::parallel_for(3, sim::sweep_thread_count(), [&](std::size_t s) {
+    video::SequenceKind kind = bench::kPaperClips[s];
     // Size target: PGOP-3 on a lossless channel (compression comparison).
     sim::PipelineResult pgop_clean =
         bench::run_clip(kind, sim::SchemeSpec::pgop(3), nullptr, config);
-    double intra_th =
+    intra_ths[s] =
         bench::calibrate_pbpair_to_size(kind, pgop_clean.total_bytes, plr);
-    core::PbpairConfig pbpair;
-    pbpair.intra_th = intra_th;
-    pbpair.plr = plr;
+  });
+  for (int s = 0; s < 3; ++s) {
     std::printf("calibrated Intra_Th for %s: %.4f\n",
-                video::sequence_kind_name(kind), intra_th);
+                video::sequence_kind_name(bench::kPaperClips[s]),
+                intra_ths[s]);
+  }
 
+  // Phase 2: all 15 (clip, scheme) measurement runs fan out across the
+  // pool; every task builds its own loss model with the same seed, so the
+  // loss pattern — and the whole report — is identical to the serial run.
+  std::vector<sim::SweepTask> tasks;
+  for (int s = 0; s < 3; ++s) {
+    video::SequenceKind kind = bench::kPaperClips[s];
+    core::PbpairConfig pbpair;
+    pbpair.intra_th = intra_ths[s];
+    pbpair.plr = plr;
     std::vector<sim::SchemeSpec> schemes = {
         sim::SchemeSpec::no_resilience(), sim::SchemeSpec::pbpair(pbpair),
         sim::SchemeSpec::pgop(3), sim::SchemeSpec::gop(3),
         sim::SchemeSpec::air(24)};
-
-    for (std::size_t i = 0; i < schemes.size(); ++i) {
-      // Identical loss pattern for every scheme (same seed).
-      net::UniformFrameLoss loss(plr, /*seed=*/2005);
-      sim::PipelineResult r =
-          bench::run_clip(kind, schemes[i], &loss, config);
-      if (s == 0) {
-        rows.push_back(Row{schemes[i].label(), {}, {}, {}, {}});
-      }
-      rows[i].psnr[s] = r.avg_psnr_db;
-      rows[i].bad_pixels_m[s] = static_cast<double>(r.total_bad_pixels) / 1e6;
-      rows[i].size_kb[s] = static_cast<double>(r.total_bytes) / 1024.0;
-      rows[i].energy_j[s] = r.encode_energy.total_j();
+    for (const sim::SchemeSpec& scheme : schemes) {
+      if (s == 0) rows.push_back(Row{scheme.label(), {}, {}, {}, {}});
+      tasks.push_back(bench::clip_task(kind, scheme, config, [plr] {
+        // Identical loss pattern for every scheme (same seed).
+        return std::make_unique<net::UniformFrameLoss>(plr, /*seed=*/2005);
+      }));
     }
+  }
+  std::vector<sim::PipelineResult> results = sim::run_parallel_sweep(tasks);
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    const sim::PipelineResult& r = results[t];
+    std::size_t s = t / rows.size();
+    std::size_t i = t % rows.size();
+    rows[i].psnr[s] = r.avg_psnr_db;
+    rows[i].bad_pixels_m[s] = static_cast<double>(r.total_bad_pixels) / 1e6;
+    rows[i].size_kb[s] = static_cast<double>(r.total_bytes) / 1024.0;
+    rows[i].energy_j[s] = r.encode_energy.total_j();
   }
   std::printf("\n");
 

@@ -41,11 +41,15 @@ int main() {
       sim::SchemeSpec::pbpair(pbpair), sim::SchemeSpec::pgop(1),
       sim::SchemeSpec::gop(8), sim::SchemeSpec::air(10)};
 
-  std::vector<sim::PipelineResult> results;
+  // The four schemes replay the same scripted loss schedule; each sweep
+  // task builds its own copy, so the runs are independent and parallel.
+  std::vector<sim::SweepTask> tasks;
   for (const sim::SchemeSpec& scheme : schemes) {
-    net::ScriptedFrameLoss loss(kLossEvents);
-    results.push_back(bench::run_clip(kind, scheme, &loss, config));
+    tasks.push_back(bench::clip_task(kind, scheme, config, [&kLossEvents] {
+      return std::make_unique<net::ScriptedFrameLoss>(kLossEvents);
+    }));
   }
+  std::vector<sim::PipelineResult> results = sim::run_parallel_sweep(tasks);
 
   std::printf("--- Fig 6(a): PSNR variation (dB per frame) ---\n");
   sim::Table psnr_table(

@@ -1,0 +1,317 @@
+// Kernel and sweep microbenchmark — emits BENCH_kernels.json.
+//
+// Measures, with plain steady_clock loops (google-benchmark stays out so the
+// JSON schema is ours):
+//   1. ns/call for every dispatched kernel, per available backend, plus the
+//      best-SIMD / scalar speedup;
+//   2. wall-clock of a reduced fig5-style sweep (3 clips x 5 schemes) run
+//      serial-scalar, serial-SIMD, and SIMD across the thread pool;
+//   3. the invariant the whole design rests on: encoding energy and op
+//      counters from the SIMD parallel sweep are bit-identical to the
+//      scalar serial baseline.
+//
+// Output goes to BENCH_kernels.json in the working directory (override the
+// path with PBPAIR_BENCH_JSON). Frames per sweep run default to 48; set
+// PBPAIR_BENCH_FRAMES for longer runs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "codec/kernels/kernels.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "net/loss_model.h"
+
+using namespace pbpair;
+using codec::kernels::Backend;
+using codec::kernels::KernelTable;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+// Keeps results observable so the timed loops cannot be optimized away.
+volatile std::int64_t g_sink = 0;
+void sink(std::int64_t v) { g_sink = g_sink + v; }
+
+// Deterministic pixel/coefficient fixtures shared by every backend so each
+// one runs the identical instruction stream over identical data.
+struct Fixtures {
+  static constexpr int kStride = 64;
+  static constexpr int kBlocks = 64;
+  std::vector<std::uint8_t> cur;    // kBlocks 16x16 blocks, stride kStride
+  std::vector<std::uint8_t> ref;
+  std::vector<std::int16_t> dct_in;     // kBlocks 8x8 blocks, range [-255,255]
+  std::vector<std::int16_t> coeff;      // kBlocks 8x8 blocks, range [-2048,2047]
+  std::vector<std::int64_t> cutoffs;    // mixed early/late cutoffs
+
+  Fixtures() {
+    common::Pcg32 rng(0xBE7C41ULL);
+    cur.resize(kBlocks * 16 * kStride);
+    ref.resize(kBlocks * 16 * kStride);
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      cur[i] = static_cast<std::uint8_t>(rng.next_below(256));
+      ref[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    dct_in.resize(kBlocks * 64);
+    coeff.resize(kBlocks * 64);
+    for (std::size_t i = 0; i < dct_in.size(); ++i) {
+      dct_in[i] = static_cast<std::int16_t>(rng.next_in_range(-255, 255));
+      coeff[i] = static_cast<std::int16_t>(rng.next_in_range(-2048, 2047));
+    }
+    for (int b = 0; b < kBlocks; ++b) {
+      // Mix of cutoffs that trigger after ~a few rows and ones that never do,
+      // matching the distribution a motion search actually sees.
+      cutoffs.push_back(b % 3 == 0 ? 2000 : 200000);
+    }
+  }
+
+  const std::uint8_t* cur_block(int b) const { return cur.data() + b * 16 * kStride; }
+  const std::uint8_t* ref_block(int b) const { return ref.data() + b * 16 * kStride; }
+};
+
+// Times `body(block_index)` over the fixture set, returns ns per call.
+template <typename Body>
+double time_kernel(const Body& body) {
+  constexpr int kWarmup = 200;
+  constexpr int kIters = 4000;
+  for (int i = 0; i < kWarmup; ++i) body(i % Fixtures::kBlocks);
+  Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) body(i % Fixtures::kBlocks);
+  Clock::time_point t1 = Clock::now();
+  return elapsed_ns(t0, t1) / kIters;
+}
+
+struct KernelTiming {
+  std::string name;
+  // ns/call per backend, indexed by Backend enum value; < 0 = unavailable.
+  double ns[3] = {-1.0, -1.0, -1.0};
+
+  double best_simd_ns() const {
+    double best = -1.0;
+    for (int b = 1; b < 3; ++b) {
+      if (ns[b] > 0 && (best < 0 || ns[b] < best)) best = ns[b];
+    }
+    return best;
+  }
+  double speedup() const {
+    double simd = best_simd_ns();
+    return simd > 0 ? ns[0] / simd : 1.0;
+  }
+};
+
+std::vector<KernelTiming> time_all_kernels(const Fixtures& fx) {
+  std::vector<KernelTiming> timings = {
+      {"sad_16x16"}, {"sad_16x16_cutoff"}, {"sad_self_16x16"},
+      {"forward_dct_8x8"}, {"inverse_dct_8x8"}, {"quantize_ac"},
+      {"dequantize_ac"}};
+
+  for (Backend backend : codec::kernels::supported_backends()) {
+    const KernelTable* table = codec::kernels::table_for(backend);
+    const int bi = static_cast<int>(backend);
+    std::int16_t scratch[64];
+    std::int16_t work[64];
+
+    timings[0].ns[bi] = time_kernel([&](int b) {
+      sink(table->sad_16x16(fx.cur_block(b), Fixtures::kStride,
+                            fx.ref_block(b), Fixtures::kStride));
+    });
+    timings[1].ns[bi] = time_kernel([&](int b) {
+      int rows = 0;
+      sink(table->sad_16x16_cutoff(fx.cur_block(b), Fixtures::kStride,
+                                   fx.ref_block(b), Fixtures::kStride,
+                                   fx.cutoffs[b], &rows));
+      sink(rows);
+    });
+    timings[2].ns[bi] = time_kernel([&](int b) {
+      sink(table->sad_self_16x16(fx.cur_block(b), Fixtures::kStride));
+    });
+    timings[3].ns[bi] = time_kernel([&](int b) {
+      table->forward_dct_8x8(fx.dct_in.data() + b * 64, scratch);
+      sink(scratch[0]);
+    });
+    timings[4].ns[bi] = time_kernel([&](int b) {
+      table->inverse_dct_8x8(fx.coeff.data() + b * 64, scratch);
+      sink(scratch[0]);
+    });
+    timings[5].ns[bi] = time_kernel([&](int b) {
+      // In-place kernel: the memcpy refill is identical work per backend.
+      std::memcpy(work, fx.coeff.data() + b * 64, sizeof(work));
+      sink(table->quantize_ac(work, 1, 1 + b % 31, /*intra=*/true));
+    });
+    timings[6].ns[bi] = time_kernel([&](int b) {
+      std::memcpy(work, fx.coeff.data() + b * 64, sizeof(work));
+      table->dequantize_ac(work, 1, 1 + b % 31);
+      sink(work[1]);
+    });
+  }
+  return timings;
+}
+
+// ---------------------------------------------------------------------------
+// Fig5-style sweep: 3 clips x 5 schemes at PLR 10%, fixed Intra_Th (the
+// calibration bisection is not the subject here).
+
+std::vector<sim::SweepTask> sweep_tasks(const sim::PipelineConfig& config) {
+  std::vector<sim::SweepTask> tasks;
+  for (video::SequenceKind kind : bench::kPaperClips) {
+    core::PbpairConfig pbpair;
+    pbpair.intra_th = 0.9;
+    pbpair.plr = 0.10;
+    std::vector<sim::SchemeSpec> schemes = {
+        sim::SchemeSpec::no_resilience(), sim::SchemeSpec::pbpair(pbpair),
+        sim::SchemeSpec::pgop(3), sim::SchemeSpec::gop(3),
+        sim::SchemeSpec::air(24)};
+    for (const sim::SchemeSpec& scheme : schemes) {
+      tasks.push_back(bench::clip_task(kind, scheme, config, [] {
+        return std::make_unique<net::UniformFrameLoss>(0.10, /*seed=*/2005);
+      }));
+    }
+  }
+  return tasks;
+}
+
+struct SweepRun {
+  double wall_ms = 0.0;
+  std::vector<sim::PipelineResult> results;
+};
+
+SweepRun run_sweep(Backend backend, int threads,
+                   const sim::PipelineConfig& config) {
+  codec::kernels::set_active(backend);
+  std::vector<sim::SweepTask> tasks = sweep_tasks(config);
+  sim::SweepOptions options;
+  options.threads = threads;
+  Clock::time_point t0 = Clock::now();
+  SweepRun run;
+  run.results = sim::run_parallel_sweep(tasks, options);
+  run.wall_ms = elapsed_ns(t0, Clock::now()) / 1e6;
+  return run;
+}
+
+// Energy/op-counter bit-identity between two sweep runs; PSNR and bytes
+// ride along since they are part of the same determinism contract.
+bool reports_identical(const std::vector<sim::PipelineResult>& a,
+                       const std::vector<sim::PipelineResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i].encoder_ops, &b[i].encoder_ops,
+                    sizeof(energy::OpCounters)) != 0) {
+      return false;
+    }
+    if (a[i].encode_energy.total_j() != b[i].encode_energy.total_j()) return false;
+    if (a[i].tx_energy_j != b[i].tx_energy_j) return false;
+    if (a[i].total_bytes != b[i].total_bytes) return false;
+    if (a[i].avg_psnr_db != b[i].avg_psnr_db) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const Fixtures fx;
+  Backend best = codec::kernels::supported_backends().back();
+  std::printf("=== Kernel microbenchmark (best backend: %s) ===\n\n",
+              codec::kernels::backend_name(best));
+
+  std::vector<KernelTiming> timings = time_all_kernels(fx);
+  sim::Table kernel_table(
+      {"kernel", "scalar_ns", "sse2_ns", "avx2_ns", "speedup"});
+  for (const KernelTiming& t : timings) {
+    auto cell = [&](int b) {
+      return t.ns[b] < 0 ? std::string("-") : sim::format("%.1f", t.ns[b]);
+    };
+    kernel_table.add_row({t.name, cell(0), cell(1), cell(2),
+                          sim::format("%.2fx", t.speedup())});
+  }
+  kernel_table.print();
+
+  // Sweep timing: a reduced fig5 grid (48 frames unless overridden).
+  const int frames = std::min(bench::bench_frames(), 48);
+  const sim::PipelineConfig config = bench::paper_pipeline_config(frames);
+  bench::cached_clip(bench::kPaperClips[0], frames);  // warm clip cache
+  bench::cached_clip(bench::kPaperClips[1], frames);
+  bench::cached_clip(bench::kPaperClips[2], frames);
+
+  const int pool_threads = 8;
+  std::printf("\n=== Fig 5-style sweep (3 clips x 5 schemes, %d frames) ===\n",
+              frames);
+  SweepRun serial_scalar = run_sweep(Backend::kScalar, 1, config);
+  SweepRun serial_simd = run_sweep(best, 1, config);
+  SweepRun parallel_simd = run_sweep(best, pool_threads, config);
+  codec::kernels::set_active(best);
+
+  const bool identical =
+      reports_identical(serial_scalar.results, serial_simd.results) &&
+      reports_identical(serial_scalar.results, parallel_simd.results);
+
+  sim::Table sweep_table({"configuration", "wall_ms", "speedup"});
+  sweep_table.add_row({"serial scalar", sim::format("%.0f", serial_scalar.wall_ms),
+                       "1.00x"});
+  sweep_table.add_row(
+      {sim::format("serial %s", codec::kernels::backend_name(best)),
+       sim::format("%.0f", serial_simd.wall_ms),
+       sim::format("%.2fx", serial_scalar.wall_ms / serial_simd.wall_ms)});
+  sweep_table.add_row(
+      {sim::format("%d-thread %s", pool_threads,
+                   codec::kernels::backend_name(best)),
+       sim::format("%.0f", parallel_simd.wall_ms),
+       sim::format("%.2fx", serial_scalar.wall_ms / parallel_simd.wall_ms)});
+  sweep_table.print();
+  std::printf("hardware threads: %u\n",
+              static_cast<unsigned>(common::default_thread_count()));
+  std::printf("energy/op counters bit-identical across backends+threads: %s\n",
+              identical ? "yes" : "NO - INVARIANT BROKEN");
+
+  // JSON report.
+  const char* path_env = std::getenv("PBPAIR_BENCH_JSON");
+  const std::string path = path_env ? path_env : "BENCH_kernels.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"best_backend\": \"%s\",\n",
+               codec::kernels::backend_name(best));
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const KernelTiming& t = timings[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"scalar_ns\": %.2f",
+                 t.name.c_str(), t.ns[0]);
+    if (t.ns[1] >= 0) std::fprintf(f, ", \"sse2_ns\": %.2f", t.ns[1]);
+    if (t.ns[2] >= 0) std::fprintf(f, ", \"avx2_ns\": %.2f", t.ns[2]);
+    std::fprintf(f, ", \"speedup_best\": %.3f}%s\n", t.speedup(),
+                 i + 1 < timings.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"fig5_sweep\": {\n"
+               "    \"frames\": %d,\n"
+               "    \"tasks\": 15,\n"
+               "    \"hardware_threads\": %u,\n"
+               "    \"serial_scalar_ms\": %.1f,\n"
+               "    \"serial_simd_ms\": %.1f,\n"
+               "    \"parallel%d_simd_ms\": %.1f,\n"
+               "    \"simd_speedup\": %.3f,\n"
+               "    \"total_speedup\": %.3f,\n"
+               "    \"energy_bit_identical\": %s\n"
+               "  }\n}\n",
+               frames, static_cast<unsigned>(common::default_thread_count()),
+               serial_scalar.wall_ms, serial_simd.wall_ms, pool_threads,
+               parallel_simd.wall_ms,
+               serial_scalar.wall_ms / serial_simd.wall_ms,
+               serial_scalar.wall_ms / parallel_simd.wall_ms,
+               identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return identical ? 0 : 1;
+}

@@ -25,16 +25,26 @@ int main() {
   const double intra_ths[] = {0.0, 0.5, 0.8, 0.9, 0.95, 0.99, 1.0};
   const double plrs[] = {0.0, 0.05, 0.10, 0.20, 0.30};
 
-  sim::Table table({"Intra_Th", "PLR", "intra_MBs/frame", "ME_skipped/frame",
-                    "size_KB", "encode_J", "tx_J", "total_J"});
+  // The whole (PLR, Intra_Th) grid is independent lossless runs — fan it
+  // out across the pool, then emit rows in grid order.
+  std::vector<sim::SweepTask> tasks;
   for (double plr : plrs) {
     for (double th : intra_ths) {
       core::PbpairConfig pbpair;
       pbpair.intra_th = th;
       pbpair.plr = plr;
-      sim::PipelineResult r =
-          bench::run_clip(kind, sim::SchemeSpec::pbpair(pbpair), nullptr,
-                          config);
+      tasks.push_back(
+          bench::clip_task(kind, sim::SchemeSpec::pbpair(pbpair), config));
+    }
+  }
+  std::vector<sim::PipelineResult> results = sim::run_parallel_sweep(tasks);
+
+  sim::Table table({"Intra_Th", "PLR", "intra_MBs/frame", "ME_skipped/frame",
+                    "size_KB", "encode_J", "tx_J", "total_J"});
+  std::size_t t = 0;
+  for (double plr : plrs) {
+    for (double th : intra_ths) {
+      const sim::PipelineResult& r = results[t++];
       std::uint64_t skipped = 0;
       for (const sim::FrameTrace& f : r.frames) skipped += f.pre_me_intra_mbs;
       table.add_row(

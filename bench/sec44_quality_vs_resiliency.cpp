@@ -25,16 +25,28 @@ int main() {
   const double intra_ths[] = {0.0, 0.5, 0.8, 0.9, 0.95, 0.99};
   const double plrs[] = {0.05, 0.10, 0.20};
 
-  sim::Table table({"PLR", "Intra_Th", "avg_PSNR_dB", "bad_pixels_M",
-                    "size_KB", "concealed_MBs"});
+  // Independent (PLR, Intra_Th) runs; each task seeds its own loss model
+  // (seed 777 — same pattern as the serial loop) inside the worker.
+  std::vector<sim::SweepTask> tasks;
   for (double plr : plrs) {
     for (double th : intra_ths) {
       core::PbpairConfig pbpair;
       pbpair.intra_th = th;
       pbpair.plr = plr;
-      net::UniformFrameLoss loss(plr, /*seed=*/777);
-      sim::PipelineResult r = bench::run_clip(
-          kind, sim::SchemeSpec::pbpair(pbpair), &loss, config);
+      tasks.push_back(bench::clip_task(
+          kind, sim::SchemeSpec::pbpair(pbpair), config, [plr] {
+            return std::make_unique<net::UniformFrameLoss>(plr, /*seed=*/777);
+          }));
+    }
+  }
+  std::vector<sim::PipelineResult> results = sim::run_parallel_sweep(tasks);
+
+  sim::Table table({"PLR", "Intra_Th", "avg_PSNR_dB", "bad_pixels_M",
+                    "size_KB", "concealed_MBs"});
+  std::size_t t = 0;
+  for (double plr : plrs) {
+    for (double th : intra_ths) {
+      const sim::PipelineResult& r = results[t++];
       table.add_row(
           {sim::format("%.2f", plr), sim::format("%.2f", th),
            sim::format("%.2f", r.avg_psnr_db),

@@ -1,79 +1,19 @@
 #include "codec/dct.h"
 
-#include "common/math_util.h"
+#include "codec/kernels/kernels.h"
 
 namespace pbpair::codec {
-namespace {
 
-// Q14 DCT-II basis matrix: kBasis[u][x] = round(16384 * C(u)/2 *
-// cos((2x+1)*u*pi/16)) with C(0)=1/sqrt(2), C(u>0)=1. The 2-D transform is
-// F = B * X * B^T; the inverse is X = B^T * F * B (B is orthonormal up to
-// the Q14 scale). Intermediates: pass 1 fits int32 (|acc| <= 8*8035*2048),
-// pass 2 accumulates in int64 and drops the Q28 scale with rounding.
-constexpr int kBasis[8][8] = {
-    {5793, 5793, 5793, 5793, 5793, 5793, 5793, 5793},
-    {8035, 6811, 4551, 1598, -1598, -4551, -6811, -8035},
-    {7568, 3135, -3135, -7568, -7568, -3135, 3135, 7568},
-    {6811, -1598, -8035, -4551, 4551, 8035, 1598, -6811},
-    {5793, -5793, -5793, 5793, 5793, -5793, -5793, 5793},
-    {4551, -8035, 1598, 6811, -6811, -1598, 8035, -4551},
-    {3135, -7568, 7568, -3135, -3135, 7568, -7568, 3135},
-    {1598, -4551, 6811, -8035, 8035, -6811, 4551, -1598},
-};
-
-}  // namespace
+// The reference implementation lives in kernels/kernels_scalar.cpp; SIMD
+// backends (kernels/kernels_avx2.cpp) are bit-identical because all DCT
+// arithmetic is exact integer math — see kernels/kernels.h.
 
 void forward_dct_8x8(const std::int16_t* input, std::int16_t* output) {
-  // Pass 1 (columns): tmp[u][y] = sum_x B[u][x] * in[x][y]. Keep Q12.
-  std::int32_t tmp[64];
-  for (int u = 0; u < 8; ++u) {
-    for (int y = 0; y < 8; ++y) {
-      std::int32_t acc = 0;
-      for (int x = 0; x < 8; ++x) {
-        acc += kBasis[u][x] * static_cast<std::int32_t>(input[x * 8 + y]);
-      }
-      tmp[u * 8 + y] = acc;  // |acc| <= 8 * 2048 * 2048 fits easily
-    }
-  }
-  // Pass 2 (rows): F[u][v] = sum_y tmp[u][y] * B[v][y], then drop Q28.
-  for (int u = 0; u < 8; ++u) {
-    for (int v = 0; v < 8; ++v) {
-      std::int64_t acc = 0;
-      for (int y = 0; y < 8; ++y) {
-        acc += static_cast<std::int64_t>(tmp[u * 8 + y]) * kBasis[v][y];
-      }
-      // Round and rescale from Q28 to integer coefficients.
-      std::int64_t rounded = (acc + (acc >= 0 ? (1 << 27) : -(1 << 27))) >> 28;
-      output[u * 8 + v] = static_cast<std::int16_t>(
-          common::clamp<std::int64_t>(rounded, -2048, 2047));
-    }
-  }
+  kernels::active().forward_dct_8x8(input, output);
 }
 
 void inverse_dct_8x8(const std::int16_t* input, std::int16_t* output) {
-  // Pass 1: tmp[x][v] = sum_u B[u][x] * F[u][v] (B^T * F).
-  std::int32_t tmp[64];
-  for (int x = 0; x < 8; ++x) {
-    for (int v = 0; v < 8; ++v) {
-      std::int32_t acc = 0;
-      for (int u = 0; u < 8; ++u) {
-        acc += kBasis[u][x] * static_cast<std::int32_t>(input[u * 8 + v]);
-      }
-      tmp[x * 8 + v] = acc;
-    }
-  }
-  // Pass 2: X[x][y] = sum_v tmp[x][v] * B[v][y], drop Q28.
-  for (int x = 0; x < 8; ++x) {
-    for (int y = 0; y < 8; ++y) {
-      std::int64_t acc = 0;
-      for (int v = 0; v < 8; ++v) {
-        acc += static_cast<std::int64_t>(tmp[x * 8 + v]) * kBasis[v][y];
-      }
-      std::int64_t rounded = (acc + (acc >= 0 ? (1 << 27) : -(1 << 27))) >> 28;
-      output[x * 8 + y] = static_cast<std::int16_t>(
-          common::clamp<std::int64_t>(rounded, -2048, 2047));
-    }
-  }
+  kernels::active().inverse_dct_8x8(input, output);
 }
 
 }  // namespace pbpair::codec

@@ -1,0 +1,23 @@
+// The shared Q14 DCT-II basis matrix, used by every DCT kernel backend so
+// they agree coefficient-for-coefficient.
+#pragma once
+
+namespace pbpair::codec::kernels {
+
+// kDctBasis[u][x] = round(16384 * C(u)/2 * cos((2x+1)*u*pi/16)) with
+// C(0)=1/sqrt(2), C(u>0)=1. The 2-D transform is F = B * X * B^T; the
+// inverse is X = B^T * F * B (B is orthonormal up to the Q14 scale).
+// Intermediates: pass 1 fits int32 (|acc| <= 8*8035*2048), pass 2
+// accumulates in int64 and drops the Q28 scale with rounding.
+inline constexpr int kDctBasis[8][8] = {
+    {5793, 5793, 5793, 5793, 5793, 5793, 5793, 5793},
+    {8035, 6811, 4551, 1598, -1598, -4551, -6811, -8035},
+    {7568, 3135, -3135, -7568, -7568, -3135, 3135, 7568},
+    {6811, -1598, -8035, -4551, 4551, 8035, 1598, -6811},
+    {5793, -5793, -5793, 5793, 5793, -5793, -5793, 5793},
+    {4551, -8035, 1598, 6811, -6811, -1598, 8035, -4551},
+    {3135, -7568, 7568, -3135, -3135, 7568, -7568, 3135},
+    {1598, -4551, 6811, -8035, 8035, -6811, 4551, -1598},
+};
+
+}  // namespace pbpair::codec::kernels

@@ -1,0 +1,116 @@
+// Backend detection and the active-table dispatch slot.
+#include "codec/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pbpair::codec::kernels {
+
+// Defined in kernels_sse2.cpp / kernels_avx2.cpp; return nullptr when the
+// backend was compiled out (non-x86 builds).
+const KernelTable* sse2_table_or_null();
+const KernelTable* avx2_table_or_null();
+
+namespace {
+
+constexpr Backend kAllBackends[] = {Backend::kScalar, Backend::kSse2,
+                                    Backend::kAvx2};
+
+bool cpu_supports(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("sse2");
+#else
+      return false;
+#endif
+    case Backend::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* detect_default() {
+  // Env override first: PBPAIR_KERNELS=scalar|sse2|avx2 pins a backend
+  // (unknown or unsupported values fall back to auto, with a warning).
+  const char* env = std::getenv("PBPAIR_KERNELS");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    for (Backend backend : kAllBackends) {
+      if (std::strcmp(env, backend_name(backend)) == 0) {
+        if (const KernelTable* table = table_for(backend)) return table;
+      }
+    }
+    std::fprintf(stderr,
+                 "pbpair: PBPAIR_KERNELS=%s unknown or unsupported on this "
+                 "CPU; auto-selecting\n",
+                 env);
+  }
+  const KernelTable* best = &scalar_table();
+  for (Backend backend : kAllBackends) {
+    if (const KernelTable* table = table_for(backend)) best = table;
+  }
+  return best;
+}
+
+std::atomic<const KernelTable*>& active_slot() {
+  static std::atomic<const KernelTable*> slot{detect_default()};
+  return slot;
+}
+
+}  // namespace
+
+const KernelTable* table_for(Backend backend) {
+  if (!cpu_supports(backend)) return nullptr;
+  switch (backend) {
+    case Backend::kScalar:
+      return &scalar_table();
+    case Backend::kSse2:
+      return sse2_table_or_null();
+    case Backend::kAvx2:
+      return avx2_table_or_null();
+  }
+  return nullptr;
+}
+
+std::vector<Backend> supported_backends() {
+  std::vector<Backend> backends;
+  for (Backend backend : kAllBackends) {
+    if (table_for(backend) != nullptr) backends.push_back(backend);
+  }
+  return backends;
+}
+
+const KernelTable& active() {
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+bool set_active(Backend backend) {
+  const KernelTable* table = table_for(backend);
+  if (table == nullptr) return false;
+  active_slot().store(table, std::memory_order_release);
+  return true;
+}
+
+Backend active_backend() { return active().backend; }
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace pbpair::codec::kernels

@@ -1,0 +1,96 @@
+// Pixel-kernel dispatch: scalar reference vs SIMD implementations.
+//
+// Every hot inner loop of the codec (SAD, DCT/IDCT, quant/dequant) is a
+// kernel behind a function-pointer table selected once at startup from the
+// CPU's capabilities (overridable with PBPAIR_KERNELS=scalar|sse2|avx2).
+//
+// The critical invariant: a kernel computes EXACTLY the same result as the
+// scalar reference — same values, same early-exit row counts — and carries
+// NO energy metering of its own. `energy::OpCounters` accounting lives in
+// the public wrappers (codec/sad.h, codec/quant.h) and is derived
+// analytically (pixels visited, rows processed before cutoff), so the
+// energy model is bit-identical no matter which backend ran. This is what
+// lets the reproduction be fast without perturbing the paper's numbers.
+//
+// Kernels operate on raw rows (pointer + stride in pixels) so they carry no
+// dependency on video::Plane; bounds checking is the wrappers' job.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pbpair::codec::kernels {
+
+enum class Backend {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+struct KernelTable {
+  Backend backend = Backend::kScalar;
+  const char* name = "scalar";
+
+  /// SAD over a full 16x16 block. Strides are in pixels.
+  std::int64_t (*sad_16x16)(const std::uint8_t* cur, int cur_stride,
+                            const std::uint8_t* ref, int ref_stride);
+
+  /// SAD with per-row early termination: after each completed row the
+  /// partial sum is compared against `cutoff` and the kernel returns as
+  /// soon as sum >= cutoff. `*rows_processed` is set to the number of rows
+  /// fully accumulated (1..16) — the wrapper meters 16 pixels per row, so
+  /// this count must be identical across backends (it is: every backend
+  /// checks the cutoff at the same row boundaries as the scalar loop).
+  std::int64_t (*sad_16x16_cutoff)(const std::uint8_t* cur, int cur_stride,
+                                   const std::uint8_t* ref, int ref_stride,
+                                   std::int64_t cutoff, int* rows_processed);
+
+  /// Deviation of a 16x16 block from its own (truncated) mean.
+  std::int64_t (*sad_self_16x16)(const std::uint8_t* cur, int cur_stride);
+
+  /// 8x8 forward/inverse DCT, bit-identical to the Q14 integer reference
+  /// in kernels_scalar.cpp (integer accumulation is exact, so SIMD lane
+  /// reordering cannot change the result).
+  void (*forward_dct_8x8)(const std::int16_t* input, std::int16_t* output);
+  void (*inverse_dct_8x8)(const std::int16_t* input, std::int16_t* output);
+
+  /// Quantizes block[first..64) in place (H.263 rules, see codec/quant.h);
+  /// returns the number of nonzero levels produced. block[0..first) is
+  /// left untouched. Requires |block[i]| <= 4095 (DCT output is clamped to
+  /// [-2048, 2047], so every codec input satisfies this; the SIMD exact
+  /// division-by-2*qp trick is proven for that range).
+  int (*quantize_ac)(std::int16_t* block, int first, int qp, bool intra);
+
+  /// Dequantizes block[first..64) in place; block[0..first) untouched.
+  void (*dequantize_ac)(std::int16_t* block, int first, int qp);
+};
+
+/// The scalar reference table (always available; the other backends are
+/// validated against it in tests/test_kernels.cpp).
+const KernelTable& scalar_table();
+
+/// Table for a specific backend, or nullptr when the backend was compiled
+/// out or the running CPU lacks the instruction set.
+const KernelTable* table_for(Backend backend);
+
+/// Backends usable on this CPU, in ascending preference order
+/// (scalar first).
+std::vector<Backend> supported_backends();
+
+/// The table in use. Selected on first call: the best supported backend,
+/// unless the PBPAIR_KERNELS environment variable (scalar|sse2|avx2|auto)
+/// names another one.
+const KernelTable& active();
+
+/// Switches the active table; returns false (and keeps the current table)
+/// when `backend` is unsupported. Intended for tests and benchmarks; safe
+/// to call concurrently with readers (atomic pointer swap), but switching
+/// mid-encode mixes backends within one frame — callers should switch at
+/// run boundaries.
+bool set_active(Backend backend);
+
+Backend active_backend();
+
+const char* backend_name(Backend backend);
+
+}  // namespace pbpair::codec::kernels

@@ -1,0 +1,309 @@
+// AVX2 kernels. Compiled with -mavx2 (see src/codec/CMakeLists.txt); the
+// dispatcher only hands this table out when the running CPU reports AVX2.
+//
+// Bit-exactness notes (each proven against the scalar reference in
+// tests/test_kernels.cpp):
+//  - SAD: VPSADBW is an exact sum of absolute byte differences; integer
+//    addition is associative, so lane order cannot change the total. The
+//    cutoff variant keeps the scalar per-row termination points.
+//  - DCT: pass 1 products fit int32 (|basis * input| <= 8035 * 2048) so
+//    VPMULLD matches the scalar int32 arithmetic; pass 2 accumulates
+//    int32 x int32 products in int64 lanes via VPMULDQ, again exact.
+//  - Quant: division by 2*qp is replaced by the magic-multiply
+//    floor(n * (floor(2^18 / d) + 1) >> 18), which equals floor(n / d) for
+//    all n <= 4095, d <= 62: the rounding error n*e/2^18 < 4096/2^18 is
+//    below the smallest distance 1/62 from a rational n/d to the next
+//    integer. DCT output is clamped to [-2048, 2047], so every codec
+//    input is in range.
+#include "codec/kernels/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "codec/kernels/dct_tables.h"
+#include "codec/quant.h"
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace pbpair::codec::kernels {
+namespace {
+
+inline __m128i load_row128(const std::uint8_t* base, int stride, int y) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+      base + static_cast<std::ptrdiff_t>(y) * stride));
+}
+
+inline std::int64_t hsum_sad128(__m128i acc) {
+  return _mm_cvtsi128_si64(acc) +
+         _mm_cvtsi128_si64(_mm_srli_si128(acc, 8));
+}
+
+inline std::int64_t hsum_sad256(__m256i acc) {
+  return hsum_sad128(_mm_add_epi64(_mm256_castsi256_si128(acc),
+                                   _mm256_extracti128_si256(acc, 1)));
+}
+
+std::int64_t sad_16x16_avx2(const std::uint8_t* cur, int cur_stride,
+                            const std::uint8_t* ref, int ref_stride) {
+  __m256i acc = _mm256_setzero_si256();
+  for (int y = 0; y < 16; y += 2) {
+    __m256i c = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(load_row128(cur, cur_stride, y)),
+        load_row128(cur, cur_stride, y + 1), 1);
+    __m256i r = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(load_row128(ref, ref_stride, y)),
+        load_row128(ref, ref_stride, y + 1), 1);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(c, r));
+  }
+  return hsum_sad256(acc);
+}
+
+std::int64_t sad_16x16_cutoff_avx2(const std::uint8_t* cur, int cur_stride,
+                                   const std::uint8_t* ref, int ref_stride,
+                                   std::int64_t cutoff, int* rows_processed) {
+  // Row-at-a-time: the scalar loop re-checks the cutoff after every row,
+  // and the metered row count must match it exactly, so no row pairing.
+  std::int64_t sad = 0;
+  for (int y = 0; y < 16; ++y) {
+    __m128i c = load_row128(cur, cur_stride, y);
+    __m128i r = load_row128(ref, ref_stride, y);
+    sad += hsum_sad128(_mm_sad_epu8(c, r));
+    if (sad >= cutoff) {
+      *rows_processed = y + 1;
+      return sad;
+    }
+  }
+  *rows_processed = 16;
+  return sad;
+}
+
+std::int64_t sad_self_16x16_avx2(const std::uint8_t* cur, int cur_stride) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  for (int y = 0; y < 16; y += 2) {
+    __m256i c = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(load_row128(cur, cur_stride, y)),
+        load_row128(cur, cur_stride, y + 1), 1);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(c, zero));
+  }
+  const std::int64_t sum = hsum_sad256(acc);
+  const int mean = static_cast<int>(sum / 256);  // fits a byte
+  const __m256i vmean = _mm256_set1_epi8(static_cast<char>(mean));
+  __m256i dev = zero;
+  for (int y = 0; y < 16; y += 2) {
+    __m256i c = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(load_row128(cur, cur_stride, y)),
+        load_row128(cur, cur_stride, y + 1), 1);
+    dev = _mm256_add_epi64(dev, _mm256_sad_epu8(c, vmean));
+  }
+  return hsum_sad256(dev);
+}
+
+// ---------------------------------------------------------------------------
+// DCT
+// ---------------------------------------------------------------------------
+
+struct DctVecTables {
+  // fwd_col_*[y]: basis column y split across int64 lanes, low dword holds
+  // the int32 value VPMULDQ reads: {B[0][y]..B[3][y]} / {B[4][y]..B[7][y]}.
+  __m256i fwd_col_lo[8];
+  __m256i fwd_col_hi[8];
+  // inv_row_*[v]: basis row v, {B[v][0]..B[v][3]} / {B[v][4]..B[v][7]}.
+  __m256i inv_row_lo[8];
+  __m256i inv_row_hi[8];
+};
+
+const DctVecTables& dct_vec_tables() {
+  static const DctVecTables tables = [] {
+    DctVecTables t;
+    for (int i = 0; i < 8; ++i) {
+      t.fwd_col_lo[i] = _mm256_set_epi64x(kDctBasis[3][i], kDctBasis[2][i],
+                                          kDctBasis[1][i], kDctBasis[0][i]);
+      t.fwd_col_hi[i] = _mm256_set_epi64x(kDctBasis[7][i], kDctBasis[6][i],
+                                          kDctBasis[5][i], kDctBasis[4][i]);
+      t.inv_row_lo[i] = _mm256_set_epi64x(kDctBasis[i][3], kDctBasis[i][2],
+                                          kDctBasis[i][1], kDctBasis[i][0]);
+      t.inv_row_hi[i] = _mm256_set_epi64x(kDctBasis[i][7], kDctBasis[i][6],
+                                          kDctBasis[i][5], kDctBasis[i][4]);
+    }
+    return t;
+  }();
+  return tables;
+}
+
+// Shared pass-2 tail: 8 int64 accumulators -> rounded, clamped int16 row.
+inline void finish_q28_row(__m256i acc_lo, __m256i acc_hi,
+                           std::int16_t* out) {
+  alignas(32) std::int64_t vals[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(vals), acc_lo);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(vals + 4), acc_hi);
+  for (int i = 0; i < 8; ++i) {
+    std::int64_t acc = vals[i];
+    std::int64_t rounded = (acc + (acc >= 0 ? (1 << 27) : -(1 << 27))) >> 28;
+    out[i] = static_cast<std::int16_t>(
+        common::clamp<std::int64_t>(rounded, -2048, 2047));
+  }
+}
+
+void forward_dct_8x8_avx2(const std::int16_t* input, std::int16_t* output) {
+  // Widen the 8 input rows once: in32[x] = row x over y, as int32 lanes.
+  __m256i in32[8];
+  for (int x = 0; x < 8; ++x) {
+    in32[x] = _mm256_cvtepi16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(input + x * 8)));
+  }
+  // Pass 1 (columns): tmp[u][y] = sum_x B[u][x] * in[x][y], int32 exact.
+  alignas(32) std::int32_t tmp[64];
+  for (int u = 0; u < 8; ++u) {
+    __m256i acc = _mm256_setzero_si256();
+    for (int x = 0; x < 8; ++x) {
+      acc = _mm256_add_epi32(
+          acc, _mm256_mullo_epi32(in32[x], _mm256_set1_epi32(kDctBasis[u][x])));
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + u * 8), acc);
+  }
+  // Pass 2 (rows): F[u][v] = sum_y tmp[u][y] * B[v][y] in int64 lanes.
+  const DctVecTables& t = dct_vec_tables();
+  for (int u = 0; u < 8; ++u) {
+    __m256i acc_lo = _mm256_setzero_si256();
+    __m256i acc_hi = _mm256_setzero_si256();
+    for (int y = 0; y < 8; ++y) {
+      __m256i tv = _mm256_set1_epi64x(tmp[u * 8 + y]);
+      acc_lo = _mm256_add_epi64(acc_lo, _mm256_mul_epi32(tv, t.fwd_col_lo[y]));
+      acc_hi = _mm256_add_epi64(acc_hi, _mm256_mul_epi32(tv, t.fwd_col_hi[y]));
+    }
+    finish_q28_row(acc_lo, acc_hi, output + u * 8);
+  }
+}
+
+void inverse_dct_8x8_avx2(const std::int16_t* input, std::int16_t* output) {
+  __m256i in32[8];
+  for (int u = 0; u < 8; ++u) {
+    in32[u] = _mm256_cvtepi16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(input + u * 8)));
+  }
+  // Pass 1: tmp[x][v] = sum_u B[u][x] * F[u][v].
+  alignas(32) std::int32_t tmp[64];
+  for (int x = 0; x < 8; ++x) {
+    __m256i acc = _mm256_setzero_si256();
+    for (int u = 0; u < 8; ++u) {
+      acc = _mm256_add_epi32(
+          acc, _mm256_mullo_epi32(in32[u], _mm256_set1_epi32(kDctBasis[u][x])));
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + x * 8), acc);
+  }
+  // Pass 2: X[x][y] = sum_v tmp[x][v] * B[v][y].
+  const DctVecTables& t = dct_vec_tables();
+  for (int x = 0; x < 8; ++x) {
+    __m256i acc_lo = _mm256_setzero_si256();
+    __m256i acc_hi = _mm256_setzero_si256();
+    for (int v = 0; v < 8; ++v) {
+      __m256i tv = _mm256_set1_epi64x(tmp[x * 8 + v]);
+      acc_lo = _mm256_add_epi64(acc_lo, _mm256_mul_epi32(tv, t.inv_row_lo[v]));
+      acc_hi = _mm256_add_epi64(acc_hi, _mm256_mul_epi32(tv, t.inv_row_hi[v]));
+    }
+    finish_q28_row(acc_lo, acc_hi, output + x * 8);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantization
+// ---------------------------------------------------------------------------
+
+// Restores 16 int32 lane-pairs to the original int16 element order after
+// _mm256_packs_epi32's within-128-lane interleave.
+inline __m256i pack_epi32_ordered(__m256i lo, __m256i hi) {
+  return _mm256_permute4x64_epi64(_mm256_packs_epi32(lo, hi),
+                                  _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+int quantize_ac_avx2(std::int16_t* block, int first, int qp, bool intra) {
+  PB_DCHECK(first == 0 || first == 1);
+  PB_CHECK(qp >= kMinQp && qp <= kMaxQp);
+  const int d = 2 * qp;
+  const __m256i vmagic = _mm256_set1_epi32((1 << 18) / d + 1);
+  const __m256i vbias = _mm256_set1_epi32(intra ? 0 : qp / 2);
+  const __m256i vmax = _mm256_set1_epi32(kMaxLevel);
+  const __m256i zero = _mm256_setzero_si256();
+  const std::int16_t saved_dc = block[0];
+
+  auto level_of = [&](__m256i x) {
+    __m256i mag = _mm256_abs_epi32(x);
+    __m256i num = _mm256_max_epi32(_mm256_sub_epi32(mag, vbias), zero);
+    __m256i lvl = _mm256_srli_epi32(_mm256_mullo_epi32(num, vmagic), 18);
+    lvl = _mm256_min_epi32(lvl, vmax);
+    return _mm256_sign_epi32(lvl, x);  // negates for x<0, zeroes for x==0
+  };
+
+  int nonzero = 0;
+  for (int i = 0; i < 64; i += 16) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block + i));
+    __m256i xlo = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(v));
+    __m256i xhi = _mm256_cvtepi16_epi32(_mm256_extracti128_si256(v, 1));
+    __m256i packed = pack_epi32_ordered(level_of(xlo), level_of(xhi));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(block + i), packed);
+    std::uint32_t zero_mask = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi16(packed, zero)));
+    if (i == 0 && first == 1) zero_mask |= 0x3u;  // DC slot doesn't count
+    nonzero += 16 - __builtin_popcount(zero_mask) / 2;
+  }
+  if (first == 1) block[0] = saved_dc;
+  return nonzero;
+}
+
+void dequantize_ac_avx2(std::int16_t* block, int first, int qp) {
+  PB_DCHECK(first == 0 || first == 1);
+  const __m256i vqp = _mm256_set1_epi32(qp);
+  const __m256i vone = _mm256_set1_epi32(1);
+  const __m256i veven = _mm256_set1_epi32(qp % 2 == 0 ? 1 : 0);
+  const __m256i vmax = _mm256_set1_epi32(2047);
+  const std::int16_t saved_dc = block[0];
+
+  auto rec_of = [&](__m256i x) {
+    __m256i mag = _mm256_abs_epi32(x);
+    // |REC| = QP * (2|LEVEL| + 1), minus 1 when QP is even (oddification).
+    __m256i rec = _mm256_mullo_epi32(
+        vqp, _mm256_add_epi32(_mm256_slli_epi32(mag, 1), vone));
+    rec = _mm256_min_epi32(_mm256_sub_epi32(rec, veven), vmax);
+    return _mm256_sign_epi32(rec, x);  // LEVEL==0 reconstructs to 0
+  };
+
+  for (int i = 0; i < 64; i += 16) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block + i));
+    __m256i xlo = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(v));
+    __m256i xhi = _mm256_cvtepi16_epi32(_mm256_extracti128_si256(v, 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(block + i),
+                        pack_epi32_ordered(rec_of(xlo), rec_of(xhi)));
+  }
+  if (first == 1) block[0] = saved_dc;
+}
+
+}  // namespace
+
+const KernelTable* avx2_table_or_null() {
+  static const KernelTable table = {
+      Backend::kAvx2,
+      "avx2",
+      &sad_16x16_avx2,
+      &sad_16x16_cutoff_avx2,
+      &sad_self_16x16_avx2,
+      &forward_dct_8x8_avx2,
+      &inverse_dct_8x8_avx2,
+      &quantize_ac_avx2,
+      &dequantize_ac_avx2,
+  };
+  return &table;
+}
+
+}  // namespace pbpair::codec::kernels
+
+#else  // !defined(__AVX2__)
+
+namespace pbpair::codec::kernels {
+const KernelTable* avx2_table_or_null() { return nullptr; }
+}  // namespace pbpair::codec::kernels
+
+#endif

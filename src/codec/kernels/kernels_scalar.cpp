@@ -1,0 +1,148 @@
+// Scalar reference kernels. These are the ground truth: every SIMD backend
+// must reproduce their outputs (and early-exit row counts) bit-for-bit,
+// which tests/test_kernels.cpp verifies exhaustively.
+#include "codec/kernels/kernels.h"
+
+#include "codec/kernels/dct_tables.h"
+#include "codec/quant.h"
+#include "common/math_util.h"
+
+namespace pbpair::codec::kernels {
+namespace {
+
+std::int64_t sad_16x16_scalar(const std::uint8_t* cur, int cur_stride,
+                              const std::uint8_t* ref, int ref_stride) {
+  std::int64_t sad = 0;
+  for (int y = 0; y < 16; ++y) {
+    const std::uint8_t* crow = cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+    const std::uint8_t* rrow = ref + static_cast<std::ptrdiff_t>(y) * ref_stride;
+    for (int x = 0; x < 16; ++x) {
+      sad += common::iabs(static_cast<int>(crow[x]) - static_cast<int>(rrow[x]));
+    }
+  }
+  return sad;
+}
+
+std::int64_t sad_16x16_cutoff_scalar(const std::uint8_t* cur, int cur_stride,
+                                     const std::uint8_t* ref, int ref_stride,
+                                     std::int64_t cutoff,
+                                     int* rows_processed) {
+  std::int64_t sad = 0;
+  for (int y = 0; y < 16; ++y) {
+    const std::uint8_t* crow = cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+    const std::uint8_t* rrow = ref + static_cast<std::ptrdiff_t>(y) * ref_stride;
+    for (int x = 0; x < 16; ++x) {
+      sad += common::iabs(static_cast<int>(crow[x]) - static_cast<int>(rrow[x]));
+    }
+    if (sad >= cutoff) {  // cannot become the best candidate
+      *rows_processed = y + 1;
+      return sad;
+    }
+  }
+  *rows_processed = 16;
+  return sad;
+}
+
+std::int64_t sad_self_16x16_scalar(const std::uint8_t* cur, int cur_stride) {
+  std::int64_t sum = 0;
+  for (int y = 0; y < 16; ++y) {
+    const std::uint8_t* crow = cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+    for (int x = 0; x < 16; ++x) sum += crow[x];
+  }
+  int mean = static_cast<int>(sum / 256);
+  std::int64_t dev = 0;
+  for (int y = 0; y < 16; ++y) {
+    const std::uint8_t* crow = cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+    for (int x = 0; x < 16; ++x) {
+      dev += common::iabs(static_cast<int>(crow[x]) - mean);
+    }
+  }
+  return dev;
+}
+
+void forward_dct_8x8_scalar(const std::int16_t* input, std::int16_t* output) {
+  // Pass 1 (columns): tmp[u][y] = sum_x B[u][x] * in[x][y].
+  std::int32_t tmp[64];
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      std::int32_t acc = 0;
+      for (int x = 0; x < 8; ++x) {
+        acc += kDctBasis[u][x] * static_cast<std::int32_t>(input[x * 8 + y]);
+      }
+      tmp[u * 8 + y] = acc;  // |acc| <= 8 * 8035 * 2048 fits easily
+    }
+  }
+  // Pass 2 (rows): F[u][v] = sum_y tmp[u][y] * B[v][y], then drop Q28.
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      std::int64_t acc = 0;
+      for (int y = 0; y < 8; ++y) {
+        acc += static_cast<std::int64_t>(tmp[u * 8 + y]) * kDctBasis[v][y];
+      }
+      // Round and rescale from Q28 to integer coefficients.
+      std::int64_t rounded = (acc + (acc >= 0 ? (1 << 27) : -(1 << 27))) >> 28;
+      output[u * 8 + v] = static_cast<std::int16_t>(
+          common::clamp<std::int64_t>(rounded, -2048, 2047));
+    }
+  }
+}
+
+void inverse_dct_8x8_scalar(const std::int16_t* input, std::int16_t* output) {
+  // Pass 1: tmp[x][v] = sum_u B[u][x] * F[u][v] (B^T * F).
+  std::int32_t tmp[64];
+  for (int x = 0; x < 8; ++x) {
+    for (int v = 0; v < 8; ++v) {
+      std::int32_t acc = 0;
+      for (int u = 0; u < 8; ++u) {
+        acc += kDctBasis[u][x] * static_cast<std::int32_t>(input[u * 8 + v]);
+      }
+      tmp[x * 8 + v] = acc;
+    }
+  }
+  // Pass 2: X[x][y] = sum_v tmp[x][v] * B[v][y], drop Q28.
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      std::int64_t acc = 0;
+      for (int v = 0; v < 8; ++v) {
+        acc += static_cast<std::int64_t>(tmp[x * 8 + v]) * kDctBasis[v][y];
+      }
+      std::int64_t rounded = (acc + (acc >= 0 ? (1 << 27) : -(1 << 27))) >> 28;
+      output[x * 8 + y] = static_cast<std::int16_t>(
+          common::clamp<std::int64_t>(rounded, -2048, 2047));
+    }
+  }
+}
+
+int quantize_ac_scalar(std::int16_t* block, int first, int qp, bool intra) {
+  int nonzero = 0;
+  for (int i = first; i < 64; ++i) {
+    int level = quantize_coeff(block[i], qp, intra);
+    block[i] = static_cast<std::int16_t>(level);
+    if (level != 0) ++nonzero;
+  }
+  return nonzero;
+}
+
+void dequantize_ac_scalar(std::int16_t* block, int first, int qp) {
+  for (int i = first; i < 64; ++i) {
+    block[i] = static_cast<std::int16_t>(dequantize_coeff(block[i], qp));
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    Backend::kScalar,
+    "scalar",
+    &sad_16x16_scalar,
+    &sad_16x16_cutoff_scalar,
+    &sad_self_16x16_scalar,
+    &forward_dct_8x8_scalar,
+    &inverse_dct_8x8_scalar,
+    &quantize_ac_scalar,
+    &dequantize_ac_scalar,
+};
+
+}  // namespace
+
+const KernelTable& scalar_table() { return kScalarTable; }
+
+}  // namespace pbpair::codec::kernels

@@ -1,0 +1,103 @@
+// SSE2 kernels. PSADBW computes the sum of absolute byte differences
+// exactly, so the SAD kernels return the same integers as the scalar loop;
+// the cutoff variant keeps the scalar's per-row termination points so the
+// metered row count is identical too. DCT and quant need SSE4.1+ integer
+// multiplies to stay bit-exact, so on a bare-SSE2 selection they fall back
+// to the scalar reference (the dispatch table is per-kernel).
+#include "codec/kernels/kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace pbpair::codec::kernels {
+namespace {
+
+inline std::int64_t hsum_sad(__m128i acc) {
+  // PSADBW leaves two 16-bit sums in the low words of each 64-bit half.
+  return _mm_cvtsi128_si64(acc) +
+         _mm_cvtsi128_si64(_mm_srli_si128(acc, 8));
+}
+
+std::int64_t sad_16x16_sse2(const std::uint8_t* cur, int cur_stride,
+                            const std::uint8_t* ref, int ref_stride) {
+  __m128i acc = _mm_setzero_si128();
+  for (int y = 0; y < 16; ++y) {
+    __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+        cur + static_cast<std::ptrdiff_t>(y) * cur_stride));
+    __m128i r = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+        ref + static_cast<std::ptrdiff_t>(y) * ref_stride));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(c, r));
+  }
+  return hsum_sad(acc);
+}
+
+std::int64_t sad_16x16_cutoff_sse2(const std::uint8_t* cur, int cur_stride,
+                                   const std::uint8_t* ref, int ref_stride,
+                                   std::int64_t cutoff, int* rows_processed) {
+  std::int64_t sad = 0;
+  for (int y = 0; y < 16; ++y) {
+    __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+        cur + static_cast<std::ptrdiff_t>(y) * cur_stride));
+    __m128i r = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+        ref + static_cast<std::ptrdiff_t>(y) * ref_stride));
+    sad += hsum_sad(_mm_sad_epu8(c, r));
+    if (sad >= cutoff) {  // same row boundary the scalar loop checks at
+      *rows_processed = y + 1;
+      return sad;
+    }
+  }
+  *rows_processed = 16;
+  return sad;
+}
+
+std::int64_t sad_self_16x16_sse2(const std::uint8_t* cur, int cur_stride) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = zero;
+  for (int y = 0; y < 16; ++y) {
+    __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+        cur + static_cast<std::ptrdiff_t>(y) * cur_stride));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(c, zero));
+  }
+  std::int64_t sum = hsum_sad(acc);
+  // Truncated mean, exactly like the scalar reference; it fits a byte, so
+  // PSADBW against the broadcast mean is |p - mean| exactly.
+  const int mean = static_cast<int>(sum / 256);
+  const __m128i vmean = _mm_set1_epi8(static_cast<char>(mean));
+  __m128i dev = zero;
+  for (int y = 0; y < 16; ++y) {
+    __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+        cur + static_cast<std::ptrdiff_t>(y) * cur_stride));
+    dev = _mm_add_epi64(dev, _mm_sad_epu8(c, vmean));
+  }
+  return hsum_sad(dev);
+}
+
+}  // namespace
+
+const KernelTable* sse2_table_or_null() {
+  // Function-local static: initialized on first use, so referencing the
+  // scalar table's function pointers never races static init order.
+  static const KernelTable table = {
+      Backend::kSse2,
+      "sse2",
+      &sad_16x16_sse2,
+      &sad_16x16_cutoff_sse2,
+      &sad_self_16x16_sse2,
+      scalar_table().forward_dct_8x8,
+      scalar_table().inverse_dct_8x8,
+      scalar_table().quantize_ac,
+      scalar_table().dequantize_ac,
+  };
+  return &table;
+}
+
+}  // namespace pbpair::codec::kernels
+
+#else  // !defined(__SSE2__)
+
+namespace pbpair::codec::kernels {
+const KernelTable* sse2_table_or_null() { return nullptr; }
+}  // namespace pbpair::codec::kernels
+
+#endif

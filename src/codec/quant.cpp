@@ -1,5 +1,6 @@
 #include "codec/quant.h"
 
+#include "codec/kernels/kernels.h"
 #include "common/check.h"
 #include "common/math_util.h"
 
@@ -35,20 +36,22 @@ int dequantize_coeff(int level, int qp) {
   return level > 0 ? rec : -rec;
 }
 
+// Block-level entry points dispatch to the kernel layer (codec/kernels/);
+// quant_coeffs metering is analytic so it is backend-independent.
+
 int quantize_block(std::int16_t* block, int qp, bool intra,
                    energy::OpCounters& ops) {
+  PB_CHECK(qp >= kMinQp && qp <= kMaxQp);
   int nonzero = 0;
   int start = 0;
+  int dc = 0;
   if (intra) {
-    block[0] = static_cast<std::int16_t>(quantize_intra_dc(block[0]));
+    dc = quantize_intra_dc(block[0]);
     ++nonzero;  // intra DC is always coded
     start = 1;
   }
-  for (int i = start; i < 64; ++i) {
-    int level = quantize_coeff(block[i], qp, intra);
-    block[i] = static_cast<std::int16_t>(level);
-    if (level != 0) ++nonzero;
-  }
+  nonzero += kernels::active().quantize_ac(block, start, qp, intra);
+  if (intra) block[0] = static_cast<std::int16_t>(dc);
   ops.quant_coeffs += 64;
   return nonzero;
 }
@@ -56,13 +59,13 @@ int quantize_block(std::int16_t* block, int qp, bool intra,
 void dequantize_block(std::int16_t* block, int qp, bool intra,
                       energy::OpCounters& ops) {
   int start = 0;
+  int dc = 0;
   if (intra) {
-    block[0] = static_cast<std::int16_t>(dequantize_intra_dc(block[0]));
+    dc = dequantize_intra_dc(block[0]);
     start = 1;
   }
-  for (int i = start; i < 64; ++i) {
-    block[i] = static_cast<std::int16_t>(dequantize_coeff(block[i], qp));
-  }
+  kernels::active().dequantize_ac(block, start, qp);
+  if (intra) block[0] = static_cast<std::int16_t>(dc);
   ops.dequant_coeffs += 64;
 }
 

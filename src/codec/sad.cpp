@@ -1,9 +1,14 @@
 #include "codec/sad.h"
 
+#include "codec/kernels/kernels.h"
 #include "common/check.h"
-#include "common/math_util.h"
 
 namespace pbpair::codec {
+
+// The kernels (scalar or SIMD, see codec/kernels/) return values that are
+// bit-identical across backends; the energy metering below is analytic
+// (pixels visited, rows completed), so OpCounters never depend on which
+// backend ran.
 
 std::int64_t sad_16x16(const video::Plane& cur, int cx, int cy,
                        const video::Plane& ref, int rx, int ry,
@@ -12,14 +17,8 @@ std::int64_t sad_16x16(const video::Plane& cur, int cx, int cy,
             cy + 16 <= cur.height());
   PB_DCHECK(rx >= 0 && ry >= 0 && rx + 16 <= ref.width() &&
             ry + 16 <= ref.height());
-  std::int64_t sad = 0;
-  for (int y = 0; y < 16; ++y) {
-    const std::uint8_t* crow = cur.row(cy + y) + cx;
-    const std::uint8_t* rrow = ref.row(ry + y) + rx;
-    for (int x = 0; x < 16; ++x) {
-      sad += common::iabs(static_cast<int>(crow[x]) - static_cast<int>(rrow[x]));
-    }
-  }
+  std::int64_t sad = kernels::active().sad_16x16(
+      cur.row(cy) + cx, cur.width(), ref.row(ry) + rx, ref.width());
   ops.sad_pixel_ops += 256;
   return sad;
 }
@@ -27,34 +26,24 @@ std::int64_t sad_16x16(const video::Plane& cur, int cx, int cy,
 std::int64_t sad_16x16_cutoff(const video::Plane& cur, int cx, int cy,
                               const video::Plane& ref, int rx, int ry,
                               std::int64_t cutoff, energy::OpCounters& ops) {
-  std::int64_t sad = 0;
-  for (int y = 0; y < 16; ++y) {
-    const std::uint8_t* crow = cur.row(cy + y) + cx;
-    const std::uint8_t* rrow = ref.row(ry + y) + rx;
-    for (int x = 0; x < 16; ++x) {
-      sad += common::iabs(static_cast<int>(crow[x]) - static_cast<int>(rrow[x]));
-    }
-    ops.sad_pixel_ops += 16;
-    if (sad >= cutoff) return sad;  // cannot become the best candidate
-  }
+  PB_DCHECK(cx >= 0 && cy >= 0 && cx + 16 <= cur.width() &&
+            cy + 16 <= cur.height());
+  PB_DCHECK(rx >= 0 && ry >= 0 && rx + 16 <= ref.width() &&
+            ry + 16 <= ref.height());
+  int rows = 0;
+  std::int64_t sad = kernels::active().sad_16x16_cutoff(
+      cur.row(cy) + cx, cur.width(), ref.row(ry) + rx, ref.width(), cutoff,
+      &rows);
+  ops.sad_pixel_ops += 16 * static_cast<std::uint64_t>(rows);
   return sad;
 }
 
 std::int64_t sad_self_16x16(const video::Plane& cur, int cx, int cy,
                             energy::OpCounters& ops) {
-  std::int64_t sum = 0;
-  for (int y = 0; y < 16; ++y) {
-    const std::uint8_t* crow = cur.row(cy + y) + cx;
-    for (int x = 0; x < 16; ++x) sum += crow[x];
-  }
-  int mean = static_cast<int>(sum / 256);
-  std::int64_t dev = 0;
-  for (int y = 0; y < 16; ++y) {
-    const std::uint8_t* crow = cur.row(cy + y) + cx;
-    for (int x = 0; x < 16; ++x) {
-      dev += common::iabs(static_cast<int>(crow[x]) - mean);
-    }
-  }
+  PB_DCHECK(cx >= 0 && cy >= 0 && cx + 16 <= cur.width() &&
+            cy + 16 <= cur.height());
+  std::int64_t dev =
+      kernels::active().sad_self_16x16(cur.row(cy) + cx, cur.width());
   ops.sad_pixel_ops += 256;
   return dev;
 }

@@ -1,0 +1,61 @@
+// A small fixed-size worker pool for fanning out independent simulation
+// runs (see sim/parallel_sweep.h). Determinism contract: the pool imposes
+// no ordering of its own — callers make each task self-contained (own RNG,
+// own output slot) so results are identical at any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pbpair::common {
+
+/// Worker threads from the PBPAIR_THREADS environment variable when set
+/// (clamped to >= 1), otherwise std::thread::hardware_concurrency().
+int default_thread_count();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw (the codec aborts via PB_CHECK
+  /// on invariant failure; anything else would tear down the process
+  /// anyway).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_all();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;  // queued + running
+  bool stopping_ = false;
+};
+
+/// Runs body(0..count-1) across `threads` workers (<= 0 selects
+/// default_thread_count()). Serial fast path when either is 1. Blocks
+/// until every index has completed. Index assignment order is unspecified;
+/// bodies must be independent.
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace pbpair::common

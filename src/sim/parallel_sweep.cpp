@@ -1,0 +1,25 @@
+#include "sim/parallel_sweep.h"
+
+#include "common/thread_pool.h"
+
+namespace pbpair::sim {
+
+int sweep_thread_count() { return common::default_thread_count(); }
+
+std::vector<PipelineResult> run_parallel_sweep(
+    const std::vector<SweepTask>& tasks, const SweepOptions& options) {
+  std::vector<PipelineResult> results(tasks.size());
+  common::parallel_for(
+      tasks.size(),
+      options.threads <= 0 ? sweep_thread_count() : options.threads,
+      [&tasks, &results](std::size_t i) {
+        const SweepTask& task = tasks[i];
+        std::unique_ptr<net::LossModel> loss;
+        if (task.make_loss) loss = task.make_loss();
+        results[i] =
+            run_pipeline(task.source, task.scheme, loss.get(), task.config);
+      });
+  return results;
+}
+
+}  // namespace pbpair::sim

@@ -1,0 +1,43 @@
+// Parallel fan-out of independent pipeline runs.
+//
+// Every figure/table benchmark is a grid of (scheme, PLR, seed) points,
+// and each point is a completely self-contained run_pipeline() call — the
+// sweeps are embarrassingly parallel. A SweepTask owns everything one run
+// needs; crucially, the loss model is created INSIDE the task from a
+// deterministic factory (per-task seed), so results are byte-identical at
+// any thread count. tests/test_parallel_sweep.cpp asserts this at 1, 2,
+// and 8 threads.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/loss_model.h"
+#include "sim/pipeline.h"
+
+namespace pbpair::sim {
+
+struct SweepTask {
+  SchemeSpec scheme;
+  PipelineConfig config;
+  FrameSource source;
+  /// Creates the run's own loss model (seeded deterministically by the
+  /// caller). Null factory — or a factory returning null — runs the
+  /// lossless channel.
+  std::function<std::unique_ptr<net::LossModel>()> make_loss;
+};
+
+struct SweepOptions {
+  /// Worker threads; <= 0 selects sweep_thread_count().
+  int threads = 0;
+};
+
+/// PBPAIR_THREADS environment override, else hardware concurrency.
+int sweep_thread_count();
+
+/// Runs all tasks across a thread pool; results[i] belongs to tasks[i].
+std::vector<PipelineResult> run_parallel_sweep(
+    const std::vector<SweepTask>& tasks, const SweepOptions& options = {});
+
+}  // namespace pbpair::sim

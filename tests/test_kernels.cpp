@@ -1,0 +1,284 @@
+// Kernel-dispatch equivalence: every SIMD backend must reproduce the
+// scalar reference bit-for-bit — same SAD/DCT/quant outputs, same
+// early-exit row counts, and therefore identical energy::OpCounters
+// deltas. Randomized over edge alignments, strides, and cutoff positions.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "codec/kernels/kernels.h"
+#include "codec/quant.h"
+#include "codec/sad.h"
+#include "common/rng.h"
+#include "sim/scheme.h"
+#include "video/frame.h"
+#include "video/sequence.h"
+
+namespace pbpair {
+namespace {
+
+using codec::kernels::Backend;
+using codec::kernels::KernelTable;
+
+std::vector<const KernelTable*> simd_tables() {
+  std::vector<const KernelTable*> tables;
+  for (Backend backend : codec::kernels::supported_backends()) {
+    if (backend == Backend::kScalar) continue;
+    tables.push_back(codec::kernels::table_for(backend));
+  }
+  return tables;
+}
+
+// A buffer of noisy pixels with an odd stride so SIMD loads hit every
+// alignment.
+struct PixelField {
+  explicit PixelField(std::uint64_t seed, int stride = 61, int rows = 96)
+      : stride(stride), rows(rows), data(static_cast<std::size_t>(stride) * rows) {
+    common::Pcg32 rng(seed);
+    for (std::uint8_t& p : data) {
+      p = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+  }
+  const std::uint8_t* at(int x, int y) const {
+    return data.data() + static_cast<std::size_t>(y) * stride + x;
+  }
+  int stride;
+  int rows;
+  std::vector<std::uint8_t> data;
+};
+
+TEST(Kernels, ScalarBackendAlwaysAvailable) {
+  std::vector<Backend> backends = codec::kernels::supported_backends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.front(), Backend::kScalar);
+  EXPECT_NE(codec::kernels::table_for(Backend::kScalar), nullptr);
+}
+
+TEST(Kernels, SadMatchesScalarAcrossAlignments) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  PixelField cur(1), ref(2);
+  common::Pcg32 rng(3);
+  for (const KernelTable* simd : simd_tables()) {
+    for (int trial = 0; trial < 500; ++trial) {
+      int cx = rng.next_in_range(0, cur.stride - 16);
+      int cy = rng.next_in_range(0, cur.rows - 16);
+      int rx = rng.next_in_range(0, ref.stride - 16);
+      int ry = rng.next_in_range(0, ref.rows - 16);
+      std::int64_t want = scalar.sad_16x16(cur.at(cx, cy), cur.stride,
+                                           ref.at(rx, ry), ref.stride);
+      std::int64_t got = simd->sad_16x16(cur.at(cx, cy), cur.stride,
+                                         ref.at(rx, ry), ref.stride);
+      ASSERT_EQ(want, got) << simd->name << " trial " << trial;
+    }
+  }
+}
+
+TEST(Kernels, SadCutoffMatchesScalarIncludingRowCounts) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  PixelField cur(4), ref(5);
+  common::Pcg32 rng(6);
+  for (const KernelTable* simd : simd_tables()) {
+    for (int trial = 0; trial < 1000; ++trial) {
+      int cx = rng.next_in_range(0, cur.stride - 16);
+      int cy = rng.next_in_range(0, cur.rows - 16);
+      int rx = rng.next_in_range(0, ref.stride - 16);
+      int ry = rng.next_in_range(0, ref.rows - 16);
+      // Cutoffs spanning instant exit (<= 0), mid-block exits, and
+      // never-exits (full 16 rows).
+      std::int64_t cutoff;
+      switch (trial % 4) {
+        case 0: cutoff = rng.next_in_range(-5, 5); break;
+        case 1: cutoff = rng.next_in_range(1, 4000); break;
+        case 2: cutoff = rng.next_in_range(4000, 40000); break;
+        default: cutoff = 1'000'000; break;
+      }
+      int want_rows = -1, got_rows = -1;
+      std::int64_t want =
+          scalar.sad_16x16_cutoff(cur.at(cx, cy), cur.stride, ref.at(rx, ry),
+                                  ref.stride, cutoff, &want_rows);
+      std::int64_t got =
+          simd->sad_16x16_cutoff(cur.at(cx, cy), cur.stride, ref.at(rx, ry),
+                                 ref.stride, cutoff, &got_rows);
+      ASSERT_EQ(want, got) << simd->name << " trial " << trial;
+      ASSERT_EQ(want_rows, got_rows) << simd->name << " trial " << trial;
+    }
+  }
+}
+
+TEST(Kernels, SadSelfMatchesScalar) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  common::Pcg32 rng(8);
+  for (const KernelTable* simd : simd_tables()) {
+    // Uniform noise plus near-flat fields (mean truncation edge cases).
+    for (std::uint64_t seed : {10ull, 11ull, 12ull}) {
+      PixelField field(seed);
+      for (int trial = 0; trial < 300; ++trial) {
+        int cx = rng.next_in_range(0, field.stride - 16);
+        int cy = rng.next_in_range(0, field.rows - 16);
+        ASSERT_EQ(scalar.sad_self_16x16(field.at(cx, cy), field.stride),
+                  simd->sad_self_16x16(field.at(cx, cy), field.stride))
+            << simd->name << " seed " << seed << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Kernels, DctMatchesScalar) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  common::Pcg32 rng(20);
+  for (const KernelTable* simd : simd_tables()) {
+    for (int trial = 0; trial < 2000; ++trial) {
+      std::int16_t input[64];
+      // Pixels, residuals, and full-range coefficients by turn.
+      int lo = trial % 3 == 0 ? 0 : (trial % 3 == 1 ? -255 : -2048);
+      int hi = trial % 3 == 0 ? 255 : (trial % 3 == 1 ? 255 : 2047);
+      for (std::int16_t& v : input) {
+        v = static_cast<std::int16_t>(rng.next_in_range(lo, hi));
+      }
+      std::int16_t want[64], got[64];
+      scalar.forward_dct_8x8(input, want);
+      simd->forward_dct_8x8(input, got);
+      ASSERT_EQ(0, std::memcmp(want, got, sizeof(want)))
+          << simd->name << " fdct trial " << trial;
+      scalar.inverse_dct_8x8(input, want);
+      simd->inverse_dct_8x8(input, got);
+      ASSERT_EQ(0, std::memcmp(want, got, sizeof(want)))
+          << simd->name << " idct trial " << trial;
+    }
+  }
+}
+
+TEST(Kernels, QuantizeMatchesScalarForAllQp) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  common::Pcg32 rng(30);
+  for (const KernelTable* simd : simd_tables()) {
+    for (int qp = codec::kMinQp; qp <= codec::kMaxQp; ++qp) {
+      for (int trial = 0; trial < 40; ++trial) {
+        const bool intra = trial % 2 == 0;
+        const int first = intra ? 1 : 0;
+        std::int16_t want[64], got[64];
+        for (int i = 0; i < 64; ++i) {
+          // Full DCT output range plus values straddling quantizer steps.
+          want[i] = static_cast<std::int16_t>(rng.next_in_range(-2048, 2047));
+          got[i] = want[i];
+        }
+        int want_nz = scalar.quantize_ac(want, first, qp, intra);
+        int got_nz = simd->quantize_ac(got, first, qp, intra);
+        ASSERT_EQ(want_nz, got_nz)
+            << simd->name << " qp " << qp << " trial " << trial;
+        ASSERT_EQ(0, std::memcmp(want, got, sizeof(want)))
+            << simd->name << " qp " << qp << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Kernels, DequantizeMatchesScalarForAllQp) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  common::Pcg32 rng(40);
+  for (const KernelTable* simd : simd_tables()) {
+    for (int qp = codec::kMinQp; qp <= codec::kMaxQp; ++qp) {
+      for (int trial = 0; trial < 40; ++trial) {
+        const int first = trial % 2;
+        std::int16_t want[64], got[64];
+        for (int i = 0; i < 64; ++i) {
+          want[i] = static_cast<std::int16_t>(
+              rng.next_in_range(-codec::kMaxLevel, codec::kMaxLevel));
+          got[i] = want[i];
+        }
+        scalar.dequantize_ac(want, first, qp);
+        simd->dequantize_ac(got, first, qp);
+        ASSERT_EQ(0, std::memcmp(want, got, sizeof(want)))
+            << simd->name << " qp " << qp << " trial " << trial;
+      }
+    }
+  }
+}
+
+// The OpCounters invariant, end to end: running the public metered API
+// with each backend yields identical counters AND identical results — on
+// the cutoff path this exercises the analytic rows-visited accounting.
+TEST(Kernels, OpCountersIdenticalAcrossBackends) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  video::YuvFrame a = seq.frame_at(3);
+  video::YuvFrame b = seq.frame_at(4);
+  common::Pcg32 rng(50);
+
+  const Backend original = codec::kernels::active_backend();
+  struct Probe {
+    std::int64_t sum = 0;
+    energy::OpCounters ops;
+  };
+  std::vector<Probe> probes;
+  for (Backend backend : codec::kernels::supported_backends()) {
+    ASSERT_TRUE(codec::kernels::set_active(backend));
+    Probe probe;
+    common::Pcg32 local(51);  // same coordinate stream per backend
+    for (int trial = 0; trial < 200; ++trial) {
+      int cx = 16 * local.next_in_range(0, a.y().width() / 16 - 1);
+      int cy = 16 * local.next_in_range(0, a.y().height() / 16 - 1);
+      int rx = local.next_in_range(0, b.y().width() - 16);
+      int ry = local.next_in_range(0, b.y().height() - 16);
+      probe.sum += codec::sad_16x16(a.y(), cx, cy, b.y(), rx, ry, probe.ops);
+      probe.sum += codec::sad_16x16_cutoff(a.y(), cx, cy, b.y(), rx, ry,
+                                           local.next_in_range(0, 20000),
+                                           probe.ops);
+      probe.sum += codec::sad_self_16x16(a.y(), cx, cy, probe.ops);
+    }
+    probes.push_back(probe);
+  }
+  ASSERT_TRUE(codec::kernels::set_active(original));
+
+  for (std::size_t i = 1; i < probes.size(); ++i) {
+    EXPECT_EQ(probes[0].sum, probes[i].sum);
+    EXPECT_EQ(probes[0].ops.sad_pixel_ops, probes[i].ops.sad_pixel_ops);
+  }
+}
+
+// Strongest equivalence check: a short full-encoder run must produce the
+// same bitstream and the same operation counters on every backend.
+TEST(Kernels, EncoderBitstreamIdenticalAcrossBackends) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  const Backend original = codec::kernels::active_backend();
+
+  struct EncodeRun {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t sad_ops = 0;
+    std::uint64_t quant = 0;
+  };
+  std::vector<EncodeRun> runs;
+  for (Backend backend : codec::kernels::supported_backends()) {
+    ASSERT_TRUE(codec::kernels::set_active(backend));
+    codec::EncoderConfig config;
+    config.qp = 10;
+    config.search.strategy = codec::SearchStrategy::kFullSearch;
+    config.search.range = 7;
+    std::unique_ptr<codec::RefreshPolicy> policy = sim::make_policy(
+        sim::SchemeSpec::no_resilience(), config.width / 16,
+        config.height / 16);
+    codec::Encoder encoder(config, policy.get());
+    EncodeRun run;
+    for (int i = 0; i < 4; ++i) {
+      codec::EncodedFrame frame = encoder.encode_frame(seq.frame_at(i));
+      run.bytes.insert(run.bytes.end(), frame.bytes.begin(),
+                       frame.bytes.end());
+    }
+    run.sad_ops = encoder.ops().sad_pixel_ops;
+    run.quant = encoder.ops().quant_coeffs;
+    runs.push_back(std::move(run));
+  }
+  ASSERT_TRUE(codec::kernels::set_active(original));
+
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].bytes, runs[i].bytes) << "backend index " << i;
+    EXPECT_EQ(runs[0].sad_ops, runs[i].sad_ops);
+    EXPECT_EQ(runs[0].quant, runs[i].quant);
+  }
+}
+
+}  // namespace
+}  // namespace pbpair
