@@ -5,6 +5,9 @@
 #include <map>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pbpair::bench {
 
 int bench_frames() {
@@ -100,6 +103,64 @@ void maybe_write_csv(const sim::Table& table, const std::string& name) {
   table.print_csv(f);
   std::fclose(f);
   std::printf("(csv written to %s)\n", path.c_str());
+}
+
+void enable_observability(const char* bench_name) {
+  obs::set_enabled(true);
+  obs::set_thread_name(std::string("bench-") + bench_name);
+}
+
+std::string table_to_json(const sim::Table& table) {
+  // Cells are emitted as strings exactly as formatted for the text table;
+  // the report is for humans and regression diffs, not for re-computation.
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::string json = "[";
+  for (std::size_t r = 0; r < table.rows().size(); ++r) {
+    const std::vector<std::string>& row = table.rows()[r];
+    json += r == 0 ? "\n      {" : ",\n      {";
+    for (std::size_t c = 0; c < table.header().size() && c < row.size(); ++c) {
+      if (c > 0) json += ", ";
+      json += "\"" + escape(table.header()[c]) + "\": \"" + escape(row[c]) +
+              "\"";
+    }
+    json += "}";
+  }
+  json += "\n    ]";
+  return json;
+}
+
+void write_json_report(const std::string& name,
+                       const std::string& payload_fields) {
+  const char* path_env = std::getenv("PBPAIR_BENCH_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  %s,\n  \"metrics\": %s\n}\n",
+               name.c_str(), payload_fields.c_str(),
+               obs::Registry::global().to_json(false).c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  const char* trace_path = std::getenv("PBPAIR_TRACE_JSON");
+  if (trace_path != nullptr) {
+    if (obs::write_chrome_trace(trace_path)) {
+      std::printf("wrote %s (%zu spans)\n", trace_path,
+                  obs::trace_span_count());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path);
+    }
+  }
 }
 
 sim::PipelineResult run_clip(video::SequenceKind kind,

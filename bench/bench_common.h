@@ -60,6 +60,23 @@ sim::SweepTask clip_task(
 /// environment variable is set (for external plotting); no-op otherwise.
 void maybe_write_csv(const sim::Table& table, const std::string& name);
 
+/// Turns the observability layer on for this bench process (metrics blocks
+/// in the JSON reports need populated counters) and names the main trace
+/// track after the bench. Call first in main().
+void enable_observability(const char* bench_name);
+
+/// Renders `table` as a JSON array of objects, one per row, using the
+/// header names as keys and the formatted cell text as string values.
+std::string table_to_json(const sim::Table& table);
+
+/// Writes BENCH_<name>.json (override the path with $PBPAIR_BENCH_JSON):
+/// an object holding `payload_fields` — pre-rendered `"key": value` pairs,
+/// comma-separated, no trailing comma — plus the obs metrics registry as
+/// the report's "metrics" block. When $PBPAIR_TRACE_JSON is set, the
+/// buffered trace spans are also exported there in Chrome trace format.
+void write_json_report(const std::string& name,
+                       const std::string& payload_fields);
+
 /// All three paper clips.
 inline constexpr video::SequenceKind kPaperClips[] = {
     video::SequenceKind::kForemanLike, video::SequenceKind::kAkiyoLike,

@@ -12,6 +12,7 @@
 using namespace pbpair;
 
 int main() {
+  bench::enable_observability("fig5_comparison");
   const int frames = bench::bench_frames();
   const double plr = 0.10;
   std::printf(
@@ -81,8 +82,10 @@ int main() {
   }
   std::printf("\n");
 
-  auto print_panel = [&rows](const char* title, const char* csv_name,
-                             auto metric, const char* fmt) {
+  std::string panels_json;
+  auto print_panel = [&rows, &panels_json](const char* title,
+                                           const char* csv_name, auto metric,
+                                           const char* fmt) {
     std::printf("%s\n", title);
     sim::Table table({"scheme", "foreman", "akiyo", "garden"});
     for (const Row& row : rows) {
@@ -92,6 +95,9 @@ int main() {
     }
     table.print();
     bench::maybe_write_csv(table, csv_name);
+    if (!panels_json.empty()) panels_json += ",\n    ";
+    panels_json += sim::format("\"%s\": ", csv_name) +
+                   bench::table_to_json(table);
     std::printf("\n");
   };
 
@@ -110,5 +116,11 @@ int main() {
       "expected shape (paper): PBPAIR matches the baselines' PSNR and size\n"
       "while consuming the least encoding energy; AIR's energy ~= NO's\n"
       "because AIR decides modes after motion estimation.\n");
+
+  bench::write_json_report(
+      "fig5",
+      sim::format("\"frames\": %d,\n  \"plr\": %.2f,\n  \"panels\": {\n    ",
+                  frames, plr) +
+          panels_json + "\n  }");
   return 0;
 }

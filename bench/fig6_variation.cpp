@@ -13,6 +13,7 @@
 using namespace pbpair;
 
 int main() {
+  bench::enable_observability("fig6_variation");
   const int frames = 50;
   // e1..e7: scripted frame-loss events. Frame 36 is an I-frame of GOP-8
   // (period 9: I at 0, 9, 18, 27, 36, 45) => e7 shows the I-frame loss.
@@ -133,5 +134,19 @@ int main() {
       "event; GOP-8 recovers only at the next I-frame and collapses for a\n"
       "full GOP period after e7 (lost I-frame); GOP's max/mean size ratio is\n"
       "far above the MB-level refresh schemes (bursty bitstream).\n");
+
+  std::string events_json;
+  for (std::uint32_t e : kLossEvents) {
+    if (!events_json.empty()) events_json += ", ";
+    events_json += sim::format("%u", e);
+  }
+  bench::write_json_report(
+      "fig6",
+      sim::format("\"frames\": %d,\n  \"loss_events\": [%s],\n", frames,
+                  events_json.c_str()) +
+          "  \"psnr_variation\": " + bench::table_to_json(psnr_table) +
+          ",\n  \"frame_size_variation\": " + bench::table_to_json(size_table) +
+          ",\n  \"recovery\": " + bench::table_to_json(rec) +
+          ",\n  \"burstiness\": " + bench::table_to_json(burst));
   return 0;
 }

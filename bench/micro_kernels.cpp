@@ -235,6 +235,10 @@ int main() {
   }
   kernel_table.print();
 
+  // Observability stays off for the kernel loops above so the gated
+  // ns/call numbers measure the kernel alone, not the counter updates.
+  bench::enable_observability("micro_kernels");
+
   // Sweep timing: a reduced fig5 grid (48 frames unless overridden).
   const int frames = std::min(bench::bench_frames(), 48);
   const sim::PipelineConfig config = bench::paper_pipeline_config(frames);
@@ -272,46 +276,38 @@ int main() {
   std::printf("energy/op counters bit-identical across backends+threads: %s\n",
               identical ? "yes" : "NO - INVARIANT BROKEN");
 
-  // JSON report.
-  const char* path_env = std::getenv("PBPAIR_BENCH_JSON");
-  const std::string path = path_env ? path_env : "BENCH_kernels.json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"best_backend\": \"%s\",\n",
-               codec::kernels::backend_name(best));
-  std::fprintf(f, "  \"kernels\": [\n");
+  // JSON report (through bench_common so the obs metrics block and the
+  // optional $PBPAIR_TRACE_JSON Chrome trace ride along).
+  std::string payload = sim::format("\"best_backend\": \"%s\",\n",
+                                    codec::kernels::backend_name(best));
+  payload += "  \"kernels\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const KernelTiming& t = timings[i];
-    std::fprintf(f, "    {\"name\": \"%s\", \"scalar_ns\": %.2f",
-                 t.name.c_str(), t.ns[0]);
-    if (t.ns[1] >= 0) std::fprintf(f, ", \"sse2_ns\": %.2f", t.ns[1]);
-    if (t.ns[2] >= 0) std::fprintf(f, ", \"avx2_ns\": %.2f", t.ns[2]);
-    std::fprintf(f, ", \"speedup_best\": %.3f}%s\n", t.speedup(),
-                 i + 1 < timings.size() ? "," : "");
+    payload += sim::format("    {\"name\": \"%s\", \"scalar_ns\": %.2f",
+                           t.name.c_str(), t.ns[0]);
+    if (t.ns[1] >= 0) payload += sim::format(", \"sse2_ns\": %.2f", t.ns[1]);
+    if (t.ns[2] >= 0) payload += sim::format(", \"avx2_ns\": %.2f", t.ns[2]);
+    payload += sim::format(", \"speedup_best\": %.3f}%s\n", t.speedup(),
+                           i + 1 < timings.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f,
-               "  \"fig5_sweep\": {\n"
-               "    \"frames\": %d,\n"
-               "    \"tasks\": 15,\n"
-               "    \"hardware_threads\": %u,\n"
-               "    \"serial_scalar_ms\": %.1f,\n"
-               "    \"serial_simd_ms\": %.1f,\n"
-               "    \"parallel%d_simd_ms\": %.1f,\n"
-               "    \"simd_speedup\": %.3f,\n"
-               "    \"total_speedup\": %.3f,\n"
-               "    \"energy_bit_identical\": %s\n"
-               "  }\n}\n",
-               frames, static_cast<unsigned>(common::default_thread_count()),
-               serial_scalar.wall_ms, serial_simd.wall_ms, pool_threads,
-               parallel_simd.wall_ms,
-               serial_scalar.wall_ms / serial_simd.wall_ms,
-               serial_scalar.wall_ms / parallel_simd.wall_ms,
-               identical ? "true" : "false");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  payload += "  ],\n";
+  payload += sim::format(
+      "  \"fig5_sweep\": {\n"
+      "    \"frames\": %d,\n"
+      "    \"tasks\": 15,\n"
+      "    \"hardware_threads\": %u,\n"
+      "    \"serial_scalar_ms\": %.1f,\n"
+      "    \"serial_simd_ms\": %.1f,\n"
+      "    \"parallel%d_simd_ms\": %.1f,\n"
+      "    \"simd_speedup\": %.3f,\n"
+      "    \"total_speedup\": %.3f,\n"
+      "    \"energy_bit_identical\": %s\n"
+      "  }",
+      frames, static_cast<unsigned>(common::default_thread_count()),
+      serial_scalar.wall_ms, serial_simd.wall_ms, pool_threads,
+      parallel_simd.wall_ms, serial_scalar.wall_ms / serial_simd.wall_ms,
+      serial_scalar.wall_ms / parallel_simd.wall_ms,
+      identical ? "true" : "false");
+  bench::write_json_report("kernels", payload);
   return identical ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 using namespace pbpair;
 
 int main() {
+  bench::enable_observability("sec43_resiliency_vs_energy");
   const int frames = std::min(bench::bench_frames(), 150);
   const video::SequenceKind kind = video::SequenceKind::kForemanLike;
   sim::PipelineConfig config = bench::paper_pipeline_config(frames);
@@ -64,5 +65,9 @@ int main() {
       "encoding energy falls as intra MBs rise (skipped ME), while encoded\n"
       "size and transmit energy grow; Intra_Th=0 behaves like NO, Intra_Th=1\n"
       "codes every MB intra.\n");
+
+  bench::write_json_report(
+      "sec43", sim::format("\"frames\": %d,\n", frames) +
+                   "  \"operating_points\": " + bench::table_to_json(table));
   return 0;
 }

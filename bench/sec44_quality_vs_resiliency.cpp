@@ -13,6 +13,7 @@
 using namespace pbpair;
 
 int main() {
+  bench::enable_observability("sec44_quality_vs_resiliency");
   const int frames = std::min(bench::bench_frames(), 150);
   const video::SequenceKind kind = video::SequenceKind::kForemanLike;
   sim::PipelineConfig config = bench::paper_pipeline_config(frames);
@@ -62,5 +63,9 @@ int main() {
       "\nexpected shape (paper): at each PLR, higher Intra_Th gives higher\n"
       "PSNR and fewer bad pixels (more robust bitstream); the paper argues\n"
       "bad-pixel count separates schemes more cleanly than average PSNR.\n");
+
+  bench::write_json_report(
+      "sec44", sim::format("\"frames\": %d,\n", frames) +
+                   "  \"quality_grid\": " + bench::table_to_json(table));
   return 0;
 }

@@ -9,6 +9,8 @@
 #include "codec/quant.h"
 #include "codec/vlc_tables.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pbpair::codec {
 
@@ -86,6 +88,10 @@ void Decoder::conceal_mb(int mb_x, int mb_y) {
       break;
   }
   ++concealed_mbs_;
+  if (obs::enabled()) {
+    static obs::Counter* c = &obs::counter("decoder.concealed_mbs");
+    c->add(1);
+  }
 }
 
 void Decoder::conceal_row(int mb_y) {
@@ -213,6 +219,10 @@ void Decoder::decode_span(const ReceivedFrame::GobSpan& span, FrameType type,
     if (!reader.get_bits(8, &header)) return;
     if (static_cast<int>(header) != gob) {
       // Sync mismatch: the span is corrupt from here on; stop parsing it.
+      if (obs::enabled()) {
+        static obs::Counter* c = &obs::counter("decoder.corrupt_gobs");
+        c->add(1);
+      }
       return;
     }
     MotionVector mv_predictor{};  // differential-MV state resets per GOB
@@ -220,6 +230,10 @@ void Decoder::decode_span(const ReceivedFrame::GobSpan& span, FrameType type,
       if (!decode_mb(reader, type, qp, mx, gob, &mv_predictor)) {
         // Parse failure mid-GOB: conceal the rest of this row and give up
         // on the span (we lost entropy-coder sync).
+        if (obs::enabled()) {
+          static obs::Counter* c = &obs::counter("decoder.truncated_gobs");
+          c->add(1);
+        }
         for (int cx = mx; cx < mb_cols; ++cx) conceal_mb(cx, gob);
         (*row_done)[gob] = 1;
         return;
@@ -234,6 +248,14 @@ void Decoder::decode_span(const ReceivedFrame::GobSpan& span, FrameType type,
 const video::YuvFrame& Decoder::decode_frame(const ReceivedFrame& received) {
   const int mb_rows = config_.height / 16;
   std::vector<std::uint8_t> row_done(mb_rows, 0);
+
+  obs::ScopedSpan span_("decoder.decode_frame", received.frame_index, "frame");
+  if (obs::enabled()) {
+    static obs::Counter* c_frames = &obs::counter("decoder.frames");
+    static obs::Counter* c_lost = &obs::counter("decoder.lost_frames");
+    c_frames->add(1);
+    if (!received.any_data) c_lost->add(1);
+  }
 
   if (received.any_data) {
     for (const ReceivedFrame::GobSpan& span : received.spans) {

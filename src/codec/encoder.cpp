@@ -8,6 +8,8 @@
 #include "codec/mc.h"
 #include "codec/quant.h"
 #include "codec/vlc_tables.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pbpair::codec {
 namespace {
@@ -226,6 +228,22 @@ EncodedFrame Encoder::encode_frame(const video::YuvFrame& frame) {
   const int mb_rows = frame.mb_rows();
   const int mb_count = mb_cols * mb_rows;
 
+  // Observability: spans/counters/stage clocks only READ — they never feed
+  // back into coding decisions, so the bitstream is byte-identical with
+  // tracing on or off (tests/test_obs.cpp holds this invariant).
+  const bool tracing = obs::enabled();
+  obs::ScopedSpan frame_span("encoder.encode_frame", frame_index_, "frame");
+  std::int64_t me_ns = 0, transform_ns = 0, vlc_ns = 0, recon_ns = 0;
+  auto staged = [tracing](std::int64_t* acc, auto&& body) {
+    if (!tracing) {
+      body();
+      return;
+    }
+    const std::int64_t t0 = obs::trace_now_ns();
+    body();
+    *acc += obs::trace_now_ns() - t0;
+  };
+
   const bool intra_frame =
       frame_index_ == 0 || policy_->want_intra_frame(frame_index_);
 
@@ -234,6 +252,7 @@ EncodedFrame Encoder::encode_frame(const video::YuvFrame& frame) {
   std::vector<std::int64_t> sad_self(mb_count, -1);
 
   if (!intra_frame) {
+    const std::int64_t me_t0 = tracing ? obs::trace_now_ns() : 0;
     MePenaltyFn penalty;
     if (policy_->has_me_penalty()) {
       penalty = [this](int mb_x, int mb_y, MotionVector mv) {
@@ -257,6 +276,11 @@ EncodedFrame Encoder::encode_frame(const video::YuvFrame& frame) {
     }
     policy_->select_post_me(frame_index_, me_info, mb_cols, mb_rows,
                             &force_intra);
+    if (tracing) {
+      me_ns = obs::trace_now_ns() - me_t0;
+      obs::record_span("encoder.me_search", me_t0, me_ns, frame_index_,
+                       "frame");
+    }
   }
 
   EncodedFrame out;
@@ -283,20 +307,24 @@ EncodedFrame Encoder::encode_frame(const video::YuvFrame& frame) {
       const std::uint64_t bits_before = writer.bit_count();
 
       MbCoding coding;
-      if (intra_frame || force_intra[i]) {
-        encode_mb_intra(frame, mx, my, &coding);
-      } else {
-        // Encoder-efficiency intra decision (paper Fig. 4): if inter coding
-        // would cost more bits than intra, use intra even for a healthy MB.
-        sad_self[i] = sad_self_16x16(frame.y(), mx * 16, my * 16, ops_);
-        if (me_info[i].sad - config_.intra_sad_bias > sad_self[i]) {
+      staged(&transform_ns, [&] {
+        if (intra_frame || force_intra[i]) {
           encode_mb_intra(frame, mx, my, &coding);
         } else {
-          encode_mb_inter(frame, mx, my, me_info[i].mv, &coding);
+          // Encoder-efficiency intra decision (paper Fig. 4): if inter
+          // coding would cost more bits than intra, use intra even for a
+          // healthy MB.
+          sad_self[i] = sad_self_16x16(frame.y(), mx * 16, my * 16, ops_);
+          if (me_info[i].sad - config_.intra_sad_bias > sad_self[i]) {
+            encode_mb_intra(frame, mx, my, &coding);
+          } else {
+            encode_mb_inter(frame, mx, my, me_info[i].mv, &coding);
+          }
         }
-      }
-      write_mb(writer, coding, intra_frame, &mv_predictor);
-      reconstruct_mb(coding, mx, my);
+      });
+      staged(&vlc_ns,
+             [&] { write_mb(writer, coding, intra_frame, &mv_predictor); });
+      staged(&recon_ns, [&] { reconstruct_mb(coding, mx, my); });
 
       MbEncodeRecord& record = out.mb_records[i];
       record.mode = coding.mode;
@@ -333,6 +361,52 @@ EncodedFrame Encoder::encode_frame(const video::YuvFrame& frame) {
   info.prev_original = have_prev_original_ ? &prev_original_ : nullptr;
   info.ops = &ops_;
   policy_->on_frame_encoded(info);
+
+  if (tracing) {
+    std::uint64_t intra = 0, inter = 0, skip = 0, me_skipped = 0,
+                  me_searched = 0;
+    for (const MbEncodeRecord& record : out.mb_records) {
+      switch (record.mode) {
+        case MbMode::kIntra: ++intra; break;
+        case MbMode::kInter: ++inter; break;
+        case MbMode::kSkip: ++skip; break;
+      }
+      if (record.pre_me_intra) ++me_skipped;
+      if (record.sad_mv >= 0) ++me_searched;
+    }
+    // Registry lookups are mutex-guarded; cache the handles (stable for
+    // the process lifetime) so the per-frame flush stays cheap.
+    static obs::Counter* c_frames = &obs::counter("encoder.frames");
+    static obs::Counter* c_frames_intra = &obs::counter("encoder.frames_intra");
+    static obs::Counter* c_mb_intra = &obs::counter("encoder.mb_intra");
+    static obs::Counter* c_mb_inter = &obs::counter("encoder.mb_inter");
+    static obs::Counter* c_mb_skip = &obs::counter("encoder.mb_skip");
+    static obs::Counter* c_me_skipped = &obs::counter("encoder.mb_me_skipped");
+    static obs::Counter* c_me_searched =
+        &obs::counter("encoder.mb_me_searched");
+    static obs::Counter* c_bits = &obs::counter("encoder.bits_written");
+    static obs::Histogram* h_me = &obs::histogram("encoder.me_ns");
+    static obs::Histogram* h_transform =
+        &obs::histogram("encoder.transform_quant_ns");
+    static obs::Histogram* h_vlc = &obs::histogram("encoder.vlc_ns");
+    static obs::Histogram* h_recon = &obs::histogram("encoder.recon_ns");
+    c_frames->add(1);
+    if (intra_frame) c_frames_intra->add(1);
+    c_mb_intra->add(intra);
+    c_mb_inter->add(inter);
+    c_mb_skip->add(skip);
+    c_me_skipped->add(me_skipped);
+    c_me_searched->add(me_searched);
+    c_bits->add(static_cast<std::uint64_t>(out.bytes.size()) * 8);
+    if (!intra_frame) h_me->observe(me_ns);
+    h_transform->observe(transform_ns);
+    h_vlc->observe(vlc_ns);
+    h_recon->observe(recon_ns);
+    // Last-frame intra ratio (the paper's Intra_Th lever in action);
+    // gauges are stripped from deterministic output.
+    obs::gauge("encoder.intra_mb_ratio")
+        .set(static_cast<double>(intra) / static_cast<double>(mb_count));
+  }
 
   // Advance references for the next frame.
   ref_ = recon_;

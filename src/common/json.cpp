@@ -1,0 +1,248 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pbpair::common {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse_document(JsonValue* out) {
+    skip_whitespace();
+    if (!parse_value(out)) return false;
+    skip_whitespace();
+    if (pos_ != text_.size()) return fail("trailing content");
+    return true;
+  }
+
+ private:
+  bool fail(const char* message) {
+    if (error_ != nullptr) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%s at offset %zu", message, pos_);
+      *error_ = buf;
+    }
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        out->kind_ = JsonValue::Kind::kString;
+        return parse_string(&out->string_);
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          out->kind_ = JsonValue::Kind::kBool;
+          out->bool_ = true;
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          out->kind_ = JsonValue::Kind::kBool;
+          out->bool_ = false;
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          out->kind_ = JsonValue::Kind::kNull;
+          return true;
+        }
+        return fail("bad literal");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    skip_whitespace();
+    if (consume('}')) return true;
+    while (true) {
+      skip_whitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      if (!parse_string(&key)) return false;
+      skip_whitespace();
+      if (!consume(':')) return fail("expected ':'");
+      skip_whitespace();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->object_.emplace(std::move(key), std::move(value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    skip_whitespace();
+    if (consume(']')) return true;
+    while (true) {
+      skip_whitespace();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->array_.push_back(std::move(value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("bad escape");
+        char esc = text_[pos_];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char h = text_[pos_ + i];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                return fail("bad \\u escape");
+              }
+              code = code * 16 +
+                     (std::isdigit(static_cast<unsigned char>(h))
+                          ? static_cast<unsigned>(h - '0')
+                          : static_cast<unsigned>(
+                                std::tolower(static_cast<unsigned char>(h)) -
+                                'a' + 10));
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // combined; this repo never emits them).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        ++pos_;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double value = std::strtod(start, &end);
+    if (end == start) return fail("expected value");
+    pos_ += static_cast<std::size_t>(end - start);
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+bool JsonValue::parse(const std::string& text, JsonValue* out,
+                      std::string* error) {
+  *out = JsonValue();
+  JsonParser parser(text, error);
+  return parser.parse_document(out);
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_at(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_number(fallback);
+}
+
+const std::string& JsonValue::string_at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  return v == nullptr || !v->is_string() ? kEmptyString : v->as_string();
+}
+
+bool parse_json_file(const std::string& path, JsonValue* out,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return JsonValue::parse(text, out, error);
+}
+
+}  // namespace pbpair::common

@@ -1,0 +1,76 @@
+// Minimal JSON parser for the tooling layer (bench-report regression
+// checks, trace/metrics validation in tests).
+//
+// Supports the full JSON value grammar with one deliberate simplification:
+// numbers are stored as double (every number this repo emits — ns timings,
+// counters up to 2^53 — survives the round trip). No serialization here;
+// writers in this repo emit JSON directly so their formatting stays under
+// their control.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pbpair::common {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses `text` as one JSON document (trailing whitespace allowed).
+  /// On failure returns false and, when `error` is non-null, a message
+  /// with the byte offset of the problem.
+  static bool parse(const std::string& text, JsonValue* out,
+                    std::string* error = nullptr);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& as_string() const { return string_; }
+
+  /// Array access; size() is 0 for non-arrays/objects.
+  std::size_t size() const {
+    return is_array() ? array_.size() : (is_object() ? object_.size() : 0);
+  }
+  const JsonValue& at(std::size_t i) const { return array_[i]; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Convenience: find(key)->as_number(fallback) tolerating absence.
+  double number_at(const std::string& key, double fallback) const;
+  const std::string& string_at(const std::string& key) const;
+
+  const std::map<std::string, JsonValue>& members() const { return object_; }
+  const std::vector<JsonValue>& items() const { return array_; }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses the entire contents of the file at `path`. Returns false on I/O
+/// or parse failure (with `error` describing which).
+bool parse_json_file(const std::string& path, JsonValue* out,
+                     std::string* error = nullptr);
+
+}  // namespace pbpair::common

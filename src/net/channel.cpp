@@ -1,6 +1,9 @@
 #include "net/channel.h"
 
+#include <string>
+
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace pbpair::net {
 
@@ -9,15 +12,32 @@ Channel::Channel(LossModel* loss) : loss_(loss) { PB_CHECK(loss != nullptr); }
 std::vector<Packet> Channel::transmit(const std::vector<Packet>& packets) {
   std::vector<Packet> delivered;
   delivered.reserve(packets.size());
+  std::uint64_t sent = 0, dropped = 0, bytes = 0;
   for (const Packet& packet : packets) {
     stats_.packets_sent += 1;
     stats_.bytes_sent += packet.wire_size();
+    ++sent;
+    bytes += packet.wire_size();
     if (loss_->should_drop(packet)) {
       stats_.packets_dropped += 1;
+      ++dropped;
       continue;
     }
     stats_.bytes_delivered += packet.wire_size();
     delivered.push_back(packet);
+  }
+  if (obs::enabled() && sent > 0) {
+    static obs::Counter* c_sent = &obs::counter("net.packets_sent");
+    static obs::Counter* c_dropped = &obs::counter("net.packets_dropped");
+    static obs::Counter* c_bytes = &obs::counter("net.bytes_sent");
+    c_sent->add(sent);
+    c_bytes->add(bytes);
+    if (dropped > 0) {
+      c_dropped->add(dropped);
+      // Per-model drop attribution, e.g. net.packets_dropped.gilbert-elliott.
+      obs::counter(std::string("net.packets_dropped.") + loss_->name())
+          .add(dropped);
+    }
   }
   return delivered;
 }

@@ -66,4 +66,44 @@ double GilbertElliottLoss::average_loss_rate() const {
   return pi_bad * params_.loss_in_bad + (1.0 - pi_bad) * params_.loss_in_good;
 }
 
+double GilbertElliottLoss::mean_burst_length() const {
+  // should_drop() transitions the state FIRST, then draws the loss, so the
+  // per-packet chain is over post-transition states with loss probability
+  // l(state). Let m(s) be the expected number of FURTHER losses after a
+  // loss observed in state s; one step of first-step analysis gives the
+  // 2x2 linear system
+  //   m_g = (1-p_gb)*l_g*(1+m_g) + p_gb*l_b*(1+m_b)
+  //   m_b = p_bg*l_g*(1+m_g)     + (1-p_bg)*l_b*(1+m_b)
+  const double p_gb = params_.p_good_to_bad;
+  const double p_bg = params_.p_bad_to_good;
+  const double l_g = params_.loss_in_good;
+  const double l_b = params_.loss_in_bad;
+  if (l_g <= 0.0 && l_b <= 0.0) return 0.0;
+
+  const double a11 = 1.0 - (1.0 - p_gb) * l_g;
+  const double a12 = -p_gb * l_b;
+  const double a21 = -p_bg * l_g;
+  const double a22 = 1.0 - (1.0 - p_bg) * l_b;
+  const double c_g = (1.0 - p_gb) * l_g + p_gb * l_b;
+  const double c_b = p_bg * l_g + (1.0 - p_bg) * l_b;
+  const double det = a11 * a22 - a12 * a21;
+  PB_CHECK(det > 0.0);  // det -> 0 only as every packet becomes a loss
+  const double m_g = (c_g * a22 - a12 * c_b) / det;
+  const double m_b = (a11 * c_b - c_g * a21) / det;
+
+  // A burst STARTS at a loss preceded by a delivery; weight each starting
+  // state by pi(prev) * (1 - l(prev)) * T(prev, s) * l(s).
+  const double pi_b = p_gb / (p_gb + p_bg);
+  const double pi_g = 1.0 - pi_b;
+  const double w_g = (pi_g * (1.0 - l_g) * (1.0 - p_gb) +
+                      pi_b * (1.0 - l_b) * p_bg) *
+                     l_g;
+  const double w_b = (pi_g * (1.0 - l_g) * p_gb +
+                      pi_b * (1.0 - l_b) * (1.0 - p_bg)) *
+                     l_b;
+  const double w = w_g + w_b;
+  if (w <= 0.0) return 0.0;  // losses exist but bursts never terminate/start
+  return 1.0 + (w_g * m_g + w_b * m_b) / w;
+}
+
 }  // namespace pbpair::net

@@ -83,6 +83,12 @@ class GilbertElliottLoss final : public LossModel {
   /// Stationary average loss rate implied by the parameters.
   double average_loss_rate() const;
 
+  /// Expected length, in packets, of a loss burst (a maximal run of
+  /// consecutive drops) in the long run, by first-step analysis on the
+  /// same transition-then-draw order should_drop() uses. Returns 0 when
+  /// the parameters admit no losses at all.
+  double mean_burst_length() const;
+
  private:
   Params params_;
   std::uint64_t seed_;

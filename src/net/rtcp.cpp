@@ -1,6 +1,7 @@
 #include "net/rtcp.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace pbpair::net {
 namespace {
@@ -85,6 +86,13 @@ ReceiverReport ReceiverReportBuilder::build(const PlrEstimator& estimator,
   }
   last_lost_ = estimator.lost();
   last_received_ = estimator.received();
+  if (obs::enabled()) {
+    static obs::Counter* c_reports = &obs::counter("net.feedback.reports");
+    c_reports->add(1);
+    // The sender-visible PLR estimate (gauges are last-writer-wins and
+    // stripped from deterministic metric output).
+    obs::gauge("net.feedback.plr").set(estimator.estimate());
+  }
   return rr;
 }
 

@@ -1,0 +1,57 @@
+#include "obs/bench_compare.h"
+
+namespace pbpair::obs {
+namespace {
+
+const common::JsonValue* find_kernel(const common::JsonValue& report,
+                                     const std::string& name) {
+  const common::JsonValue* kernels = report.find("kernels");
+  if (kernels == nullptr || !kernels->is_array()) return nullptr;
+  for (const common::JsonValue& entry : kernels->items()) {
+    if (entry.string_at("name") == name) return &entry;
+  }
+  return nullptr;
+}
+
+bool is_ns_field(const std::string& key) {
+  return key.size() > 3 && key.compare(key.size() - 3, 3, "_ns") == 0;
+}
+
+}  // namespace
+
+BenchComparison compare_bench_reports(const common::JsonValue& baseline,
+                                      const common::JsonValue& current,
+                                      double threshold) {
+  BenchComparison result;
+  const common::JsonValue* base_kernels = baseline.find("kernels");
+  if (base_kernels == nullptr || !base_kernels->is_array()) return result;
+
+  for (const common::JsonValue& base_entry : base_kernels->items()) {
+    const std::string& name = base_entry.string_at("name");
+    if (name.empty()) continue;
+    const common::JsonValue* cur_entry = find_kernel(current, name);
+    if (cur_entry == nullptr) {
+      result.missing_kernels.push_back(name);
+      continue;
+    }
+    for (const auto& [key, value] : base_entry.members()) {
+      if (!is_ns_field(key) || !value.is_number()) continue;
+      const common::JsonValue* cur_value = cur_entry->find(key);
+      // A backend can legitimately disappear (baseline machine had AVX2,
+      // this one does not); only fields measured by BOTH runs compare.
+      if (cur_value == nullptr || !cur_value->is_number()) continue;
+      BenchDelta delta;
+      delta.kernel = name;
+      delta.field = key;
+      delta.baseline_ns = value.as_number();
+      delta.current_ns = cur_value->as_number();
+      delta.regression = delta.baseline_ns > 0.0 &&
+                         delta.current_ns >
+                             delta.baseline_ns * (1.0 + threshold);
+      result.deltas.push_back(std::move(delta));
+    }
+  }
+  return result;
+}
+
+}  // namespace pbpair::obs

@@ -1,0 +1,54 @@
+// Benchmark regression detection over BENCH_*.json reports.
+//
+// Compares the per-kernel ns/call numbers of a freshly produced report
+// against a committed baseline: any `*_ns` field present in both reports
+// for the same kernel name counts, and a measurement is a regression when
+// current > baseline * (1 + threshold). The comparison logic lives in the
+// library so tests can drive it; tools/check_bench_regression is the thin
+// CLI used by CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace pbpair::obs {
+
+struct BenchDelta {
+  std::string kernel;
+  std::string field;      // e.g. "scalar_ns"
+  double baseline_ns = 0.0;
+  double current_ns = 0.0;
+  bool regression = false;
+
+  /// current / baseline (1.0 = unchanged, 2.0 = twice as slow).
+  double ratio() const {
+    return baseline_ns > 0.0 ? current_ns / baseline_ns : 1.0;
+  }
+};
+
+struct BenchComparison {
+  std::vector<BenchDelta> deltas;
+  /// Kernels in the baseline that the current report no longer measures
+  /// (treated as failures: a silently vanished benchmark hides a
+  /// regression).
+  std::vector<std::string> missing_kernels;
+
+  bool ok() const {
+    if (!missing_kernels.empty()) return false;
+    for (const BenchDelta& d : deltas) {
+      if (d.regression) return false;
+    }
+    return true;
+  }
+};
+
+/// Diffs two reports with the BENCH_kernels.json schema ("kernels" array
+/// of {"name", "*_ns"...}). `threshold` is the allowed fractional
+/// slowdown, e.g. 0.25 = fail beyond +25% ns/call.
+BenchComparison compare_bench_reports(const common::JsonValue& baseline,
+                                      const common::JsonValue& current,
+                                      double threshold);
+
+}  // namespace pbpair::obs

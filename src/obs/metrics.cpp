@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pbpair::obs {
+namespace {
+
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_enabled{-1};
+
+int read_env_enabled() {
+  const char* env = std::getenv("PBPAIR_TRACE");
+  return (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) ? 1
+                                                                          : 0;
+}
+
+/// Appends `value` as a JSON number. Counters are exact (uint64); doubles
+/// use %.17g so round-tripping is lossless.
+void append_uint(std::string* out, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+void append_int(std::string* out, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  *out += buf;
+}
+
+void append_double(std::string* out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+bool has_ns_suffix(const std::string& name) {
+  return name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+}  // namespace
+
+bool enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = read_env_enabled();
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::int64_t value_ns) {
+  int bucket = kBucketCount;  // overflow slot
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (value_ns < (std::int64_t{1} << (kFirstBucketLog2 + i))) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_ns, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string Registry::to_json(bool deterministic) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (deterministic && has_ns_suffix(name)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    append_uint(&out, c->value());
+  }
+  out += first ? "}" : "\n  }";
+  if (deterministic) {
+    out += "\n}\n";
+    return out;
+  }
+
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": ";
+    append_double(&out, g->value());
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"count\": ";
+    append_uint(&out, h->count());
+    out += ", \"sum_ns\": ";
+    append_int(&out, h->sum());
+    out += ", \"first_bucket_log2\": ";
+    append_int(&out, Histogram::kFirstBucketLog2);
+    out += ", \"buckets\": [";
+    for (int i = 0; i <= Histogram::kBucketCount; ++i) {
+      if (i > 0) out += ", ";
+      append_uint(&out, h->bucket(i));
+    }
+    out += "]}";
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace pbpair::obs

@@ -1,0 +1,129 @@
+// Observability metrics: a process-wide registry of counters, gauges, and
+// histograms.
+//
+// Design rules (DESIGN.md §8):
+//  - Observability READS, it never perturbs. Nothing in this module feeds
+//    back into codec, channel, or energy state, so enabling it cannot
+//    change a single output byte (tests/test_obs.cpp asserts this).
+//  - Everything is a runtime no-op unless enabled: callers guard hot-path
+//    updates with `if (obs::enabled())`, which is one relaxed atomic load.
+//    Enable with the PBPAIR_TRACE environment variable or set_enabled()
+//    (the CLI's --trace flag).
+//  - Output is deterministic: metrics are emitted sorted by name, and
+//    histogram bucket layouts are fixed at compile time. Timing-valued
+//    metrics (all histograms, gauges, and any metric named `*_ns`) can be
+//    stripped so that two runs of the same seeded workload — at any thread
+//    count, on any backend — produce byte-identical JSON.
+//  - Updates are thread-safe: counters/gauges/histograms use relaxed
+//    atomics; registration takes a mutex but returns stable references
+//    (metrics are never destroyed until process exit), so callers may
+//    cache `Counter*` across calls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace pbpair::obs {
+
+/// True when observability is on. First call consults the PBPAIR_TRACE
+/// environment variable (unset, empty, or "0" = off); set_enabled()
+/// overrides at any time.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic event count (thread-safe, relaxed).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (thread-safe but last-writer-wins: gauges are for
+/// serial contexts and are stripped from deterministic output).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over a FIXED power-of-two nanosecond bucket layout: bucket i
+/// counts observations with value < 2^(kFirstBucketLog2 + i) ns (the last
+/// bucket is the overflow). The layout never depends on the data, so the
+/// emitted shape is deterministic.
+class Histogram {
+ public:
+  static constexpr int kFirstBucketLog2 = 8;  // first bound: 256 ns
+  static constexpr int kBucketCount = 28;     // last bound: ~34 s, then +inf
+
+  void observe(std::int64_t value_ns);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount + 1] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Name -> metric map. Lookups take a mutex; returned references are
+/// stable for the life of the process, so hot paths should look up once
+/// and cache the pointer.
+class Registry {
+ public:
+  /// The process-wide registry every subsystem reports into.
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zeroes every metric (registrations and cached pointers stay valid).
+  void reset();
+
+  /// JSON object with "counters" / "gauges" / "histograms" sections, keys
+  /// sorted by name. With `deterministic` set, only counters survive and
+  /// counters named `*_ns` are dropped — what remains is a pure function
+  /// of the workload, independent of wall clock, thread count, or SIMD
+  /// backend.
+  std::string to_json(bool deterministic = false) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthands for Registry::global().
+inline Counter& counter(const std::string& name) {
+  return Registry::global().counter(name);
+}
+inline Gauge& gauge(const std::string& name) {
+  return Registry::global().gauge(name);
+}
+inline Histogram& histogram(const std::string& name) {
+  return Registry::global().histogram(name);
+}
+
+}  // namespace pbpair::obs

@@ -1,6 +1,10 @@
 #include "sim/parallel_sweep.h"
 
+#include <string>
+
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pbpair::sim {
 
@@ -9,10 +13,29 @@ int sweep_thread_count() { return common::default_thread_count(); }
 std::vector<PipelineResult> run_parallel_sweep(
     const std::vector<SweepTask>& tasks, const SweepOptions& options) {
   std::vector<PipelineResult> results(tasks.size());
+  const bool tracing = obs::enabled();
+  // All tasks are enqueued up front, so queue wait per task is measured
+  // from this single submission instant to the task's first instruction.
+  const std::int64_t submit_ns = tracing ? obs::trace_now_ns() : 0;
   common::parallel_for(
       tasks.size(),
       options.threads <= 0 ? sweep_thread_count() : options.threads,
-      [&tasks, &results](std::size_t i) {
+      [&tasks, &results, tracing, submit_ns](std::size_t i) {
+        if (tracing) {
+          thread_local bool named = false;
+          if (!named) {
+            named = true;
+            obs::set_thread_name("sweep-worker-" +
+                                 std::to_string(obs::current_thread_id()));
+          }
+          static obs::Counter* c_tasks = &obs::counter("sweep.tasks");
+          static obs::Histogram* h_wait =
+              &obs::histogram("sweep.queue_wait_ns");
+          c_tasks->add(1);
+          h_wait->observe(obs::trace_now_ns() - submit_ns);
+        }
+        obs::ScopedSpan span("sweep.task", static_cast<std::int64_t>(i),
+                             "task");
         const SweepTask& task = tasks[i];
         std::unique_ptr<net::LossModel> loss;
         if (task.make_loss) loss = task.make_loss();

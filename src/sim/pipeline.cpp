@@ -1,12 +1,34 @@
 #include "sim/pipeline.h"
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 
 #include "codec/decoder.h"
 #include "net/loss_model.h"
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pbpair::sim {
+namespace {
+
+// One FrameTrace as a JSONL row. Deterministic fields only: no clocks, no
+// pointers — reruns with the same seed produce a byte-identical file.
+void append_frame_trace_jsonl(std::ofstream& out, const FrameTrace& trace) {
+  char psnr[32];
+  std::snprintf(psnr, sizeof(psnr), "%.4f", trace.psnr_db);
+  out << "{\"frame\":" << trace.index << ",\"type\":\""
+      << (trace.type == codec::FrameType::kIntra ? "I" : "P")
+      << "\",\"qp\":" << trace.qp << ",\"bytes\":" << trace.bytes
+      << ",\"intra_mbs\":" << trace.intra_mbs
+      << ",\"pre_me_intra_mbs\":" << trace.pre_me_intra_mbs
+      << ",\"lost\":" << (trace.lost ? "true" : "false")
+      << ",\"psnr_db\":" << psnr << ",\"bad_pixels\":" << trace.bad_pixels
+      << "}\n";
+}
+
+}  // namespace
 
 PipelineResult run_pipeline(const FrameSource& source,
                             const SchemeSpec& scheme, net::LossModel* loss,
@@ -31,21 +53,38 @@ PipelineResult run_pipeline(const FrameSource& source,
   result.frames.reserve(static_cast<std::size_t>(config.frames));
   double psnr_sum = 0.0;
 
+  std::ofstream frame_trace_out;
+  if (!config.frame_trace_path.empty()) {
+    frame_trace_out.open(config.frame_trace_path,
+                         std::ios::out | std::ios::trunc);
+    PB_CHECK(frame_trace_out.is_open());
+  }
+
   for (int i = 0; i < config.frames; ++i) {
+    obs::ScopedSpan frame_span("pipeline.frame", i, "frame");
     if (config.pre_frame) config.pre_frame(i, *policy);
     if (rate) encoder.set_qp(rate->qp());
 
     video::YuvFrame original = source(i);
-    codec::EncodedFrame encoded = encoder.encode_frame(original);
+    codec::EncodedFrame encoded = [&] {
+      obs::ScopedSpan s("pipeline.encode", i, "frame");
+      return encoder.encode_frame(original);
+    }();
     if (rate) {
       rate->on_frame_encoded(encoded.size_bytes(),
                              encoded.type == codec::FrameType::kIntra);
     }
 
     std::vector<net::Packet> packets = packetizer.packetize(encoded);
-    std::vector<net::Packet> delivered = channel.transmit(packets);
+    std::vector<net::Packet> delivered = [&] {
+      obs::ScopedSpan s("pipeline.transmit", i, "frame");
+      return channel.transmit(packets);
+    }();
     codec::ReceivedFrame received = net::depacketize(delivered, i);
-    const video::YuvFrame& output = decoder.decode_frame(received);
+    const video::YuvFrame& output = [&]() -> const video::YuvFrame& {
+      obs::ScopedSpan s("pipeline.decode", i, "frame");
+      return decoder.decode_frame(received);
+    }();
 
     FrameTrace trace;
     trace.index = i;
@@ -65,6 +104,9 @@ PipelineResult run_pipeline(const FrameSource& source,
     result.total_bytes += trace.bytes;
     result.total_bad_pixels += trace.bad_pixels;
     result.total_intra_mbs += static_cast<std::uint64_t>(trace.intra_mbs);
+    if (frame_trace_out.is_open()) {
+      append_frame_trace_jsonl(frame_trace_out, trace);
+    }
     result.frames.push_back(trace);
   }
 

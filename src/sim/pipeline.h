@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include <optional>
@@ -42,6 +43,11 @@ struct PipelineConfig {
   /// Optional per-frame hook, called BEFORE encoding frame `index` with
   /// the live policy — the adaptation experiments adjust Intra_Th here.
   std::function<void(int index, codec::RefreshPolicy& policy)> pre_frame;
+
+  /// When non-empty, every FrameTrace is appended to this file as one JSON
+  /// object per line (JSONL). Only deterministic fields are written — no
+  /// wall-clock timing — so the file is reproducible run-to-run.
+  std::string frame_trace_path;
 };
 
 /// Per-frame trace row (Fig. 6 plots these directly).

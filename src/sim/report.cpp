@@ -47,9 +47,19 @@ std::string format(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);
   char buffer[256];
-  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(buffer, sizeof(buffer), fmt, args_copy);
+  va_end(args_copy);
+  std::string out;
+  if (needed >= 0 && static_cast<std::size_t>(needed) < sizeof(buffer)) {
+    out.assign(buffer, static_cast<std::size_t>(needed));
+  } else if (needed >= 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
   va_end(args);
-  return std::string(buffer);
+  return out;
 }
 
 }  // namespace pbpair::sim

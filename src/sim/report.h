@@ -23,6 +23,7 @@ class Table {
   /// Renders as CSV.
   void print_csv(std::FILE* out) const;
 
+  const std::vector<std::string>& header() const { return header_; }
   const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:

@@ -232,6 +232,43 @@ TEST(GilbertElliott, LossesAreBurstierThanBernoulli) {
   EXPECT_GT(mean_burst(ge), 1.25 * mean_burst(bern));
 }
 
+TEST(GilbertElliott, LongRunStatisticsMatchAnalyticFormulas) {
+  // Long-run empirical loss rate AND mean burst length must both land on
+  // the closed-form predictions (average_loss_rate, mean_burst_length)
+  // for an asymmetric parameter set, not just the defaults.
+  GilbertElliottLoss::Params params;
+  params.p_good_to_bad = 0.02;
+  params.p_bad_to_good = 0.25;
+  params.loss_in_good = 0.01;
+  params.loss_in_bad = 0.65;
+  GilbertElliottLoss loss(params, 23);
+
+  const int packets = 2000000;
+  int dropped = 0, bursts = 0;
+  bool in_burst = false;
+  Packet p = make_test_packet(0, 0);
+  for (int i = 0; i < packets; ++i) {
+    bool drop = loss.should_drop(p);
+    if (drop) {
+      ++dropped;
+      if (!in_burst) ++bursts;
+    }
+    in_burst = drop;
+  }
+
+  const double empirical_rate = static_cast<double>(dropped) / packets;
+  const double empirical_burst =
+      bursts == 0 ? 0.0 : static_cast<double>(dropped) / bursts;
+  EXPECT_NEAR(empirical_rate, loss.average_loss_rate(),
+              0.05 * loss.average_loss_rate());
+  EXPECT_NEAR(empirical_burst, loss.mean_burst_length(),
+              0.05 * loss.mean_burst_length());
+  // Sanity on the analytic value itself: bursty (> 1 packet) but bounded
+  // well below the bad-state sojourn at these parameters.
+  EXPECT_GT(loss.mean_burst_length(), 1.0);
+  EXPECT_LT(loss.mean_burst_length(), 1.0 / params.p_bad_to_good + 1.0);
+}
+
 TEST(ScriptedFrameLoss, DropsExactlyTheListedFrames) {
   ScriptedFrameLoss loss({3, 7, 8});
   for (int frame = 0; frame < 12; ++frame) {

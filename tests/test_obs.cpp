@@ -1,0 +1,417 @@
+// Observability layer tests: registry/trace units, exporter validity, the
+// bench-regression comparator, and the layer's load-bearing invariant —
+// enabling tracing must not change a single output byte (bitstreams, sim
+// reports, energy figures) and deterministic metrics must be identical at
+// any sweep thread count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "common/json.h"
+#include "net/loss_model.h"
+#include "obs/bench_compare.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/parallel_sweep.h"
+#include "sim/pipeline.h"
+#include "video/sequence.h"
+
+namespace pbpair {
+namespace {
+
+// Restores the previous enabled state on scope exit so tests don't leak
+// tracing into each other.
+class ScopedTracing {
+ public:
+  explicit ScopedTracing(bool on) : prev_(obs::enabled()) {
+    obs::set_enabled(on);
+  }
+  ~ScopedTracing() { obs::set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(ObsMetrics, CounterGaugeHistogramBasics) {
+  obs::Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  obs::Gauge g;
+  g.set(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 0.25);
+
+  obs::Histogram h;
+  h.observe(100);            // < 256 -> bucket 0
+  h.observe(300);            // < 512 -> bucket 1
+  h.observe(std::int64_t{1} << 62);  // past every bound -> overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 100 + 300 + (std::int64_t{1} << 62));
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(obs::Histogram::kBucketCount), 1u);
+}
+
+TEST(ObsMetrics, RegistryReferencesAreStableAcrossLookups) {
+  obs::Registry registry;
+  obs::Counter& first = registry.counter("stable.test");
+  registry.counter("stable.other").add(7);
+  obs::Counter& second = registry.counter("stable.test");
+  EXPECT_EQ(&first, &second);
+  first.add(3);
+  EXPECT_EQ(second.value(), 3u);
+  registry.reset();
+  EXPECT_EQ(first.value(), 0u);            // zeroed, not destroyed
+  EXPECT_EQ(&registry.counter("stable.test"), &first);
+}
+
+TEST(ObsMetrics, JsonIsSortedAndDeterministicModeStripsTimingMetrics) {
+  obs::Registry registry;
+  registry.counter("zeta.count").add(2);
+  registry.counter("alpha.count").add(1);
+  registry.counter("alpha.busy_ns").add(12345);  // *_ns: timing-valued
+  registry.gauge("some.ratio").set(0.5);
+  registry.histogram("some.latency_ns").observe(400);
+
+  common::JsonValue full;
+  std::string error;
+  ASSERT_TRUE(common::JsonValue::parse(registry.to_json(false), &full, &error))
+      << error;
+  ASSERT_NE(full.find("counters"), nullptr);
+  EXPECT_EQ(full.find("counters")->number_at("alpha.count", -1), 1.0);
+  EXPECT_EQ(full.find("counters")->number_at("alpha.busy_ns", -1), 12345.0);
+  EXPECT_EQ(full.find("gauges")->number_at("some.ratio", -1), 0.5);
+  const common::JsonValue* hist =
+      full.find("histograms")->find("some.latency_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->number_at("count", -1), 1.0);
+  EXPECT_EQ(hist->number_at("sum_ns", -1), 400.0);
+  EXPECT_EQ(hist->find("buckets")->size(),
+            static_cast<std::size_t>(obs::Histogram::kBucketCount + 1));
+
+  common::JsonValue det;
+  ASSERT_TRUE(
+      common::JsonValue::parse(registry.to_json(true), &det, &error))
+      << error;
+  EXPECT_EQ(det.find("counters")->number_at("zeta.count", -1), 2.0);
+  EXPECT_EQ(det.find("counters")->find("alpha.busy_ns"), nullptr);
+  EXPECT_EQ(det.find("gauges"), nullptr);
+  EXPECT_EQ(det.find("histograms"), nullptr);
+
+  // Sorted emission: "alpha.count" appears before "zeta.count" in the raw
+  // text, so two identically-populated registries emit identical bytes.
+  std::string text = registry.to_json(true);
+  EXPECT_LT(text.find("alpha.count"), text.find("zeta.count"));
+}
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  ScopedTracing tracing(false);
+  obs::clear_trace();
+  {
+    obs::ScopedSpan span("test.disabled");
+  }
+  obs::record_span("test.disabled", 0, 10);
+  EXPECT_EQ(obs::trace_span_count(), 0u);
+}
+
+TEST(ObsTrace, ChromeExportIsValidTraceEventJson) {
+  ScopedTracing tracing(true);
+  obs::clear_trace();
+  obs::set_thread_name("test-main");
+  {
+    obs::ScopedSpan span("test.outer", 7, "frame");
+    obs::record_span("test.inner", obs::trace_now_ns(), 1000);
+  }
+  ASSERT_EQ(obs::trace_span_count(), 2u);
+
+  const std::string path = temp_path("trace_test.json");
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  common::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(common::parse_json_file(path, &doc, &error)) << error;
+  const common::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int metadata = 0, durations = 0;
+  bool saw_outer_arg = false;
+  for (const common::JsonValue& event : events->items()) {
+    const std::string& ph = event.string_at("ph");
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(event.string_at("name"), "thread_name");
+    } else if (ph == "X") {
+      ++durations;
+      EXPECT_GE(event.number_at("dur", -1), 0.0);
+      if (event.string_at("name") == "test.outer") {
+        const common::JsonValue* args = event.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_EQ(args->number_at("frame", -1), 7.0);
+        saw_outer_arg = true;
+      }
+    }
+  }
+  EXPECT_GE(metadata, 1);
+  EXPECT_EQ(durations, 2);
+  EXPECT_TRUE(saw_outer_arg);
+  std::remove(path.c_str());
+}
+
+TEST(ObsInvariant, TracingDoesNotChangeEncoderBitstream) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  const int frames = 6;
+
+  auto encode_all = [&seq, frames] {
+    codec::EncoderConfig config;
+    config.qp = 10;
+    codec::NoRefreshPolicy policy;
+    codec::Encoder encoder(config, &policy);
+    std::vector<std::vector<std::uint8_t>> streams;
+    for (int i = 0; i < frames; ++i) {
+      streams.push_back(encoder.encode_frame(seq.frame_at(i)).bytes);
+    }
+    return streams;
+  };
+
+  std::vector<std::vector<std::uint8_t>> off, on;
+  {
+    ScopedTracing tracing(false);
+    off = encode_all();
+  }
+  {
+    ScopedTracing tracing(true);
+    obs::clear_trace();
+    on = encode_all();
+    EXPECT_GT(obs::trace_span_count(), 0u);  // tracing really was on
+  }
+  ASSERT_EQ(off.size(), on.size());
+  for (int i = 0; i < frames; ++i) {
+    EXPECT_EQ(off[static_cast<std::size_t>(i)], on[static_cast<std::size_t>(i)])
+        << "frame " << i << " bitstream changed with tracing enabled";
+  }
+}
+
+// Everything a report is built from, rendered with %.17g so a single bit
+// of drift fails the comparison.
+std::string digest(const sim::PipelineResult& r) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "%llu %.17g %llu %llu %llu %.17g %.17g\n",
+                static_cast<unsigned long long>(r.total_bytes), r.avg_psnr_db,
+                static_cast<unsigned long long>(r.total_bad_pixels),
+                static_cast<unsigned long long>(r.total_intra_mbs),
+                static_cast<unsigned long long>(r.concealed_mbs),
+                r.encode_energy.total_j(), r.tx_energy_j);
+  out += buf;
+  for (const sim::FrameTrace& f : r.frames) {
+    std::snprintf(buf, sizeof(buf), "%d %zu %d %d %.17g %llu\n", f.index,
+                  f.bytes, f.intra_mbs, f.lost ? 1 : 0, f.psnr_db,
+                  static_cast<unsigned long long>(f.bad_pixels));
+    out += buf;
+  }
+  return out;
+}
+
+sim::PipelineConfig small_pipeline_config(int frames) {
+  sim::PipelineConfig config;
+  config.frames = frames;
+  config.encoder.qp = 10;
+  config.encoder.search.range = 4;
+  return config;
+}
+
+TEST(ObsInvariant, TracingDoesNotChangePipelineReportOrEnergy) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  core::PbpairConfig pbpair;
+  pbpair.intra_th = 0.9;
+  pbpair.plr = 0.10;
+  sim::PipelineConfig config = small_pipeline_config(8);
+
+  auto run_once = [&] {
+    net::UniformFrameLoss loss(0.10, /*seed=*/2005);
+    return sim::run_pipeline(seq, sim::SchemeSpec::pbpair(pbpair), &loss,
+                             config);
+  };
+
+  std::string off_digest, on_digest;
+  {
+    ScopedTracing tracing(false);
+    off_digest = digest(run_once());
+  }
+  {
+    ScopedTracing tracing(true);
+    obs::clear_trace();
+    on_digest = digest(run_once());
+    EXPECT_GT(obs::trace_span_count(), 0u);
+  }
+  EXPECT_EQ(off_digest, on_digest);
+}
+
+TEST(ObsInvariant, DeterministicMetricsIdenticalAt1_2_8SweepThreads) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  std::vector<video::YuvFrame> clip;
+  for (int i = 0; i < 8; ++i) clip.push_back(seq.frame_at(i));
+
+  std::vector<sim::SweepTask> tasks;
+  for (int t = 0; t < 5; ++t) {
+    sim::SweepTask task;
+    task.scheme = t % 2 == 0 ? sim::SchemeSpec::gop(3) : sim::SchemeSpec::air(24);
+    task.config = small_pipeline_config(static_cast<int>(clip.size()));
+    task.source = [&clip](int i) { return clip[static_cast<std::size_t>(i)]; };
+    task.make_loss = [] {
+      return std::make_unique<net::UniformFrameLoss>(0.10, /*seed=*/2005);
+    };
+    tasks.push_back(std::move(task));
+  }
+
+  ScopedTracing tracing(true);
+  std::string baseline;
+  for (int threads : {1, 2, 8}) {
+    obs::Registry::global().reset();
+    obs::clear_trace();
+    sim::SweepOptions options;
+    options.threads = threads;
+    sim::run_parallel_sweep(tasks, options);
+    std::string metrics = obs::Registry::global().to_json(/*deterministic=*/true);
+    if (threads == 1) {
+      baseline = metrics;
+      // The deterministic output must actually contain workload counters.
+      EXPECT_NE(baseline.find("encoder.frames"), std::string::npos);
+      EXPECT_NE(baseline.find("sweep.tasks"), std::string::npos);
+      EXPECT_NE(baseline.find("net.packets_sent"), std::string::npos);
+      EXPECT_EQ(baseline.find("_ns"), std::string::npos);
+    } else {
+      EXPECT_EQ(baseline, metrics) << "thread count " << threads;
+    }
+  }
+  obs::Registry::global().reset();
+}
+
+TEST(ObsPipeline, FrameTraceJsonlIsDeterministicAndParses) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  sim::PipelineConfig config = small_pipeline_config(5);
+  const std::string path = temp_path("frame_trace.jsonl");
+  config.frame_trace_path = path;
+
+  auto run_once = [&] {
+    net::UniformFrameLoss loss(0.20, /*seed=*/7);
+    sim::run_pipeline(seq, sim::SchemeSpec::gop(3), &loss, config);
+    return read_file(path);
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second);  // no clocks leak into the frame trace
+
+  std::istringstream lines(first);
+  std::string line;
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    common::JsonValue row;
+    std::string error;
+    ASSERT_TRUE(common::JsonValue::parse(line, &row, &error)) << error;
+    EXPECT_EQ(row.number_at("frame", -1), rows);
+    EXPECT_NE(row.find("type"), nullptr);
+    EXPECT_NE(row.find("bytes"), nullptr);
+    EXPECT_NE(row.find("psnr_db"), nullptr);
+    EXPECT_NE(row.find("lost"), nullptr);
+    ++rows;
+  }
+  EXPECT_EQ(rows, config.frames);
+  std::remove(path.c_str());
+}
+
+TEST(BenchCompare, PassesWithinThresholdFailsBeyondIt) {
+  const char* baseline_text = R"({"kernels": [
+      {"name": "sad_16x16", "scalar_ns": 100.0, "sse2_ns": 40.0},
+      {"name": "dct_8x8", "scalar_ns": 200.0}]})";
+  const char* current_text = R"({"kernels": [
+      {"name": "sad_16x16", "scalar_ns": 110.0, "sse2_ns": 70.0},
+      {"name": "dct_8x8", "scalar_ns": 190.0}]})";
+  common::JsonValue baseline, current;
+  ASSERT_TRUE(common::JsonValue::parse(baseline_text, &baseline));
+  ASSERT_TRUE(common::JsonValue::parse(current_text, &current));
+
+  obs::BenchComparison result =
+      obs::compare_bench_reports(baseline, current, 0.25);
+  EXPECT_FALSE(result.ok());  // sse2 went 40 -> 70: +75%
+  ASSERT_EQ(result.deltas.size(), 3u);
+  int regressions = 0;
+  for (const obs::BenchDelta& d : result.deltas) {
+    if (d.regression) {
+      ++regressions;
+      EXPECT_EQ(d.kernel, "sad_16x16");
+      EXPECT_EQ(d.field, "sse2_ns");
+      EXPECT_NEAR(d.ratio(), 1.75, 1e-9);
+    }
+  }
+  EXPECT_EQ(regressions, 1);
+
+  // A generous threshold accepts the same pair.
+  EXPECT_TRUE(obs::compare_bench_reports(baseline, current, 1.0).ok());
+}
+
+TEST(BenchCompare, MissingKernelIsAFailureMissingFieldIsNot) {
+  const char* baseline_text = R"({"kernels": [
+      {"name": "sad_16x16", "scalar_ns": 100.0, "avx2_ns": 20.0},
+      {"name": "quant_block", "scalar_ns": 50.0}]})";
+  // avx2_ns absent (machine without AVX2): tolerated. quant_block gone
+  // entirely: failure.
+  const char* current_text = R"({"kernels": [
+      {"name": "sad_16x16", "scalar_ns": 100.0}]})";
+  common::JsonValue baseline, current;
+  ASSERT_TRUE(common::JsonValue::parse(baseline_text, &baseline));
+  ASSERT_TRUE(common::JsonValue::parse(current_text, &current));
+
+  obs::BenchComparison result =
+      obs::compare_bench_reports(baseline, current, 0.25);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.missing_kernels.size(), 1u);
+  EXPECT_EQ(result.missing_kernels[0], "quant_block");
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_FALSE(result.deltas[0].regression);
+}
+
+TEST(Json, ParserHandlesCoreGrammarAndRejectsGarbage) {
+  common::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(common::JsonValue::parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"nested": true}, "s": "q\"A", "n": null})",
+      &v, &error))
+      << error;
+  EXPECT_EQ(v.find("a")->size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("a")->at(2).as_number(), -300.0);
+  EXPECT_TRUE(v.find("b")->find("nested")->as_bool());
+  EXPECT_EQ(v.string_at("s"), "q\"A");
+  EXPECT_TRUE(v.find("n")->is_null());
+
+  EXPECT_FALSE(common::JsonValue::parse("{\"unterminated\": ", &v));
+  EXPECT_FALSE(common::JsonValue::parse("[1, 2,]", &v));
+  EXPECT_FALSE(common::JsonValue::parse("{} trailing", &v));
+}
+
+}  // namespace
+}  // namespace pbpair

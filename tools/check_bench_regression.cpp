@@ -1,0 +1,80 @@
+// check_bench_regression — CI gate over BENCH_kernels.json.
+//
+//   check_bench_regression --baseline BENCH_kernels.json
+//                          --current build/BENCH_kernels.json
+//                          [--threshold 0.25]
+//
+// Diffs the fresh report against the committed baseline and exits 1 when
+// any kernel's ns/call grew by more than the threshold (default +25%) or a
+// baseline kernel vanished from the current report. Exit 2 = usage/parse
+// error. Faster-than-baseline results are reported but never fail — the
+// committed baseline is refreshed by re-running bench/micro_kernels and
+// committing the new file.
+#include <cstdio>
+#include <string>
+
+#include "common/args.h"
+#include "common/json.h"
+#include "obs/bench_compare.h"
+#include "sim/report.h"
+
+using namespace pbpair;
+
+int main(int argc, char** argv) {
+  common::ArgParser args(argc, argv);
+  const std::string baseline_path = args.get("baseline");
+  const std::string current_path = args.get("current");
+  const double threshold = args.get_double("threshold", 0.25);
+  if (baseline_path.empty() || current_path.empty() || threshold < 0.0) {
+    std::fprintf(stderr,
+                 "usage: check_bench_regression --baseline FILE --current "
+                 "FILE [--threshold 0.25]\n");
+    return 2;
+  }
+
+  common::JsonValue baseline, current;
+  std::string error;
+  if (!common::parse_json_file(baseline_path, &baseline, &error)) {
+    std::fprintf(stderr, "baseline %s: %s\n", baseline_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (!common::parse_json_file(current_path, &current, &error)) {
+    std::fprintf(stderr, "current %s: %s\n", current_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  obs::BenchComparison comparison =
+      obs::compare_bench_reports(baseline, current, threshold);
+  if (comparison.deltas.empty() && comparison.missing_kernels.empty()) {
+    std::fprintf(stderr, "no comparable kernels found in %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  sim::Table table({"kernel", "field", "baseline_ns", "current_ns", "ratio",
+                    "verdict"});
+  for (const obs::BenchDelta& d : comparison.deltas) {
+    table.add_row({d.kernel, d.field, sim::format("%.2f", d.baseline_ns),
+                   sim::format("%.2f", d.current_ns),
+                   sim::format("%.3fx", d.ratio()),
+                   d.regression ? "REGRESSION" : "ok"});
+  }
+  table.print();
+  for (const std::string& name : comparison.missing_kernels) {
+    std::printf("MISSING: kernel \"%s\" is in the baseline but not in the "
+                "current report\n",
+                name.c_str());
+  }
+
+  if (!comparison.ok()) {
+    std::printf("FAIL: ns/call regression beyond +%.0f%% (or missing "
+                "kernel) vs %s\n",
+                threshold * 100.0, baseline_path.c_str());
+    return 1;
+  }
+  std::printf("OK: all kernels within +%.0f%% of the baseline\n",
+              threshold * 100.0);
+  return 0;
+}

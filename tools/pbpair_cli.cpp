@@ -7,10 +7,15 @@
 //   pbpair simulate [--clip foreman|akiyo|garden] [--frames 120]
 //                   [--plr 0.1] [--scheme ...] [--intra-th 0.9]
 //                   [--mtu 1400] [--seed 2005] [--qp 10]
+//                   [--trace] [--trace-json t.json] [--metrics-json m.json]
+//                   [--frame-trace f.jsonl] [--deterministic]
 //
 // encode/decode work on real raw 4:2:0 material through the PBS container;
 // simulate runs the full lossy pipeline on a synthetic clip and prints the
-// result row.
+// result row. The observability flags (DESIGN.md §8) enable the metrics/
+// trace layer: --trace turns it on (as does PBPAIR_TRACE=1), the *-json
+// flags export what was collected, and --deterministic restricts the
+// metrics JSON to the counters that are a pure function of the workload.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +26,8 @@
 #include "codec/rate_control.h"
 #include "common/args.h"
 #include "net/loss_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/pipeline.h"
 #include "sim/report.h"
 #include "video/yuv_io.h"
@@ -38,6 +45,8 @@ int usage() {
                "  decode   --in f.pbs --out f.yuv [--deblocking]\n"
                "  simulate [--clip C] [--frames N] [--plr X] [--scheme S]\n"
                "           [--intra-th X] [--mtu N] [--seed N] [--qp N]\n"
+               "           [--trace] [--trace-json FILE] [--metrics-json FILE]\n"
+               "           [--frame-trace FILE] [--deterministic]\n"
                "  schemes: pbpair (default), no, gop-N, air-N, pgop-N\n");
   return 2;
 }
@@ -186,15 +195,52 @@ int cmd_simulate(const common::ArgParser& args) {
     return usage();
   }
 
+  // Observability: --trace (or PBPAIR_TRACE=1) turns the layer on; any
+  // export flag implies it, since an empty trace helps nobody.
+  const std::string trace_json = args.get("trace-json");
+  const std::string metrics_json = args.get("metrics-json");
+  const std::string frame_trace = args.get("frame-trace");
+  if (args.has("trace") || !trace_json.empty() || !metrics_json.empty() ||
+      !frame_trace.empty()) {
+    obs::set_enabled(true);
+    obs::set_thread_name("pbpair-simulate");
+  }
+
   sim::PipelineConfig config;
   config.frames = args.get_int("frames", 120);
   config.encoder.qp = args.get_int("qp", 10);
   config.packetizer.mtu = static_cast<std::size_t>(args.get_int("mtu", 1400));
+  config.frame_trace_path = frame_trace;
 
   video::SyntheticSequence sequence = video::make_paper_sequence(kind);
   net::UniformFrameLoss loss(plr, static_cast<std::uint64_t>(
                                       args.get_int("seed", 2005)));
   sim::PipelineResult r = sim::run_pipeline(sequence, scheme, &loss, config);
+
+  if (!metrics_json.empty()) {
+    std::FILE* f = std::fopen(metrics_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_json.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n",
+                 obs::Registry::global()
+                     .to_json(/*deterministic=*/args.has("deterministic"))
+                     .c_str());
+    std::fclose(f);
+    std::printf("metrics -> %s\n", metrics_json.c_str());
+  }
+  if (!trace_json.empty()) {
+    if (!obs::write_chrome_trace(trace_json)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+      return 1;
+    }
+    std::printf("trace -> %s (%zu spans)\n", trace_json.c_str(),
+                obs::trace_span_count());
+  }
+  if (!frame_trace.empty()) {
+    std::printf("frame trace -> %s\n", frame_trace.c_str());
+  }
 
   sim::Table table({"scheme", "clip", "PLR", "PSNR_dB", "bad_px_M", "size_KB",
                     "encode_J", "tx_J"});
