@@ -10,11 +10,13 @@
 //      Intra_Th (cheaper, more robust frames) when the projection
 //      overshoots, relaxing toward the user's base expectation when under.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.h"
 #include "codec/encoder.h"
 #include "core/adaptation.h"
 #include "core/pbpair_policy.h"
+#include "net/feedback.h"
 #include "net/loss_model.h"
 
 using namespace pbpair;
@@ -27,18 +29,33 @@ double plr_at(int frame, int frames) {
   return 0.10;
 }
 
+/// Feedback RTT in frames (PBPAIR_FEEDBACK_RTT): how many frames the
+/// network's PLR reports lag behind the truth. 0 — the historical
+/// instantaneous-feedback setup — reproduces the pre-delay numbers
+/// exactly (a report pushed and polled at the same frame index is due
+/// immediately, see net::DelayedFeedback).
+int feedback_rtt_frames() {
+  if (const char* env = std::getenv("PBPAIR_FEEDBACK_RTT")) {
+    int n = std::atoi(env);
+    if (n >= 0) return n;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
   const int frames = std::min(bench::bench_frames(), 180);
   const video::SequenceKind kind = video::SequenceKind::kForemanLike;
+  const int rtt = feedback_rtt_frames();
 
   std::printf("=== Extension (3.2): power-aware adaptation (%d frames) ===\n\n",
               frames);
 
   // --- Scenario 1: hold intra rate under PLR swings -------------------
   std::printf("--- scenario 1: PLR swings 5%% -> 25%% -> 10%%; "
-              "hold-intra-rate controller vs fixed threshold ---\n");
+              "hold-intra-rate controller vs fixed threshold "
+              "(feedback RTT %d frames) ---\n", rtt);
   for (bool adapt : {false, true}) {
     core::AdaptationConfig aconfig;
     aconfig.goal = core::AdaptationGoal::kHoldIntraRate;
@@ -47,13 +64,19 @@ int main() {
     aconfig.plr_coupling = 0.6;
     core::PowerAwareController controller(aconfig);
 
+    // The measured PLR travels through a delay line: the controller sees
+    // the network as it was `rtt` frames ago, not as it is now.
+    net::DelayedFeedback<double> plr_feedback(rtt);
+    double reported_plr = aconfig.base_plr;  // until the first report lands
+
     sim::PipelineConfig config = bench::paper_pipeline_config(frames);
     config.pre_frame = [&](int index, codec::RefreshPolicy& policy) {
       auto* p = dynamic_cast<core::PbpairPolicy*>(&policy);
-      double plr = plr_at(index, frames);
-      p->set_plr(plr);  // network feedback reaches the probability model
+      plr_feedback.push(index, plr_at(index, frames));
+      for (double plr : plr_feedback.take_due(index)) reported_plr = plr;
+      p->set_plr(reported_plr);  // network feedback reaches the model
       if (adapt) {
-        controller.on_plr_update(plr);
+        controller.on_plr_update(reported_plr);
         p->set_intra_th(controller.intra_th());
       }
     };

@@ -1,0 +1,132 @@
+// Multi-session serving throughput (DESIGN.md §9).
+//
+// Spins up N concurrent StreamSessions — clips rotating over the paper's
+// three, per-session seeded uniform frame loss at PLR 10% — through
+// sim::SessionManager and measures frames/sec and sessions/sec at rising
+// session counts (1 / 8 / 64 / 256 by default; cap with
+// PBPAIR_BENCH_SESSIONS). A determinism cross-check reruns the smallest
+// count at 1 thread and in 3-frame slices and compares the aggregate JSON
+// byte-for-byte, so the report doubles as a scheduling-independence smoke.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "net/loss_model.h"
+#include "sim/session_manager.h"
+
+using namespace pbpair;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<sim::SessionSpec> make_specs(int sessions, int frames) {
+  std::vector<sim::SessionSpec> specs;
+  specs.reserve(static_cast<std::size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    const video::SequenceKind kind = bench::kPaperClips[i % 3];
+    sim::SessionSpec spec;
+    core::PbpairConfig pbpair;
+    pbpair.intra_th = 0.9;
+    pbpair.plr = 0.10;
+    spec.scheme = sim::SchemeSpec::pbpair(pbpair);
+    spec.config = bench::paper_pipeline_config(frames);
+    spec.source = bench::clip_source(kind, frames);
+    const std::uint64_t seed = 2005 + static_cast<std::uint64_t>(i);
+    spec.make_loss = [seed] {
+      return std::make_unique<net::UniformFrameLoss>(0.10, seed);
+    };
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace
+
+int main() {
+  bench::enable_observability("many_sessions");
+  // Serving runs are short per session: the interesting axis is the
+  // session count, not the clip length.
+  const int frames = std::min(bench::bench_frames(), 48);
+  int max_sessions = 256;
+  if (const char* env = std::getenv("PBPAIR_BENCH_SESSIONS")) {
+    int n = std::atoi(env);
+    if (n >= 1) max_sessions = std::max(n, 4);  // >= 3 distinct counts
+  }
+
+  std::vector<int> counts;
+  for (int n : {1, 8, 64, 256}) {
+    if (n < max_sessions) counts.push_back(n);
+  }
+  counts.push_back(max_sessions);
+  if (counts.size() < 3) {  // BENCH_sessions.json needs >= 3 points
+    counts.insert(counts.begin() + 1, std::max(2, max_sessions / 2));
+  }
+
+  const int threads = common::default_thread_count();
+  std::printf("=== Multi-session serving (%d frames/session, %d threads) ===\n\n",
+              frames, threads);
+  for (int n : counts) bench::cached_clip(bench::kPaperClips[(n - 1) % 3], frames);
+
+  sim::Table table({"sessions", "threads", "wall_ms", "frames_per_sec",
+                    "sessions_per_sec", "mean_PSNR_dB"});
+  std::string points;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    const int n = counts[c];
+    sim::SessionManager manager(make_specs(n, frames));
+    sim::SessionManagerOptions options;
+    options.threads = threads;
+
+    const Clock::time_point start = Clock::now();
+    std::vector<sim::PipelineResult> results = manager.run(options);
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    sim::SessionAggregate agg = sim::SessionManager::aggregate(results);
+    const double fps = static_cast<double>(agg.total_frames) / wall_s;
+    const double sps = static_cast<double>(agg.sessions) / wall_s;
+    table.add_row({sim::format("%d", n), sim::format("%d", threads),
+                   sim::format("%.0f", wall_s * 1e3),
+                   sim::format("%.1f", fps), sim::format("%.2f", sps),
+                   sim::format("%.2f", agg.mean_psnr_db)});
+    points += sim::format(
+        "    {\"sessions\": %d, \"threads\": %d, \"wall_s\": %.4f, "
+        "\"frames_per_sec\": %.2f, \"sessions_per_sec\": %.3f, "
+        "\"aggregate\": %s}%s\n",
+        n, threads, wall_s, fps, sps, agg.to_json().c_str(),
+        c + 1 < counts.size() ? "," : "");
+  }
+  table.print();
+  bench::maybe_write_csv(table, "many_sessions");
+
+  // Determinism cross-check: smallest count, rerun serial and in 3-frame
+  // slices — the aggregate must not depend on threads or interleaving.
+  sim::SessionManagerOptions serial;
+  serial.threads = 1;
+  sim::SessionManagerOptions sliced;
+  sliced.threads = threads;
+  sliced.frames_per_slice = 3;
+  const std::string agg_serial =
+      sim::SessionManager::aggregate(
+          sim::SessionManager(make_specs(counts.front(), frames)).run(serial))
+          .to_json();
+  const std::string agg_sliced =
+      sim::SessionManager::aggregate(
+          sim::SessionManager(make_specs(counts.front(), frames)).run(sliced))
+          .to_json();
+  const bool deterministic = agg_serial == agg_sliced;
+  std::printf("\naggregate identical serial vs %d-thread sliced: %s\n",
+              threads, deterministic ? "yes" : "NO - INVARIANT BROKEN");
+
+  std::string payload = sim::format(
+      "\"frames_per_session\": %d,\n  \"deterministic\": %s,\n  \"points\": [\n",
+      frames, deterministic ? "true" : "false");
+  payload += points;
+  payload += "  ]";
+  bench::write_json_report("sessions", payload);
+  return deterministic ? 0 : 1;
+}

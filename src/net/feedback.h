@@ -8,10 +8,58 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
+#include <vector>
 
+#include "common/check.h"
 #include "net/packet.h"
 
 namespace pbpair::net {
+
+/// A FIFO delay line modelling feedback latency in frame units: a payload
+/// pushed while processing frame `i` becomes visible to `take_due(j)` once
+/// `j >= i + delay_frames`. Delay 0 reproduces instantaneous ("applied the
+/// same frame") feedback, so legacy experiments keep their exact numbers;
+/// a positive delay models the RTT the paper's §3.2 network-feedback loop
+/// would see in practice (sim::StreamSession routes RTCP receiver reports
+/// through one of these).
+template <typename T>
+class DelayedFeedback {
+ public:
+  explicit DelayedFeedback(int delay_frames) : delay_(delay_frames) {
+    PB_CHECK(delay_frames >= 0);
+  }
+
+  int delay_frames() const { return delay_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Enqueues a payload generated at `sent_at_frame`.
+  void push(int sent_at_frame, T payload) {
+    queue_.push_back(Entry{sent_at_frame + delay_, std::move(payload)});
+  }
+
+  /// Pops every payload whose delivery frame has been reached, oldest
+  /// first. Payloads pushed at frame `f` are due from frame `f + delay`.
+  std::vector<T> take_due(int frame) {
+    std::vector<T> due;
+    while (!queue_.empty() && queue_.front().due_frame <= frame) {
+      due.push_back(std::move(queue_.front().payload));
+      queue_.pop_front();
+    }
+    return due;
+  }
+
+  void clear() { queue_.clear(); }
+
+ private:
+  struct Entry {
+    int due_frame;
+    T payload;
+  };
+
+  int delay_;
+  std::deque<Entry> queue_;
+};
 
 class PlrEstimator {
  public:

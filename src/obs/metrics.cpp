@@ -158,4 +158,9 @@ std::string Registry::to_json(bool deterministic) const {
   return out;
 }
 
+std::string session_metric(const std::string& label,
+                           const std::string& metric) {
+  return "session." + label + "." + metric;
+}
+
 }  // namespace pbpair::obs

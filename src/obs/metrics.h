@@ -115,6 +115,14 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Per-session metric name: "session.<label>.<metric>". Multi-session runs
+/// (sim::SessionManager) register each stream's counters under this
+/// namespace so the exported JSON can be broken down per session; labels
+/// should be deterministic (e.g. "s007"), never derived from pointers or
+/// scheduling order.
+std::string session_metric(const std::string& label,
+                           const std::string& metric);
+
 /// Shorthands for Registry::global().
 inline Counter& counter(const std::string& name) {
   return Registry::global().counter(name);

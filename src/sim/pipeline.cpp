@@ -1,123 +1,19 @@
 #include "sim/pipeline.h"
 
 #include <cmath>
-#include <cstdio>
-#include <fstream>
 
-#include "codec/decoder.h"
-#include "net/loss_model.h"
 #include "common/check.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include "net/loss_model.h"
+#include "sim/session.h"
 
 namespace pbpair::sim {
-namespace {
-
-// One FrameTrace as a JSONL row. Deterministic fields only: no clocks, no
-// pointers — reruns with the same seed produce a byte-identical file.
-void append_frame_trace_jsonl(std::ofstream& out, const FrameTrace& trace) {
-  char psnr[32];
-  std::snprintf(psnr, sizeof(psnr), "%.4f", trace.psnr_db);
-  out << "{\"frame\":" << trace.index << ",\"type\":\""
-      << (trace.type == codec::FrameType::kIntra ? "I" : "P")
-      << "\",\"qp\":" << trace.qp << ",\"bytes\":" << trace.bytes
-      << ",\"intra_mbs\":" << trace.intra_mbs
-      << ",\"pre_me_intra_mbs\":" << trace.pre_me_intra_mbs
-      << ",\"lost\":" << (trace.lost ? "true" : "false")
-      << ",\"psnr_db\":" << psnr << ",\"bad_pixels\":" << trace.bad_pixels
-      << "}\n";
-}
-
-}  // namespace
 
 PipelineResult run_pipeline(const FrameSource& source,
                             const SchemeSpec& scheme, net::LossModel* loss,
                             const PipelineConfig& config) {
-  PB_CHECK(config.frames > 0);
-  const int mb_cols = config.encoder.width / 16;
-  const int mb_rows = config.encoder.height / 16;
-
-  std::unique_ptr<codec::RefreshPolicy> policy =
-      make_policy(scheme, mb_cols, mb_rows);
-  codec::Encoder encoder(config.encoder, policy.get());
-  codec::Decoder decoder(codec::DecoderConfig{
-      config.encoder.width, config.encoder.height, config.concealment});
-  net::Packetizer packetizer(config.packetizer);
-  net::NoLoss no_loss;
-  net::Channel channel(loss != nullptr ? loss : &no_loss);
-
-  std::optional<codec::RateController> rate;
-  if (config.rate_control.has_value()) rate.emplace(*config.rate_control);
-
-  PipelineResult result;
-  result.frames.reserve(static_cast<std::size_t>(config.frames));
-  double psnr_sum = 0.0;
-
-  std::ofstream frame_trace_out;
-  if (!config.frame_trace_path.empty()) {
-    frame_trace_out.open(config.frame_trace_path,
-                         std::ios::out | std::ios::trunc);
-    PB_CHECK(frame_trace_out.is_open());
-  }
-
-  for (int i = 0; i < config.frames; ++i) {
-    obs::ScopedSpan frame_span("pipeline.frame", i, "frame");
-    if (config.pre_frame) config.pre_frame(i, *policy);
-    if (rate) encoder.set_qp(rate->qp());
-
-    video::YuvFrame original = source(i);
-    codec::EncodedFrame encoded = [&] {
-      obs::ScopedSpan s("pipeline.encode", i, "frame");
-      return encoder.encode_frame(original);
-    }();
-    if (rate) {
-      rate->on_frame_encoded(encoded.size_bytes(),
-                             encoded.type == codec::FrameType::kIntra);
-    }
-
-    std::vector<net::Packet> packets = packetizer.packetize(encoded);
-    std::vector<net::Packet> delivered = [&] {
-      obs::ScopedSpan s("pipeline.transmit", i, "frame");
-      return channel.transmit(packets);
-    }();
-    codec::ReceivedFrame received = net::depacketize(delivered, i);
-    const video::YuvFrame& output = [&]() -> const video::YuvFrame& {
-      obs::ScopedSpan s("pipeline.decode", i, "frame");
-      return decoder.decode_frame(received);
-    }();
-
-    FrameTrace trace;
-    trace.index = i;
-    trace.qp = encoded.qp;
-    trace.type = encoded.type;
-    trace.bytes = encoded.size_bytes();
-    trace.intra_mbs = encoded.intra_mb_count();
-    for (const codec::MbEncodeRecord& record : encoded.mb_records) {
-      if (record.pre_me_intra) ++trace.pre_me_intra_mbs;
-    }
-    trace.lost = delivered.size() != packets.size();
-    trace.psnr_db = video::psnr_luma(original, output);
-    trace.bad_pixels =
-        video::bad_pixel_count(original, output, config.bad_pixel_threshold);
-
-    psnr_sum += trace.psnr_db;
-    result.total_bytes += trace.bytes;
-    result.total_bad_pixels += trace.bad_pixels;
-    result.total_intra_mbs += static_cast<std::uint64_t>(trace.intra_mbs);
-    if (frame_trace_out.is_open()) {
-      append_frame_trace_jsonl(frame_trace_out, trace);
-    }
-    result.frames.push_back(trace);
-  }
-
-  result.avg_psnr_db = psnr_sum / config.frames;
-  result.encoder_ops = encoder.ops();
-  result.encode_energy = encode_energy(encoder.ops(), *config.profile);
-  result.channel = channel.stats();
-  result.tx_energy_j =
-      energy::tx_energy_j(channel.stats().bytes_sent, *config.profile);
-  result.concealed_mbs = decoder.concealed_mbs();
-  return result;
+  StreamSession session(source, scheme, loss, config);
+  session.run_to_end();
+  return session.take_result();
 }
 
 PipelineResult run_pipeline(const video::SyntheticSequence& sequence,
@@ -131,7 +27,10 @@ PipelineResult run_pipeline(const video::SyntheticSequence& sequence,
 core::PointEvaluator make_pipeline_evaluator(
     const video::SyntheticSequence& sequence, const PipelineConfig& config,
     std::uint64_t seed) {
-  return [&sequence, config, seed](core::OperatingPoint& point) {
+  // `sequence` is captured by value: the returned evaluator is often
+  // stored and invoked long after the caller's sequence is gone, and a
+  // reference capture would dangle (sequences are small — four scalars).
+  return [sequence, config, seed](core::OperatingPoint& point) {
     core::PbpairConfig pbpair;
     pbpair.intra_th = point.intra_th;
     pbpair.plr = point.plr;

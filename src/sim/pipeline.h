@@ -22,6 +22,7 @@
 #include "energy/energy_model.h"
 #include "net/channel.h"
 #include "net/packetizer.h"
+#include "net/rtcp.h"
 #include "sim/scheme.h"
 #include "video/metrics.h"
 #include "video/sequence.h"
@@ -44,10 +45,29 @@ struct PipelineConfig {
   /// the live policy — the adaptation experiments adjust Intra_Th here.
   std::function<void(int index, codec::RefreshPolicy& policy)> pre_frame;
 
+  /// Closed-loop RTCP feedback (§3.2). When `on_feedback` is set, the
+  /// session runs a receiver-side PlrEstimator over the delivered packets,
+  /// builds an RFC 3550 receiver report every `feedback_interval_frames`
+  /// frames, and delivers it through a net::DelayedFeedback queue
+  /// `feedback_rtt_frames` frames later — BEFORE `pre_frame` of the frame
+  /// it becomes due on. RTT 0 delivers a report generated after frame i
+  /// ahead of frame i+1 (feedback can never precede the loss it observes).
+  std::function<void(int index, const net::ReceiverReport& report,
+                     codec::RefreshPolicy& policy)>
+      on_feedback;
+  int feedback_rtt_frames = 0;
+  int feedback_interval_frames = 1;
+
   /// When non-empty, every FrameTrace is appended to this file as one JSON
-  /// object per line (JSONL). Only deterministic fields are written — no
-  /// wall-clock timing — so the file is reproducible run-to-run.
+  /// object per line (JSONL), after a header line recording the scheme
+  /// label, `frame_trace_seed`, and frame geometry. Only deterministic
+  /// fields are written — no wall-clock timing — so reruns with the same
+  /// seed produce byte-identical files.
   std::string frame_trace_path;
+
+  /// Recorded verbatim in the frame-trace header (the channel seed the run
+  /// used); it does not influence the simulation itself.
+  std::uint64_t frame_trace_seed = 0;
 };
 
 /// Per-frame trace row (Fig. 6 plots these directly).
@@ -87,6 +107,12 @@ struct PipelineResult {
 using FrameSource = std::function<video::YuvFrame(int)>;
 
 /// Runs the full pipeline. `loss` may be null (lossless channel).
+///
+/// This is a thin shim over sim::StreamSession (sim/session.h): it builds
+/// one session with the default stage list, steps it to completion, and
+/// returns the result — byte-identical (bitstream, report, joules) to the
+/// pre-session monolithic loop, which tests/test_session.cpp asserts
+/// against a hand-rolled reference loop.
 PipelineResult run_pipeline(const FrameSource& source,
                             const SchemeSpec& scheme, net::LossModel* loss,
                             const PipelineConfig& config);
@@ -99,7 +125,8 @@ PipelineResult run_pipeline(const video::SyntheticSequence& sequence,
 /// Builds a core::PointEvaluator that measures each (Intra_Th, PLR)
 /// operating point by running the full pipeline on `sequence` with the
 /// paper's uniform frame-discard channel at the point's own PLR
-/// (seeded deterministically from `seed`).
+/// (seeded deterministically from `seed`). The evaluator captures a copy
+/// of `sequence`, so it stays valid after the caller's sequence is gone.
 core::PointEvaluator make_pipeline_evaluator(
     const video::SyntheticSequence& sequence, const PipelineConfig& config,
     std::uint64_t seed = 2005);

@@ -1,0 +1,275 @@
+#include "sim/session.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "net/loss_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pbpair::sim {
+namespace {
+
+// One FrameTrace as a JSONL row. Deterministic fields only: no clocks, no
+// pointers — reruns with the same seed produce a byte-identical file.
+void append_frame_trace_jsonl(std::ofstream& out, const FrameTrace& trace) {
+  char psnr[32];
+  std::snprintf(psnr, sizeof(psnr), "%.4f", trace.psnr_db);
+  out << "{\"frame\":" << trace.index << ",\"type\":\""
+      << (trace.type == codec::FrameType::kIntra ? "I" : "P")
+      << "\",\"qp\":" << trace.qp << ",\"bytes\":" << trace.bytes
+      << ",\"intra_mbs\":" << trace.intra_mbs
+      << ",\"pre_me_intra_mbs\":" << trace.pre_me_intra_mbs
+      << ",\"lost\":" << (trace.lost ? "true" : "false")
+      << ",\"psnr_db\":" << psnr << ",\"bad_pixels\":" << trace.bad_pixels
+      << "}\n";
+}
+
+}  // namespace
+
+StreamSession::StreamSession(FrameSource source, const SchemeSpec& scheme,
+                             net::LossModel* loss,
+                             const PipelineConfig& config, std::string label)
+    : scheme_(scheme),
+      config_(config),
+      source_(std::move(source)),
+      label_(std::move(label)) {
+  if (loss == nullptr) {
+    no_loss_ = std::make_unique<net::NoLoss>();
+    loss = no_loss_.get();
+  }
+  channel_ = std::make_unique<net::Channel>(loss);
+  init();
+}
+
+StreamSession::StreamSession(FrameSource source, const SchemeSpec& scheme,
+                             std::unique_ptr<net::LossModel> loss,
+                             const PipelineConfig& config, std::string label)
+    : scheme_(scheme),
+      config_(config),
+      source_(std::move(source)),
+      label_(std::move(label)),
+      owned_loss_(std::move(loss)) {
+  net::LossModel* model = owned_loss_.get();
+  if (model == nullptr) {
+    no_loss_ = std::make_unique<net::NoLoss>();
+    model = no_loss_.get();
+  }
+  channel_ = std::make_unique<net::Channel>(model);
+  init();
+}
+
+StreamSession::~StreamSession() {
+  if (frame_trace_out_ != nullptr && frame_trace_out_->is_open()) {
+    frame_trace_out_->flush();
+    frame_trace_out_->close();
+  }
+}
+
+void StreamSession::init() {
+  PB_CHECK(config_.frames > 0);
+  const int mb_cols = config_.encoder.width / 16;
+  const int mb_rows = config_.encoder.height / 16;
+
+  policy_ = make_policy(scheme_, mb_cols, mb_rows);
+  encoder_ = std::make_unique<codec::Encoder>(config_.encoder, policy_.get());
+  decoder_ = std::make_unique<codec::Decoder>(codec::DecoderConfig{
+      config_.encoder.width, config_.encoder.height, config_.concealment});
+  packetizer_ = std::make_unique<net::Packetizer>(config_.packetizer);
+  if (config_.rate_control.has_value()) rate_.emplace(*config_.rate_control);
+
+  if (config_.on_feedback) {
+    plr_estimator_ = std::make_unique<net::PlrEstimator>();
+    report_builder_ = std::make_unique<net::ReceiverReportBuilder>(
+        /*reporter_ssrc=*/config_.packetizer.ssrc + 1,
+        /*reportee_ssrc=*/config_.packetizer.ssrc);
+    feedback_queue_ =
+        std::make_unique<net::DelayedFeedback<net::ReceiverReport>>(
+            config_.feedback_rtt_frames);
+    PB_CHECK(config_.feedback_interval_frames > 0);
+  }
+
+  result_.frames.reserve(static_cast<std::size_t>(config_.frames));
+
+  if (!config_.frame_trace_path.empty()) {
+    frame_trace_out_ = std::make_unique<std::ofstream>(
+        config_.frame_trace_path, std::ios::out | std::ios::trunc);
+    PB_CHECK(frame_trace_out_->is_open());
+    write_frame_trace_header();
+  }
+
+  // The default Fig. 1 stage list. Lambdas take the session as a
+  // parameter (no `this` capture) so sessions stay movable.
+  stages_.push_back(
+      {"encode", [](FrameContext& ctx, StreamSession& s) {
+         {
+           obs::ScopedSpan span("pipeline.encode", ctx.index, "frame");
+           ctx.encoded = s.encoder_->encode_frame(ctx.original);
+         }
+         if (s.rate_) {
+           s.rate_->on_frame_encoded(
+               ctx.encoded.size_bytes(),
+               ctx.encoded.type == codec::FrameType::kIntra);
+         }
+       }});
+  stages_.push_back({"packetize", [](FrameContext& ctx, StreamSession& s) {
+                       ctx.packets = s.packetizer_->packetize(ctx.encoded);
+                     }});
+  stages_.push_back({"transmit", [](FrameContext& ctx, StreamSession& s) {
+                       obs::ScopedSpan span("pipeline.transmit", ctx.index,
+                                            "frame");
+                       ctx.delivered = s.channel_->transmit(ctx.packets);
+                     }});
+  stages_.push_back({"depacketize", [](FrameContext& ctx, StreamSession&) {
+                       ctx.received =
+                           net::depacketize(ctx.delivered, ctx.index);
+                     }});
+  stages_.push_back({"decode", [](FrameContext& ctx, StreamSession& s) {
+                       obs::ScopedSpan span("pipeline.decode", ctx.index,
+                                            "frame");
+                       ctx.output = &s.decoder_->decode_frame(ctx.received);
+                     }});
+  stages_.push_back(
+      {"measure", [](FrameContext& ctx, StreamSession& s) {
+         FrameTrace& trace = ctx.trace;
+         trace.index = ctx.index;
+         trace.qp = ctx.encoded.qp;
+         trace.type = ctx.encoded.type;
+         trace.bytes = ctx.encoded.size_bytes();
+         trace.intra_mbs = ctx.encoded.intra_mb_count();
+         for (const codec::MbEncodeRecord& record : ctx.encoded.mb_records) {
+           if (record.pre_me_intra) ++trace.pre_me_intra_mbs;
+         }
+         trace.lost = ctx.delivered.size() != ctx.packets.size();
+         trace.psnr_db = video::psnr_luma(ctx.original, *ctx.output);
+         trace.bad_pixels = video::bad_pixel_count(
+             ctx.original, *ctx.output, s.config_.bad_pixel_threshold);
+       }});
+}
+
+std::size_t StreamSession::stage_index(const std::string& name) const {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].name == name) return i;
+  }
+  PB_CHECK(false && "unknown stage name");
+  return stages_.size();
+}
+
+void StreamSession::insert_stage_before(const std::string& name,
+                                        FrameStage stage) {
+  stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(
+                                       stage_index(name)),
+                 std::move(stage));
+}
+
+void StreamSession::insert_stage_after(const std::string& name,
+                                       FrameStage stage) {
+  stages_.insert(stages_.begin() + static_cast<std::ptrdiff_t>(
+                                       stage_index(name) + 1),
+                 std::move(stage));
+}
+
+void StreamSession::replace_stage(const std::string& name, FrameStage stage) {
+  stages_[stage_index(name)] = std::move(stage);
+}
+
+void StreamSession::remove_stage(const std::string& name) {
+  stages_.erase(stages_.begin() +
+                static_cast<std::ptrdiff_t>(stage_index(name)));
+}
+
+void StreamSession::write_frame_trace_header() {
+  std::ofstream& out = *frame_trace_out_;
+  out << "{\"header\":{\"scheme\":\"" << scheme_.label()
+      << "\",\"seed\":" << config_.frame_trace_seed
+      << ",\"width\":" << config_.encoder.width
+      << ",\"height\":" << config_.encoder.height
+      << ",\"frames\":" << config_.frames << "}}\n";
+}
+
+void StreamSession::deliver_due_feedback(int frame) {
+  for (const net::ReceiverReport& report : feedback_queue_->take_due(frame)) {
+    config_.on_feedback(frame, report, *policy_);
+  }
+}
+
+void StreamSession::observe_delivery(const FrameContext& ctx) {
+  for (const net::Packet& packet : ctx.delivered) {
+    plr_estimator_->on_packet_received(packet.header.sequence);
+    highest_sequence_ = packet.header.sequence;
+  }
+  if ((ctx.index + 1) % config_.feedback_interval_frames == 0) {
+    net::ReceiverReport report =
+        report_builder_->build(*plr_estimator_, highest_sequence_);
+    // Round-trip the RFC 3550 wire format so the loop exercises exactly
+    // what a real receiver would put on the wire.
+    net::ReceiverReport parsed;
+    PB_CHECK(net::parse_receiver_report(net::serialize_receiver_report(report),
+                                        &parsed));
+    feedback_queue_->push(ctx.index, parsed);
+  }
+}
+
+const FrameTrace& StreamSession::step() {
+  PB_CHECK(!done());
+  const int i = next_frame_;
+  obs::ScopedSpan frame_span("pipeline.frame", i, "frame");
+  if (feedback_queue_ != nullptr) deliver_due_feedback(i);
+  if (config_.pre_frame) config_.pre_frame(i, *policy_);
+  if (rate_) encoder_->set_qp(rate_->qp());
+
+  FrameContext ctx;
+  ctx.index = i;
+  ctx.original = source_(i);
+  for (const FrameStage& stage : stages_) stage.run(ctx, *this);
+
+  if (feedback_queue_ != nullptr) observe_delivery(ctx);
+  accumulate(ctx.trace);
+  next_frame_ = i + 1;
+  return result_.frames.back();
+}
+
+void StreamSession::accumulate(const FrameTrace& trace) {
+  psnr_sum_ += trace.psnr_db;
+  result_.total_bytes += trace.bytes;
+  result_.total_bad_pixels += trace.bad_pixels;
+  result_.total_intra_mbs += static_cast<std::uint64_t>(trace.intra_mbs);
+  if (frame_trace_out_ != nullptr && frame_trace_out_->is_open()) {
+    append_frame_trace_jsonl(*frame_trace_out_, trace);
+  }
+  result_.frames.push_back(trace);
+
+  if (!label_.empty() && obs::enabled()) {
+    obs::counter(obs::session_metric(label_, "frames")).add(1);
+    obs::counter(obs::session_metric(label_, "bytes")).add(trace.bytes);
+    if (trace.lost) {
+      obs::counter(obs::session_metric(label_, "lost_frames")).add(1);
+    }
+  }
+}
+
+void StreamSession::run_to_end() {
+  while (!done()) step();
+}
+
+PipelineResult StreamSession::take_result() {
+  PB_CHECK(done());
+  if (!finalized_) {
+    finalized_ = true;
+    result_.avg_psnr_db = psnr_sum_ / config_.frames;
+    result_.encoder_ops = encoder_->ops();
+    result_.encode_energy = encode_energy(encoder_->ops(), *config_.profile);
+    result_.channel = channel_->stats();
+    result_.tx_energy_j =
+        energy::tx_energy_j(channel_->stats().bytes_sent, *config_.profile);
+    result_.concealed_mbs = decoder_->concealed_mbs();
+    if (frame_trace_out_ != nullptr && frame_trace_out_->is_open()) {
+      frame_trace_out_->flush();
+      frame_trace_out_->close();
+    }
+  }
+  return std::move(result_);
+}
+
+}  // namespace pbpair::sim

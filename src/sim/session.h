@@ -1,0 +1,147 @@
+// One video-communication stream as a steppable value object.
+//
+// StreamSession owns everything one stream of the paper's Fig. 1 pipeline
+// needs — refresh policy, encoder, rate controller, packetizer, channel
+// (with optional owned loss model), decoder, feedback loop, and metrics —
+// and advances exactly one frame per step(). The per-frame work is an
+// ordered list of pluggable FrameStages (encode / packetize / transmit /
+// depacketize / decode / measure), so experiments can insert, replace, or
+// remove stages (taps, noise injection, alternative channels) without
+// touching any loop code. run_pipeline() (sim/pipeline.h) is a thin shim
+// over one session with the default stages and stays byte-identical to the
+// historical monolithic loop.
+//
+// Sessions are self-contained: no shared mutable state between instances
+// (the codec's only process-wide state is the read-only kernel dispatch
+// table and the obs registry, which reads but never perturbs), so many
+// sessions can run concurrently — see sim/session_manager.h.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <fstream>
+#include <optional>
+
+#include "net/feedback.h"
+#include "sim/pipeline.h"
+
+namespace pbpair::sim {
+
+class StreamSession;
+
+/// Per-frame state threaded through the stage list. Each default stage
+/// fills the fields the next one consumes; inserted stages may read or
+/// rewrite anything (e.g. a corruption stage edits `delivered`).
+struct FrameContext {
+  int index = 0;
+  video::YuvFrame original;              // from the frame source
+  codec::EncodedFrame encoded;           // after "encode"
+  std::vector<net::Packet> packets;      // after "packetize"
+  std::vector<net::Packet> delivered;    // after "transmit"
+  codec::ReceivedFrame received;         // after "depacketize"
+  const video::YuvFrame* output = nullptr;  // after "decode"
+  FrameTrace trace;                      // filled by "measure"
+};
+
+/// One pipeline stage: a name (for insert/replace addressing) and the work.
+struct FrameStage {
+  std::string name;
+  std::function<void(FrameContext&, StreamSession&)> run;
+};
+
+class StreamSession {
+ public:
+  /// Builds a session with the default stage list. `loss` is not owned and
+  /// may be null (lossless channel); it must outlive the session.
+  /// `label`, when non-empty, namespaces this session's obs counters as
+  /// "session.<label>.*" (obs::session_metric).
+  StreamSession(FrameSource source, const SchemeSpec& scheme,
+                net::LossModel* loss, const PipelineConfig& config,
+                std::string label = {});
+
+  /// As above, but the session owns the loss model (per-session seeded
+  /// models in multi-session runs).
+  StreamSession(FrameSource source, const SchemeSpec& scheme,
+                std::unique_ptr<net::LossModel> loss,
+                const PipelineConfig& config, std::string label = {});
+
+  StreamSession(StreamSession&&) = default;
+  StreamSession& operator=(StreamSession&&) = default;
+
+  ~StreamSession();
+
+  /// Advances one frame through the stage list; returns its trace.
+  /// Must not be called once done().
+  const FrameTrace& step();
+
+  /// Steps until done().
+  void run_to_end();
+
+  bool done() const { return next_frame_ >= config_.frames; }
+  int frames_done() const { return next_frame_; }
+  int total_frames() const { return config_.frames; }
+
+  /// Finalized result (averages, energies). Valid once done(); the frame
+  /// trace file, if any, is flushed and closed on first call.
+  PipelineResult take_result();
+
+  // --- stage composition -------------------------------------------------
+  // Default list: encode, packetize, transmit, depacketize, decode,
+  // measure. Addressing is by name; unknown names PB_CHECK-fail.
+
+  const std::vector<FrameStage>& stages() const { return stages_; }
+  void insert_stage_before(const std::string& name, FrameStage stage);
+  void insert_stage_after(const std::string& name, FrameStage stage);
+  void replace_stage(const std::string& name, FrameStage stage);
+  void remove_stage(const std::string& name);
+
+  // --- component access (stages and experiment hooks use these) ----------
+  codec::Encoder& encoder() { return *encoder_; }
+  codec::Decoder& decoder() { return *decoder_; }
+  codec::RefreshPolicy& policy() { return *policy_; }
+  net::Packetizer& packetizer() { return *packetizer_; }
+  net::Channel& channel() { return *channel_; }
+  const PipelineConfig& config() const { return config_; }
+  const SchemeSpec& scheme() const { return scheme_; }
+  const std::string& label() const { return label_; }
+
+ private:
+  void init();
+  std::size_t stage_index(const std::string& name) const;
+  void write_frame_trace_header();
+  void deliver_due_feedback(int frame);
+  void observe_delivery(const FrameContext& ctx);
+  void accumulate(const FrameTrace& trace);
+
+  SchemeSpec scheme_;
+  PipelineConfig config_;
+  FrameSource source_;
+  std::string label_;
+
+  std::unique_ptr<codec::RefreshPolicy> policy_;
+  std::unique_ptr<codec::Encoder> encoder_;
+  std::unique_ptr<codec::Decoder> decoder_;
+  std::unique_ptr<net::Packetizer> packetizer_;
+  std::unique_ptr<net::LossModel> owned_loss_;
+  std::unique_ptr<net::NoLoss> no_loss_;
+  std::unique_ptr<net::Channel> channel_;
+  std::optional<codec::RateController> rate_;
+
+  // Receiver-side feedback loop (active only when config_.on_feedback).
+  std::unique_ptr<net::PlrEstimator> plr_estimator_;
+  std::unique_ptr<net::ReceiverReportBuilder> report_builder_;
+  std::unique_ptr<net::DelayedFeedback<net::ReceiverReport>> feedback_queue_;
+  std::uint16_t highest_sequence_ = 0;
+
+  std::vector<FrameStage> stages_;
+  std::unique_ptr<std::ofstream> frame_trace_out_;
+
+  int next_frame_ = 0;
+  double psnr_sum_ = 0.0;
+  PipelineResult result_;
+  bool finalized_ = false;
+};
+
+}  // namespace pbpair::sim

@@ -1,0 +1,130 @@
+#include "sim/session_manager.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/parallel_sweep.h"
+
+namespace pbpair::sim {
+namespace {
+
+std::string default_label(std::size_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "s%03zu", index);
+  return buf;
+}
+
+std::unique_ptr<StreamSession> build_session(const SessionSpec& spec,
+                                             std::size_t index) {
+  std::unique_ptr<net::LossModel> loss;
+  if (spec.make_loss) loss = spec.make_loss();
+  return std::make_unique<StreamSession>(
+      spec.source, spec.scheme, std::move(loss), spec.config,
+      spec.label.empty() ? default_label(index) : spec.label);
+}
+
+}  // namespace
+
+SessionManager::SessionManager(std::vector<SessionSpec> specs)
+    : specs_(std::move(specs)) {
+  PB_CHECK(!specs_.empty());
+}
+
+std::vector<PipelineResult> SessionManager::run(
+    const SessionManagerOptions& options) {
+  const int threads =
+      options.threads <= 0 ? sweep_thread_count() : options.threads;
+  std::vector<PipelineResult> results(specs_.size());
+
+  if (options.frames_per_slice <= 0) {
+    // Throughput mode: one task per session, fanned out like a sweep.
+    common::parallel_for(
+        specs_.size(), threads, [this, &results](std::size_t i) {
+          obs::ScopedSpan span("session.run", static_cast<std::int64_t>(i),
+                               "session");
+          std::unique_ptr<StreamSession> session =
+              build_session(specs_[i], i);
+          session->run_to_end();
+          results[i] = session->take_result();
+        });
+    return results;
+  }
+
+  // Serving mode: every session advances `frames_per_slice` frames per
+  // scheduled task and requeues itself, so all sessions progress
+  // concurrently regardless of the worker count. Sessions are built up
+  // front (in index order) and each is only ever touched by the one task
+  // holding it, so no session-level locking is needed.
+  std::vector<std::unique_ptr<StreamSession>> sessions;
+  sessions.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    sessions.push_back(build_session(specs_[i], i));
+  }
+
+  common::ThreadPool pool(threads);
+  const int slice = options.frames_per_slice;
+  std::function<void(std::size_t)> advance = [&](std::size_t i) {
+    obs::ScopedSpan span("session.slice", static_cast<std::int64_t>(i),
+                         "session");
+    StreamSession& session = *sessions[i];
+    for (int k = 0; k < slice && !session.done(); ++k) session.step();
+    if (session.done()) {
+      results[i] = session.take_result();
+    } else {
+      pool.submit([&advance, i] { advance(i); });
+    }
+  };
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    pool.submit([&advance, i] { advance(i); });
+  }
+  pool.wait_all();
+  return results;
+}
+
+SessionAggregate SessionManager::aggregate(
+    const std::vector<PipelineResult>& results) {
+  SessionAggregate agg;
+  agg.sessions = results.size();
+  for (const PipelineResult& r : results) {
+    agg.total_frames += r.frames.size();
+    agg.total_bytes += r.total_bytes;
+    agg.total_bad_pixels += r.total_bad_pixels;
+    agg.total_intra_mbs += r.total_intra_mbs;
+    agg.concealed_mbs += r.concealed_mbs;
+    agg.packets_sent += r.channel.packets_sent;
+    agg.packets_dropped += r.channel.packets_dropped;
+    agg.mean_psnr_db += r.avg_psnr_db;
+    agg.encode_energy_j += r.encode_energy.total_j();
+    agg.tx_energy_j += r.tx_energy_j;
+  }
+  if (!results.empty()) {
+    agg.mean_psnr_db /= static_cast<double>(results.size());
+  }
+  return agg;
+}
+
+std::string SessionAggregate::to_json() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"sessions\": %llu, \"total_frames\": %llu, \"total_bytes\": %llu, "
+      "\"total_bad_pixels\": %llu, \"total_intra_mbs\": %llu, "
+      "\"concealed_mbs\": %llu, \"packets_sent\": %llu, "
+      "\"packets_dropped\": %llu, \"mean_psnr_db\": %.6f, "
+      "\"encode_energy_j\": %.6f, \"tx_energy_j\": %.6f}",
+      static_cast<unsigned long long>(sessions),
+      static_cast<unsigned long long>(total_frames),
+      static_cast<unsigned long long>(total_bytes),
+      static_cast<unsigned long long>(total_bad_pixels),
+      static_cast<unsigned long long>(total_intra_mbs),
+      static_cast<unsigned long long>(concealed_mbs),
+      static_cast<unsigned long long>(packets_sent),
+      static_cast<unsigned long long>(packets_dropped), mean_psnr_db,
+      encode_energy_j, tx_energy_j);
+  return buf;
+}
+
+}  // namespace pbpair::sim

@@ -1,0 +1,84 @@
+// Multi-session serving: N concurrent StreamSessions over the shared
+// thread pool.
+//
+// Each SessionSpec is self-contained — its own frame source, scheme,
+// config, deterministically seeded loss-model factory, and obs metrics
+// label — so sessions never share mutable state and the results are
+// byte-identical at any worker count and any scheduling interleaving
+// (tests/test_session_manager.cpp asserts 1/2/8 threads and several
+// frames_per_slice values produce the same serialized reports).
+//
+// Two scheduling modes:
+//  - frames_per_slice == 0: each session runs to completion as one task
+//    (throughput mode, minimal scheduling overhead);
+//  - frames_per_slice > 0: sessions advance K frames per task and requeue
+//    themselves, so many more sessions than workers make progress
+//    concurrently — the serving pattern a latency-bound deployment needs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/loss_model.h"
+#include "sim/session.h"
+
+namespace pbpair::sim {
+
+/// Everything one hosted session needs. `make_loss` (nullable) is invoked
+/// inside the worker so each session owns a freshly seeded model.
+struct SessionSpec {
+  SchemeSpec scheme;
+  PipelineConfig config;
+  FrameSource source;
+  std::function<std::unique_ptr<net::LossModel>()> make_loss;
+  /// obs metrics label ("session.<label>.*"); empty selects "s<index>".
+  std::string label;
+};
+
+struct SessionManagerOptions {
+  /// Worker threads; <= 0 selects sweep_thread_count().
+  int threads = 0;
+  /// Frames per scheduled slice; 0 runs each session to completion in one
+  /// task. Results are identical either way.
+  int frames_per_slice = 0;
+};
+
+/// Deterministic aggregate over a multi-session run, computed in session
+/// order (never scheduling order).
+struct SessionAggregate {
+  std::uint64_t sessions = 0;
+  std::uint64_t total_frames = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_bad_pixels = 0;
+  std::uint64_t total_intra_mbs = 0;
+  std::uint64_t concealed_mbs = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_dropped = 0;
+  double mean_psnr_db = 0.0;     // mean of per-session averages
+  double encode_energy_j = 0.0;  // summed over sessions
+  double tx_energy_j = 0.0;
+
+  /// One-line JSON rendering with fixed field order and %.6f doubles —
+  /// byte-identical for byte-identical results.
+  std::string to_json() const;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(std::vector<SessionSpec> specs);
+
+  std::size_t session_count() const { return specs_.size(); }
+
+  /// Runs every session to completion; results[i] belongs to specs[i].
+  std::vector<PipelineResult> run(const SessionManagerOptions& options = {});
+
+  /// Aggregates results in index order.
+  static SessionAggregate aggregate(const std::vector<PipelineResult>& results);
+
+ private:
+  std::vector<SessionSpec> specs_;
+};
+
+}  // namespace pbpair::sim

@@ -329,10 +329,23 @@ TEST(ObsPipeline, FrameTraceJsonlIsDeterministicAndParses) {
   std::istringstream lines(first);
   std::string line;
   int rows = 0;
+  bool saw_header = false;
   while (std::getline(lines, line)) {
     common::JsonValue row;
     std::string error;
     ASSERT_TRUE(common::JsonValue::parse(line, &row, &error)) << error;
+    if (!saw_header) {
+      // First line is the header: scheme label, seed, and geometry.
+      saw_header = true;
+      const common::JsonValue* header = row.find("header");
+      ASSERT_NE(header, nullptr);
+      EXPECT_EQ(header->string_at("scheme"), "GOP-3");
+      EXPECT_NE(header->find("seed"), nullptr);
+      EXPECT_EQ(header->number_at("width", -1), config.encoder.width);
+      EXPECT_EQ(header->number_at("height", -1), config.encoder.height);
+      EXPECT_EQ(header->number_at("frames", -1), config.frames);
+      continue;
+    }
     EXPECT_EQ(row.number_at("frame", -1), rows);
     EXPECT_NE(row.find("type"), nullptr);
     EXPECT_NE(row.find("bytes"), nullptr);
@@ -340,6 +353,7 @@ TEST(ObsPipeline, FrameTraceJsonlIsDeterministicAndParses) {
     EXPECT_NE(row.find("lost"), nullptr);
     ++rows;
   }
+  EXPECT_TRUE(saw_header);
   EXPECT_EQ(rows, config.frames);
   std::remove(path.c_str());
 }

@@ -2,6 +2,8 @@
 // behaviours every figure bench relies on.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/adaptation.h"
 #include "net/loss_model.h"
 #include "sim/pipeline.h"
@@ -173,6 +175,45 @@ TEST(Calibration, FindsSizeMatchingIntraTh) {
                  static_cast<double>(target.total_bytes);
   EXPECT_GT(ratio, 0.80);
   EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Calibration, ConvergesTowardTargetSize) {
+  // Bisection against a target that is itself an achievable PBPAIR size:
+  // more iterations can only tighten the best-so-far error (the midpoint
+  // sequence of a longer run extends the shorter one), and the calibrated
+  // threshold must land near the target size.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  PipelineConfig config = short_config(15);
+  PipelineResult target = run_pipeline(
+      seq, SchemeSpec::pbpair(pbpair_config(0.7, 0.10)), nullptr, config);
+
+  double prev_err = -1.0;
+  for (int iterations : {2, 5, 9}) {
+    double th = calibrate_intra_th(seq, pbpair_config(0.7, 0.10),
+                                   target.total_bytes, config, 0.0, 1.0,
+                                   iterations);
+    PipelineResult r = run_pipeline(
+        seq, SchemeSpec::pbpair(pbpair_config(th, 0.10)), nullptr, config);
+    double err = std::abs(static_cast<double>(r.total_bytes) -
+                          static_cast<double>(target.total_bytes));
+    if (prev_err >= 0) {
+      EXPECT_LE(err, prev_err) << iterations;
+    }
+    prev_err = err;
+  }
+  // The deepest search must sit close to the target size.
+  EXPECT_LT(prev_err, 0.10 * static_cast<double>(target.total_bytes));
+}
+
+TEST(CalibrationDeathTest, RejectsInvertedBounds) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kAkiyoLike);
+  PipelineConfig config = short_config(2);
+  EXPECT_DEATH(calibrate_intra_th(seq, pbpair_config(0.9, 0.10),
+                                  /*target_bytes=*/1000, config, /*lo=*/0.9,
+                                  /*hi=*/0.2),
+               "lo <= hi");
 }
 
 TEST(Calibration, SizeIsMonotoneInIntraTh) {

@@ -1,0 +1,163 @@
+// SessionManager: N concurrent sessions, deterministic at any worker count
+// and any scheduling interleaving (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/loss_model.h"
+#include "obs/metrics.h"
+#include "sim/session_manager.h"
+
+namespace pbpair::sim {
+namespace {
+
+// Same %.17g idiom as test_parallel_sweep.cpp: any bit difference in any
+// reported field shows up as a string difference.
+std::string serialize(const std::vector<PipelineResult>& results) {
+  std::string out;
+  char buf[256];
+  for (const PipelineResult& r : results) {
+    std::snprintf(buf, sizeof(buf), "total %llu %.17g %llu %llu %llu\n",
+                  static_cast<unsigned long long>(r.total_bytes),
+                  r.avg_psnr_db,
+                  static_cast<unsigned long long>(r.total_bad_pixels),
+                  static_cast<unsigned long long>(r.total_intra_mbs),
+                  static_cast<unsigned long long>(r.concealed_mbs));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "energy %.17g %.17g\n",
+                  r.encode_energy.total_j(), r.tx_energy_j);
+    out += buf;
+    for (const FrameTrace& f : r.frames) {
+      std::snprintf(buf, sizeof(buf), "f %d %zu %d %d %.17g %llu\n", f.index,
+                    f.bytes, f.intra_mbs, f.lost ? 1 : 0, f.psnr_db,
+                    static_cast<unsigned long long>(f.bad_pixels));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+// A mixed fleet: three clips x three schemes, per-session seeded loss.
+std::vector<SessionSpec> mixed_specs(int sessions, int frames) {
+  const video::SequenceKind kinds[3] = {video::SequenceKind::kForemanLike,
+                                        video::SequenceKind::kAkiyoLike,
+                                        video::SequenceKind::kGardenLike};
+  std::vector<SessionSpec> specs;
+  for (int i = 0; i < sessions; ++i) {
+    SessionSpec spec;
+    if (i % 3 == 0) {
+      core::PbpairConfig pbpair;
+      pbpair.intra_th = 0.9;
+      pbpair.plr = 0.10;
+      spec.scheme = SchemeSpec::pbpair(pbpair);
+    } else if (i % 3 == 1) {
+      spec.scheme = SchemeSpec::gop(3);
+    } else {
+      spec.scheme = SchemeSpec::air(24);
+    }
+    spec.config.frames = frames;
+    video::SyntheticSequence seq = video::make_paper_sequence(kinds[i % 3]);
+    spec.source = [seq](int index) { return seq.frame_at(index); };
+    const std::uint64_t seed = 2005 + static_cast<std::uint64_t>(i);
+    spec.make_loss = [seed] {
+      return std::make_unique<net::UniformFrameLoss>(0.15, seed);
+    };
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(SessionManager, ByteIdenticalAcrossThreadsAndSlicing) {
+  const int kSessions = 5;
+  const int kFrames = 8;
+
+  SessionManagerOptions reference_options;
+  reference_options.threads = 1;
+  std::vector<PipelineResult> reference =
+      SessionManager(mixed_specs(kSessions, kFrames)).run(reference_options);
+  const std::string reference_report = serialize(reference);
+  const std::string reference_aggregate =
+      SessionManager::aggregate(reference).to_json();
+
+  for (int threads : {1, 2, 8}) {
+    for (int slice : {0, 1, 3, 7}) {
+      SessionManagerOptions options;
+      options.threads = threads;
+      options.frames_per_slice = slice;
+      std::vector<PipelineResult> results =
+          SessionManager(mixed_specs(kSessions, kFrames)).run(options);
+      EXPECT_EQ(serialize(results), reference_report)
+          << "threads=" << threads << " slice=" << slice;
+      EXPECT_EQ(SessionManager::aggregate(results).to_json(),
+                reference_aggregate)
+          << "threads=" << threads << " slice=" << slice;
+    }
+  }
+}
+
+TEST(SessionManager, ResultsMatchStandaloneRunPipeline) {
+  const int kSessions = 4;
+  const int kFrames = 10;
+  SessionManagerOptions options;
+  options.threads = 4;
+  options.frames_per_slice = 2;
+  std::vector<PipelineResult> managed =
+      SessionManager(mixed_specs(kSessions, kFrames)).run(options);
+  ASSERT_EQ(managed.size(), static_cast<std::size_t>(kSessions));
+
+  // Hosting inside the manager must not change a single reported bit
+  // relative to running each spec through the plain shim.
+  std::vector<SessionSpec> specs = mixed_specs(kSessions, kFrames);
+  for (int i = 0; i < kSessions; ++i) {
+    std::unique_ptr<net::LossModel> loss = specs[i].make_loss();
+    PipelineResult standalone = run_pipeline(specs[i].source, specs[i].scheme,
+                                             loss.get(), specs[i].config);
+    EXPECT_EQ(serialize({standalone}), serialize({managed[i]})) << "i=" << i;
+  }
+}
+
+TEST(SessionManager, AggregateIsComputedInSessionOrder) {
+  std::vector<PipelineResult> results =
+      SessionManager(mixed_specs(3, 6)).run();
+  SessionAggregate agg = SessionManager::aggregate(results);
+  EXPECT_EQ(agg.sessions, 3u);
+  EXPECT_EQ(agg.total_frames, 18u);
+
+  std::uint64_t bytes = 0;
+  double psnr = 0.0;
+  for (const PipelineResult& r : results) {
+    bytes += r.total_bytes;
+    psnr += r.avg_psnr_db;
+  }
+  EXPECT_EQ(agg.total_bytes, bytes);
+  EXPECT_DOUBLE_EQ(agg.mean_psnr_db, psnr / 3.0);
+
+  const std::string json = agg.to_json();
+  EXPECT_NE(json.find("\"sessions\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"total_frames\": 18"), std::string::npos);
+}
+
+TEST(SessionManager, PerSessionObsCountersUseLabels) {
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+
+  const int kFrames = 5;
+  std::vector<SessionSpec> specs = mixed_specs(2, kFrames);
+  specs[1].label = "gold";  // explicit label; spec 0 falls back to "s000"
+  SessionManagerOptions options;
+  options.threads = 2;
+  SessionManager(std::move(specs)).run(options);
+
+  obs::set_enabled(false);
+  EXPECT_EQ(obs::counter(obs::session_metric("s000", "frames")).value(),
+            static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(obs::counter(obs::session_metric("gold", "frames")).value(),
+            static_cast<std::uint64_t>(kFrames));
+  EXPECT_GT(obs::counter(obs::session_metric("gold", "bytes")).value(), 0u);
+  obs::Registry::global().reset();
+}
+
+}  // namespace
+}  // namespace pbpair::sim

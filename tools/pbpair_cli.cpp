@@ -9,13 +9,20 @@
 //                   [--mtu 1400] [--seed 2005] [--qp 10]
 //                   [--trace] [--trace-json t.json] [--metrics-json m.json]
 //                   [--frame-trace f.jsonl] [--deterministic]
+//   pbpair serve    --sessions N [--frames 60] [--plr 0.1] [--scheme ...]
+//                   [--intra-th 0.9] [--threads T] [--slice K] [--rtt R]
+//                   [--seed 2005] [--qp 10]
 //
 // encode/decode work on real raw 4:2:0 material through the PBS container;
 // simulate runs the full lossy pipeline on a synthetic clip and prints the
-// result row. The observability flags (DESIGN.md §8) enable the metrics/
-// trace layer: --trace turns it on (as does PBPAIR_TRACE=1), the *-json
-// flags export what was collected, and --deterministic restricts the
-// metrics JSON to the counters that are a pure function of the workload.
+// result row; serve multiplexes N concurrent stream sessions (clips
+// rotating over the paper's three, per-session seeds) across the worker
+// pool and prints per-session rows plus the deterministic aggregate
+// (DESIGN.md §9). The observability flags (DESIGN.md §8) enable the
+// metrics/trace layer: --trace turns it on (as does PBPAIR_TRACE=1), the
+// *-json flags export what was collected, and --deterministic restricts
+// the metrics JSON to the counters that are a pure function of the
+// workload.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -30,6 +37,7 @@
 #include "obs/trace.h"
 #include "sim/pipeline.h"
 #include "sim/report.h"
+#include "sim/session_manager.h"
 #include "video/yuv_io.h"
 
 using namespace pbpair;
@@ -47,6 +55,9 @@ int usage() {
                "           [--intra-th X] [--mtu N] [--seed N] [--qp N]\n"
                "           [--trace] [--trace-json FILE] [--metrics-json FILE]\n"
                "           [--frame-trace FILE] [--deterministic]\n"
+               "  serve    --sessions N [--frames N] [--plr X] [--scheme S]\n"
+               "           [--intra-th X] [--threads T] [--slice K] [--rtt R]\n"
+               "           [--seed N] [--qp N]\n"
                "  schemes: pbpair (default), no, gop-N, air-N, pgop-N\n");
   return 2;
 }
@@ -211,6 +222,8 @@ int cmd_simulate(const common::ArgParser& args) {
   config.encoder.qp = args.get_int("qp", 10);
   config.packetizer.mtu = static_cast<std::size_t>(args.get_int("mtu", 1400));
   config.frame_trace_path = frame_trace;
+  config.frame_trace_seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2005));
 
   video::SyntheticSequence sequence = video::make_paper_sequence(kind);
   net::UniformFrameLoss loss(plr, static_cast<std::uint64_t>(
@@ -255,6 +268,86 @@ int cmd_simulate(const common::ArgParser& args) {
   return 0;
 }
 
+int cmd_serve(const common::ArgParser& args) {
+  const int sessions = args.get_int("sessions", 0);
+  if (sessions <= 0) {
+    std::fprintf(stderr, "serve needs --sessions N (N >= 1)\n");
+    return usage();
+  }
+  const int frames = args.get_int("frames", 60);
+  const double plr = args.get_double("plr", 0.10);
+  const int rtt = args.get_int("rtt", 0);
+  const std::uint64_t base_seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2005));
+
+  sim::SchemeSpec scheme;
+  if (!parse_scheme(args.get("scheme", "pbpair"),
+                    args.get_double("intra-th", 0.9), plr, &scheme)) {
+    return usage();
+  }
+
+  // Clips rotate over the paper's three so a multi-session mix exercises
+  // the full motion-activity spectrum; each session gets its own seed.
+  const video::SequenceKind kinds[] = {video::SequenceKind::kForemanLike,
+                                       video::SequenceKind::kAkiyoLike,
+                                       video::SequenceKind::kGardenLike};
+  const char* kind_names[] = {"foreman", "akiyo", "garden"};
+
+  std::vector<sim::SessionSpec> specs;
+  specs.reserve(static_cast<std::size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    sim::SessionSpec spec;
+    spec.scheme = scheme;
+    spec.config.frames = frames;
+    spec.config.encoder.qp = args.get_int("qp", 10);
+    if (rtt > 0 && scheme.kind == sim::SchemeKind::kPbpair) {
+      // Close the §3.2 loop per session: RTCP receiver reports reach the
+      // probability model after the configured RTT.
+      spec.config.feedback_rtt_frames = rtt;
+      spec.config.on_feedback = [](int, const net::ReceiverReport& report,
+                                   codec::RefreshPolicy& policy) {
+        if (auto* p = dynamic_cast<core::PbpairPolicy*>(&policy)) {
+          p->set_plr(report.fraction_lost_as_double());
+        }
+      };
+    }
+    video::SyntheticSequence sequence =
+        video::make_paper_sequence(kinds[i % 3]);
+    spec.source = [sequence](int f) { return sequence.frame_at(f); };
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    spec.make_loss = [plr, seed] {
+      return std::make_unique<net::UniformFrameLoss>(plr, seed);
+    };
+    specs.push_back(std::move(spec));
+  }
+
+  sim::SessionManager manager(std::move(specs));
+  sim::SessionManagerOptions options;
+  options.threads = args.get_int("threads", 0);
+  options.frames_per_slice = args.get_int("slice", 0);
+  std::vector<sim::PipelineResult> results = manager.run(options);
+
+  if (sessions <= 16) {
+    sim::Table table({"session", "clip", "scheme", "PSNR_dB", "size_KB",
+                      "lost_pkts", "encode_J", "tx_J"});
+    for (int i = 0; i < sessions; ++i) {
+      const sim::PipelineResult& r = results[static_cast<std::size_t>(i)];
+      table.add_row(
+          {sim::format("s%03d", i), kind_names[i % 3], scheme.label(),
+           sim::format("%.2f", r.avg_psnr_db),
+           sim::format("%.1f", static_cast<double>(r.total_bytes) / 1024.0),
+           sim::format("%llu", static_cast<unsigned long long>(
+                                   r.channel.packets_dropped)),
+           sim::format("%.3f", r.encode_energy.total_j()),
+           sim::format("%.3f", r.tx_energy_j)});
+    }
+    table.print();
+  }
+  sim::SessionAggregate agg = sim::SessionManager::aggregate(results);
+  std::printf("aggregate: %s\n", agg.to_json().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,6 +362,8 @@ int main(int argc, char** argv) {
     result = cmd_decode(args);
   } else if (command == "simulate") {
     result = cmd_simulate(args);
+  } else if (command == "serve") {
+    result = cmd_serve(args);
   } else {
     return usage();
   }
