@@ -16,6 +16,7 @@
 #include "bench_common.h"
 #include "common/thread_pool.h"
 #include "net/loss_model.h"
+#include "obs/health.h"
 #include "sim/session_manager.h"
 
 using namespace pbpair;
@@ -35,6 +36,9 @@ std::vector<sim::SessionSpec> make_specs(int sessions, int frames) {
     pbpair.plr = 0.10;
     spec.scheme = sim::SchemeSpec::pbpair(pbpair);
     spec.config = bench::paper_pipeline_config(frames);
+    // Health tracking on, like `pbpair serve`: the bench then measures the
+    // serving path with its real telemetry cost included.
+    spec.config.health = obs::HealthConfig{};
     spec.source = bench::clip_source(kind, frames);
     const std::uint64_t seed = 2005 + static_cast<std::uint64_t>(i);
     spec.make_loss = [seed] {
@@ -81,10 +85,18 @@ int main() {
     sim::SessionManagerOptions options;
     options.threads = threads;
 
+    obs::HealthRegistry::global().clear();
     const Clock::time_point start = Clock::now();
     std::vector<sim::PipelineResult> results = manager.run(options);
     const double wall_s =
         std::chrono::duration<double>(Clock::now() - start).count();
+
+    // Final health-state distribution across the run's sessions.
+    int health_counts[3] = {0, 0, 0};
+    for (const auto& session : obs::HealthRegistry::global().sessions()) {
+      const int s = static_cast<int>(session->snapshot().state);
+      if (s >= 0 && s < 3) ++health_counts[s];
+    }
 
     sim::SessionAggregate agg = sim::SessionManager::aggregate(results);
     const double fps = static_cast<double>(agg.total_frames) / wall_s;
@@ -96,8 +108,10 @@ int main() {
     points += sim::format(
         "    {\"sessions\": %d, \"threads\": %d, \"wall_s\": %.4f, "
         "\"frames_per_sec\": %.2f, \"sessions_per_sec\": %.3f, "
+        "\"health\": {\"healthy\": %d, \"degraded\": %d, \"critical\": %d}, "
         "\"aggregate\": %s}%s\n",
-        n, threads, wall_s, fps, sps, agg.to_json().c_str(),
+        n, threads, wall_s, fps, sps, health_counts[0], health_counts[1],
+        health_counts[2], agg.to_json().c_str(),
         c + 1 < counts.size() ? "," : "");
   }
   table.print();

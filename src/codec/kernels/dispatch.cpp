@@ -2,9 +2,10 @@
 #include "codec/kernels/kernels.h"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "obs/log.h"
 
 namespace pbpair::codec::kernels {
 
@@ -48,10 +49,10 @@ const KernelTable* detect_default() {
         if (const KernelTable* table = table_for(backend)) return table;
       }
     }
-    std::fprintf(stderr,
-                 "pbpair: PBPAIR_KERNELS=%s unknown or unsupported on this "
-                 "CPU; auto-selecting\n",
-                 env);
+    PB_LOG_WARN(
+        "PBPAIR_KERNELS=%s unknown or unsupported on this CPU; "
+        "auto-selecting",
+        env);
   }
   const KernelTable* best = &scalar_table();
   for (Backend backend : kAllBackends) {

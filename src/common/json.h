@@ -5,7 +5,7 @@
 // numbers are stored as double (every number this repo emits — ns timings,
 // counters up to 2^53 — survives the round trip). No serialization here;
 // writers in this repo emit JSON directly so their formatting stays under
-// their control.
+// their control (json_escape below keeps the strings they embed valid).
 #pragma once
 
 #include <map>
@@ -72,5 +72,11 @@ class JsonValue {
 /// or parse failure (with `error` describing which).
 bool parse_json_file(const std::string& path, JsonValue* out,
                      std::string* error = nullptr);
+
+/// Escapes `text` for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters become \" \\ \n \t ... \u00XX.
+/// The writers in this repo (trace exporter, structured log, healthz)
+/// route every externally-sourced name through this.
+std::string json_escape(const std::string& text);
 
 }  // namespace pbpair::common

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace pbpair::net {
@@ -25,6 +26,11 @@ std::vector<Packet> Channel::transmit(const std::vector<Packet>& packets) {
     }
     stats_.bytes_delivered += packet.wire_size();
     delivered.push_back(packet);
+  }
+  if (dropped > 0) {
+    PB_LOG_DEBUG("channel %s dropped %llu/%llu packets", loss_->name(),
+                 static_cast<unsigned long long>(dropped),
+                 static_cast<unsigned long long>(sent));
   }
   if (obs::enabled() && sent > 0) {
     static obs::Counter* c_sent = &obs::counter("net.packets_sent");

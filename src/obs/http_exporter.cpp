@@ -1,0 +1,185 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pbpair::obs {
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+// Reads until the end of the request headers or `cap` bytes. A scraper's
+// GET fits in one MTU, so this is not a general HTTP parser.
+std::string read_request(int fd) {
+  constexpr std::size_t cap = 4096;
+  std::string request;
+  char buf[1024];
+  while (request.size() < cap &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  return request;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpExporter::~HttpExporter() { stop(); }
+
+bool HttpExporter::start(int port, HttpHandler handler) {
+  if (running_.load(std::memory_order_relaxed)) return false;
+  handler_ = std::move(handler);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  stop_requested_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpExporter::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void HttpExporter::serve_loop() {
+  set_thread_name("metrics-exporter");
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    const std::string request = read_request(client);
+
+    HttpResponse response;
+    std::string method, path;
+    const std::size_t first_space = request.find(' ');
+    const std::size_t second_space =
+        first_space == std::string::npos
+            ? std::string::npos
+            : request.find(' ', first_space + 1);
+    if (second_space == std::string::npos) {
+      PB_LOG_DEBUG("http exporter: malformed request line (%zu bytes)",
+                   request.size());
+      response = HttpResponse{400, "text/plain", "bad request\n"};
+    } else {
+      method = request.substr(0, first_space);
+      path = request.substr(first_space + 1, second_space - first_space - 1);
+      if (method != "GET") {
+        response = HttpResponse{405, "text/plain", "GET only\n"};
+      } else {
+        response = handler_(path);
+      }
+    }
+    if (enabled()) counter("obs.http_requests").add(1);
+
+    char header[256];
+    std::snprintf(header, sizeof(header),
+                  "HTTP/1.0 %d %s\r\nContent-Type: %s\r\n"
+                  "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                  response.status, status_text(response.status),
+                  response.content_type.c_str(), response.body.size());
+    write_all(client, header + response.body);
+    ::close(client);
+  }
+}
+
+bool http_get(const std::string& host, int port, const std::string& path,
+              std::string* body, int* status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  write_all(fd, request);
+
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\nbody"
+  if (response.compare(0, 5, "HTTP/") != 0) return false;
+  const std::size_t status_pos = response.find(' ');
+  if (status_pos == std::string::npos) return false;
+  if (status != nullptr) {
+    *status = std::atoi(response.c_str() + status_pos + 1);
+  }
+  const std::size_t body_pos = response.find("\r\n\r\n");
+  if (body_pos == std::string::npos) return false;
+  *body = response.substr(body_pos + 4);
+  return true;
+}
+
+}  // namespace pbpair::obs

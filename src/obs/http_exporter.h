@@ -1,0 +1,65 @@
+// Minimal blocking HTTP/1.0 responder for the telemetry endpoints, plus
+// the matching one-shot client (`pbpair monitor` and tests scrape with
+// it). POSIX sockets only, no dependencies, loopback by default.
+//
+// The exporter is deliberately tiny: one dedicated thread, one connection
+// at a time, GET only, Connection: close. That is exactly enough for a
+// Prometheus scraper or curl, and keeps the serving path — which must
+// never perturb the workload — free of thread pools and state. Handlers
+// run on the exporter thread and must only READ (the registry snapshot
+// and health registry are both safe to read concurrently).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace pbpair::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; version=0.0.4";
+  std::string body;
+};
+
+/// Maps a request path ("/metrics", "/healthz") to a response.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpExporter {
+ public:
+  HttpExporter() = default;
+  ~HttpExporter();  // stop()s
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and
+  /// starts the serving thread. False on bind/listen failure. The actual
+  /// port is available from port() afterwards.
+  bool start(int port, HttpHandler handler);
+
+  /// Stops the serving thread and closes the socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  int port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  HttpHandler handler_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+/// Blocking HTTP/1.0 GET http://`host`:`port``path`. Fills `*body` with
+/// the response body (headers stripped) and, when non-null, `*status`
+/// with the status code. False on connect/format failure.
+bool http_get(const std::string& host, int port, const std::string& path,
+              std::string* body, int* status = nullptr);
+
+}  // namespace pbpair::obs

@@ -1,0 +1,165 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace pbpair::obs {
+namespace {
+
+// Token bucket shape shared by every site: a short burst gets through
+// untouched, a runaway loop degrades to kLogRefillPerSec records/s.
+constexpr double kLogBurst = 8.0;
+constexpr double kLogRefillPerSec = 2.0;
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<bool> g_deterministic{false};
+std::atomic<std::uint64_t> g_suppressed_total{0};
+
+// Guards the sink (file handle swaps and record writes) and the per-site
+// bucket math. Logging is rare by construction, so one mutex is fine.
+std::mutex g_mutex;
+std::FILE* g_sink = nullptr;  // nullptr = stderr
+bool g_sink_is_file = false;
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double wall_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void set_log_min_level(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_min_level() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool set_log_json_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink_is_file && g_sink != nullptr) std::fclose(g_sink);
+  g_sink = nullptr;
+  g_sink_is_file = false;
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  g_sink = f;
+  g_sink_is_file = true;
+  return true;
+}
+
+void close_log_json() { set_log_json_path(""); }
+
+void set_log_deterministic(bool on) {
+  g_deterministic.store(on, std::memory_order_relaxed);
+}
+
+bool log_deterministic() {
+  return g_deterministic.load(std::memory_order_relaxed);
+}
+
+std::uint64_t log_suppressed_total() {
+  return g_suppressed_total.load(std::memory_order_relaxed);
+}
+
+bool log_should_emit(LogSite& site, LogLevel level) {
+  if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  // Deterministic mode: the limiter reads the clock, so it is disabled —
+  // what gets logged must be a pure function of the workload.
+  if (g_deterministic.load(std::memory_order_relaxed)) return true;
+
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const std::int64_t now = steady_now_ns();
+  double tokens = site.tokens.load(std::memory_order_relaxed);
+  const std::int64_t last = site.last_refill_ns.load(std::memory_order_relaxed);
+  if (tokens < 0.0) {
+    tokens = kLogBurst;  // first use of this site
+  } else {
+    tokens += static_cast<double>(now - last) * 1e-9 * kLogRefillPerSec;
+    if (tokens > kLogBurst) tokens = kLogBurst;
+  }
+  site.last_refill_ns.store(now, std::memory_order_relaxed);
+  if (tokens < 1.0) {
+    site.tokens.store(tokens, std::memory_order_relaxed);
+    site.suppressed.fetch_add(1, std::memory_order_relaxed);
+    g_suppressed_total.fetch_add(1, std::memory_order_relaxed);
+    counter("obs.log_suppressed").add(1);
+    return false;
+  }
+  site.tokens.store(tokens - 1.0, std::memory_order_relaxed);
+  return true;
+}
+
+void log_emit(LogSite& site, LogLevel level, const char* file, int line,
+              const char* fmt, ...) {
+  char msg[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+
+  std::string record = "{";
+  if (!g_deterministic.load(std::memory_order_relaxed)) {
+    char ts[48];
+    std::snprintf(ts, sizeof(ts), "\"ts\": %.6f, ", wall_now_s());
+    record += ts;
+  }
+  record += "\"level\": \"";
+  record += log_level_name(level);
+  record += "\", \"site\": \"";
+  record += common::json_escape(basename_of(file));
+  char linebuf[16];
+  std::snprintf(linebuf, sizeof(linebuf), ":%d", line);
+  record += linebuf;
+  record += "\", \"msg\": \"";
+  record += common::json_escape(msg);
+  record += "\"";
+  const std::uint64_t suppressed =
+      site.suppressed.exchange(0, std::memory_order_relaxed);
+  if (suppressed > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ", \"suppressed\": %llu",
+                  static_cast<unsigned long long>(suppressed));
+    record += buf;
+  }
+  record += "}\n";
+
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fputs(record.c_str(), out);
+  std::fflush(out);
+}
+
+}  // namespace pbpair::obs

@@ -1,0 +1,90 @@
+// Structured leveled logging: JSONL records to stderr or a file.
+//
+// Design rules (DESIGN.md §10):
+//  - One record per line, always valid JSON:
+//      {"ts": 1722873600.123456, "level": "warn",
+//       "site": "session_manager.cpp:72", "msg": "..."}
+//    Message text is json-escaped, so hostile content cannot break the
+//    stream. Records are written atomically under one mutex.
+//  - Deterministic mode (set_log_deterministic, the CLI's --deterministic)
+//    strips the wall-clock "ts" field and disables the clock-driven rate
+//    limiter, so the emitted records are a pure function of the workload.
+//  - Each PB_LOG_* expansion site owns a token bucket (kLogBurst tokens,
+//    kLogRefillPerSec refill): a hot loop that logs per packet degrades to
+//    a few records per second plus a "suppressed" count on the next record
+//    that gets through, never an unbounded stream. Suppressed records are
+//    also counted in the obs.log_suppressed registry counter.
+//  - Logging is independent of obs::enabled(): diagnostics must work even
+//    when the metrics/trace layer is off. The level gate is one relaxed
+//    atomic load, so disabled levels cost nothing on hot paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pbpair::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// "debug" / "info" / "warn" / "error".
+const char* log_level_name(LogLevel level);
+
+/// Records below this level are dropped at the macro site. Default kWarn:
+/// the library stays quiet unless something is wrong; tools opt into
+/// kInfo/kDebug (--verbose).
+void set_log_min_level(LogLevel level);
+LogLevel log_min_level();
+
+/// Routes records to `path` (JSONL, truncating) instead of stderr; an
+/// empty path switches back to stderr. Returns false when the file cannot
+/// be opened (records keep going to stderr).
+bool set_log_json_path(const std::string& path);
+
+/// Flushes and closes a file sink opened by set_log_json_path (records go
+/// back to stderr). No-op when logging to stderr.
+void close_log_json();
+
+/// Strips "ts" from records and disables the per-site rate limiter so the
+/// log stream is byte-reproducible for seeded workloads.
+void set_log_deterministic(bool on);
+bool log_deterministic();
+
+/// Total records dropped by per-site rate limiting since process start.
+std::uint64_t log_suppressed_total();
+
+/// Per-call-site state for the token-bucket rate limiter. One static
+/// instance lives at each PB_LOG_* expansion; constant-initialized so the
+/// macro is usable before main().
+struct LogSite {
+  std::atomic<std::int64_t> last_refill_ns{-1};
+  std::atomic<double> tokens{-1.0};  // -1: bucket not yet initialized
+  std::atomic<std::uint64_t> suppressed{0};
+};
+
+/// Level gate + token bucket. True when the record should be emitted.
+bool log_should_emit(LogSite& site, LogLevel level);
+
+/// Formats and writes one record (printf semantics for `fmt`). Any count
+/// the site suppressed since its last emitted record is attached as
+/// "suppressed": N and reset.
+void log_emit(LogSite& site, LogLevel level, const char* file, int line,
+              const char* fmt, ...) __attribute__((format(printf, 5, 6)));
+
+}  // namespace pbpair::obs
+
+#define PB_LOG_AT(level_, ...)                                              \
+  do {                                                                      \
+    static ::pbpair::obs::LogSite pb_log_site_;                             \
+    if (::pbpair::obs::log_should_emit(pb_log_site_, (level_))) {           \
+      ::pbpair::obs::log_emit(pb_log_site_, (level_), __FILE__, __LINE__,   \
+                              __VA_ARGS__);                                 \
+    }                                                                       \
+  } while (0)
+
+#define PB_LOG_DEBUG(...) \
+  PB_LOG_AT(::pbpair::obs::LogLevel::kDebug, __VA_ARGS__)
+#define PB_LOG_INFO(...) PB_LOG_AT(::pbpair::obs::LogLevel::kInfo, __VA_ARGS__)
+#define PB_LOG_WARN(...) PB_LOG_AT(::pbpair::obs::LogLevel::kWarn, __VA_ARGS__)
+#define PB_LOG_ERROR(...) \
+  PB_LOG_AT(::pbpair::obs::LogLevel::kError, __VA_ARGS__)

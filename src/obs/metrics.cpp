@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace pbpair::obs {
 namespace {
 
@@ -106,6 +108,37 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::reset_all() {
+  reset();
+  clear_trace();
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hist;
+    hist.name = name;
+    hist.count = h->count();
+    hist.sum_ns = h->sum();
+    hist.buckets.reserve(Histogram::kBucketCount + 1);
+    for (int i = 0; i <= Histogram::kBucketCount; ++i) {
+      hist.buckets.push_back(h->bucket(i));
+    }
+    snap.histograms.push_back(std::move(hist));
+  }
+  return snap;
 }
 
 std::string Registry::to_json(bool deterministic) const {

@@ -26,6 +26,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pbpair::obs {
 
@@ -86,6 +88,23 @@ class Histogram {
   std::atomic<std::int64_t> sum_{0};
 };
 
+/// Point-in-time copy of one histogram (bucket layout is the fixed
+/// compile-time one; `buckets` holds per-bin counts, overflow last).
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::int64_t sum_ns = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Consistent copy of a registry's contents, sorted by name — what the
+/// exporters (JSON, Prometheus) render from.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
 /// Name -> metric map. Lookups take a mutex; returned references are
 /// stable for the life of the process, so hot paths should look up once
 /// and cache the pointer.
@@ -100,6 +119,15 @@ class Registry {
 
   /// Zeroes every metric (registrations and cached pointers stay valid).
   void reset();
+
+  /// reset() plus the process-wide trace buffer (obs/trace.h) — one call
+  /// returns the whole observability layer to a blank slate. Test
+  /// fixtures use this so metrics from one test cannot leak into the
+  /// next's assertions.
+  void reset_all();
+
+  /// Copies every metric's current value, sorted by name.
+  RegistrySnapshot snapshot() const;
 
   /// JSON object with "counters" / "gauges" / "histograms" sections, keys
   /// sorted by name. With `deterministic` set, only counters survive and

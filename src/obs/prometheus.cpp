@@ -1,0 +1,240 @@
+#include "obs/prometheus.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+namespace pbpair::obs {
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the
+// registry's dots, mostly) becomes '_'.
+std::string mangle(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Label VALUES escape backslash, quote, and newline (text format 0.0.4).
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] == '\\' && i + 1 < value.size()) {
+      ++i;
+      out += value[i] == 'n' ? '\n' : value[i];
+    } else {
+      out += value[i];
+    }
+  }
+  return out;
+}
+
+/// Splits "session.<label>.<metric>"; false for any other shape.
+bool split_session(const std::string& name, std::string* label,
+                   std::string* metric) {
+  constexpr char kPrefix[] = "session.";
+  constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  const std::size_t dot = name.find('.', kPrefixLen);
+  if (dot == std::string::npos || dot == kPrefixLen ||
+      dot + 1 >= name.size()) {
+    return false;
+  }
+  *label = name.substr(kPrefixLen, dot - kPrefixLen);
+  *metric = name.substr(dot + 1);
+  return true;
+}
+
+struct FamilyData {
+  const char* type = "counter";
+  std::vector<std::string> lines;  // appended in sorted-source order
+};
+
+std::string format_uint(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string format_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry& registry) {
+  const RegistrySnapshot snap = registry.snapshot();
+  // Families sorted by name; sample lines within a family inherit the
+  // snapshot's sorted-by-source-name order, which for session metrics is
+  // sorted-by-label (the label precedes the metric in the source name).
+  std::map<std::string, FamilyData> families;
+
+  for (const auto& [name, value] : snap.counters) {
+    std::string label, metric;
+    std::string family, line;
+    if (split_session(name, &label, &metric)) {
+      family = "pbpair_session_" + mangle(metric) + "_total";
+      line = family + "{session=\"" + escape_label(label) + "\"} ";
+    } else {
+      family = "pbpair_" + mangle(name) + "_total";
+      line = family + " ";
+    }
+    FamilyData& data = families[family];
+    data.type = "counter";
+    data.lines.push_back(line + format_uint(value));
+  }
+
+  for (const auto& [name, value] : snap.gauges) {
+    std::string label, metric;
+    std::string family, line;
+    if (split_session(name, &label, &metric)) {
+      family = "pbpair_session_" + mangle(metric);
+      line = family + "{session=\"" + escape_label(label) + "\"} ";
+    } else {
+      family = "pbpair_" + mangle(name);
+      line = family + " ";
+    }
+    FamilyData& data = families[family];
+    data.type = "gauge";
+    data.lines.push_back(line + format_double(value));
+  }
+
+  for (const HistogramSnapshot& hist : snap.histograms) {
+    std::string label, metric;
+    std::string family, labels;
+    if (split_session(hist.name, &label, &metric)) {
+      family = "pbpair_session_" + mangle(metric);
+      labels = "session=\"" + escape_label(label) + "\",";
+    } else {
+      family = "pbpair_" + mangle(hist.name);
+    }
+    FamilyData& data = families[family];
+    data.type = "histogram";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i <= Histogram::kBucketCount; ++i) {
+      cumulative += hist.buckets[static_cast<std::size_t>(i)];
+      std::string le;
+      if (i < Histogram::kBucketCount) {
+        le = format_uint(std::uint64_t{1}
+                         << (Histogram::kFirstBucketLog2 + i));
+      } else {
+        le = "+Inf";
+      }
+      data.lines.push_back(family + "_bucket{" + labels + "le=\"" + le +
+                           "\"} " + format_uint(cumulative));
+    }
+    char sum[32];
+    std::snprintf(sum, sizeof(sum), "%lld",
+                  static_cast<long long>(hist.sum_ns));
+    const std::string label_block =
+        labels.empty() ? "" : "{" + labels.substr(0, labels.size() - 1) + "}";
+    data.lines.push_back(family + "_sum" + label_block + " " + sum);
+    data.lines.push_back(family + "_count" + label_block + " " +
+                         format_uint(hist.count));
+  }
+
+  std::string out;
+  for (const auto& [family, data] : families) {
+    out += "# TYPE " + family + " " + data.type + "\n";
+    for (const std::string& line : data.lines) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+bool parse_prometheus_text(const std::string& text,
+                           std::vector<PromSample>* out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) return false;
+    char* parse_end = nullptr;
+    const std::string value_text = line.substr(space + 1);
+    double value = std::strtod(value_text.c_str(), &parse_end);
+    if (parse_end == value_text.c_str()) {
+      if (value_text == "+Inf") {
+        value = 1e308;
+      } else {
+        return false;
+      }
+    }
+
+    PromSample sample;
+    sample.value = value;
+    std::string name = line.substr(0, space);
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos) {
+      sample.family = name;
+      out->push_back(std::move(sample));
+      continue;
+    }
+    if (name.back() != '}') return false;
+    sample.family = name.substr(0, brace);
+    const std::string labels = name.substr(brace + 1,
+                                           name.size() - brace - 2);
+    // Split k="v" pairs; keep everything except `session` on the family.
+    std::string kept;
+    std::size_t lpos = 0;
+    while (lpos < labels.size()) {
+      const std::size_t eq = labels.find("=\"", lpos);
+      if (eq == std::string::npos) return false;
+      const std::string key = labels.substr(lpos, eq - lpos);
+      std::size_t vend = eq + 2;
+      while (vend < labels.size() &&
+             (labels[vend] != '"' || labels[vend - 1] == '\\')) {
+        ++vend;
+      }
+      if (vend >= labels.size()) return false;
+      const std::string value_str =
+          unescape_label(labels.substr(eq + 2, vend - eq - 2));
+      if (key == "session") {
+        sample.session = value_str;
+      } else {
+        kept += (kept.empty() ? "" : ",") + key + "=\"" +
+                labels.substr(eq + 2, vend - eq - 2) + "\"";
+      }
+      lpos = vend + 1;
+      if (lpos < labels.size() && labels[lpos] == ',') ++lpos;
+    }
+    if (!kept.empty()) sample.family += "{" + kept + "}";
+    out->push_back(std::move(sample));
+  }
+  return true;
+}
+
+}  // namespace pbpair::obs

@@ -1,0 +1,42 @@
+// Prometheus text exposition (format 0.0.4) for the metrics registry,
+// plus a parser for the same subset — the `pbpair monitor` client scrapes
+// what render_prometheus() produced.
+//
+// Naming (DESIGN.md §10): every family is prefixed `pbpair_` and dots
+// become underscores (`encoder.frames` -> `pbpair_encoder_frames_total`).
+// Per-session metrics (`session.<label>.<metric>`, obs::session_metric)
+// become ONE family per metric with a session label:
+//   session.s007.frames -> pbpair_session_frames_total{session="s007"}
+// Counters get the conventional `_total` suffix; histograms render as
+// cumulative `_bucket{le="..."}` lines over the fixed power-of-two ns
+// layout plus `_sum` / `_count`. Output is fully sorted (families by
+// name, samples by session label), so identical registry state renders
+// byte-identical text — the /metrics endpoint of an idle deterministic
+// server never changes between scrapes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pbpair::obs {
+
+/// Renders a snapshot of `registry` in Prometheus text format 0.0.4.
+std::string render_prometheus(const Registry& registry = Registry::global());
+
+/// One parsed sample line. `session` is empty for unlabeled families.
+struct PromSample {
+  std::string family;   // e.g. "pbpair_session_frames_total"
+  std::string session;  // e.g. "s007"
+  double value = 0.0;
+};
+
+/// Parses the renderer's output (comment lines skipped, `name{labels}
+/// value` and bare `name value` lines). Returns false on a malformed
+/// sample line. Labels other than `session` (e.g. histogram `le`) are
+/// left inside `family` verbatim so bucket lines stay distinguishable.
+bool parse_prometheus_text(const std::string& text,
+                           std::vector<PromSample>* out);
+
+}  // namespace pbpair::obs

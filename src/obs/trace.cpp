@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/json.h"
 #include "obs/metrics.h"
 
 namespace pbpair::obs {
@@ -25,8 +26,10 @@ struct Span {
 
 // Unbounded growth would turn long sweeps into memory leaks; past the cap
 // spans are dropped (and counted) rather than evicted, so the trace always
-// shows the run's beginning.
-constexpr std::size_t kMaxSpans = 1 << 20;
+// shows the run's beginning. Runtime-adjustable so tests can exercise the
+// overflow path cheaply (set_trace_capacity).
+constexpr std::size_t kDefaultMaxSpans = 1 << 20;
+std::atomic<std::size_t> g_max_spans{kDefaultMaxSpans};
 
 std::mutex g_mutex;
 std::vector<Span>& spans() {
@@ -72,7 +75,7 @@ void record_span(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
   if (!enabled()) return;
   const int tid = assign_thread_id();
   std::lock_guard<std::mutex> lock(g_mutex);
-  if (spans().size() >= kMaxSpans) {
+  if (spans().size() >= g_max_spans.load(std::memory_order_relaxed)) {
     counter("obs.trace_dropped_spans").add(1);
     return;
   }
@@ -97,6 +100,14 @@ std::size_t trace_span_count() {
   return spans().size();
 }
 
+void set_trace_capacity(std::size_t max_spans) {
+  g_max_spans.store(max_spans, std::memory_order_relaxed);
+}
+
+std::size_t trace_capacity() {
+  return g_max_spans.load(std::memory_order_relaxed);
+}
+
 void clear_trace() {
   std::lock_guard<std::mutex> lock(g_mutex);
   spans().clear();
@@ -107,13 +118,16 @@ bool write_chrome_trace(const std::string& path) {
   if (f == nullptr) return false;
   std::lock_guard<std::mutex> lock(g_mutex);
 
+  // Span, thread, and arg names are caller-supplied: escape them all, or a
+  // single quote in a name produces an unloadable trace.
   std::fprintf(f, "{\"traceEvents\": [\n");
   bool first = true;
   for (const auto& [tid, name] : thread_names()) {
     std::fprintf(f,
                  "%s{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
                  "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
-                 first ? "" : ",\n", tid, name.c_str());
+                 first ? "" : ",\n", tid,
+                 common::json_escape(name).c_str());
     first = false;
   }
   for (const Span& span : spans()) {
@@ -121,12 +135,13 @@ bool write_chrome_trace(const std::string& path) {
     std::fprintf(f,
                  "%s{\"ph\": \"X\", \"name\": \"%s\", \"pid\": 1, "
                  "\"tid\": %d, \"ts\": %.3f, \"dur\": %.3f",
-                 first ? "" : ",\n", span.name, span.tid,
-                 static_cast<double>(span.start_ns) / 1e3,
+                 first ? "" : ",\n", common::json_escape(span.name).c_str(),
+                 span.tid, static_cast<double>(span.start_ns) / 1e3,
                  static_cast<double>(span.dur_ns) / 1e3);
     first = false;
     if (span.arg >= 0) {
-      std::fprintf(f, ", \"args\": {\"%s\": %lld}", span.arg_name,
+      std::fprintf(f, ", \"args\": {\"%s\": %lld}",
+                   common::json_escape(span.arg_name).c_str(),
                    static_cast<long long>(span.arg));
     }
     std::fprintf(f, "}");

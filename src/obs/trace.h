@@ -53,6 +53,13 @@ class ScopedSpan {
 /// Number of spans currently buffered.
 std::size_t trace_span_count();
 
+/// Overrides the bounded span-buffer capacity (default 1<<20). Existing
+/// spans past a smaller cap are kept; only NEW spans are dropped (and
+/// counted). Tests use a tiny cap to exercise the overflow path without
+/// recording a million spans.
+void set_trace_capacity(std::size_t max_spans);
+std::size_t trace_capacity();
+
 /// Drops all buffered spans (thread ids/names are kept).
 void clear_trace();
 

@@ -23,6 +23,7 @@
 #include "net/channel.h"
 #include "net/packetizer.h"
 #include "net/rtcp.h"
+#include "obs/health.h"
 #include "sim/scheme.h"
 #include "video/metrics.h"
 #include "video/sequence.h"
@@ -68,6 +69,15 @@ struct PipelineConfig {
   /// Recorded verbatim in the frame-trace header (the channel seed the run
   /// used); it does not influence the simulation itself.
   std::uint64_t frame_trace_seed = 0;
+
+  /// Live health tracking (obs/health.h). When set, the session feeds one
+  /// obs::SessionHealth per frame (registered in
+  /// obs::HealthRegistry::global() under the session's label) with
+  /// windowed PSNR / effective PLR / bitrate / intra-ratio / energy-drain
+  /// estimators and the HEALTHY->DEGRADED->CRITICAL state machine.
+  /// Tracking only reads deterministic per-frame results, so outputs stay
+  /// byte-identical with it on or off (tests/test_telemetry.cpp).
+  std::optional<obs::HealthConfig> health;
 };
 
 /// Per-frame trace row (Fig. 6 plots these directly).
@@ -78,6 +88,8 @@ struct FrameTrace {
   std::size_t bytes = 0;       // encoded frame size
   int intra_mbs = 0;
   int pre_me_intra_mbs = 0;    // intra MBs that skipped motion estimation
+  int packets_sent = 0;        // offered to the channel
+  int packets_delivered = 0;   // survived it
   bool lost = false;           // at least one packet of this frame dropped
   double psnr_db = 0.0;        // decoder output vs original
   std::uint64_t bad_pixels = 0;

@@ -71,6 +71,11 @@ void StreamSession::init() {
   PB_CHECK(config_.frames > 0);
   const int mb_cols = config_.encoder.width / 16;
   const int mb_rows = config_.encoder.height / 16;
+  mbs_per_frame_ = mb_cols * mb_rows;
+  if (config_.health.has_value()) {
+    health_ = obs::HealthRegistry::global().create(
+        label_.empty() ? "default" : label_, *config_.health);
+  }
 
   policy_ = make_policy(scheme_, mb_cols, mb_rows);
   encoder_ = std::make_unique<codec::Encoder>(config_.encoder, policy_.get());
@@ -141,6 +146,8 @@ void StreamSession::init() {
          for (const codec::MbEncodeRecord& record : ctx.encoded.mb_records) {
            if (record.pre_me_intra) ++trace.pre_me_intra_mbs;
          }
+         trace.packets_sent = static_cast<int>(ctx.packets.size());
+         trace.packets_delivered = static_cast<int>(ctx.delivered.size());
          trace.lost = ctx.delivered.size() != ctx.packets.size();
          trace.psnr_db = video::psnr_luma(ctx.original, *ctx.output);
          trace.bad_pixels = video::bad_pixel_count(
@@ -239,13 +246,57 @@ void StreamSession::accumulate(const FrameTrace& trace) {
     append_frame_trace_jsonl(*frame_trace_out_, trace);
   }
   result_.frames.push_back(trace);
+  update_telemetry(trace);
+}
 
-  if (!label_.empty() && obs::enabled()) {
+void StreamSession::update_telemetry(const FrameTrace& trace) {
+  const bool want_counters = !label_.empty() && obs::enabled();
+  if (!want_counters && health_ == nullptr) return;
+
+  // Joules attributable to this frame: delta of the cumulative analytic
+  // energy (encode ops + transmitted bytes). Reads only — the energy
+  // model is a pure function of counters the codec updates anyway.
+  const double energy_total_j =
+      encode_energy(encoder_->ops(), *config_.profile).total_j() +
+      energy::tx_energy_j(channel_->stats().bytes_sent, *config_.profile);
+  const double frame_energy_j = energy_total_j - energy_reported_j_;
+  energy_reported_j_ = energy_total_j;
+
+  if (want_counters) {
     obs::counter(obs::session_metric(label_, "frames")).add(1);
     obs::counter(obs::session_metric(label_, "bytes")).add(trace.bytes);
     if (trace.lost) {
       obs::counter(obs::session_metric(label_, "lost_frames")).add(1);
     }
+    obs::counter(obs::session_metric(label_, "packets_sent"))
+        .add(static_cast<std::uint64_t>(trace.packets_sent));
+    obs::counter(obs::session_metric(label_, "packets_delivered"))
+        .add(static_cast<std::uint64_t>(trace.packets_delivered));
+    obs::counter(obs::session_metric(label_, "intra_mbs"))
+        .add(static_cast<std::uint64_t>(trace.intra_mbs));
+    obs::counter(obs::session_metric(label_, "mbs"))
+        .add(static_cast<std::uint64_t>(mbs_per_frame_));
+    // Energy as an integer microjoule counter (counters are uint64):
+    // emit the delta of the rounded cumulative total so the counter
+    // tracks it without accumulating rounding drift.
+    const std::uint64_t total_uj =
+        static_cast<std::uint64_t>(energy_total_j * 1e6);
+    obs::counter(obs::session_metric(label_, "energy_uj"))
+        .add(total_uj - energy_reported_uj_);
+    energy_reported_uj_ = total_uj;
+  }
+
+  if (health_ != nullptr) {
+    obs::FrameHealthSample sample;
+    sample.psnr_db = trace.psnr_db;
+    sample.bytes = trace.bytes;
+    sample.packets_sent = static_cast<std::uint32_t>(trace.packets_sent);
+    sample.packets_delivered =
+        static_cast<std::uint32_t>(trace.packets_delivered);
+    sample.intra_mbs = static_cast<std::uint32_t>(trace.intra_mbs);
+    sample.total_mbs = static_cast<std::uint32_t>(mbs_per_frame_);
+    sample.energy_j = frame_energy_j;
+    health_->on_frame(sample);
   }
 }
 

@@ -114,6 +114,7 @@ class StreamSession {
   void deliver_due_feedback(int frame);
   void observe_delivery(const FrameContext& ctx);
   void accumulate(const FrameTrace& trace);
+  void update_telemetry(const FrameTrace& trace);
 
   SchemeSpec scheme_;
   PipelineConfig config_;
@@ -137,6 +138,14 @@ class StreamSession {
 
   std::vector<FrameStage> stages_;
   std::unique_ptr<std::ofstream> frame_trace_out_;
+
+  // Live telemetry (config_.health / per-session obs counters). The
+  // energy trackers attribute each frame's analytic joules incrementally
+  // — pure reads of encoder ops and channel stats, never a perturbation.
+  std::shared_ptr<obs::SessionHealth> health_;
+  double energy_reported_j_ = 0.0;
+  std::uint64_t energy_reported_uj_ = 0;
+  int mbs_per_frame_ = 0;
 
   int next_frame_ = 0;
   double psnr_sum_ = 0.0;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/parallel_sweep.h"
@@ -38,6 +39,10 @@ std::vector<PipelineResult> SessionManager::run(
   const int threads =
       options.threads <= 0 ? sweep_thread_count() : options.threads;
   std::vector<PipelineResult> results(specs_.size());
+  PB_LOG_INFO("session manager: %zu sessions, %d threads, %s", specs_.size(),
+              threads,
+              options.frames_per_slice <= 0 ? "throughput mode"
+                                            : "serving mode");
 
   if (options.frames_per_slice <= 0) {
     // Throughput mode: one task per session, fanned out like a sweep.
@@ -49,6 +54,8 @@ std::vector<PipelineResult> SessionManager::run(
               build_session(specs_[i], i);
           session->run_to_end();
           results[i] = session->take_result();
+          PB_LOG_INFO("session %zu finished: %zu frames, %.2f dB", i,
+                      results[i].frames.size(), results[i].avg_psnr_db);
         });
     return results;
   }
@@ -73,6 +80,8 @@ std::vector<PipelineResult> SessionManager::run(
     for (int k = 0; k < slice && !session.done(); ++k) session.step();
     if (session.done()) {
       results[i] = session.take_result();
+      PB_LOG_INFO("session %zu finished: %zu frames, %.2f dB", i,
+                  results[i].frames.size(), results[i].avg_psnr_db);
     } else {
       pool.submit([&advance, i] { advance(i); });
     }

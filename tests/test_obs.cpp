@@ -38,6 +38,19 @@ class ScopedTracing {
   bool prev_;
 };
 
+// Fixture for tests that touch the GLOBAL registry/trace buffer: wipes
+// counters, gauges, histograms, and spans on both sides so the tests pass
+// in any order and leave nothing behind (reset_all is the satellite API
+// for exactly this).
+class GlobalObs : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::Registry::global().reset_all(); }
+  void TearDown() override {
+    obs::Registry::global().reset_all();
+    obs::set_trace_capacity(std::size_t{1} << 20);
+  }
+};
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   std::ostringstream out;
@@ -124,6 +137,39 @@ TEST(ObsMetrics, JsonIsSortedAndDeterministicModeStripsTimingMetrics) {
   EXPECT_LT(text.find("alpha.count"), text.find("zeta.count"));
 }
 
+TEST_F(GlobalObs, ResetAllClearsCountersGaugesHistogramsAndSpans) {
+  ScopedTracing tracing(true);
+  obs::counter("reset.count").add(5);
+  obs::gauge("reset.ratio").set(0.5);
+  obs::histogram("reset.latency_ns").observe(300);
+  obs::record_span("reset.span", 0, 10);
+  EXPECT_EQ(obs::trace_span_count(), 1u);
+
+  obs::Registry::global().reset_all();
+  EXPECT_EQ(obs::counter("reset.count").value(), 0u);
+  EXPECT_DOUBLE_EQ(obs::gauge("reset.ratio").value(), 0.0);
+  EXPECT_EQ(obs::histogram("reset.latency_ns").count(), 0u);
+  EXPECT_EQ(obs::trace_span_count(), 0u);
+}
+
+TEST_F(GlobalObs, SnapshotCopiesAllMetricKindsSorted) {
+  obs::counter("snap.zeta").add(2);
+  obs::counter("snap.alpha").add(1);
+  obs::gauge("snap.ratio").set(0.25);
+  obs::histogram("snap.latency_ns").observe(300);
+
+  obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "snap.alpha");  // sorted
+  EXPECT_EQ(snap.counters[1].first, "snap.zeta");
+  EXPECT_EQ(snap.counters[1].second, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.25);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].sum_ns, 300);
+}
+
 TEST(ObsTrace, DisabledSpansRecordNothing) {
   ScopedTracing tracing(false);
   obs::clear_trace();
@@ -174,6 +220,54 @@ TEST(ObsTrace, ChromeExportIsValidTraceEventJson) {
   EXPECT_GE(metadata, 1);
   EXPECT_EQ(durations, 2);
   EXPECT_TRUE(saw_outer_arg);
+  std::remove(path.c_str());
+}
+
+TEST_F(GlobalObs, ChromeExportEscapesHostileSpanAndThreadNames) {
+  ScopedTracing tracing(true);
+  obs::set_thread_name("evil\"thread\\name\nwith\tcontrol");
+  // Span names must be string literals (they are stored by pointer); this
+  // one carries every class of character the exporter must escape.
+  obs::record_span("span\"with\\quotes\nand\x01" "control", 0, 10);
+  ASSERT_EQ(obs::trace_span_count(), 1u);
+
+  const std::string path = temp_path("trace_hostile.json");
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  common::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(common::parse_json_file(path, &doc, &error))
+      << "hostile names must not break the JSON: " << error;
+  bool saw_span = false, saw_thread = false;
+  for (const common::JsonValue& event : doc.find("traceEvents")->items()) {
+    if (event.string_at("ph") == "X" &&
+        event.string_at("name") == "span\"with\\quotes\nand\x01" "control") {
+      saw_span = true;
+    }
+    if (event.string_at("ph") == "M") {
+      const common::JsonValue* args = event.find("args");
+      if (args != nullptr &&
+          args->string_at("name") == "evil\"thread\\name\nwith\tcontrol") {
+        saw_thread = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_span);   // round-trips through escape + parse
+  EXPECT_TRUE(saw_thread);
+  std::remove(path.c_str());
+}
+
+TEST_F(GlobalObs, SpanBufferOverflowDropsAndCounts) {
+  ScopedTracing tracing(true);
+  obs::set_trace_capacity(4);
+  for (int i = 0; i < 10; ++i) obs::record_span("overflow.span", i, 1);
+  EXPECT_EQ(obs::trace_span_count(), 4u);  // buffer stays bounded
+  EXPECT_EQ(obs::counter("obs.trace_dropped_spans").value(), 6u);
+
+  // The exported trace still writes (truncated, not corrupt).
+  const std::string path = temp_path("trace_overflow.json");
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  common::JsonValue doc;
+  ASSERT_TRUE(common::parse_json_file(path, &doc));
   std::remove(path.c_str());
 }
 
@@ -269,7 +363,7 @@ TEST(ObsInvariant, TracingDoesNotChangePipelineReportOrEnergy) {
   EXPECT_EQ(off_digest, on_digest);
 }
 
-TEST(ObsInvariant, DeterministicMetricsIdenticalAt1_2_8SweepThreads) {
+TEST_F(GlobalObs, DeterministicMetricsIdenticalAt1_2_8SweepThreads) {
   video::SyntheticSequence seq =
       video::make_paper_sequence(video::SequenceKind::kForemanLike);
   std::vector<video::YuvFrame> clip;

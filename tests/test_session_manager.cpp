@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/loss_model.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "sim/session_manager.h"
 
@@ -139,8 +140,53 @@ TEST(SessionManager, AggregateIsComputedInSessionOrder) {
   EXPECT_NE(json.find("\"total_frames\": 18"), std::string::npos);
 }
 
+TEST(SessionManager, HealthTrackingIsByteIdenticalOnVsOff) {
+  const int kSessions = 4;
+  const int kFrames = 8;
+
+  // Reference: health off, serial.
+  SessionManagerOptions reference_options;
+  reference_options.threads = 1;
+  const std::string reference = serialize(
+      SessionManager(mixed_specs(kSessions, kFrames)).run(reference_options));
+
+  // Health tracking on (the `pbpair serve` configuration), with and
+  // without the metrics layer, across thread counts and slicing: enabling
+  // live telemetry must not change one reported bit.
+  for (const bool metrics_on : {false, true}) {
+    obs::Registry::global().reset_all();
+    obs::set_enabled(metrics_on);
+    for (int threads : {1, 2, 8}) {
+      for (int slice : {0, 3}) {
+        obs::HealthRegistry::global().clear();
+        std::vector<SessionSpec> specs = mixed_specs(kSessions, kFrames);
+        for (SessionSpec& spec : specs) {
+          spec.config.health = obs::HealthConfig{};
+        }
+        SessionManagerOptions options;
+        options.threads = threads;
+        options.frames_per_slice = slice;
+        EXPECT_EQ(serialize(SessionManager(std::move(specs)).run(options)),
+                  reference)
+            << "metrics=" << metrics_on << " threads=" << threads
+            << " slice=" << slice;
+        // The trackers really ran: every session has its frame count.
+        const auto sessions = obs::HealthRegistry::global().sessions();
+        ASSERT_EQ(sessions.size(), static_cast<std::size_t>(kSessions));
+        for (const auto& session : sessions) {
+          EXPECT_EQ(session->snapshot().frames,
+                    static_cast<std::uint64_t>(kFrames));
+        }
+      }
+    }
+  }
+  obs::set_enabled(false);
+  obs::Registry::global().reset_all();
+  obs::HealthRegistry::global().clear();
+}
+
 TEST(SessionManager, PerSessionObsCountersUseLabels) {
-  obs::Registry::global().reset();
+  obs::Registry::global().reset_all();
   obs::set_enabled(true);
 
   const int kFrames = 5;
@@ -156,7 +202,12 @@ TEST(SessionManager, PerSessionObsCountersUseLabels) {
   EXPECT_EQ(obs::counter(obs::session_metric("gold", "frames")).value(),
             static_cast<std::uint64_t>(kFrames));
   EXPECT_GT(obs::counter(obs::session_metric("gold", "bytes")).value(), 0u);
-  obs::Registry::global().reset();
+  EXPECT_GT(
+      obs::counter(obs::session_metric("gold", "packets_sent")).value(), 0u);
+  EXPECT_GT(obs::counter(obs::session_metric("gold", "mbs")).value(), 0u);
+  EXPECT_GT(obs::counter(obs::session_metric("gold", "energy_uj")).value(),
+            0u);
+  obs::Registry::global().reset_all();
 }
 
 }  // namespace

@@ -11,7 +11,10 @@
 //                   [--frame-trace f.jsonl] [--deterministic]
 //   pbpair serve    --sessions N [--frames 60] [--plr 0.1] [--scheme ...]
 //                   [--intra-th 0.9] [--threads T] [--slice K] [--rtt R]
-//                   [--seed 2005] [--qp 10]
+//                   [--seed 2005] [--qp 10] [--metrics-port P|auto]
+//                   [--metrics-linger SEC]
+//   pbpair monitor  --port P [--host H] [--interval SEC]
+//                   | --from scrape1.txt --to scrape2.txt [--interval SEC]
 //
 // encode/decode work on real raw 4:2:0 material through the PBS container;
 // simulate runs the full lossy pipeline on a synthetic clip and prints the
@@ -22,10 +25,18 @@
 // metrics/trace layer: --trace turns it on (as does PBPAIR_TRACE=1), the
 // *-json flags export what was collected, and --deterministic restricts
 // the metrics JSON to the counters that are a pure function of the
-// workload.
+// workload. Live telemetry (DESIGN.md §10): serve tracks per-session
+// health and, with --metrics-port, exposes GET /metrics (Prometheus text)
+// and GET /healthz on 127.0.0.1; monitor scrapes twice and prints the
+// per-session delta table. --log-json / --verbose / --log-level control
+// the structured log stream (obs/log.h).
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <thread>
 
 #include "codec/container.h"
 #include "codec/decoder.h"
@@ -33,7 +44,11 @@
 #include "codec/rate_control.h"
 #include "common/args.h"
 #include "net/loss_model.h"
+#include "obs/health.h"
+#include "obs/http_exporter.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "sim/pipeline.h"
 #include "sim/report.h"
@@ -45,21 +60,65 @@ using namespace pbpair;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: pbpair <encode|decode|simulate> [--flags]\n"
-               "  encode   --in f.yuv --width W --height H --out f.pbs\n"
-               "           [--qp N] [--scheme S] [--intra-th X] [--plr X]\n"
-               "           [--rate-kbps K] [--deblocking]\n"
-               "  decode   --in f.pbs --out f.yuv [--deblocking]\n"
-               "  simulate [--clip C] [--frames N] [--plr X] [--scheme S]\n"
-               "           [--intra-th X] [--mtu N] [--seed N] [--qp N]\n"
-               "           [--trace] [--trace-json FILE] [--metrics-json FILE]\n"
-               "           [--frame-trace FILE] [--deterministic]\n"
-               "  serve    --sessions N [--frames N] [--plr X] [--scheme S]\n"
-               "           [--intra-th X] [--threads T] [--slice K] [--rtt R]\n"
-               "           [--seed N] [--qp N]\n"
-               "  schemes: pbpair (default), no, gop-N, air-N, pgop-N\n");
+  std::fprintf(
+      stderr,
+      "usage: pbpair <encode|decode|simulate|serve|monitor> [--flags]\n"
+      "  encode   --in f.yuv --width W --height H --out f.pbs\n"
+      "           [--qp N] [--scheme S] [--intra-th X] [--plr X]\n"
+      "           [--rate-kbps K] [--deblocking]\n"
+      "  decode   --in f.pbs --out f.yuv [--deblocking]\n"
+      "  simulate [--clip C] [--frames N] [--plr X] [--scheme S]\n"
+      "           [--intra-th X] [--mtu N] [--seed N] [--qp N]\n"
+      "           [--trace] [--trace-json FILE] [--metrics-json FILE]\n"
+      "           [--frame-trace FILE] [--deterministic]\n"
+      "  serve    --sessions N [--frames N] [--plr X] [--scheme S]\n"
+      "           [--intra-th X] [--threads T] [--slice K] [--rtt R]\n"
+      "           [--seed N] [--qp N] [--metrics-port P|auto]\n"
+      "           [--metrics-linger SEC]\n"
+      "  monitor  --port P [--host H] [--interval SEC]\n"
+      "           | --from scrape1.txt --to scrape2.txt [--interval SEC]\n"
+      "  common:  [--log-json FILE] [--log-level debug|info|warn|error]\n"
+      "           [--verbose]\n"
+      "  schemes: pbpair (default), no, gop-N, air-N, pgop-N\n");
   return 2;
+}
+
+/// Applies the shared logging flags: --verbose (info level), --log-level,
+/// --log-json FILE, and --deterministic (reproducible records).
+bool apply_log_flags(const common::ArgParser& args) {
+  if (args.has("verbose")) obs::set_log_min_level(obs::LogLevel::kInfo);
+  const std::string level = args.get("log-level");
+  if (level == "debug") {
+    obs::set_log_min_level(obs::LogLevel::kDebug);
+  } else if (level == "info") {
+    obs::set_log_min_level(obs::LogLevel::kInfo);
+  } else if (level == "warn") {
+    obs::set_log_min_level(obs::LogLevel::kWarn);
+  } else if (level == "error") {
+    obs::set_log_min_level(obs::LogLevel::kError);
+  } else if (!level.empty()) {
+    std::fprintf(stderr, "unknown --log-level %s\n", level.c_str());
+    return false;
+  }
+  if (args.has("deterministic")) obs::set_log_deterministic(true);
+  const std::string log_json = args.get("log-json");
+  if (!log_json.empty() && !obs::set_log_json_path(log_json)) {
+    std::fprintf(stderr, "cannot open %s for logging\n", log_json.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Surfaces span-buffer overflow after a trace export: a truncated trace
+/// silently missing spans is worse than a loud one.
+void warn_if_spans_dropped() {
+  const std::uint64_t dropped =
+      obs::counter("obs.trace_dropped_spans").value();
+  if (dropped > 0) {
+    std::printf("warning: %llu spans dropped (buffer full); trace is "
+                "truncated\n",
+                static_cast<unsigned long long>(dropped));
+  }
 }
 
 /// Parses "pbpair" / "no" / "gop-3" / "air-24" / "pgop-1" etc.
@@ -194,6 +253,7 @@ int cmd_decode(const common::ArgParser& args) {
 }
 
 int cmd_simulate(const common::ArgParser& args) {
+  if (!apply_log_flags(args)) return 1;
   video::SequenceKind kind = video::SequenceKind::kForemanLike;
   std::string clip = args.get("clip", "foreman");
   if (clip == "akiyo") kind = video::SequenceKind::kAkiyoLike;
@@ -233,7 +293,7 @@ int cmd_simulate(const common::ArgParser& args) {
   if (!metrics_json.empty()) {
     std::FILE* f = std::fopen(metrics_json.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", metrics_json.c_str());
+      PB_LOG_ERROR("cannot write %s", metrics_json.c_str());
       return 1;
     }
     std::fprintf(f, "%s\n",
@@ -245,11 +305,12 @@ int cmd_simulate(const common::ArgParser& args) {
   }
   if (!trace_json.empty()) {
     if (!obs::write_chrome_trace(trace_json)) {
-      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+      PB_LOG_ERROR("cannot write %s", trace_json.c_str());
       return 1;
     }
     std::printf("trace -> %s (%zu spans)\n", trace_json.c_str(),
                 obs::trace_span_count());
+    warn_if_spans_dropped();
   }
   if (!frame_trace.empty()) {
     std::printf("frame trace -> %s\n", frame_trace.c_str());
@@ -269,9 +330,10 @@ int cmd_simulate(const common::ArgParser& args) {
 }
 
 int cmd_serve(const common::ArgParser& args) {
+  if (!apply_log_flags(args)) return 1;
   const int sessions = args.get_int("sessions", 0);
   if (sessions <= 0) {
-    std::fprintf(stderr, "serve needs --sessions N (N >= 1)\n");
+    PB_LOG_ERROR("serve needs --sessions N (N >= 1)");
     return usage();
   }
   const int frames = args.get_int("frames", 60);
@@ -293,6 +355,46 @@ int cmd_serve(const common::ArgParser& args) {
                                        video::SequenceKind::kGardenLike};
   const char* kind_names[] = {"foreman", "akiyo", "garden"};
 
+  // Live telemetry (DESIGN.md §10). Health tracking is always on in serve
+  // — it only reads per-frame results, so outputs stay byte-identical
+  // (tests/test_session_manager.cpp). The exporter is opt-in:
+  // --metrics-port P binds 127.0.0.1:P, "auto" takes a kernel-assigned
+  // ephemeral port (printed for scripts to parse), 0 (default) disables.
+  const std::string metrics_port_arg = args.get("metrics-port", "0");
+  const bool metrics_auto = metrics_port_arg == "auto";
+  const int metrics_port =
+      metrics_auto ? 0 : std::atoi(metrics_port_arg.c_str());
+  const bool metrics_on = metrics_auto || metrics_port > 0;
+  const int metrics_linger = args.get_int("metrics-linger", 0);
+
+  obs::HttpExporter exporter;
+  if (metrics_on) {
+    // /metrics is only useful with the metrics layer collecting.
+    obs::set_enabled(true);
+    obs::set_thread_name("pbpair-serve");
+    const bool ok = exporter.start(metrics_port, [](const std::string& path) {
+      obs::HttpResponse response;
+      if (path == "/metrics") {
+        response.body = obs::render_prometheus();
+      } else if (path == "/healthz") {
+        response.content_type = "application/json";
+        response.body = obs::HealthRegistry::global().healthz_json() + "\n";
+      } else {
+        response.status = 404;
+        response.content_type = "text/plain";
+        response.body = "not found\n";
+      }
+      return response;
+    });
+    if (!ok) {
+      PB_LOG_ERROR("cannot bind metrics port %d", metrics_port);
+      return 1;
+    }
+    // Parsed by scripts (CI's monitor smoke) to find an "auto" port.
+    std::printf("metrics: listening on 127.0.0.1:%d\n", exporter.port());
+    std::fflush(stdout);
+  }
+
   std::vector<sim::SessionSpec> specs;
   specs.reserve(static_cast<std::size_t>(sessions));
   for (int i = 0; i < sessions; ++i) {
@@ -300,6 +402,7 @@ int cmd_serve(const common::ArgParser& args) {
     spec.scheme = scheme;
     spec.config.frames = frames;
     spec.config.encoder.qp = args.get_int("qp", 10);
+    spec.config.health = obs::HealthConfig{};
     if (rtt > 0 && scheme.kind == sim::SchemeKind::kPbpair) {
       // Close the §3.2 loop per session: RTCP receiver reports reach the
       // probability model after the configured RTT.
@@ -345,6 +448,142 @@ int cmd_serve(const common::ArgParser& args) {
   }
   sim::SessionAggregate agg = sim::SessionManager::aggregate(results);
   std::printf("aggregate: %s\n", agg.to_json().c_str());
+  std::fflush(stdout);
+  if (metrics_on && metrics_linger > 0) {
+    // Keep serving final /metrics & /healthz so scrapers (curl, monitor)
+    // launched against a short run still get their two samples.
+    std::this_thread::sleep_for(std::chrono::seconds(metrics_linger));
+  }
+  exporter.stop();
+  return 0;
+}
+
+// --- pbpair monitor ------------------------------------------------------
+
+bool read_text_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+/// Per-session values pulled out of one /metrics scrape.
+struct MonitorSample {
+  std::map<std::string, double> values;  // metric family -> value
+  double get(const std::string& family) const {
+    auto it = values.find(family);
+    return it == values.end() ? 0.0 : it->second;
+  }
+};
+
+/// session label -> its samples, for the families monitor consumes.
+std::map<std::string, MonitorSample> index_scrape(const std::string& text,
+                                                  bool* ok) {
+  std::map<std::string, MonitorSample> by_session;
+  std::vector<obs::PromSample> samples;
+  *ok = obs::parse_prometheus_text(text, &samples);
+  for (const obs::PromSample& s : samples) {
+    if (s.session.empty()) continue;
+    by_session[s.session].values[s.family] = s.value;
+  }
+  return by_session;
+}
+
+int cmd_monitor(const common::ArgParser& args) {
+  if (!apply_log_flags(args)) return 1;
+  const std::string from = args.get("from");
+  const std::string to = args.get("to");
+  const std::string host = args.get("host", "127.0.0.1");
+  const int port = args.get_int("port", 0);
+  const double interval = args.get_double("interval", 2.0);
+  if (interval <= 0.0) {
+    PB_LOG_ERROR("--interval must be positive");
+    return 1;
+  }
+
+  std::string scrape1, scrape2;
+  if (!from.empty() || !to.empty()) {
+    // Offline mode: two saved /metrics scrapes, `interval` seconds apart.
+    if (from.empty() || to.empty()) {
+      PB_LOG_ERROR("monitor needs both --from and --to (or --port)");
+      return usage();
+    }
+    if (!read_text_file(from, &scrape1)) {
+      PB_LOG_ERROR("cannot read %s", from.c_str());
+      return 1;
+    }
+    if (!read_text_file(to, &scrape2)) {
+      PB_LOG_ERROR("cannot read %s", to.c_str());
+      return 1;
+    }
+  } else {
+    if (port <= 0) {
+      PB_LOG_ERROR("monitor needs --port P (or --from/--to files)");
+      return usage();
+    }
+    int status = 0;
+    if (!obs::http_get(host, port, "/metrics", &scrape1, &status) ||
+        status != 200) {
+      PB_LOG_ERROR("scrape of http://%s:%d/metrics failed (status %d)",
+                   host.c_str(), port, status);
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    if (!obs::http_get(host, port, "/metrics", &scrape2, &status) ||
+        status != 200) {
+      PB_LOG_ERROR("second scrape of http://%s:%d/metrics failed (status %d)",
+                   host.c_str(), port, status);
+      return 1;
+    }
+  }
+
+  bool ok1 = false, ok2 = false;
+  std::map<std::string, MonitorSample> before = index_scrape(scrape1, &ok1);
+  std::map<std::string, MonitorSample> after = index_scrape(scrape2, &ok2);
+  if (!ok1 || !ok2) {
+    PB_LOG_ERROR("malformed Prometheus text in scrape");
+    return 1;
+  }
+  if (after.empty()) {
+    std::printf("no per-session samples in scrape\n");
+    return 1;
+  }
+
+  sim::Table table({"session", "frames/s", "PSNR_dB", "eff_PLR", "intra",
+                    "J/frame", "health"});
+  for (const auto& [label, now] : after) {
+    const MonitorSample& then = before.count(label)
+                                    ? before.at(label)
+                                    : MonitorSample{};
+    const double d_frames = now.get("pbpair_session_frames_total") -
+                            then.get("pbpair_session_frames_total");
+    const double d_sent = now.get("pbpair_session_packets_sent_total") -
+                          then.get("pbpair_session_packets_sent_total");
+    const double d_delivered =
+        now.get("pbpair_session_packets_delivered_total") -
+        then.get("pbpair_session_packets_delivered_total");
+    const double d_intra = now.get("pbpair_session_intra_mbs_total") -
+                           then.get("pbpair_session_intra_mbs_total");
+    const double d_mbs = now.get("pbpair_session_mbs_total") -
+                         then.get("pbpair_session_mbs_total");
+    const double d_uj = now.get("pbpair_session_energy_uj_total") -
+                        then.get("pbpair_session_energy_uj_total");
+    const double eff_plr = d_sent > 0 ? 1.0 - d_delivered / d_sent : 0.0;
+    const int state =
+        static_cast<int>(now.get("pbpair_session_health_state") + 0.5);
+    table.add_row(
+        {label, sim::format("%.1f", d_frames / interval),
+         sim::format("%.2f", now.get("pbpair_session_psnr_db")),
+         sim::format("%.3f", eff_plr),
+         sim::format("%.3f", d_mbs > 0 ? d_intra / d_mbs : 0.0),
+         sim::format("%.4f", d_frames > 0 ? d_uj / 1e6 / d_frames : 0.0),
+         obs::health_state_name(static_cast<obs::HealthState>(state))});
+  }
+  table.print();
   return 0;
 }
 
@@ -364,6 +603,8 @@ int main(int argc, char** argv) {
     result = cmd_simulate(args);
   } else if (command == "serve") {
     result = cmd_serve(args);
+  } else if (command == "monitor") {
+    result = cmd_monitor(args);
   } else {
     return usage();
   }
