@@ -248,6 +248,9 @@ void Decoder::decode_span(const ReceivedFrame::GobSpan& span, FrameType type,
 const video::YuvFrame& Decoder::decode_frame(const ReceivedFrame& received) {
   const int mb_rows = config_.height / 16;
   std::vector<std::uint8_t> row_done(mb_rows, 0);
+  // A corrupt packet header can claim any qp byte; clamp into the codec's
+  // legal range so dequantization and deblocking stay well-defined.
+  const int qp = common::clamp(received.qp, kMinQp, kMaxQp);
 
   obs::ScopedSpan span_("decoder.decode_frame", received.frame_index, "frame");
   if (obs::enabled()) {
@@ -260,13 +263,13 @@ const video::YuvFrame& Decoder::decode_frame(const ReceivedFrame& received) {
   if (received.any_data) {
     for (const ReceivedFrame::GobSpan& span : received.spans) {
       if (span.first_gob < 0 || span.first_gob >= mb_rows) continue;
-      decode_span(span, received.type, received.qp, &row_done);
+      decode_span(span, received.type, qp, &row_done);
     }
   }
   for (int row = 0; row < mb_rows; ++row) {
     if (!row_done[row]) conceal_row(row);
   }
-  if (config_.deblocking) deblock_frame(recon_, received.qp);
+  if (config_.deblocking) deblock_frame(recon_, qp);
   ops_.frames += 1;
   ref_ = recon_;
   prev_mv_field_ = mv_field_;

@@ -43,6 +43,15 @@ class Decoder {
 
   /// Decodes (with concealment) the next frame. Returns the reconstructed
   /// output; the reference is updated for subsequent frames.
+  ///
+  /// Robustness contract (DESIGN.md §11, enforced by `pbpair fuzz` and
+  /// tests/test_robustness.cpp): `received` is UNTRUSTED. Any byte
+  /// sequence in any span, any qp, any frame type, any first_gob yields a
+  /// full-size concealed frame — never undefined behaviour, an
+  /// out-of-bounds access, or an abort — and the decoder stays usable for
+  /// the next frame. Out-of-range qp is clamped to [kMinQp, kMaxQp];
+  /// out-of-range first_gob spans are ignored; parse failures conceal the
+  /// rest of the GOB.
   const video::YuvFrame& decode_frame(const ReceivedFrame& received);
 
   /// Convenience for lossless-channel use: decodes an EncodedFrame as if

@@ -52,6 +52,10 @@ class JsonParser {
 
   bool parse_value(JsonValue* out) {
     if (pos_ >= text_.size()) return fail("unexpected end of input");
+    // Hostile input like "[[[[[..." recurses once per nesting level;
+    // bound it so parsing is stack-safe on any byte sequence (the fuzz
+    // harness feeds this parser adversarial documents).
+    if (depth_ >= kMaxDepth) return fail("nesting too deep");
     switch (text_[pos_]) {
       case '{': return parse_object(out);
       case '[': return parse_array(out);
@@ -88,6 +92,8 @@ class JsonParser {
 
   bool parse_object(JsonValue* out) {
     ++pos_;  // '{'
+    ++depth_;
+    const DepthGuard guard(this);
     out->kind_ = JsonValue::Kind::kObject;
     skip_whitespace();
     if (consume('}')) return true;
@@ -113,6 +119,8 @@ class JsonParser {
 
   bool parse_array(JsonValue* out) {
     ++pos_;  // '['
+    ++depth_;
+    const DepthGuard guard(this);
     out->kind_ = JsonValue::Kind::kArray;
     skip_whitespace();
     if (consume(']')) return true;
@@ -202,9 +210,19 @@ class JsonParser {
     return true;
   }
 
+  // RAII depth decrement so every early return inside the container
+  // parsers unwinds the nesting count correctly.
+  struct DepthGuard {
+    explicit DepthGuard(JsonParser* p) : parser(p) {}
+    ~DepthGuard() { --parser->depth_; }
+    JsonParser* parser;
+  };
+  static constexpr int kMaxDepth = 256;
+
   const std::string& text_;
   std::string* error_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 bool JsonValue::parse(const std::string& text, JsonValue* out,

@@ -3,7 +3,9 @@
 //
 // Supports the full JSON value grammar with one deliberate simplification:
 // numbers are stored as double (every number this repo emits — ns timings,
-// counters up to 2^53 — survives the round trip). No serialization here;
+// counters up to 2^53 — survives the round trip). Container nesting is
+// capped at 256 levels so hostile documents ("[[[[...") parse-fail instead
+// of exhausting the stack. No serialization here;
 // writers in this repo emit JSON directly so their formatting stays under
 // their control (json_escape below keeps the strings they embed valid).
 #pragma once

@@ -1,6 +1,9 @@
 #include "net/packetizer.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace pbpair::net {
 
@@ -10,6 +13,12 @@ Packetizer::Packetizer(const PacketizerConfig& config) : config_(config) {
 
 std::vector<Packet> Packetizer::packetize(const codec::EncodedFrame& frame) {
   PB_CHECK(!frame.gob_offsets.empty());
+  // first_gob/num_gobs travel as uint8; a frame taller than 255 GOBs
+  // (height > 4080) cannot be represented on the wire and must fail
+  // loudly here rather than alias GOB indices at the receiver.
+  PB_CHECK_MSG(frame.gob_offsets.size() <= 255,
+               "frame has more than 255 GOBs; payload header cannot "
+               "address them (reduce height or extend the wire format)");
   const std::size_t max_payload = config_.mtu - kHeaderWireSize;
   const int gobs = static_cast<int>(frame.gob_offsets.size());
 
@@ -18,13 +27,8 @@ std::vector<Packet> Packetizer::packetize(const codec::EncodedFrame& frame) {
   };
 
   std::vector<Packet> packets;
-  int gob = 0;
-  while (gob < gobs) {
-    int last = gob;  // inclusive; always take at least one GOB
-    while (last + 1 < gobs &&
-           gob_end(last + 1) - frame.gob_offsets[gob] <= max_payload) {
-      ++last;
-    }
+  auto push_packet = [&](int first_gob, int num_gobs, std::size_t begin,
+                         std::size_t end) {
     Packet packet;
     packet.header.sequence = next_sequence_++;
     packet.header.timestamp = static_cast<std::uint32_t>(frame.frame_index);
@@ -32,39 +36,118 @@ std::vector<Packet> Packetizer::packetize(const codec::EncodedFrame& frame) {
     packet.header.frame_type =
         frame.type == codec::FrameType::kIntra ? 0 : 1;
     packet.header.qp = static_cast<std::uint8_t>(frame.qp);
-    packet.header.first_gob = static_cast<std::uint8_t>(gob);
-    packet.header.num_gobs = static_cast<std::uint8_t>(last - gob + 1);
-    packet.header.marker = last == gobs - 1;
+    packet.header.first_gob = static_cast<std::uint8_t>(first_gob);
+    packet.header.num_gobs = static_cast<std::uint8_t>(num_gobs);
     packet.payload.assign(
-        frame.bytes.begin() +
-            static_cast<std::ptrdiff_t>(frame.gob_offsets[gob]),
-        frame.bytes.begin() + static_cast<std::ptrdiff_t>(gob_end(last)));
+        frame.bytes.begin() + static_cast<std::ptrdiff_t>(begin),
+        frame.bytes.begin() + static_cast<std::ptrdiff_t>(end));
     packets.push_back(std::move(packet));
+  };
+
+  int gob = 0;
+  while (gob < gobs) {
+    const std::size_t begin = frame.gob_offsets[gob];
+    if (gob_end(gob) - begin > max_payload) {
+      // One GOB alone exceeds the MTU: split it across a head packet
+      // (num_gobs = 1) and continuation packets (num_gobs = 0, same
+      // first_gob) so no packet ever exceeds the configured wire size.
+      // The depacketizer re-joins a continuation only onto its immediate
+      // sequence predecessor; losing the head loses the GOB, exactly the
+      // loss granularity IP fragmentation would have had.
+      const std::size_t end = gob_end(gob);
+      push_packet(gob, 1, begin, begin + max_payload);
+      std::size_t offset = begin + max_payload;
+      while (offset < end) {
+        const std::size_t chunk = std::min(max_payload, end - offset);
+        push_packet(gob, 0, offset, offset + chunk);
+        offset += chunk;
+      }
+      ++gob;
+      continue;
+    }
+    int last = gob;  // inclusive; always take at least one GOB
+    while (last + 1 < gobs &&
+           gob_end(last + 1) - begin <= max_payload) {
+      ++last;
+    }
+    push_packet(gob, last - gob + 1, begin, gob_end(last));
     gob = last + 1;
   }
+  packets.back().header.marker = true;
   return packets;
 }
 
 codec::ReceivedFrame depacketize(const std::vector<Packet>& packets,
                                  int frame_index) {
+  // Robustness contract (DESIGN.md §11): `packets` is untrusted — any
+  // header field may be damaged. Packets that do not belong to this frame
+  // are dropped and counted, never asserted on; whatever survives is
+  // handed to the decoder, which conceals the rest.
   codec::ReceivedFrame received;
   received.frame_index = frame_index;
-  if (packets.empty()) {
-    received.any_data = false;
-    return received;
-  }
-  received.any_data = true;
-  received.type = packets.front().header.frame_type == 0
-                      ? codec::FrameType::kIntra
-                      : codec::FrameType::kInter;
-  received.qp = packets.front().header.qp;
+
+  std::uint64_t dropped_bad_header = 0;
+  std::uint64_t dropped_orphan_continuation = 0;
+  bool have_meta = false;
+  // Continuation packets (num_gobs == 0) re-join an oversized GOB split
+  // by the packetizer. One is accepted only immediately after its
+  // predecessor in sequence for the same GOB; anything else (lost head,
+  // reordered or duplicated fragment) is an orphan and is dropped.
+  int continuation_gob = -1;
+  std::uint16_t expected_continuation_seq = 0;
+
   for (const Packet& packet : packets) {
-    PB_CHECK(packet.header.timestamp ==
-             static_cast<std::uint32_t>(frame_index));
+    if (packet.header.timestamp != static_cast<std::uint32_t>(frame_index)) {
+      ++dropped_bad_header;
+      continuation_gob = -1;
+      continue;
+    }
+    if (packet.header.num_gobs == 0) {
+      if (continuation_gob >= 0 &&
+          packet.header.first_gob == continuation_gob &&
+          packet.header.sequence == expected_continuation_seq &&
+          !received.spans.empty()) {
+        std::vector<std::uint8_t>& bytes = received.spans.back().bytes;
+        bytes.insert(bytes.end(), packet.payload.begin(),
+                     packet.payload.end());
+        expected_continuation_seq =
+            static_cast<std::uint16_t>(packet.header.sequence + 1);
+      } else {
+        ++dropped_orphan_continuation;
+        continuation_gob = -1;
+      }
+      continue;
+    }
+    if (!have_meta) {
+      have_meta = true;
+      received.type = packet.header.frame_type == 0
+                          ? codec::FrameType::kIntra
+                          : codec::FrameType::kInter;
+      received.qp = packet.header.qp;
+    }
     codec::ReceivedFrame::GobSpan span;
     span.first_gob = packet.header.first_gob;
     span.bytes = packet.payload;
     received.spans.push_back(std::move(span));
+    // Only a single-GOB packet can be continued (the packetizer never
+    // splits a multi-GOB payload).
+    continuation_gob =
+        packet.header.num_gobs == 1 ? packet.header.first_gob : -1;
+    expected_continuation_seq =
+        static_cast<std::uint16_t>(packet.header.sequence + 1);
+  }
+
+  received.any_data = !received.spans.empty();
+  if (obs::enabled()) {
+    if (dropped_bad_header > 0) {
+      static obs::Counter* c = &obs::counter("net.dropped_bad_header");
+      c->add(dropped_bad_header);
+    }
+    if (dropped_orphan_continuation > 0) {
+      static obs::Counter* c =
+          &obs::counter("net.dropped_orphan_continuation");
+      c->add(dropped_orphan_continuation);
+    }
   }
   return received;
 }

@@ -22,9 +22,13 @@ class Packetizer {
  public:
   explicit Packetizer(const PacketizerConfig& config);
 
-  /// Splits one encoded frame into >= 1 packets. GOB boundaries are never
-  /// broken; a GOB larger than the MTU gets a packet of its own (the wire
-  /// would fragment it at IP level — loss granularity stays per-GOB).
+  /// Splits one encoded frame into >= 1 packets, none exceeding the MTU.
+  /// GOB boundaries are never broken; a GOB larger than the MTU is split
+  /// into a head packet (num_gobs = 1) plus continuation packets
+  /// (num_gobs = 0, same first_gob) that depacketize() re-joins — loss
+  /// granularity stays per-GOB because a continuation without its exact
+  /// sequence predecessor is dropped. Frames with more than 255 GOBs
+  /// cannot be addressed by the uint8 payload header and PB_CHECK-fail.
   std::vector<Packet> packetize(const codec::EncodedFrame& frame);
 
   void reset() { next_sequence_ = 0; }
@@ -35,9 +39,11 @@ class Packetizer {
 };
 
 /// Reassembles whatever packets of one frame arrived into the decoder's
-/// input. `packets` must all share one timestamp; pass an empty vector for
-/// a fully lost frame (frame_index then tells the decoder which frame to
-/// conceal).
+/// input. `packets` is UNTRUSTED: packets whose timestamp does not match
+/// `frame_index` are dropped and counted (net.dropped_bad_header), orphan
+/// continuations likewise (net.dropped_orphan_continuation) — never an
+/// abort. Pass an empty vector for a fully lost frame (frame_index then
+/// tells the decoder which frame to conceal).
 codec::ReceivedFrame depacketize(const std::vector<Packet>& packets,
                                  int frame_index);
 

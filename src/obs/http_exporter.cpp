@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,17 +29,33 @@ const char* status_text(int status) {
   }
 }
 
-// Reads until the end of the request headers or `cap` bytes. A scraper's
-// GET fits in one MTU, so this is not a general HTTP parser.
+// Reads until the end of the request headers, `cap` bytes, or a short
+// deadline. A scraper's GET usually arrives in one segment, but nothing
+// guarantees that: the header may be split across reads, a hostile or
+// wedged client may trickle bytes or send nothing at all. The poll()
+// deadline bounds how long one connection can hold the single-threaded
+// exporter; EINTR on recv is retried, not treated as disconnect.
 std::string read_request(int fd) {
   constexpr std::size_t cap = 4096;
+  constexpr int deadline_ms = 2000;
   std::string request;
   char buf[1024];
+  int remaining_ms = deadline_ms;
   while (request.size() < cap &&
-         request.find("\r\n\r\n") == std::string::npos) {
+         request.find("\r\n\r\n") == std::string::npos && remaining_ms > 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, remaining_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;  // deadline or poll failure: serve what we have
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));
+    // Coarse budget: each successful read costs a slice so a byte-at-a-
+    // time trickler cannot pin the connection past a few seconds.
+    remaining_ms -= 100;
   }
   return request;
 }
@@ -47,6 +64,7 @@ void write_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return;
     sent += static_cast<std::size_t>(n);
   }
@@ -163,8 +181,10 @@ bool http_get(const std::string& host, int port, const std::string& path,
 
   std::string response;
   char buf[4096];
-  ssize_t n;
-  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
     response.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);

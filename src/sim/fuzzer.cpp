@@ -1,0 +1,432 @@
+#include "sim/fuzzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "codec/bitstream.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/golomb.h"
+#include "common/check.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "net/fault_injector.h"
+#include "net/packetizer.h"
+#include "obs/prometheus.h"
+#include "video/sequence.h"
+
+namespace pbpair::sim {
+namespace {
+
+using common::Pcg32;
+
+// --- shared mutation helpers --------------------------------------------
+
+std::vector<std::uint8_t> random_bytes(Pcg32& rng, std::uint32_t max_len) {
+  std::vector<std::uint8_t> bytes(rng.next_below(max_len + 1));
+  for (std::uint8_t& b : bytes) b = static_cast<std::uint8_t>(rng.next_u32());
+  return bytes;
+}
+
+void flip_bits(Pcg32& rng, std::vector<std::uint8_t>* bytes, int flips) {
+  if (bytes->empty()) return;
+  const std::uint32_t total_bits =
+      static_cast<std::uint32_t>(bytes->size() * 8);
+  for (int i = 0; i < flips; ++i) {
+    const std::uint32_t bit = rng.next_below(total_bits);
+    (*bytes)[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+std::string mutate_text(Pcg32& rng, const std::string& base) {
+  std::string text = base;
+  const int edits = 1 + static_cast<int>(rng.next_below(8));
+  for (int i = 0; i < edits && !text.empty(); ++i) {
+    const std::uint32_t pos =
+        rng.next_below(static_cast<std::uint32_t>(text.size()));
+    switch (rng.next_below(4)) {
+      case 0:  // overwrite with a random byte
+        text[pos] = static_cast<char>(rng.next_u32());
+        break;
+      case 1:  // delete (erase clamps past-the-end counts)
+        text.erase(pos, 1 + rng.next_below(4));
+        break;
+      case 2:  // insert noise
+        text.insert(pos, 1 + rng.next_below(4),
+                    static_cast<char>(rng.next_u32()));
+        break;
+      case 3:  // truncate
+        text.resize(pos);
+        break;
+    }
+  }
+  return text;
+}
+
+// --- corpus: valid encoded frames, built once ---------------------------
+
+struct Corpus {
+  std::vector<codec::EncodedFrame> frames;  // mixed I/P, foreman-like
+
+  static const Corpus& instance() {
+    static const Corpus corpus;
+    return corpus;
+  }
+
+  const codec::EncodedFrame& pick(Pcg32& rng) const {
+    return frames[rng.next_below(static_cast<std::uint32_t>(frames.size()))];
+  }
+
+ private:
+  Corpus() {
+    const video::SyntheticSequence seq =
+        video::make_paper_sequence(video::SequenceKind::kForemanLike);
+    codec::NoRefreshPolicy policy;
+    codec::Encoder encoder(codec::EncoderConfig{}, &policy);
+    for (int i = 0; i < 6; ++i) {
+      frames.push_back(encoder.encode_frame(seq.frame_at(i)));
+    }
+  }
+};
+
+std::vector<std::uint8_t> gob_payload(const codec::EncodedFrame& frame) {
+  return std::vector<std::uint8_t>(frame.bytes.begin() + frame.gob_offsets[0],
+                                   frame.bytes.end());
+}
+
+// --- targets -------------------------------------------------------------
+
+void fuzz_bitreader_case(Pcg32& rng) {
+  const std::vector<std::uint8_t> bytes = random_bytes(rng, 256);
+  codec::BitReader reader(bytes);
+  const int ops = 1 + static_cast<int>(rng.next_below(200));
+  for (int i = 0; i < ops; ++i) {
+    const std::uint64_t before = reader.bits_remaining();
+    switch (rng.next_below(5)) {
+      case 0: {
+        const int count = static_cast<int>(rng.next_below(33));
+        std::uint32_t v = 0;
+        const bool ok = reader.get_bits(count, &v);
+        // Contract: success iff enough bits remained, and exactly
+        // `count` bits consumed on success.
+        PB_CHECK(ok == (static_cast<std::uint64_t>(count) <= before));
+        if (ok) {
+          PB_CHECK(reader.bits_remaining() ==
+                   before - static_cast<std::uint64_t>(count));
+          if (count < 32) PB_CHECK((v >> count) == 0);
+        }
+        break;
+      }
+      case 1: {
+        bool bit = false;
+        PB_CHECK(reader.get_bit(&bit) == (before >= 1));
+        break;
+      }
+      case 2:
+        reader.align();
+        PB_CHECK(reader.bit_pos() % 8 == 0);
+        break;
+      case 3: {
+        std::uint32_t v = 0;
+        codec::get_ue(reader, &v);  // may fail; must never over-read
+        break;
+      }
+      case 4: {
+        std::int32_t v = 0;
+        codec::get_se(reader, &v);
+        break;
+      }
+    }
+    PB_CHECK(reader.bits_remaining() <= before);
+  }
+}
+
+void fuzz_decoder_case(Pcg32& rng, codec::Decoder& decoder) {
+  const Corpus& corpus = Corpus::instance();
+
+  codec::ReceivedFrame received;
+  received.frame_index = static_cast<int>(rng.next_below(1000));
+  received.type = rng.next_below(2) == 0 ? codec::FrameType::kIntra
+                                         : codec::FrameType::kInter;
+  received.qp = static_cast<int>(rng.next_below(256));  // mostly out of range
+  received.any_data = true;
+
+  const int spans = 1 + static_cast<int>(rng.next_below(3));
+  for (int s = 0; s < spans; ++s) {
+    codec::ReceivedFrame::GobSpan span;
+    span.first_gob = static_cast<int>(rng.next_below(16)) - 3;
+    switch (rng.next_below(5)) {
+      case 0:  // valid payload under hostile metadata
+        span.bytes = gob_payload(corpus.pick(rng));
+        break;
+      case 1:  // bit-flipped valid payload
+        span.bytes = gob_payload(corpus.pick(rng));
+        flip_bits(rng, &span.bytes, 1 + static_cast<int>(rng.next_below(64)));
+        break;
+      case 2:  // truncated valid payload
+        span.bytes = gob_payload(corpus.pick(rng));
+        span.bytes.resize(
+            rng.next_below(static_cast<std::uint32_t>(span.bytes.size() + 1)));
+        break;
+      case 3: {  // splice of two valid payloads
+        std::vector<std::uint8_t> a = gob_payload(corpus.pick(rng));
+        const std::vector<std::uint8_t> b = gob_payload(corpus.pick(rng));
+        a.resize(rng.next_below(static_cast<std::uint32_t>(a.size() + 1)));
+        const std::size_t cut =
+            rng.next_below(static_cast<std::uint32_t>(b.size() + 1));
+        a.insert(a.end(), b.begin() + static_cast<std::ptrdiff_t>(cut),
+                 b.end());
+        span.bytes = std::move(a);
+        break;
+      }
+      case 4:  // pure garbage
+        span.bytes = random_bytes(rng, 2048);
+        break;
+    }
+    received.spans.push_back(std::move(span));
+  }
+
+  const video::YuvFrame& out = decoder.decode_frame(received);
+  PB_CHECK(out.width() == video::kQcifWidth &&
+           out.height() == video::kQcifHeight);
+}
+
+void fuzz_depacketize_case(Pcg32& rng, net::Packetizer& packetizer,
+                           codec::Decoder& decoder) {
+  const Corpus& corpus = Corpus::instance();
+  const codec::EncodedFrame& base = corpus.pick(rng);
+  std::vector<net::Packet> packets = packetizer.packetize(base);
+
+  // Structural damage: drop / duplicate / shuffle.
+  std::vector<net::Packet> stream;
+  for (net::Packet& packet : packets) {
+    if (rng.next_bernoulli(0.15)) continue;                  // dropped
+    if (rng.next_bernoulli(0.10)) stream.push_back(packet);  // duplicated
+    stream.push_back(std::move(packet));
+  }
+  for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+    if (rng.next_bernoulli(0.2)) std::swap(stream[i], stream[i + 1]);
+  }
+  // Byte-level damage, through the wire-honest injector.
+  net::FaultInjectorConfig faults;
+  faults.seed = rng.next_u32();
+  faults.p_bit_flip = 0.3;
+  faults.p_truncate = 0.15;
+  faults.p_header_corrupt = 0.2;
+  net::FaultInjector injector(faults);
+  stream = injector.apply(std::move(stream));
+  // Occasionally splice in a fully alien packet.
+  if (rng.next_bernoulli(0.2)) {
+    net::Packet alien;
+    alien.header.sequence = static_cast<std::uint16_t>(rng.next_u32());
+    alien.header.timestamp = rng.next_u32();
+    alien.header.first_gob = static_cast<std::uint8_t>(rng.next_u32());
+    alien.header.num_gobs = static_cast<std::uint8_t>(rng.next_u32());
+    alien.payload = random_bytes(rng, 512);
+    stream.insert(stream.begin() + static_cast<std::ptrdiff_t>(rng.next_below(
+                      static_cast<std::uint32_t>(stream.size() + 1))),
+                  std::move(alien));
+  }
+
+  const codec::ReceivedFrame received =
+      net::depacketize(stream, base.frame_index);
+  for (const codec::ReceivedFrame::GobSpan& span : received.spans) {
+    PB_CHECK(span.first_gob >= 0 && span.first_gob <= 255);
+  }
+  const video::YuvFrame& out = decoder.decode_frame(received);
+  PB_CHECK(out.width() == video::kQcifWidth &&
+           out.height() == video::kQcifHeight);
+}
+
+std::uint64_t fuzz_packet_case(Pcg32& rng) {
+  std::uint64_t rejects = 0;
+  // Random wire bytes through the parser.
+  const std::vector<std::uint8_t> wire = random_bytes(rng, 64);
+  net::Packet parsed;
+  if (!net::parse_packet(wire, &parsed)) ++rejects;
+
+  // Serialize/parse round-trip of an arbitrary header must be exact.
+  net::Packet p;
+  p.header.sequence = static_cast<std::uint16_t>(rng.next_u32());
+  p.header.timestamp = rng.next_u32();
+  p.header.ssrc = rng.next_u32();
+  p.header.marker = rng.next_below(2) == 1;
+  p.header.frame_type = static_cast<std::uint8_t>(rng.next_u32());
+  p.header.qp = static_cast<std::uint8_t>(rng.next_u32());
+  p.header.first_gob = static_cast<std::uint8_t>(rng.next_u32());
+  p.header.num_gobs = static_cast<std::uint8_t>(rng.next_u32());
+  p.payload = random_bytes(rng, 256);
+  net::Packet q;
+  PB_CHECK(net::parse_packet(net::serialize_packet(p), &q));
+  PB_CHECK(q.header.sequence == p.header.sequence &&
+           q.header.timestamp == p.header.timestamp &&
+           q.header.ssrc == p.header.ssrc &&
+           q.header.marker == p.header.marker &&
+           q.header.frame_type == p.header.frame_type &&
+           q.header.qp == p.header.qp &&
+           q.header.first_gob == p.header.first_gob &&
+           q.header.num_gobs == p.header.num_gobs && q.payload == p.payload);
+  return rejects;
+}
+
+// Representative exposition text covering every shape the renderer
+// emits: plain counters, session labels, histogram buckets, +Inf.
+const char kPromCorpus[] =
+    "# HELP pbpair_decoder_frames_total frames\n"
+    "# TYPE pbpair_decoder_frames_total counter\n"
+    "pbpair_decoder_frames_total 1200\n"
+    "pbpair_session_frames_total{session=\"s000\"} 48\n"
+    "pbpair_session_psnr_db{session=\"s0\\\"0\"} 33.8125\n"
+    "pbpair_encode_ns_bucket{le=\"1024\"} 17\n"
+    "pbpair_encode_ns_bucket{le=\"+Inf\"} 43\n"
+    "pbpair_encode_ns_sum 91234\n"
+    "pbpair_encode_ns_count 43\n";
+
+std::uint64_t fuzz_prometheus_case(Pcg32& rng) {
+  std::string text;
+  if (rng.next_below(4) == 0) {
+    const std::vector<std::uint8_t> raw = random_bytes(rng, 512);
+    text.assign(raw.begin(), raw.end());
+  } else {
+    text = mutate_text(rng, kPromCorpus);
+  }
+  std::vector<obs::PromSample> samples;
+  if (!obs::parse_prometheus_text(text, &samples)) return 1;
+  // Walk every accepted sample so ASan validates the string storage; the
+  // parsed names cannot outgrow the input that produced them.
+  std::size_t touched = 0;
+  for (const obs::PromSample& s : samples) {
+    touched += s.family.size() + s.session.size();
+  }
+  PB_CHECK(touched <= text.size() + samples.size());
+  return 0;
+}
+
+const char kJsonCorpus[] =
+    "{\"header\":{\"scheme\":\"pbpair(0.9)\",\"seed\":2005,\"arr\":"
+    "[1,2.5,-3e4,true,false,null,\"\\u00e9\\n\"],\"nested\":{\"a\":"
+    "{\"b\":{\"c\":[{\"d\":1}]}}}},\"frames\":[{\"frame\":0,\"psnr_db\":"
+    "31.4159,\"lost\":false},{\"frame\":1,\"psnr_db\":30.0,\"lost\":true}]}";
+
+std::uint64_t walk_json(const common::JsonValue& value) {
+  std::uint64_t nodes = 1;
+  for (const common::JsonValue& item : value.items()) nodes += walk_json(item);
+  for (const auto& member : value.members()) {
+    nodes += member.first.size() + walk_json(member.second);
+  }
+  return nodes;
+}
+
+std::uint64_t fuzz_json_case(Pcg32& rng) {
+  std::string text;
+  switch (rng.next_below(4)) {
+    case 0: {
+      const std::vector<std::uint8_t> raw = random_bytes(rng, 512);
+      text.assign(raw.begin(), raw.end());
+      break;
+    }
+    case 1: {
+      // Deep nesting: must parse-fail at the depth cap, not blow the
+      // stack (the 256-level bound in common/json.cpp).
+      const std::size_t depth = 200 + rng.next_below(400);
+      if (rng.next_below(2) == 0) {
+        text.assign(depth, '[');
+      } else {
+        for (std::size_t i = 0; i < depth; ++i) text += "{\"k\":";
+      }
+      break;
+    }
+    default:
+      text = mutate_text(rng, kJsonCorpus);
+      break;
+  }
+  common::JsonValue value;
+  std::string error;
+  if (!common::JsonValue::parse(text, &value, &error)) return 1;
+  PB_CHECK(walk_json(value) > 0);
+  return 0;
+}
+
+// --- driver --------------------------------------------------------------
+
+void write_breadcrumb(const std::string& crash_dir, const char* target,
+                      std::uint64_t seed, int iteration) {
+  if (crash_dir.empty()) return;
+  const std::string path = crash_dir + "/case.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "target=%s seed=%llu iteration=%d\n"
+               "replay: pbpair fuzz --fuzz-target %s --seed %llu\n",
+               target, static_cast<unsigned long long>(seed), iteration,
+               target, static_cast<unsigned long long>(seed));
+  std::fclose(f);
+}
+
+std::uint64_t target_stream(std::uint64_t seed, const char* name) {
+  // Salt the seed with the full target name so each target draws from an
+  // independent stream and adding targets never perturbs the others.
+  common::SplitMix64 mix(seed);
+  std::uint64_t salt = mix.next();
+  for (const char* c = name; *c != '\0'; ++c) {
+    salt = (salt ^ static_cast<std::uint64_t>(*c)) * 0x100000001B3ULL;
+  }
+  return salt;
+}
+
+}  // namespace
+
+bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
+  enum TargetId { kBitReader, kDecoder, kDepacketize, kPacket, kProm, kJson };
+  struct Target {
+    TargetId id;
+    const char* name;
+  };
+  static constexpr Target kTargets[] = {
+      {kBitReader, "bitreader"},     {kDecoder, "decoder"},
+      {kDepacketize, "depacketize"}, {kPacket, "packet"},
+      {kProm, "prometheus"},         {kJson, "json"},
+  };
+  const auto want = [&](const Target& t) {
+    return options.target == "all" || options.target == t.name;
+  };
+  bool any = false;
+  for (const Target& t : kTargets) any = any || want(t);
+  if (!any) return false;
+
+  // Long-lived state: the decoders survive the whole campaign, proving
+  // hostile frames leave them usable for the next one.
+  codec::Decoder decoder(codec::DecoderConfig{});
+  codec::Decoder depack_decoder(codec::DecoderConfig{});
+  net::PacketizerConfig packetizer_config;
+  packetizer_config.mtu = 320;  // small MTU: exercises GOB continuations
+  net::Packetizer packetizer(packetizer_config);
+
+  for (const Target& t : kTargets) {
+    if (!want(t)) continue;
+    common::SplitMix64 salt(target_stream(options.seed, t.name));
+    Pcg32 rng(salt.next(), salt.next());
+    for (int i = 0; i < options.iterations; ++i) {
+      write_breadcrumb(options.crash_dir, t.name, options.seed, i);
+      switch (t.id) {
+        case kBitReader: fuzz_bitreader_case(rng); break;
+        case kDecoder: fuzz_decoder_case(rng, decoder); break;
+        case kDepacketize:
+          fuzz_depacketize_case(rng, packetizer, depack_decoder);
+          break;
+        case kPacket: report->parse_rejects += fuzz_packet_case(rng); break;
+        case kProm: report->parse_rejects += fuzz_prometheus_case(rng); break;
+        case kJson: report->parse_rejects += fuzz_json_case(rng); break;
+      }
+      report->total_iterations += 1;
+      report->iterations_per_target[t.name] += 1;
+    }
+  }
+  report->decoder_concealed_mbs =
+      decoder.concealed_mbs() + depack_decoder.concealed_mbs();
+  return true;
+}
+
+}  // namespace pbpair::sim

@@ -1,0 +1,49 @@
+// Seeded fuzz harness enforcing the decoder robustness contract.
+//
+// `run_fuzz` drives the library's untrusted-input surfaces with hostile
+// bytes: the bit reader, the decoder (mutations of a valid bitstream plus
+// pure garbage), the RTP parse/depacketize path, the Prometheus text
+// parser, and the JSON parser. A pass is simply surviving: any PB_CHECK
+// abort, sanitizer report, or violated invariant (checked with PB_CHECK
+// inside the targets) kills the process and fails the run.
+//
+// Everything derives from one seed — iteration i of target t uses an
+// independent SplitMix64-derived stream — so a failure reported by CI as
+// "seed S, target T, iteration I" replays exactly with
+// `pbpair fuzz --seed S --target T`. The valid-bitstream corpus is
+// encoded once at startup from the synthetic paper clips, so mutation
+// inputs are deterministic too.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pbpair::sim {
+
+struct FuzzOptions {
+  std::uint64_t seed = 2005;
+  /// Iterations per target (each target runs this many cases).
+  int iterations = 2000;
+  /// "all" or one of: bitreader, decoder, depacketize, packet,
+  /// prometheus, json.
+  std::string target = "all";
+  /// When non-empty, the current case is written to
+  /// `<crash_dir>/case.txt` (target, seed, iteration) before execution,
+  /// so a crash leaves a replayable breadcrumb behind for CI to upload.
+  std::string crash_dir;
+};
+
+struct FuzzReport {
+  std::uint64_t total_iterations = 0;
+  std::map<std::string, std::uint64_t> iterations_per_target;
+  /// Damage observed while fuzzing (diagnostics, not pass/fail):
+  std::uint64_t decoder_concealed_mbs = 0;
+  std::uint64_t parse_rejects = 0;  // inputs the parsers refused
+};
+
+/// Runs the configured fuzz campaign; returns per-target counts. False
+/// return = unknown target name (the only non-crash failure mode).
+bool run_fuzz(const FuzzOptions& options, FuzzReport* report);
+
+}  // namespace pbpair::sim

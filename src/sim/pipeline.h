@@ -21,6 +21,7 @@
 #include "codec/rate_control.h"
 #include "energy/energy_model.h"
 #include "net/channel.h"
+#include "net/fault_injector.h"
 #include "net/packetizer.h"
 #include "net/rtcp.h"
 #include "obs/health.h"
@@ -78,6 +79,14 @@ struct PipelineConfig {
   /// Tracking only reads deterministic per-frame results, so outputs stay
   /// byte-identical with it on or off (tests/test_telemetry.cpp).
   std::optional<obs::HealthConfig> health;
+
+  /// Adversarial byte damage (net/fault_injector.h). When set with any
+  /// probability > 0, the session inserts an "inject_faults" stage after
+  /// "transmit" that bit-flips / truncates / corrupts / duplicates /
+  /// reorders the delivered packets deterministically from faults->seed.
+  /// Unset (or all-zero) leaves the pipeline untouched — reports stay
+  /// byte-identical to a build without the injector.
+  std::optional<net::FaultInjectorConfig> faults;
 };
 
 /// Per-frame trace row (Fig. 6 plots these directly).

@@ -126,6 +126,17 @@ void StreamSession::init() {
                                             "frame");
                        ctx.delivered = s.channel_->transmit(ctx.packets);
                      }});
+  // Adversarial byte damage rides between the loss model and the
+  // depacketizer, exactly where a hostile network sits. Only built when
+  // asked for: with config_.faults unset the stage list — and therefore
+  // every output byte — is identical to a faultless build.
+  if (config_.faults.has_value() && config_.faults->enabled()) {
+    fault_injector_ = std::make_unique<net::FaultInjector>(*config_.faults);
+    stages_.push_back(
+        {"inject_faults", [](FrameContext& ctx, StreamSession& s) {
+           ctx.delivered = s.fault_injector_->apply(std::move(ctx.delivered));
+         }});
+  }
   stages_.push_back({"depacketize", [](FrameContext& ctx, StreamSession&) {
                        ctx.received =
                            net::depacketize(ctx.delivered, ctx.index);

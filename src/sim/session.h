@@ -103,6 +103,8 @@ class StreamSession {
   codec::RefreshPolicy& policy() { return *policy_; }
   net::Packetizer& packetizer() { return *packetizer_; }
   net::Channel& channel() { return *channel_; }
+  /// Non-null only when config().faults is set and enabled.
+  net::FaultInjector* fault_injector() { return fault_injector_.get(); }
   const PipelineConfig& config() const { return config_; }
   const SchemeSpec& scheme() const { return scheme_; }
   const std::string& label() const { return label_; }
@@ -128,6 +130,7 @@ class StreamSession {
   std::unique_ptr<net::LossModel> owned_loss_;
   std::unique_ptr<net::NoLoss> no_loss_;
   std::unique_ptr<net::Channel> channel_;
+  std::unique_ptr<net::FaultInjector> fault_injector_;
   std::optional<codec::RateController> rate_;
 
   // Receiver-side feedback loop (active only when config_.on_feedback).

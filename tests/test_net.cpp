@@ -141,6 +141,139 @@ TEST(Depacketize, EmptyDeliveryMarksFrameLost) {
   EXPECT_EQ(received.frame_index, 7);
 }
 
+TEST(Depacketize, WrongTimestampPacketsAreDroppedNotAsserted) {
+  codec::EncodedFrame frame = encode_one_frame(1);
+  Packetizer packetizer(PacketizerConfig{});
+  auto packets = packetizer.packetize(frame);
+  // Corrupt one packet's timestamp: a hostile or damaged header must be
+  // dropped and counted, never abort the receiver.
+  packets[0].header.timestamp ^= 0x5A5A5A5A;
+  codec::ReceivedFrame received = depacketize(packets, frame.frame_index);
+  EXPECT_EQ(received.spans.size(), packets.size() - 1);
+  // Only the stale packet vanished; the frame still decodes as damaged.
+  EXPECT_TRUE(received.any_data);
+}
+
+TEST(Depacketize, AllForeignPacketsYieldLostFrame) {
+  codec::EncodedFrame frame = encode_one_frame(1);
+  Packetizer packetizer(PacketizerConfig{});
+  auto packets = packetizer.packetize(frame);
+  codec::ReceivedFrame received =
+      depacketize(packets, frame.frame_index + 1);  // all stale
+  EXPECT_FALSE(received.any_data);
+  EXPECT_TRUE(received.spans.empty());
+}
+
+// --- oversized-GOB continuation packets ---
+
+TEST(Packetizer, OversizedGobSplitsIntoContinuations) {
+  codec::EncodedFrame frame = encode_one_frame(1);  // garden I-frame: big
+  PacketizerConfig config;
+  config.mtu = 128;  // far below a garden GOB: every GOB must fragment
+  Packetizer packetizer(config);
+  auto packets = packetizer.packetize(frame);
+  ASSERT_GT(packets.size(), 9u);
+  bool saw_continuation = false;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_LE(packets[i].wire_size(), config.mtu);  // the MTU bug: never over
+    EXPECT_EQ(packets[i].header.marker, i == packets.size() - 1);
+    if (packets[i].header.num_gobs == 0) {
+      saw_continuation = true;
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(packets[i].header.first_gob, packets[i - 1].header.first_gob);
+      EXPECT_EQ(packets[i].header.sequence,
+                static_cast<std::uint16_t>(packets[i - 1].header.sequence + 1));
+    }
+  }
+  EXPECT_TRUE(saw_continuation);
+}
+
+TEST(Packetizer, ContinuationsReassembleExactly) {
+  codec::EncodedFrame frame = encode_one_frame(1);
+  PacketizerConfig config;
+  config.mtu = 100;
+  Packetizer packetizer(config);
+  auto packets = packetizer.packetize(frame);
+  codec::ReceivedFrame received = depacketize(packets, frame.frame_index);
+  // Full delivery: every GOB present as one rejoined span, bytes exact.
+  ASSERT_EQ(received.spans.size(), frame.gob_offsets.size());
+  std::vector<std::uint8_t> reassembled;
+  for (const auto& span : received.spans) {
+    reassembled.insert(reassembled.end(), span.bytes.begin(),
+                       span.bytes.end());
+  }
+  std::vector<std::uint8_t> original(
+      frame.bytes.begin() + frame.gob_offsets[0], frame.bytes.end());
+  EXPECT_EQ(reassembled, original);
+}
+
+TEST(Depacketize, OrphanContinuationIsDropped) {
+  codec::EncodedFrame frame = encode_one_frame(1);
+  PacketizerConfig config;
+  config.mtu = 100;
+  Packetizer packetizer(config);
+  auto packets = packetizer.packetize(frame);
+  // Find the first continuation and kill its head: the orphaned fragments
+  // must vanish rather than splice garbage into another GOB.
+  std::size_t head = 0;
+  while (head + 1 < packets.size() &&
+         packets[head + 1].header.num_gobs != 0) {
+    ++head;
+  }
+  ASSERT_LT(head + 1, packets.size());
+  const int split_gob = packets[head].header.first_gob;
+  packets.erase(packets.begin() + static_cast<std::ptrdiff_t>(head));
+  codec::ReceivedFrame received = depacketize(packets, frame.frame_index);
+  for (const auto& span : received.spans) {
+    EXPECT_NE(span.first_gob, split_gob);
+  }
+  EXPECT_TRUE(received.any_data);  // the other GOBs survived
+}
+
+TEST(Depacketize, ReorderedContinuationIsDropped) {
+  codec::EncodedFrame frame = encode_one_frame(1);
+  PacketizerConfig config;
+  config.mtu = 100;
+  Packetizer packetizer(config);
+  auto packets = packetizer.packetize(frame);
+  std::size_t head = 0;
+  while (head + 2 < packets.size() &&
+         (packets[head + 1].header.num_gobs != 0 ||
+          packets[head + 2].header.num_gobs != 0)) {
+    ++head;
+  }
+  ASSERT_LT(head + 2, packets.size());
+  // Swap two continuations of the same GOB: out-of-order fragments must
+  // not be spliced in the wrong order (the bytes would be garbage).
+  std::swap(packets[head + 1], packets[head + 2]);
+  codec::ReceivedFrame received = depacketize(packets, frame.frame_index);
+  const int split_gob = packets[head].header.first_gob;
+  for (const auto& span : received.spans) {
+    if (span.first_gob != split_gob) continue;
+    // The head's bytes survive; the out-of-order tail was dropped, so the
+    // span is shorter than the full GOB.
+    std::size_t full = (static_cast<std::size_t>(split_gob) + 1 <
+                        frame.gob_offsets.size()
+                            ? frame.gob_offsets[static_cast<std::size_t>(
+                                  split_gob + 1)]
+                            : frame.bytes.size()) -
+                       frame.gob_offsets[static_cast<std::size_t>(split_gob)];
+    EXPECT_LT(span.bytes.size(), full);
+  }
+}
+
+TEST(PacketizerDeathTest, MoreThan255GobsIsRejected) {
+  // first_gob/num_gobs are uint8 on the wire: a 256-GOB frame would alias
+  // GOB indices at the receiver, so packetize must refuse loudly.
+  codec::EncodedFrame frame;
+  frame.bytes.assign(256 * 4, 0);
+  for (int g = 0; g < 256; ++g) {
+    frame.gob_offsets.push_back(static_cast<std::uint32_t>(g * 4));
+  }
+  Packetizer packetizer(PacketizerConfig{});
+  EXPECT_DEATH(packetizer.packetize(frame), "255");
+}
+
 // --- Loss models ---
 
 TEST(UniformFrameLoss, AllPacketsOfAFrameShareFate) {

@@ -155,6 +155,75 @@ TEST(Robustness, MvPointingOutsideFrameIsRejected) {
   EXPECT_GE(decoder.concealed_mbs(), 99u);  // row 0 + all missing rows
 }
 
+TEST(Robustness, HostileMetadataIsClampedNotTrusted) {
+  // A corrupted payload header can claim any qp / type / first_gob; the
+  // decoder contract says clamp or ignore, never misbehave.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  NoRefreshPolicy policy;
+  Encoder encoder(EncoderConfig{}, &policy);
+  EncodedFrame frame = make_test_frame(0, encoder, seq);
+
+  for (int qp : {-1000, -1, 0, 32, 255, 100000}) {
+    ReceivedFrame received = as_received(frame, gob_payload(frame));
+    received.qp = qp;
+    received.type = qp % 2 == 0 ? FrameType::kInter : FrameType::kIntra;
+    Decoder decoder(DecoderConfig{});
+    const video::YuvFrame& out = decoder.decode_frame(received);
+    ASSERT_EQ(out.width(), 176);
+    ASSERT_EQ(out.height(), 144);
+  }
+}
+
+TEST(Robustness, OutOfRangeFirstGobSpansAreIgnored) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  NoRefreshPolicy policy;
+  Encoder encoder(EncoderConfig{}, &policy);
+  EncodedFrame frame = make_test_frame(0, encoder, seq);
+
+  for (int first_gob : {-5, -1, 9, 200, 255}) {
+    ReceivedFrame received = as_received(frame, gob_payload(frame));
+    received.spans[0].first_gob = first_gob;
+    Decoder decoder(DecoderConfig{});
+    decoder.decode_frame(received);
+    // QCIF has GOBs 0..8: nothing decodable => whole frame concealed.
+    EXPECT_EQ(decoder.concealed_mbs(), 99u) << "first_gob " << first_gob;
+  }
+}
+
+TEST(Robustness, HostileFramesLeaveDecoderUsable) {
+  // Interleave hostile frames (garbage metadata AND garbage bytes) with
+  // clean I-frames through ONE decoder: each clean frame must still land
+  // at full quality, proving no hidden state is poisoned.
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  NoRefreshPolicy policy;
+  Encoder encoder(EncoderConfig{}, &policy);
+  Decoder decoder(DecoderConfig{});
+  common::Pcg32 rng(31);
+
+  for (int round = 0; round < 5; ++round) {
+    ReceivedFrame hostile;
+    hostile.frame_index = round;
+    hostile.type = FrameType::kInter;
+    hostile.qp = static_cast<int>(rng.next_below(100000)) - 50000;
+    hostile.any_data = true;
+    ReceivedFrame::GobSpan span;
+    span.first_gob = static_cast<int>(rng.next_below(300)) - 100;
+    span.bytes.resize(rng.next_below(500) + 1);
+    for (auto& b : span.bytes) b = static_cast<std::uint8_t>(rng.next_u32());
+    hostile.spans.push_back(std::move(span));
+    decoder.decode_frame(hostile);
+
+    encoder.reset();
+    EncodedFrame clean = make_test_frame(0, encoder, seq);
+    const video::YuvFrame& out =
+        decoder.decode_frame(as_received(clean, gob_payload(clean)));
+    EXPECT_EQ(out, encoder.reconstructed()) << "round " << round;
+  }
+}
+
 TEST(Robustness, DecoderStateRecoversAfterGarbageFrame) {
   // A garbage frame must not poison subsequent clean decoding beyond the
   // reference-propagation the codec design implies.

@@ -15,6 +15,8 @@
 //                   [--metrics-linger SEC]
 //   pbpair monitor  --port P [--host H] [--interval SEC]
 //                   | --from scrape1.txt --to scrape2.txt [--interval SEC]
+//   pbpair fuzz     [--seed 2005] [--iters 2000] [--fuzz-target all|...]
+//                   [--crash-dir DIR]
 //
 // encode/decode work on real raw 4:2:0 material through the PBS container;
 // simulate runs the full lossy pipeline on a synthetic clip and prints the
@@ -30,6 +32,13 @@
 // and GET /healthz on 127.0.0.1; monitor scrapes twice and prints the
 // per-session delta table. --log-json / --verbose / --log-level control
 // the structured log stream (obs/log.h).
+//
+// Hostile-byte handling (DESIGN.md §11): the --fault-* flags on simulate
+// and serve insert a seeded net::FaultInjector after the loss model (bit
+// flips, truncation, header corruption, duplication, reordering), monitor
+// prints a damage line when fault counters moved between scrapes, and
+// `pbpair fuzz` replays the seeded robustness campaign that CI runs under
+// ASan/UBSan.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -50,6 +59,8 @@
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
+#include "net/fault_injector.h"
+#include "sim/fuzzer.h"
 #include "sim/pipeline.h"
 #include "sim/report.h"
 #include "sim/session_manager.h"
@@ -62,7 +73,7 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: pbpair <encode|decode|simulate|serve|monitor> [--flags]\n"
+      "usage: pbpair <encode|decode|simulate|serve|monitor|fuzz> [--flags]\n"
       "  encode   --in f.yuv --width W --height H --out f.pbs\n"
       "           [--qp N] [--scheme S] [--intra-th X] [--plr X]\n"
       "           [--rate-kbps K] [--deblocking]\n"
@@ -77,8 +88,14 @@ int usage() {
       "           [--metrics-linger SEC]\n"
       "  monitor  --port P [--host H] [--interval SEC]\n"
       "           | --from scrape1.txt --to scrape2.txt [--interval SEC]\n"
+      "  fuzz     [--seed N] [--iters N] [--crash-dir DIR]\n"
+      "           [--fuzz-target all|bitreader|decoder|depacketize|\n"
+      "                         packet|prometheus|json]\n"
       "  common:  [--log-json FILE] [--log-level debug|info|warn|error]\n"
       "           [--verbose]\n"
+      "  faults (simulate/serve): [--fault-bit-flip X] [--fault-truncate X]\n"
+      "           [--fault-header X] [--fault-duplicate X]\n"
+      "           [--fault-reorder X] [--fault-seed N]\n"
       "  schemes: pbpair (default), no, gop-N, air-N, pgop-N\n");
   return 2;
 }
@@ -107,6 +124,21 @@ bool apply_log_flags(const common::ArgParser& args) {
     return false;
   }
   return true;
+}
+
+/// Reads the --fault-* flags into PipelineConfig::faults. Returns the
+/// configured injector (unset when every probability is zero, keeping the
+/// pipeline byte-identical to a build without the injector).
+void apply_fault_flags(const common::ArgParser& args,
+                       sim::PipelineConfig* config) {
+  net::FaultInjectorConfig faults;
+  faults.p_bit_flip = args.get_double("fault-bit-flip", 0.0);
+  faults.p_truncate = args.get_double("fault-truncate", 0.0);
+  faults.p_header_corrupt = args.get_double("fault-header", 0.0);
+  faults.p_duplicate = args.get_double("fault-duplicate", 0.0);
+  faults.p_reorder = args.get_double("fault-reorder", 0.0);
+  faults.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+  if (faults.enabled()) config->faults = faults;
 }
 
 /// Surfaces span-buffer overflow after a trace export: a truncated trace
@@ -284,6 +316,7 @@ int cmd_simulate(const common::ArgParser& args) {
   config.frame_trace_path = frame_trace;
   config.frame_trace_seed =
       static_cast<std::uint64_t>(args.get_int("seed", 2005));
+  apply_fault_flags(args, &config);
 
   video::SyntheticSequence sequence = video::make_paper_sequence(kind);
   net::UniformFrameLoss loss(plr, static_cast<std::uint64_t>(
@@ -403,6 +436,11 @@ int cmd_serve(const common::ArgParser& args) {
     spec.config.frames = frames;
     spec.config.encoder.qp = args.get_int("qp", 10);
     spec.config.health = obs::HealthConfig{};
+    apply_fault_flags(args, &spec.config);
+    if (spec.config.faults.has_value()) {
+      // Per-session offset so concurrent sessions damage independently.
+      spec.config.faults->seed += static_cast<std::uint64_t>(i);
+    }
     if (rtt > 0 && scheme.kind == sim::SchemeKind::kPbpair) {
       // Close the §3.2 loop per session: RTCP receiver reports reach the
       // probability model after the configured RTT.
@@ -491,6 +529,18 @@ std::map<std::string, MonitorSample> index_scrape(const std::string& text,
     by_session[s.session].values[s.family] = s.value;
   }
   return by_session;
+}
+
+/// Unlabeled family -> value (the process-global counters, e.g. the fault
+/// injector's net.fault.* and the depacketizer's drop counters).
+std::map<std::string, double> index_globals(const std::string& text) {
+  std::map<std::string, double> values;
+  std::vector<obs::PromSample> samples;
+  if (!obs::parse_prometheus_text(text, &samples)) return values;
+  for (const obs::PromSample& s : samples) {
+    if (s.session.empty()) values[s.family] = s.value;
+  }
+  return values;
 }
 
 int cmd_monitor(const common::ArgParser& args) {
@@ -584,6 +634,72 @@ int cmd_monitor(const common::ArgParser& args) {
          obs::health_state_name(static_cast<obs::HealthState>(state))});
   }
   table.print();
+
+  // Damage line (DESIGN.md §11): printed only when the fault-injection /
+  // hardening counters moved between the scrapes, so a clean channel
+  // keeps the classic output.
+  const std::map<std::string, double> g_then = index_globals(scrape1);
+  const std::map<std::string, double> g_now = index_globals(scrape2);
+  const auto delta = [&](const char* family) {
+    const auto then_it = g_then.find(family);
+    const auto now_it = g_now.find(family);
+    return (now_it == g_now.end() ? 0.0 : now_it->second) -
+           (then_it == g_then.end() ? 0.0 : then_it->second);
+  };
+  const double d_bits = delta("pbpair_net_fault_bits_flipped_total");
+  const double d_hdrs = delta("pbpair_net_fault_headers_corrupted_total");
+  const double d_trunc = delta("pbpair_net_fault_payloads_truncated_total");
+  const double d_dup = delta("pbpair_net_fault_packets_duplicated_total");
+  const double d_reord = delta("pbpair_net_fault_packets_reordered_total");
+  const double d_unparse = delta("pbpair_net_fault_dropped_unparseable_total");
+  const double d_badhdr = delta("pbpair_net_dropped_bad_header_total");
+  const double d_orphan =
+      delta("pbpair_net_dropped_orphan_continuation_total");
+  if (d_bits + d_hdrs + d_trunc + d_dup + d_reord + d_unparse + d_badhdr +
+          d_orphan >
+      0.0) {
+    std::printf(
+        "damage/s: bits %.1f  hdr_corrupt %.1f  truncated %.1f  dup %.1f  "
+        "reorder %.1f  unparseable %.1f  bad_hdr_drop %.1f  "
+        "orphan_drop %.1f\n",
+        d_bits / interval, d_hdrs / interval, d_trunc / interval,
+        d_dup / interval, d_reord / interval, d_unparse / interval,
+        d_badhdr / interval, d_orphan / interval);
+  }
+  return 0;
+}
+
+// --- pbpair fuzz ---------------------------------------------------------
+
+int cmd_fuzz(const common::ArgParser& args) {
+  if (!apply_log_flags(args)) return 1;
+  sim::FuzzOptions options;
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 2005));
+  options.iterations = args.get_int("iters", 2000);
+  options.target = args.get("fuzz-target", "all");
+  options.crash_dir = args.get("crash-dir");
+  if (options.iterations <= 0) {
+    PB_LOG_ERROR("--iters must be positive");
+    return 1;
+  }
+
+  sim::FuzzReport report;
+  if (!sim::run_fuzz(options, &report)) {
+    PB_LOG_ERROR("unknown --fuzz-target %s", options.target.c_str());
+    return usage();
+  }
+  // Reaching this line IS the verdict: a contract violation would have
+  // aborted (PB_CHECK) or tripped the sanitizers before we got here.
+  for (const auto& [name, count] : report.iterations_per_target) {
+    std::printf("fuzz %-12s %llu iterations\n", name.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("fuzz ok: %llu iterations (seed %llu), %llu MBs concealed, "
+              "%llu hostile inputs rejected by parsers\n",
+              static_cast<unsigned long long>(report.total_iterations),
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(report.decoder_concealed_mbs),
+              static_cast<unsigned long long>(report.parse_rejects));
   return 0;
 }
 
@@ -605,6 +721,8 @@ int main(int argc, char** argv) {
     result = cmd_serve(args);
   } else if (command == "monitor") {
     result = cmd_monitor(args);
+  } else if (command == "fuzz") {
+    result = cmd_fuzz(args);
   } else {
     return usage();
   }
