@@ -2,8 +2,12 @@
 //
 // Measures, with plain steady_clock loops (google-benchmark stays out so the
 // JSON schema is ours):
-//   1. ns/call for every dispatched kernel, per available backend, plus the
-//      best-SIMD / scalar speedup;
+//   1. ns/call for every dispatched kernel, per available backend (median of
+//      five timed passes after a warmup pass), plus the best-SIMD / scalar
+//      speedup. Each cell records the backend the kernel actually resolved
+//      to — a table can inherit a slot from scalar (SSE2 quantize) or from a
+//      narrower ISA (AVX-512 DCT runs the AVX2 code), and the speedup column
+//      only credits genuine vector implementations;
 //   2. wall-clock of a reduced fig5-style sweep (3 clips x 5 schemes) run
 //      serial-scalar, serial-SIMD, and SIMD across the thread pool;
 //   3. the invariant the whole design rests on: encoding energy and op
@@ -13,11 +17,13 @@
 // Output goes to BENCH_kernels.json in the working directory (override the
 // path with PBPAIR_BENCH_JSON). Frames per sweep run default to 48; set
 // PBPAIR_BENCH_FRAMES for longer runs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -28,9 +34,12 @@
 
 using namespace pbpair;
 using codec::kernels::Backend;
+using codec::kernels::KernelId;
 using codec::kernels::KernelTable;
 
 namespace {
+
+constexpr int kNB = codec::kernels::kNumBackends;
 
 using Clock = std::chrono::steady_clock;
 
@@ -76,29 +85,57 @@ struct Fixtures {
 
   const std::uint8_t* cur_block(int b) const { return cur.data() + b * 16 * kStride; }
   const std::uint8_t* ref_block(int b) const { return ref.data() + b * 16 * kStride; }
+  // Blocks used as half-pel / MC sources read one extra row and column, so
+  // the last fixture block (whose row 16 would fall off the buffer) is
+  // excluded from their rotation.
+  int hpel_block(int b) const { return b % (kBlocks - 1); }
 };
 
-// Times `body(block_index)` over the fixture set, returns ns per call.
+// Times `body(block_index)`: one warmup pass, then five timed passes, and
+// returns the median ns/call — a single pass is at the mercy of whatever
+// else the machine is doing for a few hundred microseconds.
 template <typename Body>
 double time_kernel(const Body& body) {
   constexpr int kWarmup = 200;
-  constexpr int kIters = 4000;
+  constexpr int kIters = 2000;
+  constexpr int kPasses = 5;
   for (int i = 0; i < kWarmup; ++i) body(i % Fixtures::kBlocks);
-  Clock::time_point t0 = Clock::now();
-  for (int i = 0; i < kIters; ++i) body(i % Fixtures::kBlocks);
-  Clock::time_point t1 = Clock::now();
-  return elapsed_ns(t0, t1) / kIters;
+  double samples[kPasses];
+  for (int p = 0; p < kPasses; ++p) {
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < kIters; ++i) body(i % Fixtures::kBlocks);
+    Clock::time_point t1 = Clock::now();
+    samples[p] = elapsed_ns(t0, t1) / kIters;
+  }
+  std::sort(samples, samples + kPasses);
+  return samples[kPasses / 2];
 }
 
 struct KernelTiming {
+  KernelId id;
   std::string name;
   // ns/call per backend, indexed by Backend enum value; < 0 = unavailable.
-  double ns[3] = {-1.0, -1.0, -1.0};
+  double ns[kNB];
+  // Which backend's implementation that table actually dispatched to.
+  Backend origin[kNB];
 
+  explicit KernelTiming(KernelId kid)
+      : id(kid), name(codec::kernels::kernel_name(kid)) {
+    for (int b = 0; b < kNB; ++b) {
+      ns[b] = -1.0;
+      origin[b] = Backend::kScalar;
+    }
+  }
+
+  // Best ns among backends that bring a genuine vector implementation for
+  // this kernel — a slot inherited from scalar must not count, or a missing
+  // SIMD kernel silently benchmarks as "1.00x parity" (the exact failure
+  // mode this column used to hide for inverse_dct_8x8 on SSE2).
   double best_simd_ns() const {
     double best = -1.0;
-    for (int b = 1; b < 3; ++b) {
-      if (ns[b] > 0 && (best < 0 || ns[b] < best)) best = ns[b];
+    for (int b = 1; b < kNB; ++b) {
+      if (ns[b] <= 0 || origin[b] == Backend::kScalar) continue;
+      if (best < 0 || ns[b] < best) best = ns[b];
     }
     return best;
   }
@@ -109,48 +146,99 @@ struct KernelTiming {
 };
 
 std::vector<KernelTiming> time_all_kernels(const Fixtures& fx) {
-  std::vector<KernelTiming> timings = {
-      {"sad_16x16"}, {"sad_16x16_cutoff"}, {"sad_self_16x16"},
-      {"forward_dct_8x8"}, {"inverse_dct_8x8"}, {"quantize_ac"},
-      {"dequantize_ac"}};
+  std::vector<KernelTiming> timings;
+  for (int k = 0; k < codec::kernels::kNumKernels; ++k) {
+    timings.emplace_back(static_cast<KernelId>(k));
+  }
 
   for (Backend backend : codec::kernels::supported_backends()) {
     const KernelTable* table = codec::kernels::table_for(backend);
     const int bi = static_cast<int>(backend);
+    for (KernelTiming& t : timings) t.origin[bi] = table->origin_of(t.id);
+
     std::int16_t scratch[64];
     std::int16_t work[64];
+    std::uint8_t pred[16 * 16];
+    std::int64_t sads[8];
 
-    timings[0].ns[bi] = time_kernel([&](int b) {
+    auto slot = [&](KernelId id) -> double& {
+      return timings[static_cast<int>(id)].ns[bi];
+    };
+
+    slot(KernelId::kSad16x16) = time_kernel([&](int b) {
       sink(table->sad_16x16(fx.cur_block(b), Fixtures::kStride,
                             fx.ref_block(b), Fixtures::kStride));
     });
-    timings[1].ns[bi] = time_kernel([&](int b) {
+    slot(KernelId::kSad16x16Cutoff) = time_kernel([&](int b) {
       int rows = 0;
       sink(table->sad_16x16_cutoff(fx.cur_block(b), Fixtures::kStride,
                                    fx.ref_block(b), Fixtures::kStride,
                                    fx.cutoffs[b], &rows));
       sink(rows);
     });
-    timings[2].ns[bi] = time_kernel([&](int b) {
+    slot(KernelId::kSadSelf16x16) = time_kernel([&](int b) {
       sink(table->sad_self_16x16(fx.cur_block(b), Fixtures::kStride));
     });
-    timings[3].ns[bi] = time_kernel([&](int b) {
+    slot(KernelId::kSad16x16X4) = time_kernel([&](int b) {
+      const std::uint8_t* base = fx.ref_block(b);
+      const std::uint8_t* refs[4] = {base, base + 1, base + 2, base + 3};
+      table->sad_16x16_x4(fx.cur_block(b), Fixtures::kStride, refs,
+                          Fixtures::kStride, sads);
+      sink(sads[0] + sads[3]);
+    });
+    slot(KernelId::kSad16x16X8) = time_kernel([&](int b) {
+      const std::uint8_t* base = fx.ref_block(b);
+      const std::uint8_t* refs[8] = {base,     base + 1, base + 2, base + 3,
+                                     base + 4, base + 5, base + 6, base + 7};
+      table->sad_16x16_x8(fx.cur_block(b), Fixtures::kStride, refs,
+                          Fixtures::kStride, sads);
+      sink(sads[0] + sads[7]);
+    });
+    slot(KernelId::kSad16x16HpelCutoff) = time_kernel([&](int b) {
+      const int hb = fx.hpel_block(b);
+      int rows = 0;
+      sink(table->sad_16x16_hpel_cutoff(fx.cur_block(hb), Fixtures::kStride,
+                                        fx.ref_block(hb), Fixtures::kStride,
+                                        /*hx=*/b & 1, /*hy=*/(b >> 1) & 1,
+                                        fx.cutoffs[b], &rows));
+      sink(rows);
+    });
+    slot(KernelId::kForwardDct8x8) = time_kernel([&](int b) {
       table->forward_dct_8x8(fx.dct_in.data() + b * 64, scratch);
       sink(scratch[0]);
     });
-    timings[4].ns[bi] = time_kernel([&](int b) {
+    slot(KernelId::kInverseDct8x8) = time_kernel([&](int b) {
       table->inverse_dct_8x8(fx.coeff.data() + b * 64, scratch);
       sink(scratch[0]);
     });
-    timings[5].ns[bi] = time_kernel([&](int b) {
+    slot(KernelId::kQuantizeAc) = time_kernel([&](int b) {
       // In-place kernel: the memcpy refill is identical work per backend.
       std::memcpy(work, fx.coeff.data() + b * 64, sizeof(work));
       sink(table->quantize_ac(work, 1, 1 + b % 31, /*intra=*/true));
     });
-    timings[6].ns[bi] = time_kernel([&](int b) {
+    slot(KernelId::kDequantizeAc) = time_kernel([&](int b) {
       std::memcpy(work, fx.coeff.data() + b * 64, sizeof(work));
       table->dequantize_ac(work, 1, 1 + b % 31);
       sink(work[1]);
+    });
+    slot(KernelId::kMcPredict) = time_kernel([&](int b) {
+      const int hb = fx.hpel_block(b);
+      table->mc_predict(fx.ref_block(hb), Fixtures::kStride, pred, 16, 16,
+                        /*hx=*/1, /*hy=*/1);
+      sink(pred[0]);
+    });
+    slot(KernelId::kSubPred8x8) = time_kernel([&](int b) {
+      table->sub_pred_8x8(fx.cur_block(b), Fixtures::kStride, fx.ref_block(b),
+                          Fixtures::kStride, scratch);
+      sink(scratch[0]);
+    });
+    slot(KernelId::kAddPred8x8) = time_kernel([&](int b) {
+      std::memcpy(work, fx.coeff.data() + b * 64, sizeof(work));
+      for (int i = 0; i < 64; ++i) {
+        work[i] = static_cast<std::int16_t>(work[i] % 256);
+      }
+      table->add_pred_8x8(pred, 16, fx.ref_block(b), Fixtures::kStride, work);
+      sink(pred[0]);
     });
   }
   return timings;
@@ -215,23 +303,45 @@ bool reports_identical(const std::vector<sim::PipelineResult>& a,
   return true;
 }
 
+unsigned runner_hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;  // hardware_concurrency() may legally report 0
+}
+
 }  // namespace
 
 int main() {
   const Fixtures fx;
-  Backend best = codec::kernels::supported_backends().back();
+  const std::vector<Backend> backends = codec::kernels::supported_backends();
+  Backend best = backends.back();
   std::printf("=== Kernel microbenchmark (best backend: %s) ===\n\n",
               codec::kernels::backend_name(best));
 
   std::vector<KernelTiming> timings = time_all_kernels(fx);
-  sim::Table kernel_table(
-      {"kernel", "scalar_ns", "sse2_ns", "avx2_ns", "speedup"});
+
+  std::vector<std::string> header = {"kernel"};
+  for (Backend b : backends) {
+    header.push_back(std::string(codec::kernels::backend_name(b)) + "_ns");
+  }
+  header.push_back("speedup");
+  sim::Table kernel_table(header);
   for (const KernelTiming& t : timings) {
-    auto cell = [&](int b) {
-      return t.ns[b] < 0 ? std::string("-") : sim::format("%.1f", t.ns[b]);
-    };
-    kernel_table.add_row({t.name, cell(0), cell(1), cell(2),
-                          sim::format("%.2fx", t.speedup())});
+    std::vector<std::string> row = {t.name};
+    for (Backend b : backends) {
+      const int bi = static_cast<int>(b);
+      if (t.ns[bi] < 0) {
+        row.push_back("-");
+      } else if (t.origin[bi] != b) {
+        // The table inherited this slot; say whose code actually ran.
+        row.push_back(sim::format(
+            "%.1f (=%s)", t.ns[bi],
+            codec::kernels::backend_name(t.origin[bi])));
+      } else {
+        row.push_back(sim::format("%.1f", t.ns[bi]));
+      }
+    }
+    row.push_back(sim::format("%.2fx", t.speedup()));
+    kernel_table.add_row(row);
   }
   kernel_table.print();
 
@@ -271,8 +381,7 @@ int main() {
        sim::format("%.0f", parallel_simd.wall_ms),
        sim::format("%.2fx", serial_scalar.wall_ms / parallel_simd.wall_ms)});
   sweep_table.print();
-  std::printf("hardware threads: %u\n",
-              static_cast<unsigned>(common::default_thread_count()));
+  std::printf("hardware threads: %u\n", runner_hardware_threads());
   std::printf("energy/op counters bit-identical across backends+threads: %s\n",
               identical ? "yes" : "NO - INVARIANT BROKEN");
 
@@ -283,10 +392,28 @@ int main() {
   payload += "  \"kernels\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const KernelTiming& t = timings[i];
-    payload += sim::format("    {\"name\": \"%s\", \"scalar_ns\": %.2f",
-                           t.name.c_str(), t.ns[0]);
-    if (t.ns[1] >= 0) payload += sim::format(", \"sse2_ns\": %.2f", t.ns[1]);
-    if (t.ns[2] >= 0) payload += sim::format(", \"avx2_ns\": %.2f", t.ns[2]);
+    payload += sim::format("    {\"name\": \"%s\"", t.name.c_str());
+    for (Backend b : backends) {
+      const int bi = static_cast<int>(b);
+      if (t.ns[bi] < 0) continue;
+      payload += sim::format(", \"%s_ns\": %.2f",
+                             codec::kernels::backend_name(b), t.ns[bi]);
+    }
+    // Resolution map: which backend's code each table actually ran. Lets a
+    // report reader (and the regression gate's human operator) spot slots
+    // that silently fell back rather than trusting a near-1x ratio.
+    payload += ", \"origins\": {";
+    bool first_origin = true;
+    for (Backend b : backends) {
+      const int bi = static_cast<int>(b);
+      if (t.ns[bi] < 0) continue;
+      payload += sim::format(
+          "%s\"%s\": \"%s\"", first_origin ? "" : ", ",
+          codec::kernels::backend_name(b),
+          codec::kernels::backend_name(t.origin[bi]));
+      first_origin = false;
+    }
+    payload += "}";
     payload += sim::format(", \"speedup_best\": %.3f}%s\n", t.speedup(),
                            i + 1 < timings.size() ? "," : "");
   }
@@ -303,9 +430,9 @@ int main() {
       "    \"total_speedup\": %.3f,\n"
       "    \"energy_bit_identical\": %s\n"
       "  }",
-      frames, static_cast<unsigned>(common::default_thread_count()),
-      serial_scalar.wall_ms, serial_simd.wall_ms, pool_threads,
-      parallel_simd.wall_ms, serial_scalar.wall_ms / serial_simd.wall_ms,
+      frames, runner_hardware_threads(), serial_scalar.wall_ms,
+      serial_simd.wall_ms, pool_threads, parallel_simd.wall_ms,
+      serial_scalar.wall_ms / serial_simd.wall_ms,
       serial_scalar.wall_ms / parallel_simd.wall_ms,
       identical ? "true" : "false");
   bench::write_json_report("kernels", payload);

@@ -5,6 +5,7 @@
 #include "codec/dct.h"
 #include "codec/deblock.h"
 #include "codec/golomb.h"
+#include "codec/kernels/kernels.h"
 #include "codec/mc.h"
 #include "codec/quant.h"
 #include "codec/vlc_tables.h"
@@ -189,14 +190,9 @@ bool Decoder::decode_mb(BitReader& reader, FrameType type, int qp, int mb_x,
       dequantize_block(levels, qp, /*intra=*/false, ops_);
       inverse_dct_8x8(levels, spatial);
       ops_.idct_blocks += 1;
-      for (int row = 0; row < 8; ++row) {
-        std::uint8_t* d = dst.row(by + row) + bx;
-        const std::uint8_t* p = pred + (oy + row) * stride + ox;
-        for (int col = 0; col < 8; ++col) {
-          d[col] = common::clamp_pixel(static_cast<int>(p[col]) +
-                                       spatial[row * 8 + col]);
-        }
-      }
+      kernels::active().add_pred_8x8(dst.row(by) + bx, dst.width(),
+                                     pred + oy * stride + ox, stride,
+                                     spatial);
     } else {
       for (int row = 0; row < 8; ++row) {
         std::uint8_t* d = dst.row(by + row) + bx;

@@ -5,6 +5,7 @@
 #include "codec/dct.h"
 #include "codec/deblock.h"
 #include "codec/golomb.h"
+#include "codec/kernels/kernels.h"
 #include "codec/mc.h"
 #include "codec/quant.h"
 #include "codec/vlc_tables.h"
@@ -19,27 +20,17 @@ namespace {
 void subtract_pred(const video::Plane& cur, int cx, int cy,
                    const std::uint8_t* pred, int pred_stride, int ox, int oy,
                    std::int16_t* residual) {
-  for (int row = 0; row < 8; ++row) {
-    const std::uint8_t* c = cur.row(cy + row) + cx;
-    const std::uint8_t* p = pred + (oy + row) * pred_stride + ox;
-    for (int col = 0; col < 8; ++col) {
-      residual[row * 8 + col] =
-          static_cast<std::int16_t>(static_cast<int>(c[col]) - p[col]);
-    }
-  }
+  kernels::active().sub_pred_8x8(cur.row(cy) + cx, cur.width(),
+                                 pred + oy * pred_stride + ox, pred_stride,
+                                 residual);
 }
 
 /// dst 8x8 block at (x, y) = clamp(pred + residual).
 void add_pred(video::Plane& dst, int x, int y, const std::uint8_t* pred,
               int pred_stride, int ox, int oy, const std::int16_t* residual) {
-  for (int row = 0; row < 8; ++row) {
-    std::uint8_t* d = dst.row(y + row) + x;
-    const std::uint8_t* p = pred + (oy + row) * pred_stride + ox;
-    for (int col = 0; col < 8; ++col) {
-      d[col] = common::clamp_pixel(static_cast<int>(p[col]) +
-                                   residual[row * 8 + col]);
-    }
-  }
+  kernels::active().add_pred_8x8(dst.row(y) + x, dst.width(),
+                                 pred + oy * pred_stride + ox, pred_stride,
+                                 residual);
 }
 
 /// dst 8x8 block = prediction rows verbatim.

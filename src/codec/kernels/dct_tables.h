@@ -2,6 +2,8 @@
 // they agree coefficient-for-coefficient.
 #pragma once
 
+#include <cstdint>
+
 namespace pbpair::codec::kernels {
 
 // kDctBasis[u][x] = round(16384 * C(u)/2 * cos((2x+1)*u*pi/16)) with
@@ -19,5 +21,63 @@ inline constexpr int kDctBasis[8][8] = {
     {3135, -7568, 7568, -3135, -3135, 7568, -7568, 3135},
     {1598, -4551, 6811, -8035, 8035, -6811, 4551, -1598},
 };
+
+// Largest possible magnitude of a one-dimensional transform intermediate
+// for inputs bounded by 2048: max_u sum_x |B[u][x]| * 2048. Row u=1 has the
+// largest absolute sum (2*(8035+6811+4551+1598) = 41990); rounded up to a
+// loose bound used in the overflow proofs below.
+inline constexpr long kDctPass1Bound = 46344L * 2048L;  // < 2^27
+
+// Pair-interleaved views of the basis for pmaddwd/vmlal-style kernels: one
+// int32 holds two adjacent int16 basis entries (low half first), so a
+// single multiply-add instruction computes a[2p]*b[2p] + a[2p+1]*b[2p+1]
+// exactly (|pair sum| <= 2*8035*32767 < 2^31 for any int16 operand).
+constexpr std::int32_t dct_pack_pair(int lo, int hi) {
+  return static_cast<std::int32_t>(
+      (static_cast<std::uint32_t>(lo) & 0xFFFFu) |
+      (static_cast<std::uint32_t>(hi) << 16));
+}
+
+struct DctPairTables {
+  // row[p][r] = pack(B[r][2p], B[r][2p+1]) — adjacent entries of basis
+  // row r. Used as a vector over r (forward pass A: input pairs over y
+  // against every output frequency v) and as scalars (forward pass B:
+  // weight pairs over x for output row u).
+  alignas(32) std::int32_t row[4][8];
+  // col[p][x] = pack(B[2p][x], B[2p+1][x]) — vertically adjacent entries
+  // of basis column x. Used as scalars (inverse pass 1: weight pairs over
+  // u) and as a vector over y (inverse pass 2: basis pairs over v).
+  alignas(32) std::int32_t col[4][8];
+};
+
+inline constexpr DctPairTables kDctPairs = [] {
+  DctPairTables t{};
+  for (int p = 0; p < 4; ++p) {
+    for (int r = 0; r < 8; ++r) {
+      t.row[p][r] = dct_pack_pair(kDctBasis[r][2 * p], kDctBasis[r][2 * p + 1]);
+      t.col[p][r] = dct_pack_pair(kDctBasis[2 * p][r], kDctBasis[2 * p + 1][r]);
+    }
+  }
+  return t;
+}();
+
+// Narrow (int16) copies of the basis for widening multiply-accumulate
+// kernels (NEON vmlal_s16): every entry fits int16, and int16 x int16
+// products accumulate exactly in int32 lanes.
+struct DctBasis16 {
+  alignas(16) std::int16_t rows[8][8];  // rows[u][x] = B[u][x]
+  alignas(16) std::int16_t cols[8][8];  // cols[x][u] = B[u][x] (transpose)
+};
+
+inline constexpr DctBasis16 kDctBasis16 = [] {
+  DctBasis16 t{};
+  for (int u = 0; u < 8; ++u) {
+    for (int x = 0; x < 8; ++x) {
+      t.rows[u][x] = static_cast<std::int16_t>(kDctBasis[u][x]);
+      t.cols[x][u] = static_cast<std::int16_t>(kDctBasis[u][x]);
+    }
+  }
+  return t;
+}();
 
 }  // namespace pbpair::codec::kernels

@@ -9,15 +9,18 @@
 
 namespace pbpair::codec::kernels {
 
-// Defined in kernels_sse2.cpp / kernels_avx2.cpp; return nullptr when the
-// backend was compiled out (non-x86 builds).
+// Defined in the per-ISA translation units; return nullptr when the
+// backend was compiled out (wrong architecture).
 const KernelTable* sse2_table_or_null();
 const KernelTable* avx2_table_or_null();
+const KernelTable* avx512_table_or_null();
+const KernelTable* neon_table_or_null();
 
 namespace {
 
 constexpr Backend kAllBackends[] = {Backend::kScalar, Backend::kSse2,
-                                    Backend::kAvx2};
+                                    Backend::kAvx2, Backend::kAvx512,
+                                    Backend::kNeon};
 
 bool cpu_supports(Backend backend) {
   switch (backend) {
@@ -35,13 +38,31 @@ bool cpu_supports(Backend backend) {
 #else
       return false;
 #endif
+    case Backend::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      // The kernels use 512-bit integer ops plus the BW/DQ/VL extensions
+      // (every AVX-512 server/client core since Skylake-X has all four).
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(__aarch64__)
+      return true;  // AdvSIMD is architecturally mandatory on AArch64
+#else
+      return false;
+#endif
   }
   return false;
 }
 
 const KernelTable* detect_default() {
-  // Env override first: PBPAIR_KERNELS=scalar|sse2|avx2 pins a backend
-  // (unknown or unsupported values fall back to auto, with a warning).
+  // Env override first: PBPAIR_KERNELS=scalar|sse2|avx2|avx512|neon pins a
+  // backend (unknown or unsupported values fall back to auto, with a
+  // warning).
   const char* env = std::getenv("PBPAIR_KERNELS");
   if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
     for (Backend backend : kAllBackends) {
@@ -77,6 +98,10 @@ const KernelTable* table_for(Backend backend) {
       return sse2_table_or_null();
     case Backend::kAvx2:
       return avx2_table_or_null();
+    case Backend::kAvx512:
+      return avx512_table_or_null();
+    case Backend::kNeon:
+      return neon_table_or_null();
   }
   return nullptr;
 }
@@ -110,6 +135,44 @@ const char* backend_name(Backend backend) {
       return "sse2";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const char* kernel_name(KernelId id) {
+  switch (id) {
+    case KernelId::kSad16x16:
+      return "sad_16x16";
+    case KernelId::kSad16x16Cutoff:
+      return "sad_16x16_cutoff";
+    case KernelId::kSadSelf16x16:
+      return "sad_self_16x16";
+    case KernelId::kSad16x16X4:
+      return "sad_16x16_x4";
+    case KernelId::kSad16x16X8:
+      return "sad_16x16_x8";
+    case KernelId::kSad16x16HpelCutoff:
+      return "sad_16x16_hpel_cutoff";
+    case KernelId::kForwardDct8x8:
+      return "forward_dct_8x8";
+    case KernelId::kInverseDct8x8:
+      return "inverse_dct_8x8";
+    case KernelId::kQuantizeAc:
+      return "quantize_ac";
+    case KernelId::kDequantizeAc:
+      return "dequantize_ac";
+    case KernelId::kMcPredict:
+      return "mc_predict";
+    case KernelId::kSubPred8x8:
+      return "sub_pred_8x8";
+    case KernelId::kAddPred8x8:
+      return "add_pred_8x8";
+    case KernelId::kCount:
+      break;
   }
   return "unknown";
 }

@@ -5,43 +5,45 @@
 // tests/test_kernels.cpp):
 //  - SAD: VPSADBW is an exact sum of absolute byte differences; integer
 //    addition is associative, so lane order cannot change the total. The
-//    cutoff variant keeps the scalar per-row termination points.
-//  - DCT: pass 1 products fit int32 (|basis * input| <= 8035 * 2048) so
-//    VPMULLD matches the scalar int32 arithmetic; pass 2 accumulates
-//    int32 x int32 products in int64 lanes via VPMULDQ, again exact.
+//    cutoff variant keeps the scalar per-row termination points, and the
+//    batched x4/x8 kernels compute full sums whose per-candidate totals
+//    equal the scalar loop's.
+//  - DCT/IDCT: the VPMADDWD formulation documented in kernels_x86_128.inl,
+//    widened to 8 lanes — exact int32 arithmetic end to end, including the
+//    Q28 rounding identity, so no int64 lanes and no scalar tail.
 //  - Quant: division by 2*qp is replaced by the magic-multiply
 //    floor(n * (floor(2^18 / d) + 1) >> 18), which equals floor(n / d) for
 //    all n <= 4095, d <= 62: the rounding error n*e/2^18 < 4096/2^18 is
 //    below the smallest distance 1/62 from a rational n/d to the next
 //    integer. DCT output is clamped to [-2048, 2047], so every codec
 //    input is in range.
+//  - Half-pel/MC/residual kernels come from kernels_x86_128.inl, compiled
+//    here with VEX encodings.
 #include "codec/kernels/kernels.h"
 
 #if defined(__AVX2__)
 
 #include <immintrin.h>
 
+#include <cstring>
+
 #include "codec/kernels/dct_tables.h"
 #include "codec/quant.h"
 #include "common/check.h"
-#include "common/math_util.h"
 
 namespace pbpair::codec::kernels {
 namespace {
+
+#include "codec/kernels/kernels_x86_128.inl"
 
 inline __m128i load_row128(const std::uint8_t* base, int stride, int y) {
   return _mm_loadu_si128(reinterpret_cast<const __m128i*>(
       base + static_cast<std::ptrdiff_t>(y) * stride));
 }
 
-inline std::int64_t hsum_sad128(__m128i acc) {
-  return _mm_cvtsi128_si64(acc) +
-         _mm_cvtsi128_si64(_mm_srli_si128(acc, 8));
-}
-
 inline std::int64_t hsum_sad256(__m256i acc) {
-  return hsum_sad128(_mm_add_epi64(_mm256_castsi256_si128(acc),
-                                   _mm256_extracti128_si256(acc, 1)));
+  return x86_sad_hsum(_mm_add_epi64(_mm256_castsi256_si128(acc),
+                                    _mm256_extracti128_si256(acc, 1)));
 }
 
 std::int64_t sad_16x16_avx2(const std::uint8_t* cur, int cur_stride,
@@ -68,7 +70,7 @@ std::int64_t sad_16x16_cutoff_avx2(const std::uint8_t* cur, int cur_stride,
   for (int y = 0; y < 16; ++y) {
     __m128i c = load_row128(cur, cur_stride, y);
     __m128i r = load_row128(ref, ref_stride, y);
-    sad += hsum_sad128(_mm_sad_epu8(c, r));
+    sad += x86_sad_hsum(_mm_sad_epu8(c, r));
     if (sad >= cutoff) {
       *rows_processed = y + 1;
       return sad;
@@ -101,109 +103,174 @@ std::int64_t sad_self_16x16_avx2(const std::uint8_t* cur, int cur_stride) {
 }
 
 // ---------------------------------------------------------------------------
-// DCT
+// Batched SAD: 2 candidates per 256-bit accumulator, shared current rows.
 // ---------------------------------------------------------------------------
 
-struct DctVecTables {
-  // fwd_col_*[y]: basis column y split across int64 lanes, low dword holds
-  // the int32 value VPMULDQ reads: {B[0][y]..B[3][y]} / {B[4][y]..B[7][y]}.
-  __m256i fwd_col_lo[8];
-  __m256i fwd_col_hi[8];
-  // inv_row_*[v]: basis row v, {B[v][0]..B[v][3]} / {B[v][4]..B[v][7]}.
-  __m256i inv_row_lo[8];
-  __m256i inv_row_hi[8];
-};
-
-const DctVecTables& dct_vec_tables() {
-  static const DctVecTables tables = [] {
-    DctVecTables t;
-    for (int i = 0; i < 8; ++i) {
-      t.fwd_col_lo[i] = _mm256_set_epi64x(kDctBasis[3][i], kDctBasis[2][i],
-                                          kDctBasis[1][i], kDctBasis[0][i]);
-      t.fwd_col_hi[i] = _mm256_set_epi64x(kDctBasis[7][i], kDctBasis[6][i],
-                                          kDctBasis[5][i], kDctBasis[4][i]);
-      t.inv_row_lo[i] = _mm256_set_epi64x(kDctBasis[i][3], kDctBasis[i][2],
-                                          kDctBasis[i][1], kDctBasis[i][0]);
-      t.inv_row_hi[i] = _mm256_set_epi64x(kDctBasis[i][7], kDctBasis[i][6],
-                                          kDctBasis[i][5], kDctBasis[i][4]);
-    }
-    return t;
-  }();
-  return tables;
+void sad_16x16_x4_avx2(const std::uint8_t* cur, int cur_stride,
+                       const std::uint8_t* const refs[4], int ref_stride,
+                       std::int64_t sads[4]) {
+  __m256i acc01 = _mm256_setzero_si256();
+  __m256i acc23 = _mm256_setzero_si256();
+  for (int y = 0; y < 16; ++y) {
+    __m128i c128 = load_row128(cur, cur_stride, y);
+    __m256i c = _mm256_inserti128_si256(_mm256_castsi128_si256(c128), c128, 1);
+    const std::ptrdiff_t roff = static_cast<std::ptrdiff_t>(y) * ref_stride;
+    __m256i r01 = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(x86_loadu(refs[0] + roff)),
+        x86_loadu(refs[1] + roff), 1);
+    __m256i r23 = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(x86_loadu(refs[2] + roff)),
+        x86_loadu(refs[3] + roff), 1);
+    acc01 = _mm256_add_epi64(acc01, _mm256_sad_epu8(c, r01));
+    acc23 = _mm256_add_epi64(acc23, _mm256_sad_epu8(c, r23));
+  }
+  sads[0] = x86_sad_hsum(_mm256_castsi256_si128(acc01));
+  sads[1] = x86_sad_hsum(_mm256_extracti128_si256(acc01, 1));
+  sads[2] = x86_sad_hsum(_mm256_castsi256_si128(acc23));
+  sads[3] = x86_sad_hsum(_mm256_extracti128_si256(acc23, 1));
 }
 
-// Shared pass-2 tail: 8 int64 accumulators -> rounded, clamped int16 row.
-inline void finish_q28_row(__m256i acc_lo, __m256i acc_hi,
-                           std::int16_t* out) {
-  alignas(32) std::int64_t vals[8];
-  _mm256_store_si256(reinterpret_cast<__m256i*>(vals), acc_lo);
-  _mm256_store_si256(reinterpret_cast<__m256i*>(vals + 4), acc_hi);
-  for (int i = 0; i < 8; ++i) {
-    std::int64_t acc = vals[i];
-    std::int64_t rounded = (acc + (acc >= 0 ? (1 << 27) : -(1 << 27))) >> 28;
-    out[i] = static_cast<std::int16_t>(
-        common::clamp<std::int64_t>(rounded, -2048, 2047));
+void sad_16x16_x8_avx2(const std::uint8_t* cur, int cur_stride,
+                       const std::uint8_t* const refs[8], int ref_stride,
+                       std::int64_t sads[8]) {
+  __m256i acc[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                    _mm256_setzero_si256(), _mm256_setzero_si256()};
+  for (int y = 0; y < 16; ++y) {
+    __m128i c128 = load_row128(cur, cur_stride, y);
+    __m256i c = _mm256_inserti128_si256(_mm256_castsi128_si256(c128), c128, 1);
+    const std::ptrdiff_t roff = static_cast<std::ptrdiff_t>(y) * ref_stride;
+    for (int i = 0; i < 4; ++i) {
+      __m256i r = _mm256_inserti128_si256(
+          _mm256_castsi128_si256(x86_loadu(refs[2 * i] + roff)),
+          x86_loadu(refs[2 * i + 1] + roff), 1);
+      acc[i] = _mm256_add_epi64(acc[i], _mm256_sad_epu8(c, r));
+    }
   }
+  for (int i = 0; i < 4; ++i) {
+    sads[2 * i] = x86_sad_hsum(_mm256_castsi256_si128(acc[i]));
+    sads[2 * i + 1] = x86_sad_hsum(_mm256_extracti128_si256(acc[i], 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DCT: 8-lane VPMADDWD formulation (math documented in kernels_x86_128.inl)
+// ---------------------------------------------------------------------------
+
+inline __m256i avx2_dct_table(const std::int32_t* p) {
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline __m256i avx2_q28_round(__m256i k) {
+  const __m256i bias = _mm256_set1_epi32(1 << 12);
+  return _mm256_add_epi32(_mm256_srai_epi32(_mm256_add_epi32(k, bias), 13),
+                          _mm256_srai_epi32(k, 31));
+}
+
+// Packs two 8-lane int32 rows into one 16-lane int16 register in row order
+// and applies the coefficient clamp. |values| <= 13451, so PACKS never
+// saturates before the explicit clamp.
+inline __m256i avx2_clamp_rows(__m256i r0, __m256i r1) {
+  __m256i packed = _mm256_permute4x64_epi64(_mm256_packs_epi32(r0, r1),
+                                            _MM_SHUFFLE(3, 1, 2, 0));
+  return _mm256_min_epi16(
+      _mm256_max_epi16(packed, _mm256_set1_epi16(-2048)),
+      _mm256_set1_epi16(2047));
 }
 
 void forward_dct_8x8_avx2(const std::int16_t* input, std::int16_t* output) {
-  // Widen the 8 input rows once: in32[x] = row x over y, as int32 lanes.
-  __m256i in32[8];
+  const __m256i half = _mm256_set1_epi32(1 << 14);
+  const __m256i mask16 = _mm256_set1_epi32(0xFFFF);
+  // Pass A (rows): Y[x][v] = sum_y in[x][y] * B[v][y]; each int16 y-pair of
+  // row x broadcasts against the pair-interleaved basis rows.
+  __m256i yv[8];
   for (int x = 0; x < 8; ++x) {
-    in32[x] = _mm256_cvtepi16_epi32(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(input + x * 8)));
-  }
-  // Pass 1 (columns): tmp[u][y] = sum_x B[u][x] * in[x][y], int32 exact.
-  alignas(32) std::int32_t tmp[64];
-  for (int u = 0; u < 8; ++u) {
     __m256i acc = _mm256_setzero_si256();
-    for (int x = 0; x < 8; ++x) {
+    for (int q = 0; q < 4; ++q) {
+      std::int32_t pair;
+      std::memcpy(&pair, input + x * 8 + 2 * q, sizeof(pair));
       acc = _mm256_add_epi32(
-          acc, _mm256_mullo_epi32(in32[x], _mm256_set1_epi32(kDctBasis[u][x])));
+          acc, _mm256_madd_epi16(_mm256_set1_epi32(pair),
+                                 avx2_dct_table(kDctPairs.row[q])));
     }
-    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + u * 8), acc);
+    yv[x] = acc;
   }
-  // Pass 2 (rows): F[u][v] = sum_y tmp[u][y] * B[v][y] in int64 lanes.
-  const DctVecTables& t = dct_vec_tables();
-  for (int u = 0; u < 8; ++u) {
-    __m256i acc_lo = _mm256_setzero_si256();
-    __m256i acc_hi = _mm256_setzero_si256();
-    for (int y = 0; y < 8; ++y) {
-      __m256i tv = _mm256_set1_epi64x(tmp[u * 8 + y]);
-      acc_lo = _mm256_add_epi64(acc_lo, _mm256_mul_epi32(tv, t.fwd_col_lo[y]));
-      acc_hi = _mm256_add_epi64(acc_hi, _mm256_mul_epi32(tv, t.fwd_col_hi[y]));
+  // Split Y = hi * 2^15 + lo (both int16-exact) and interleave adjacent x.
+  __m256i hp[4], lp[4];
+  for (int p = 0; p < 4; ++p) {
+    __m256i h0 = _mm256_srai_epi32(_mm256_add_epi32(yv[2 * p], half), 15);
+    __m256i l0 = _mm256_sub_epi32(yv[2 * p], _mm256_slli_epi32(h0, 15));
+    __m256i h1 = _mm256_srai_epi32(_mm256_add_epi32(yv[2 * p + 1], half), 15);
+    __m256i l1 = _mm256_sub_epi32(yv[2 * p + 1], _mm256_slli_epi32(h1, 15));
+    hp[p] = _mm256_or_si256(_mm256_and_si256(h0, mask16),
+                            _mm256_slli_epi32(h1, 16));
+    lp[p] = _mm256_or_si256(_mm256_and_si256(l0, mask16),
+                            _mm256_slli_epi32(l1, 16));
+  }
+  // Pass B: F[u][v] = sum_x B[u][x] * Y[x][v]; Q28 finish in int32.
+  for (int u = 0; u < 8; u += 2) {
+    __m256i rounded[2];
+    for (int k = 0; k < 2; ++k) {
+      __m256i fh = _mm256_setzero_si256();
+      __m256i fl = _mm256_setzero_si256();
+      for (int p = 0; p < 4; ++p) {
+        __m256i w = _mm256_set1_epi32(kDctPairs.row[p][u + k]);
+        fh = _mm256_add_epi32(fh, _mm256_madd_epi16(hp[p], w));
+        fl = _mm256_add_epi32(fl, _mm256_madd_epi16(lp[p], w));
+      }
+      rounded[k] =
+          avx2_q28_round(_mm256_add_epi32(fh, _mm256_srai_epi32(fl, 15)));
     }
-    finish_q28_row(acc_lo, acc_hi, output + u * 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(output + u * 8),
+                        avx2_clamp_rows(rounded[0], rounded[1]));
   }
 }
 
 void inverse_dct_8x8_avx2(const std::int16_t* input, std::int16_t* output) {
-  __m256i in32[8];
-  for (int u = 0; u < 8; ++u) {
-    in32[u] = _mm256_cvtepi16_epi32(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(input + u * 8)));
+  const __m256i half = _mm256_set1_epi32(1 << 14);
+  // Pass 1: tmp[x][v] = sum_u B[u][x] * F[u][v]; interleave input-row pairs
+  // over u so VPMADDWD consumes (F[2p][v], F[2p+1][v]) per lane.
+  __m256i ilv[4];
+  for (int p = 0; p < 4; ++p) {
+    __m128i r0 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(input + (2 * p) * 8));
+    __m128i r1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(input + (2 * p + 1) * 8));
+    ilv[p] = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(_mm_unpacklo_epi16(r0, r1)),
+        _mm_unpackhi_epi16(r0, r1), 1);
   }
-  // Pass 1: tmp[x][v] = sum_u B[u][x] * F[u][v].
-  alignas(32) std::int32_t tmp[64];
-  for (int x = 0; x < 8; ++x) {
-    __m256i acc = _mm256_setzero_si256();
-    for (int u = 0; u < 8; ++u) {
-      acc = _mm256_add_epi32(
-          acc, _mm256_mullo_epi32(in32[u], _mm256_set1_epi32(kDctBasis[u][x])));
+  for (int x = 0; x < 8; x += 2) {
+    __m256i rounded[2];
+    for (int k = 0; k < 2; ++k) {
+      __m256i t = _mm256_setzero_si256();
+      for (int p = 0; p < 4; ++p) {
+        t = _mm256_add_epi32(
+            t, _mm256_madd_epi16(_mm256_set1_epi32(kDctPairs.col[p][x + k]),
+                                 ilv[p]));
+      }
+      // Split hi/lo, pack pairs through the stack, broadcast against the
+      // basis column-pair vectors: X[x][y] = sum_v tmp[x][v] * B[v][y].
+      __m256i th = _mm256_srai_epi32(_mm256_add_epi32(t, half), 15);
+      __m256i tl = _mm256_sub_epi32(t, _mm256_slli_epi32(th, 15));
+      alignas(32) std::int32_t buf[8];
+      _mm256_store_si256(
+          reinterpret_cast<__m256i*>(buf),
+          _mm256_permute4x64_epi64(_mm256_packs_epi32(th, tl),
+                                   _MM_SHUFFLE(3, 1, 2, 0)));
+      __m256i xh = _mm256_setzero_si256();
+      __m256i xl = _mm256_setzero_si256();
+      for (int q = 0; q < 4; ++q) {
+        __m256i bv = avx2_dct_table(kDctPairs.col[q]);
+        xh = _mm256_add_epi32(
+            xh, _mm256_madd_epi16(_mm256_set1_epi32(buf[q]), bv));
+        xl = _mm256_add_epi32(
+            xl, _mm256_madd_epi16(_mm256_set1_epi32(buf[4 + q]), bv));
+      }
+      rounded[k] =
+          avx2_q28_round(_mm256_add_epi32(xh, _mm256_srai_epi32(xl, 15)));
     }
-    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + x * 8), acc);
-  }
-  // Pass 2: X[x][y] = sum_v tmp[x][v] * B[v][y].
-  const DctVecTables& t = dct_vec_tables();
-  for (int x = 0; x < 8; ++x) {
-    __m256i acc_lo = _mm256_setzero_si256();
-    __m256i acc_hi = _mm256_setzero_si256();
-    for (int v = 0; v < 8; ++v) {
-      __m256i tv = _mm256_set1_epi64x(tmp[x * 8 + v]);
-      acc_lo = _mm256_add_epi64(acc_lo, _mm256_mul_epi32(tv, t.inv_row_lo[v]));
-      acc_hi = _mm256_add_epi64(acc_hi, _mm256_mul_epi32(tv, t.inv_row_hi[v]));
-    }
-    finish_q28_row(acc_lo, acc_hi, output + x * 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(output + x * 8),
+                        avx2_clamp_rows(rounded[0], rounded[1]));
   }
 }
 
@@ -284,17 +351,41 @@ void dequantize_ac_avx2(std::int16_t* block, int first, int qp) {
 }  // namespace
 
 const KernelTable* avx2_table_or_null() {
-  static const KernelTable table = {
-      Backend::kAvx2,
-      "avx2",
-      &sad_16x16_avx2,
-      &sad_16x16_cutoff_avx2,
-      &sad_self_16x16_avx2,
-      &forward_dct_8x8_avx2,
-      &inverse_dct_8x8_avx2,
-      &quantize_ac_avx2,
-      &dequantize_ac_avx2,
-  };
+  static const KernelTable table = [] {
+    KernelTable t = scalar_table();
+    t.backend = Backend::kAvx2;
+    t.name = "avx2";
+    auto adopt = [&t](KernelId id) {
+      t.origin[static_cast<int>(id)] = Backend::kAvx2;
+    };
+    t.sad_16x16 = &sad_16x16_avx2;
+    adopt(KernelId::kSad16x16);
+    t.sad_16x16_cutoff = &sad_16x16_cutoff_avx2;
+    adopt(KernelId::kSad16x16Cutoff);
+    t.sad_self_16x16 = &sad_self_16x16_avx2;
+    adopt(KernelId::kSadSelf16x16);
+    t.sad_16x16_x4 = &sad_16x16_x4_avx2;
+    adopt(KernelId::kSad16x16X4);
+    t.sad_16x16_x8 = &sad_16x16_x8_avx2;
+    adopt(KernelId::kSad16x16X8);
+    t.sad_16x16_hpel_cutoff = &sad_16x16_hpel_cutoff_128;
+    adopt(KernelId::kSad16x16HpelCutoff);
+    t.forward_dct_8x8 = &forward_dct_8x8_avx2;
+    adopt(KernelId::kForwardDct8x8);
+    t.inverse_dct_8x8 = &inverse_dct_8x8_avx2;
+    adopt(KernelId::kInverseDct8x8);
+    t.quantize_ac = &quantize_ac_avx2;
+    adopt(KernelId::kQuantizeAc);
+    t.dequantize_ac = &dequantize_ac_avx2;
+    adopt(KernelId::kDequantizeAc);
+    t.mc_predict = &mc_predict_128;
+    adopt(KernelId::kMcPredict);
+    t.sub_pred_8x8 = &sub_pred_8x8_128;
+    adopt(KernelId::kSubPred8x8);
+    t.add_pred_8x8 = &add_pred_8x8_128;
+    adopt(KernelId::kAddPred8x8);
+    return t;
+  }();
   return &table;
 }
 

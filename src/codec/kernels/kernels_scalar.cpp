@@ -60,6 +60,111 @@ std::int64_t sad_self_16x16_scalar(const std::uint8_t* cur, int cur_stride) {
   return dev;
 }
 
+void sad_16x16_x4_scalar(const std::uint8_t* cur, int cur_stride,
+                         const std::uint8_t* const refs[4], int ref_stride,
+                         std::int64_t sads[4]) {
+  for (int i = 0; i < 4; ++i) {
+    sads[i] = sad_16x16_scalar(cur, cur_stride, refs[i], ref_stride);
+  }
+}
+
+void sad_16x16_x8_scalar(const std::uint8_t* cur, int cur_stride,
+                         const std::uint8_t* const refs[8], int ref_stride,
+                         std::int64_t sads[8]) {
+  for (int i = 0; i < 8; ++i) {
+    sads[i] = sad_16x16_scalar(cur, cur_stride, refs[i], ref_stride);
+  }
+}
+
+// Mirrors sample_halfpel in codec/mc.cpp, on raw rows with the clamping
+// already resolved by the wrapper: a = floor sample, b = +hx neighbor,
+// c = +hy neighbor, d = diagonal.
+std::int64_t sad_16x16_hpel_cutoff_scalar(const std::uint8_t* cur,
+                                          int cur_stride,
+                                          const std::uint8_t* ref,
+                                          int ref_stride, int hx, int hy,
+                                          std::int64_t cutoff,
+                                          int* rows_processed) {
+  std::int64_t sad = 0;
+  for (int y = 0; y < 16; ++y) {
+    const std::uint8_t* crow = cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+    const std::uint8_t* r0 = ref + static_cast<std::ptrdiff_t>(y) * ref_stride;
+    const std::uint8_t* r1 =
+        ref + static_cast<std::ptrdiff_t>(y + hy) * ref_stride;
+    for (int x = 0; x < 16; ++x) {
+      int p;
+      if (hx == 0 && hy == 0) {
+        p = r0[x];
+      } else if (hy == 0) {
+        p = (r0[x] + r0[x + 1] + 1) >> 1;
+      } else if (hx == 0) {
+        p = (r0[x] + r1[x] + 1) >> 1;
+      } else {
+        p = (r0[x] + r0[x + 1] + r1[x] + r1[x + 1] + 2) >> 2;
+      }
+      sad += common::iabs(static_cast<int>(crow[x]) - p);
+    }
+    if (sad >= cutoff) {
+      *rows_processed = y + 1;
+      return sad;
+    }
+  }
+  *rows_processed = 16;
+  return sad;
+}
+
+void mc_predict_scalar(const std::uint8_t* src, int src_stride,
+                       std::uint8_t* dst, int w, int h, int hx, int hy) {
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* r0 = src + static_cast<std::ptrdiff_t>(y) * src_stride;
+    const std::uint8_t* r1 =
+        src + static_cast<std::ptrdiff_t>(y + hy) * src_stride;
+    std::uint8_t* drow = dst + static_cast<std::ptrdiff_t>(y) * w;
+    for (int x = 0; x < w; ++x) {
+      int p;
+      if (hx == 0 && hy == 0) {
+        p = r0[x];
+      } else if (hy == 0) {
+        p = (r0[x] + r0[x + 1] + 1) >> 1;
+      } else if (hx == 0) {
+        p = (r0[x] + r1[x] + 1) >> 1;
+      } else {
+        p = (r0[x] + r0[x + 1] + r1[x] + r1[x + 1] + 2) >> 2;
+      }
+      drow[x] = static_cast<std::uint8_t>(p);
+    }
+  }
+}
+
+void sub_pred_8x8_scalar(const std::uint8_t* cur, int cur_stride,
+                         const std::uint8_t* pred, int pred_stride,
+                         std::int16_t* residual) {
+  for (int y = 0; y < 8; ++y) {
+    const std::uint8_t* crow = cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+    const std::uint8_t* prow =
+        pred + static_cast<std::ptrdiff_t>(y) * pred_stride;
+    for (int x = 0; x < 8; ++x) {
+      residual[y * 8 + x] =
+          static_cast<std::int16_t>(static_cast<int>(crow[x]) -
+                                    static_cast<int>(prow[x]));
+    }
+  }
+}
+
+void add_pred_8x8_scalar(std::uint8_t* dst, int dst_stride,
+                         const std::uint8_t* pred, int pred_stride,
+                         const std::int16_t* residual) {
+  for (int y = 0; y < 8; ++y) {
+    std::uint8_t* drow = dst + static_cast<std::ptrdiff_t>(y) * dst_stride;
+    const std::uint8_t* prow =
+        pred + static_cast<std::ptrdiff_t>(y) * pred_stride;
+    for (int x = 0; x < 8; ++x) {
+      int v = static_cast<int>(prow[x]) + residual[y * 8 + x];
+      drow[x] = static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+    }
+  }
+}
+
 void forward_dct_8x8_scalar(const std::int16_t* input, std::int16_t* output) {
   // Pass 1 (columns): tmp[u][y] = sum_x B[u][x] * in[x][y].
   std::int32_t tmp[64];
@@ -129,20 +234,32 @@ void dequantize_ac_scalar(std::int16_t* block, int first, int qp) {
   }
 }
 
-constexpr KernelTable kScalarTable = {
-    Backend::kScalar,
-    "scalar",
-    &sad_16x16_scalar,
-    &sad_16x16_cutoff_scalar,
-    &sad_self_16x16_scalar,
-    &forward_dct_8x8_scalar,
-    &inverse_dct_8x8_scalar,
-    &quantize_ac_scalar,
-    &dequantize_ac_scalar,
-};
+KernelTable make_scalar_table() {
+  KernelTable t;
+  t.backend = Backend::kScalar;
+  t.name = "scalar";
+  t.sad_16x16 = &sad_16x16_scalar;
+  t.sad_16x16_cutoff = &sad_16x16_cutoff_scalar;
+  t.sad_self_16x16 = &sad_self_16x16_scalar;
+  t.sad_16x16_x4 = &sad_16x16_x4_scalar;
+  t.sad_16x16_x8 = &sad_16x16_x8_scalar;
+  t.sad_16x16_hpel_cutoff = &sad_16x16_hpel_cutoff_scalar;
+  t.forward_dct_8x8 = &forward_dct_8x8_scalar;
+  t.inverse_dct_8x8 = &inverse_dct_8x8_scalar;
+  t.quantize_ac = &quantize_ac_scalar;
+  t.dequantize_ac = &dequantize_ac_scalar;
+  t.mc_predict = &mc_predict_scalar;
+  t.sub_pred_8x8 = &sub_pred_8x8_scalar;
+  t.add_pred_8x8 = &add_pred_8x8_scalar;
+  for (int i = 0; i < kNumKernels; ++i) t.origin[i] = Backend::kScalar;
+  return t;
+}
 
 }  // namespace
 
-const KernelTable& scalar_table() { return kScalarTable; }
+const KernelTable& scalar_table() {
+  static const KernelTable table = make_scalar_table();
+  return table;
+}
 
 }  // namespace pbpair::codec::kernels

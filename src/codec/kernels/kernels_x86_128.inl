@@ -1,0 +1,403 @@
+// 128-bit (SSE2-instruction-set) kernel implementations, shared between the
+// SSE2 and AVX2 translation units.
+//
+// This file is #included INSIDE an anonymous namespace of each backend's
+// .cpp, so every function here gets internal linkage and is compiled with
+// that TU's ISA flags (plain SSE2 encodings in kernels_sse2.cpp, VEX
+// encodings in kernels_avx2.cpp). That is deliberate: it sidesteps the ODR
+// hazard of inline functions compiled under different -m flags, and it
+// means the AVX2 table's 128-bit kernels still benefit from VEX three-
+// operand forms.
+//
+// Only SSE2 intrinsics may be used here. Sections that a TU does not need
+// are gated with PBPAIR_X86_128_DCT / PBPAIR_X86_128_SADX (the AVX2 TU has
+// its own 256-bit DCT and batched-SAD kernels).
+//
+// Exactness notes:
+//  - PAVGB computes (a + b + 1) >> 1 exactly — the H.263 half-pel formula.
+//  - The center phase (a+b+c+d+2)>>2 is NOT a composition of averages
+//    (pavgb(pavgb(a,b), pavgb(c,d)) rounds differently), so it widens to
+//    16-bit lanes instead.
+//  - PMADDWD multiplies int16 pairs into exact int32 sums; the DCT below
+//    reproduces the scalar Q28 arithmetic bit-for-bit (see the overflow
+//    proofs inline).
+
+inline std::int64_t x86_sad_hsum(__m128i acc) {
+  return _mm_cvtsi128_si64(acc) + _mm_cvtsi128_si64(_mm_srli_si128(acc, 8));
+}
+
+inline __m128i x86_loadu(const std::uint8_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+// ---------------------------------------------------------------------------
+// Half-pel interpolation + fused SAD
+// ---------------------------------------------------------------------------
+
+// One interpolated 16-pixel row. r0 points at the full-pel floor row, r1 at
+// the row below it (only read when HY == 1).
+template <int HX, int HY>
+inline __m128i x86_hpel_row16(const std::uint8_t* r0, const std::uint8_t* r1) {
+  if constexpr (HX == 0 && HY == 0) {
+    return x86_loadu(r0);
+  } else if constexpr (HX == 1 && HY == 0) {
+    return _mm_avg_epu8(x86_loadu(r0), x86_loadu(r0 + 1));
+  } else if constexpr (HX == 0 && HY == 1) {
+    return _mm_avg_epu8(x86_loadu(r0), x86_loadu(r1));
+  } else {
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i two = _mm_set1_epi16(2);
+    __m128i a = x86_loadu(r0), b = x86_loadu(r0 + 1);
+    __m128i c = x86_loadu(r1), d = x86_loadu(r1 + 1);
+    __m128i lo = _mm_add_epi16(
+        _mm_add_epi16(_mm_unpacklo_epi8(a, zero), _mm_unpacklo_epi8(b, zero)),
+        _mm_add_epi16(_mm_unpacklo_epi8(c, zero), _mm_unpacklo_epi8(d, zero)));
+    __m128i hi = _mm_add_epi16(
+        _mm_add_epi16(_mm_unpackhi_epi8(a, zero), _mm_unpackhi_epi8(b, zero)),
+        _mm_add_epi16(_mm_unpackhi_epi8(c, zero), _mm_unpackhi_epi8(d, zero)));
+    lo = _mm_srli_epi16(_mm_add_epi16(lo, two), 2);
+    hi = _mm_srli_epi16(_mm_add_epi16(hi, two), 2);
+    return _mm_packus_epi16(lo, hi);
+  }
+}
+
+// Same for an 8-pixel row; loads stay within the 8+HX guaranteed columns.
+template <int HX, int HY>
+inline __m128i x86_hpel_row8(const std::uint8_t* r0, const std::uint8_t* r1) {
+  auto load8 = [](const std::uint8_t* p) {
+    return _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  };
+  if constexpr (HX == 0 && HY == 0) {
+    return load8(r0);
+  } else if constexpr (HX == 1 && HY == 0) {
+    return _mm_avg_epu8(load8(r0), load8(r0 + 1));
+  } else if constexpr (HX == 0 && HY == 1) {
+    return _mm_avg_epu8(load8(r0), load8(r1));
+  } else {
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i two = _mm_set1_epi16(2);
+    __m128i sum = _mm_add_epi16(
+        _mm_add_epi16(_mm_unpacklo_epi8(load8(r0), zero),
+                      _mm_unpacklo_epi8(load8(r0 + 1), zero)),
+        _mm_add_epi16(_mm_unpacklo_epi8(load8(r1), zero),
+                      _mm_unpacklo_epi8(load8(r1 + 1), zero)));
+    sum = _mm_srli_epi16(_mm_add_epi16(sum, two), 2);
+    return _mm_packus_epi16(sum, sum);
+  }
+}
+
+template <int HX, int HY>
+std::int64_t x86_sad_16x16_hpel_cutoff(const std::uint8_t* cur, int cur_stride,
+                                       const std::uint8_t* ref, int ref_stride,
+                                       std::int64_t cutoff,
+                                       int* rows_processed) {
+  std::int64_t sad = 0;
+  for (int y = 0; y < 16; ++y) {
+    const std::uint8_t* r0 = ref + static_cast<std::ptrdiff_t>(y) * ref_stride;
+    const std::uint8_t* r1 = r0 + (HY != 0 ? ref_stride : 0);
+    __m128i p = x86_hpel_row16<HX, HY>(r0, r1);
+    __m128i c = x86_loadu(cur + static_cast<std::ptrdiff_t>(y) * cur_stride);
+    sad += x86_sad_hsum(_mm_sad_epu8(c, p));
+    if (sad >= cutoff) {  // same row boundary the scalar loop checks at
+      *rows_processed = y + 1;
+      return sad;
+    }
+  }
+  *rows_processed = 16;
+  return sad;
+}
+
+std::int64_t sad_16x16_hpel_cutoff_128(const std::uint8_t* cur, int cur_stride,
+                                       const std::uint8_t* ref, int ref_stride,
+                                       int hx, int hy, std::int64_t cutoff,
+                                       int* rows_processed) {
+  if (hx == 0 && hy == 0) {
+    return x86_sad_16x16_hpel_cutoff<0, 0>(cur, cur_stride, ref, ref_stride,
+                                           cutoff, rows_processed);
+  }
+  if (hy == 0) {
+    return x86_sad_16x16_hpel_cutoff<1, 0>(cur, cur_stride, ref, ref_stride,
+                                           cutoff, rows_processed);
+  }
+  if (hx == 0) {
+    return x86_sad_16x16_hpel_cutoff<0, 1>(cur, cur_stride, ref, ref_stride,
+                                           cutoff, rows_processed);
+  }
+  return x86_sad_16x16_hpel_cutoff<1, 1>(cur, cur_stride, ref, ref_stride,
+                                         cutoff, rows_processed);
+}
+
+// ---------------------------------------------------------------------------
+// Motion-compensated prediction
+// ---------------------------------------------------------------------------
+
+template <int W, int HX, int HY>
+void x86_mc_predict(const std::uint8_t* src, int src_stride, std::uint8_t* dst,
+                    int h) {
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* r0 = src + static_cast<std::ptrdiff_t>(y) * src_stride;
+    const std::uint8_t* r1 = r0 + (HY != 0 ? src_stride : 0);
+    std::uint8_t* drow = dst + static_cast<std::ptrdiff_t>(y) * W;
+    if constexpr (W == 16) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(drow),
+                       x86_hpel_row16<HX, HY>(r0, r1));
+    } else {
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(drow),
+                       x86_hpel_row8<HX, HY>(r0, r1));
+    }
+  }
+}
+
+void mc_predict_128(const std::uint8_t* src, int src_stride, std::uint8_t* dst,
+                    int w, int h, int hx, int hy) {
+  const int key = (w == 16 ? 4 : 0) | (hx << 1) | hy;
+  switch (key) {
+    case 0:
+      return x86_mc_predict<8, 0, 0>(src, src_stride, dst, h);
+    case 1:
+      return x86_mc_predict<8, 0, 1>(src, src_stride, dst, h);
+    case 2:
+      return x86_mc_predict<8, 1, 0>(src, src_stride, dst, h);
+    case 3:
+      return x86_mc_predict<8, 1, 1>(src, src_stride, dst, h);
+    case 4:
+      return x86_mc_predict<16, 0, 0>(src, src_stride, dst, h);
+    case 5:
+      return x86_mc_predict<16, 0, 1>(src, src_stride, dst, h);
+    case 6:
+      return x86_mc_predict<16, 1, 0>(src, src_stride, dst, h);
+    default:
+      return x86_mc_predict<16, 1, 1>(src, src_stride, dst, h);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Residual formation / reconstruction
+// ---------------------------------------------------------------------------
+
+void sub_pred_8x8_128(const std::uint8_t* cur, int cur_stride,
+                      const std::uint8_t* pred, int pred_stride,
+                      std::int16_t* residual) {
+  const __m128i zero = _mm_setzero_si128();
+  for (int y = 0; y < 8; ++y) {
+    __m128i c = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+        cur + static_cast<std::ptrdiff_t>(y) * cur_stride));
+    __m128i p = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+        pred + static_cast<std::ptrdiff_t>(y) * pred_stride));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(residual + y * 8),
+                     _mm_sub_epi16(_mm_unpacklo_epi8(c, zero),
+                                   _mm_unpacklo_epi8(p, zero)));
+  }
+}
+
+void add_pred_8x8_128(std::uint8_t* dst, int dst_stride,
+                      const std::uint8_t* pred, int pred_stride,
+                      const std::int16_t* residual) {
+  const __m128i zero = _mm_setzero_si128();
+  for (int y = 0; y < 8; ++y) {
+    __m128i p = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+        pred + static_cast<std::ptrdiff_t>(y) * pred_stride));
+    __m128i r = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(residual + y * 8));
+    // pred + residual fits int16 (pred <= 255, |residual| <= 2048); PACKUSWB
+    // then saturates to [0, 255], which IS the scalar clamp.
+    __m128i sum = _mm_add_epi16(_mm_unpacklo_epi8(p, zero), r);
+    _mm_storel_epi64(
+        reinterpret_cast<__m128i*>(dst +
+                                   static_cast<std::ptrdiff_t>(y) * dst_stride),
+        _mm_packus_epi16(sum, sum));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched SAD (SSE2 table only; the AVX2 TU has 256-bit versions)
+// ---------------------------------------------------------------------------
+
+#if defined(PBPAIR_X86_128_SADX)
+
+void sad_16x16_x4_128(const std::uint8_t* cur, int cur_stride,
+                      const std::uint8_t* const refs[4], int ref_stride,
+                      std::int64_t sads[4]) {
+  __m128i acc0 = _mm_setzero_si128(), acc1 = acc0, acc2 = acc0, acc3 = acc0;
+  for (int y = 0; y < 16; ++y) {
+    const std::ptrdiff_t roff = static_cast<std::ptrdiff_t>(y) * ref_stride;
+    __m128i c = x86_loadu(cur + static_cast<std::ptrdiff_t>(y) * cur_stride);
+    acc0 = _mm_add_epi64(acc0, _mm_sad_epu8(c, x86_loadu(refs[0] + roff)));
+    acc1 = _mm_add_epi64(acc1, _mm_sad_epu8(c, x86_loadu(refs[1] + roff)));
+    acc2 = _mm_add_epi64(acc2, _mm_sad_epu8(c, x86_loadu(refs[2] + roff)));
+    acc3 = _mm_add_epi64(acc3, _mm_sad_epu8(c, x86_loadu(refs[3] + roff)));
+  }
+  sads[0] = x86_sad_hsum(acc0);
+  sads[1] = x86_sad_hsum(acc1);
+  sads[2] = x86_sad_hsum(acc2);
+  sads[3] = x86_sad_hsum(acc3);
+}
+
+void sad_16x16_x8_128(const std::uint8_t* cur, int cur_stride,
+                      const std::uint8_t* const refs[8], int ref_stride,
+                      std::int64_t sads[8]) {
+  sad_16x16_x4_128(cur, cur_stride, refs, ref_stride, sads);
+  sad_16x16_x4_128(cur, cur_stride, refs + 4, ref_stride, sads + 4);
+}
+
+#endif  // PBPAIR_X86_128_SADX
+
+// ---------------------------------------------------------------------------
+// 8x8 DCT / IDCT, 128-bit PMADDWD formulation (SSE2 table only)
+// ---------------------------------------------------------------------------
+//
+// Strategy (identical math to the 256-bit AVX2 version, two 4-lane halves):
+//
+// Forward, pass A (rows): Y[x][v] = sum_y in[x][y] * B[v][y]. Input row x
+// is contiguous int16, so each y-pair broadcast against the pair-
+// interleaved basis row table gives exact int32 partial sums via PMADDWD
+// (|in| <= 2048, |B| <= 8035: pair sums < 2^26).
+//
+// Pass B (columns): F[u][v] = sum_x B[u][x] * Y[x][v] with int32 Y
+// (|Y| <= 41990 * 2048 < 2^27). Split Y = hi * 2^15 + lo with
+// hi = (Y + 2^14) >> 15 (hi in [-2897, 2897], lo in [-2^14, 2^14)), both
+// int16-exact, and run PMADDWD on each half:
+// |F_hi| <= 41990 * 2897 < 2^27, |F_lo| <= 41990 * 2^14 < 2^30.
+//
+// Q28 finish entirely in int32: with K = F_hi + (F_lo >> 15) =
+// floor(acc / 2^15), the scalar round-half-away-from-zero
+// (acc + sign(acc) * 2^27) >> 28 equals ((K + 2^12) >> 13) + (K < 0 ? -1 : 0)
+// (floor-of-floor identity; sign(acc) == sign(K)). |result| <= 13451, so
+// PACKS saturation never triggers and the final [-2048, 2047] clamp is done
+// on int16 lanes.
+//
+// The inverse transposes the data flow: pass 1 interleaves input-row pairs
+// over u against the packed basis-column table; pass 2 splits tmp hi/lo,
+// packs the pairs through the stack, and broadcasts them against the basis
+// column-pair vectors. All bounds shrink (inputs |F| <= 2048, column
+// abs-sums <= 43284), so the same 32-bit proofs hold.
+
+#if defined(PBPAIR_X86_128_DCT)
+
+inline __m128i x86_q28_round(__m128i k) {
+  const __m128i bias = _mm_set1_epi32(1 << 12);
+  return _mm_add_epi32(_mm_srai_epi32(_mm_add_epi32(k, bias), 13),
+                       _mm_srai_epi32(k, 31));
+}
+
+inline __m128i x86_clamp_coeffs(__m128i a, __m128i b) {
+  __m128i row = _mm_packs_epi32(a, b);
+  return _mm_min_epi16(_mm_max_epi16(row, _mm_set1_epi16(-2048)),
+                       _mm_set1_epi16(2047));
+}
+
+inline __m128i x86_dct_table(const std::int32_t* p) {
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+void forward_dct_8x8_128(const std::int16_t* input, std::int16_t* output) {
+  const __m128i half = _mm_set1_epi32(1 << 14);
+  const __m128i mask16 = _mm_set1_epi32(0xFFFF);
+  // Pass A: ya[x] holds Y[x][0..3], yb[x] holds Y[x][4..7].
+  __m128i ya[8], yb[8];
+  for (int x = 0; x < 8; ++x) {
+    __m128i acc_a = _mm_setzero_si128();
+    __m128i acc_b = _mm_setzero_si128();
+    for (int q = 0; q < 4; ++q) {
+      std::int32_t pair;
+      std::memcpy(&pair, input + x * 8 + 2 * q, sizeof(pair));
+      __m128i w = _mm_set1_epi32(pair);
+      acc_a = _mm_add_epi32(
+          acc_a, _mm_madd_epi16(w, x86_dct_table(&kDctPairs.row[q][0])));
+      acc_b = _mm_add_epi32(
+          acc_b, _mm_madd_epi16(w, x86_dct_table(&kDctPairs.row[q][4])));
+    }
+    ya[x] = acc_a;
+    yb[x] = acc_b;
+  }
+  // Split hi/lo and interleave adjacent x into int16 pairs per int32 lane.
+  __m128i hpa[4], hpb[4], lpa[4], lpb[4];
+  for (int p = 0; p < 4; ++p) {
+    auto split_pair = [&](const __m128i* y, __m128i* hp, __m128i* lp) {
+      __m128i h0 = _mm_srai_epi32(_mm_add_epi32(y[2 * p], half), 15);
+      __m128i l0 = _mm_sub_epi32(y[2 * p], _mm_slli_epi32(h0, 15));
+      __m128i h1 = _mm_srai_epi32(_mm_add_epi32(y[2 * p + 1], half), 15);
+      __m128i l1 = _mm_sub_epi32(y[2 * p + 1], _mm_slli_epi32(h1, 15));
+      hp[p] = _mm_or_si128(_mm_and_si128(h0, mask16), _mm_slli_epi32(h1, 16));
+      lp[p] = _mm_or_si128(_mm_and_si128(l0, mask16), _mm_slli_epi32(l1, 16));
+    };
+    split_pair(ya, hpa, lpa);
+    split_pair(yb, hpb, lpb);
+  }
+  // Pass B + Q28 finish, one output row per u.
+  for (int u = 0; u < 8; ++u) {
+    __m128i fh_a = _mm_setzero_si128(), fl_a = fh_a;
+    __m128i fh_b = fh_a, fl_b = fh_a;
+    for (int p = 0; p < 4; ++p) {
+      __m128i w = _mm_set1_epi32(kDctPairs.row[p][u]);
+      fh_a = _mm_add_epi32(fh_a, _mm_madd_epi16(hpa[p], w));
+      fl_a = _mm_add_epi32(fl_a, _mm_madd_epi16(lpa[p], w));
+      fh_b = _mm_add_epi32(fh_b, _mm_madd_epi16(hpb[p], w));
+      fl_b = _mm_add_epi32(fl_b, _mm_madd_epi16(lpb[p], w));
+    }
+    __m128i k_a = _mm_add_epi32(fh_a, _mm_srai_epi32(fl_a, 15));
+    __m128i k_b = _mm_add_epi32(fh_b, _mm_srai_epi32(fl_b, 15));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(output + u * 8),
+                     x86_clamp_coeffs(x86_q28_round(k_a), x86_q28_round(k_b)));
+  }
+}
+
+void inverse_dct_8x8_128(const std::int16_t* input, std::int16_t* output) {
+  const __m128i half = _mm_set1_epi32(1 << 14);
+  // Pass 1: interleave input-row pairs over u; ilv_a = lanes v 0..3.
+  __m128i ilv_a[4], ilv_b[4];
+  for (int p = 0; p < 4; ++p) {
+    __m128i r0 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(input + (2 * p) * 8));
+    __m128i r1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(input + (2 * p + 1) * 8));
+    ilv_a[p] = _mm_unpacklo_epi16(r0, r1);
+    ilv_b[p] = _mm_unpackhi_epi16(r0, r1);
+  }
+  for (int x = 0; x < 8; x += 2) {
+    __m128i rounded[2][2];  // [k][half]: output rows x and x+1
+    for (int k = 0; k < 2; ++k) {
+      // tmp[x][v] = sum_u B[u][x] * F[u][v], exact int32.
+      __m128i ta = _mm_setzero_si128(), tb = _mm_setzero_si128();
+      for (int p = 0; p < 4; ++p) {
+        __m128i w = _mm_set1_epi32(kDctPairs.col[p][x + k]);
+        ta = _mm_add_epi32(ta, _mm_madd_epi16(ilv_a[p], w));
+        tb = _mm_add_epi32(tb, _mm_madd_epi16(ilv_b[p], w));
+      }
+      // Split hi/lo and pack the pairs (t[2q], t[2q+1]) through the stack
+      // so they can be broadcast against the basis column-pair vectors.
+      __m128i ha = _mm_srai_epi32(_mm_add_epi32(ta, half), 15);
+      __m128i la = _mm_sub_epi32(ta, _mm_slli_epi32(ha, 15));
+      __m128i hb = _mm_srai_epi32(_mm_add_epi32(tb, half), 15);
+      __m128i lb = _mm_sub_epi32(tb, _mm_slli_epi32(hb, 15));
+      alignas(16) std::int32_t bh[4], bl[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(bh), _mm_packs_epi32(ha, hb));
+      _mm_store_si128(reinterpret_cast<__m128i*>(bl), _mm_packs_epi32(la, lb));
+      // Pass 2: X[x][y] = sum_v tmp[x][v] * B[v][y].
+      __m128i xh_a = _mm_setzero_si128(), xl_a = xh_a;
+      __m128i xh_b = xh_a, xl_b = xh_a;
+      for (int q = 0; q < 4; ++q) {
+        __m128i ba = x86_dct_table(&kDctPairs.col[q][0]);
+        __m128i bb = x86_dct_table(&kDctPairs.col[q][4]);
+        __m128i wh = _mm_set1_epi32(bh[q]);
+        __m128i wl = _mm_set1_epi32(bl[q]);
+        xh_a = _mm_add_epi32(xh_a, _mm_madd_epi16(wh, ba));
+        xh_b = _mm_add_epi32(xh_b, _mm_madd_epi16(wh, bb));
+        xl_a = _mm_add_epi32(xl_a, _mm_madd_epi16(wl, ba));
+        xl_b = _mm_add_epi32(xl_b, _mm_madd_epi16(wl, bb));
+      }
+      __m128i k_a = _mm_add_epi32(xh_a, _mm_srai_epi32(xl_a, 15));
+      __m128i k_b = _mm_add_epi32(xh_b, _mm_srai_epi32(xl_b, 15));
+      rounded[k][0] = x86_q28_round(k_a);
+      rounded[k][1] = x86_q28_round(k_b);
+    }
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(output + x * 8),
+        x86_clamp_coeffs(rounded[0][0], rounded[0][1]));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(output + (x + 1) * 8),
+        x86_clamp_coeffs(rounded[1][0], rounded[1][1]));
+  }
+}
+
+#endif  // PBPAIR_X86_128_DCT

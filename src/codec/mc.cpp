@@ -1,11 +1,14 @@
 #include "codec/mc.h"
 
+#include "codec/kernels/kernels.h"
 #include "common/math_util.h"
 
 namespace pbpair::codec {
 namespace {
 
 /// One interpolated sample at half-pel position (x2, y2), edge-clamped.
+/// Reference implementation; the hot paths below go through the kernel
+/// table and only fall back to per-sample clamping near plane edges.
 inline int sample_halfpel(const video::Plane& ref, int x2, int y2) {
   const int x = x2 >> 1;
   const int y = y2 >> 1;
@@ -32,26 +35,79 @@ bool full_pel_in_bounds(const video::Plane& ref, int x2, int y2, int w,
   return x >= 0 && y >= 0 && x + w <= ref.width() && y + h <= ref.height();
 }
 
+// A half-pel interpolation at floor position (x, y) with phase (hx, hy)
+// reads the (w + hx) x (h + hy) pixel footprint starting at (x, y); the
+// vector kernels additionally load one full extra column/row regardless of
+// phase, so they are only pointed at the plane when the (w + 1) x (h + 1)
+// envelope is inside it.
+bool hpel_kernel_in_bounds(const video::Plane& ref, int x, int y, int w,
+                           int h) {
+  return x >= 0 && y >= 0 && x + w + 1 <= ref.width() &&
+         y + h + 1 <= ref.height();
+}
+
+// Edge-clamped gather used when the interpolation footprint leaves the
+// plane: materializes the (w + 1) x (h + 1) envelope with replicated border
+// pixels so the same vector kernel still runs — bit-identical to clamping
+// inside the sample loop, since clamping each source pixel before the
+// bilinear average equals clamping inside it.
+struct ClampedPatch {
+  static constexpr int kStride = 24;  // >= 16 + 1 envelope, padded
+  std::uint8_t pixels[(16 + 1) * kStride];
+
+  ClampedPatch(const video::Plane& ref, int x, int y, int w, int h) {
+    for (int row = 0; row <= h; ++row) {
+      std::uint8_t* dst = pixels + static_cast<std::ptrdiff_t>(row) * kStride;
+      for (int col = 0; col <= w; ++col) {
+        dst[col] =
+            static_cast<std::uint8_t>(ref.at_clamped(x + col, y + row));
+      }
+    }
+  }
+};
+
 }  // namespace
 
 void predict_block(const video::Plane& ref, int x2, int y2, int w, int h,
                    std::uint8_t* pred, energy::OpCounters& ops) {
+  const kernels::KernelTable& kt = kernels::active();
   if (full_pel_in_bounds(ref, x2, y2, w, h)) {
     const int x = x2 >> 1;
     const int y = y2 >> 1;
-    for (int row = 0; row < h; ++row) {
-      const std::uint8_t* src = ref.row(y + row) + x;
-      std::uint8_t* dst = pred + static_cast<std::ptrdiff_t>(row) * w;
-      for (int col = 0; col < w; ++col) dst[col] = src[col];
+    if (w == 8 || w == 16) {
+      kt.mc_predict(ref.row(y) + x, ref.width(), pred, w, h, /*hx=*/0,
+                    /*hy=*/0);
+    } else {
+      for (int row = 0; row < h; ++row) {
+        const std::uint8_t* src = ref.row(y + row) + x;
+        std::uint8_t* dst = pred + static_cast<std::ptrdiff_t>(row) * w;
+        for (int col = 0; col < w; ++col) dst[col] = src[col];
+      }
     }
     ops.mc_pixels += static_cast<std::uint64_t>(w) * h;
     return;
   }
-  for (int row = 0; row < h; ++row) {
-    std::uint8_t* dst = pred + static_cast<std::ptrdiff_t>(row) * w;
-    for (int col = 0; col < w; ++col) {
-      dst[col] = static_cast<std::uint8_t>(
-          sample_halfpel(ref, x2 + 2 * col, y2 + 2 * row));
+  // Everything else — genuine half-pel phases AND out-of-bounds full-pel
+  // positions — is metered as interpolated prediction, exactly like the
+  // original per-sample loop that handled both.
+  const int x = x2 >> 1;
+  const int y = y2 >> 1;
+  const int hx = x2 & 1;
+  const int hy = y2 & 1;
+  if (w == 8 || w == 16) {
+    if (hpel_kernel_in_bounds(ref, x, y, w, h)) {
+      kt.mc_predict(ref.row(y) + x, ref.width(), pred, w, h, hx, hy);
+    } else {
+      ClampedPatch patch(ref, x, y, w, h);
+      kt.mc_predict(patch.pixels, ClampedPatch::kStride, pred, w, h, hx, hy);
+    }
+  } else {
+    for (int row = 0; row < h; ++row) {
+      std::uint8_t* dst = pred + static_cast<std::ptrdiff_t>(row) * w;
+      for (int col = 0; col < w; ++col) {
+        dst[col] = static_cast<std::uint8_t>(
+            sample_halfpel(ref, x2 + 2 * col, y2 + 2 * row));
+      }
     }
   }
   ops.mc_halfpel_pixels += static_cast<std::uint64_t>(w) * h;
@@ -72,16 +128,26 @@ MotionVector chroma_mv(MotionVector luma) {
 std::int64_t sad_16x16_halfpel(const video::Plane& cur, int cx, int cy,
                                const video::Plane& ref, int rx2, int ry2,
                                std::int64_t cutoff, energy::OpCounters& ops) {
-  std::int64_t sad = 0;
-  for (int row = 0; row < 16; ++row) {
-    const std::uint8_t* crow = cur.row(cy + row) + cx;
-    for (int col = 0; col < 16; ++col) {
-      sad += common::iabs(static_cast<int>(crow[col]) -
-                          sample_halfpel(ref, rx2 + 2 * col, ry2 + 2 * row));
-    }
-    ops.sad_halfpel_ops += 16;
-    if (sad >= cutoff) return sad;
+  const kernels::KernelTable& kt = kernels::active();
+  const int x = rx2 >> 1;
+  const int y = ry2 >> 1;
+  const int hx = rx2 & 1;
+  const int hy = ry2 & 1;
+  const std::uint8_t* cur_base = cur.row(cy) + cx;
+  int rows = 0;
+  std::int64_t sad;
+  if (hpel_kernel_in_bounds(ref, x, y, 16, 16)) {
+    sad = kt.sad_16x16_hpel_cutoff(cur_base, cur.width(), ref.row(y) + x,
+                                   ref.width(), hx, hy, cutoff, &rows);
+  } else {
+    ClampedPatch patch(ref, x, y, 16, 16);
+    sad = kt.sad_16x16_hpel_cutoff(cur_base, cur.width(), patch.pixels,
+                                   ClampedPatch::kStride, hx, hy, cutoff,
+                                   &rows);
   }
+  // The scalar loop metered 16 ops per row *including* the row whose
+  // running SAD tripped the cutoff; rows_processed counts exactly those.
+  ops.sad_halfpel_ops += static_cast<std::uint64_t>(rows) * 16;
   return sad;
 }
 

@@ -1,8 +1,11 @@
 #include "codec/motion_search.h"
 
+#include "codec/kernels/kernels.h"
 #include "codec/mc.h"
+#include "codec/sad.h"
 #include "common/check.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
 
 namespace pbpair::codec {
 namespace {
@@ -27,6 +30,8 @@ struct SearchContext {
   }
 
   /// Evaluates one FULL-PEL candidate (dx, dy in pixels); returns its cost.
+  /// Sequential path, used when the active backend has no genuine batched
+  /// SAD kernel (bit-identical to the batched scorer either way).
   std::int64_t evaluate(int dx, int dy, std::int64_t best_cost,
                         std::int64_t* out_sad, int mb_x, int mb_y) const {
     std::int64_t pen = penalty_of(MotionVector::from_pixels(dx, dy), mb_x, mb_y);
@@ -44,27 +49,158 @@ struct SearchContext {
   }
 };
 
+// Batching trades the per-candidate early exit for multi-candidate vector
+// throughput; that only pays when the table brings a real vector kernel.
+// The scalar table's batched slot is just eight sequential full SADs, which
+// would turn the early-exit-heavy search into strictly more work.
+bool use_batched_sads() {
+  return kernels::active().origin_of(kernels::KernelId::kSad16x16X4) !=
+         kernels::Backend::kScalar;
+}
+
+// Scores full-pel candidates through the batched SAD kernels while
+// reproducing the sequential scalar search bit for bit.
+//
+// Candidates are staged in scalar evaluation order and scored eight (or
+// four) at a time with the multi-candidate kernels, which compute full
+// 16-row SADs with no early exit. The staged batch is then REPLAYED in
+// order against the evolving best cost:
+//
+//   - cutoff <= 0: the penalty alone disqualifies the candidate; the scalar
+//     path spent no SAD work and touched no counters, so neither does the
+//     replay (the batch's wasted rows are wall-clock only — the energy
+//     model meters algorithmic work, not the machine's).
+//   - batched SAD < cutoff: the scalar cutoff loop would have completed all
+//     16 rows (partial sums are monotonically nondecreasing, so they cannot
+//     reach the cutoff before the total does) and returned this exact
+//     value. Metering is the full 256 pixels and one sad_calls tick.
+//   - batched SAD >= cutoff: the scalar loop early-exited on some row with
+//     some partial sum, and both the row count (energy) and the exit
+//     (observability) are part of the contract. The replay re-runs the
+//     metered cutoff wrapper, which terminates on the same row the scalar
+//     search did.
+//
+// Penalties are evaluated during the replay, after earlier candidates have
+// updated best.cost — identical to the scalar candidate loop. Batches may
+// span row boundaries of a full search; only the staging order matters.
+class BatchScorer {
+ public:
+  BatchScorer(const SearchContext& ctx, int mb_x, int mb_y, MotionResult& best)
+      : ctx_(ctx), mb_x_(mb_x), mb_y_(mb_y), best_(best) {}
+
+  /// Stages one in-bounds full-pel candidate (scalar evaluation order).
+  void add(int dx, int dy) {
+    dx_[n_] = dx;
+    dy_[n_] = dy;
+    refs_[n_] = ctx_.ref.row(ctx_.py + dy) + ctx_.px + dx;
+    if (++n_ == 8) replay();
+  }
+
+  /// Scores any staged remainder; returns whether any candidate staged
+  /// since the last finish() improved the best cost.
+  bool finish() {
+    replay();
+    const bool improved = improved_;
+    improved_ = false;
+    return improved;
+  }
+
+ private:
+  void replay() {
+    if (n_ == 0) return;
+    const kernels::KernelTable& kt = kernels::active();
+    const std::uint8_t* cur = ctx_.cur.row(ctx_.py) + ctx_.px;
+    const int cur_stride = ctx_.cur.width();
+    const int ref_stride = ctx_.ref.width();
+    std::int64_t sads[8];
+    if (n_ == 8) {
+      kt.sad_16x16_x8(cur, cur_stride, refs_, ref_stride, sads);
+    } else if (n_ >= 4) {
+      kt.sad_16x16_x4(cur, cur_stride, refs_, ref_stride, sads);
+      for (int i = 4; i < n_; ++i) {
+        sads[i] = kt.sad_16x16(cur, cur_stride, refs_[i], ref_stride);
+      }
+    } else {
+      for (int i = 0; i < n_; ++i) {
+        sads[i] = kt.sad_16x16(cur, cur_stride, refs_[i], ref_stride);
+      }
+    }
+
+    for (int i = 0; i < n_; ++i) {
+      const MotionVector mv = MotionVector::from_pixels(dx_[i], dy_[i]);
+      const std::int64_t pen = ctx_.penalty_of(mv, mb_x_, mb_y_);
+      const std::int64_t cutoff = best_.cost - pen;
+      ++best_.candidates;
+      if (cutoff <= 0) continue;
+      std::int64_t sad;
+      if (sads[i] < cutoff) {
+        sad = sads[i];
+        ctx_.ops->sad_pixel_ops += 256;
+        if (obs::enabled()) {
+          static obs::Counter* c_calls = &obs::counter("encoder.sad_calls");
+          c_calls->add(1);
+        }
+      } else {
+        sad = sad_16x16_cutoff(ctx_.cur, ctx_.px, ctx_.py, ctx_.ref,
+                               ctx_.px + dx_[i], ctx_.py + dy_[i], cutoff,
+                               *ctx_.ops);
+      }
+      const std::int64_t cost = sad + pen;
+      if (cost < best_.cost) {
+        best_.cost = cost;
+        best_.sad = sad;
+        best_.mv = mv;
+        improved_ = true;
+      }
+    }
+    n_ = 0;
+  }
+
+  const SearchContext& ctx_;
+  const int mb_x_;
+  const int mb_y_;
+  MotionResult& best_;
+  int n_ = 0;
+  bool improved_ = false;
+  int dx_[8];
+  int dy_[8];
+  const std::uint8_t* refs_[8];
+};
+
 void full_search(const SearchContext& ctx, int mb_x, int mb_y,
                  MotionResult& best) {
+  if (!use_batched_sads()) {
+    for (int dy = ctx.min_dy; dy <= ctx.max_dy; ++dy) {
+      for (int dx = ctx.min_dx; dx <= ctx.max_dx; ++dx) {
+        if (dx == 0 && dy == 0) continue;  // seeded before dispatch
+        std::int64_t sad = 0;
+        std::int64_t cost = ctx.evaluate(dx, dy, best.cost, &sad, mb_x, mb_y);
+        ++best.candidates;
+        if (cost < best.cost) {
+          best.cost = cost;
+          best.sad = sad;
+          best.mv = MotionVector::from_pixels(dx, dy);
+        }
+      }
+    }
+    return;
+  }
+  BatchScorer batch(ctx, mb_x, mb_y, best);
   for (int dy = ctx.min_dy; dy <= ctx.max_dy; ++dy) {
     for (int dx = ctx.min_dx; dx <= ctx.max_dx; ++dx) {
       if (dx == 0 && dy == 0) continue;  // seeded before dispatch
-      std::int64_t sad = 0;
-      std::int64_t cost = ctx.evaluate(dx, dy, best.cost, &sad, mb_x, mb_y);
-      ++best.candidates;
-      if (cost < best.cost) {
-        best.cost = cost;
-        best.sad = sad;
-        best.mv = MotionVector::from_pixels(dx, dy);
-      }
+      batch.add(dx, dy);
     }
   }
+  batch.finish();
 }
 
 void diamond_search(const SearchContext& ctx, int mb_x, int mb_y,
                     MotionResult& best) {
   // Large diamond search pattern descent, then small diamond refinement,
-  // all in full-pel steps.
+  // all in full-pel steps. The scalar loop computed the diamond center
+  // before trying its 8 neighbors, so each iteration's candidate set is
+  // fixed up front — exactly the shape the batched scorer needs.
   struct Step {
     int dx, dy;
   };
@@ -72,32 +208,59 @@ void diamond_search(const SearchContext& ctx, int mb_x, int mb_y,
                                     {2, 0},  {-1, 1},  {1, 1},  {0, 2}};
   static constexpr Step kSmall[] = {{0, -1}, {-1, 0}, {1, 0}, {0, 1}};
 
-  auto try_pixels = [&](int dx, int dy) {
-    if (!ctx.in_bounds_pixels(dx, dy)) return false;
-    std::int64_t sad = 0;
-    std::int64_t cost = ctx.evaluate(dx, dy, best.cost, &sad, mb_x, mb_y);
-    ++best.candidates;
-    if (cost < best.cost) {
-      best.cost = cost;
-      best.sad = sad;
-      best.mv = MotionVector::from_pixels(dx, dy);
-      return true;
+  if (!use_batched_sads()) {
+    auto try_pixels = [&](int dx, int dy) {
+      if (!ctx.in_bounds_pixels(dx, dy)) return false;
+      std::int64_t sad = 0;
+      std::int64_t cost = ctx.evaluate(dx, dy, best.cost, &sad, mb_x, mb_y);
+      ++best.candidates;
+      if (cost < best.cost) {
+        best.cost = cost;
+        best.sad = sad;
+        best.mv = MotionVector::from_pixels(dx, dy);
+        return true;
+      }
+      return false;
+    };
+    bool improved = true;
+    int iterations = 0;
+    while (improved && iterations < 64) {
+      improved = false;
+      int cx = halfpel_floor(best.mv.x);
+      int cy = halfpel_floor(best.mv.y);
+      for (Step step : kLarge) improved |= try_pixels(cx + step.dx, cy + step.dy);
+      ++iterations;
     }
-    return false;
-  };
+    int cx = halfpel_floor(best.mv.x);
+    int cy = halfpel_floor(best.mv.y);
+    for (Step step : kSmall) try_pixels(cx + step.dx, cy + step.dy);
+    return;
+  }
 
+  BatchScorer batch(ctx, mb_x, mb_y, best);
   bool improved = true;
   int iterations = 0;
   while (improved && iterations < 64) {
-    improved = false;
     int cx = halfpel_floor(best.mv.x);
     int cy = halfpel_floor(best.mv.y);
-    for (Step step : kLarge) improved |= try_pixels(cx + step.dx, cy + step.dy);
+    for (Step step : kLarge) {
+      // Out-of-bounds neighbors are dropped before the candidate counter,
+      // exactly like the scalar try_pixels guard.
+      if (ctx.in_bounds_pixels(cx + step.dx, cy + step.dy)) {
+        batch.add(cx + step.dx, cy + step.dy);
+      }
+    }
+    improved = batch.finish();
     ++iterations;
   }
   int cx = halfpel_floor(best.mv.x);
   int cy = halfpel_floor(best.mv.y);
-  for (Step step : kSmall) try_pixels(cx + step.dx, cy + step.dy);
+  for (Step step : kSmall) {
+    if (ctx.in_bounds_pixels(cx + step.dx, cy + step.dy)) {
+      batch.add(cx + step.dx, cy + step.dy);
+    }
+  }
+  batch.finish();
 }
 
 void halfpel_refine(const SearchContext& ctx, int mb_x, int mb_y,

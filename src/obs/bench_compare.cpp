@@ -51,6 +51,16 @@ BenchComparison compare_bench_reports(const common::JsonValue& baseline,
       result.deltas.push_back(std::move(delta));
     }
   }
+  const common::JsonValue* cur_kernels = current.find("kernels");
+  if (cur_kernels != nullptr && cur_kernels->is_array()) {
+    for (const common::JsonValue& cur_entry : cur_kernels->items()) {
+      const std::string& name = cur_entry.string_at("name");
+      if (name.empty()) continue;
+      if (find_kernel(baseline, name) == nullptr) {
+        result.unknown_kernels.push_back(name);
+      }
+    }
+  }
   return result;
 }
 

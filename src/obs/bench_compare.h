@@ -34,6 +34,10 @@ struct BenchComparison {
   /// (treated as failures: a silently vanished benchmark hides a
   /// regression).
   std::vector<std::string> missing_kernels;
+  /// Kernels the current report measures that the baseline has never seen
+  /// (warn-only: a newly added kernel must not fail CI before its baseline
+  /// row is committed).
+  std::vector<std::string> unknown_kernels;
 
   bool ok() const {
     if (!missing_kernels.empty()) return false;

@@ -9,6 +9,7 @@
 
 #include "codec/encoder.h"
 #include "codec/kernels/kernels.h"
+#include "codec/mc.h"
 #include "codec/quant.h"
 #include "codec/sad.h"
 #include "common/rng.h"
@@ -150,6 +151,225 @@ TEST(Kernels, DctMatchesScalar) {
   }
 }
 
+TEST(Kernels, BatchedSadMatchesScalarSingleCalls) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  PixelField cur(60), ref(61);
+  common::Pcg32 rng(62);
+  for (const KernelTable* simd : simd_tables()) {
+    for (int trial = 0; trial < 400; ++trial) {
+      int cx = rng.next_in_range(0, cur.stride - 16);
+      int cy = rng.next_in_range(0, cur.rows - 16);
+      const std::uint8_t* refs[8];
+      std::int64_t want[8];
+      for (int i = 0; i < 8; ++i) {
+        int rx = rng.next_in_range(0, ref.stride - 16);
+        int ry = rng.next_in_range(0, ref.rows - 16);
+        refs[i] = ref.at(rx, ry);
+        want[i] = scalar.sad_16x16(cur.at(cx, cy), cur.stride, refs[i],
+                                   ref.stride);
+      }
+      std::int64_t got4[4] = {-1, -1, -1, -1};
+      simd->sad_16x16_x4(cur.at(cx, cy), cur.stride, refs, ref.stride, got4);
+      for (int i = 0; i < 4; ++i) {
+        ASSERT_EQ(want[i], got4[i])
+            << simd->name << " x4 lane " << i << " trial " << trial;
+      }
+      std::int64_t got8[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+      simd->sad_16x16_x8(cur.at(cx, cy), cur.stride, refs, ref.stride, got8);
+      for (int i = 0; i < 8; ++i) {
+        ASSERT_EQ(want[i], got8[i])
+            << simd->name << " x8 lane " << i << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Kernels, HalfpelSadMatchesScalarForAllPhasesIncludingRowCounts) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  PixelField cur(70), ref(71);
+  common::Pcg32 rng(72);
+  for (const KernelTable* simd : simd_tables()) {
+    for (int trial = 0; trial < 1000; ++trial) {
+      int cx = rng.next_in_range(0, cur.stride - 16);
+      int cy = rng.next_in_range(0, cur.rows - 16);
+      // The interpolation reads a 17x17 envelope at (rx, ry).
+      int rx = rng.next_in_range(0, ref.stride - 17);
+      int ry = rng.next_in_range(0, ref.rows - 17);
+      const int hx = trial & 1;
+      const int hy = (trial >> 1) & 1;
+      std::int64_t cutoff;
+      switch (trial % 4) {
+        case 0: cutoff = rng.next_in_range(-5, 5); break;
+        case 1: cutoff = rng.next_in_range(1, 4000); break;
+        case 2: cutoff = rng.next_in_range(4000, 40000); break;
+        default: cutoff = 1'000'000; break;
+      }
+      int want_rows = -1, got_rows = -1;
+      std::int64_t want = scalar.sad_16x16_hpel_cutoff(
+          cur.at(cx, cy), cur.stride, ref.at(rx, ry), ref.stride, hx, hy,
+          cutoff, &want_rows);
+      std::int64_t got = simd->sad_16x16_hpel_cutoff(
+          cur.at(cx, cy), cur.stride, ref.at(rx, ry), ref.stride, hx, hy,
+          cutoff, &got_rows);
+      ASSERT_EQ(want, got) << simd->name << " phase (" << hx << "," << hy
+                           << ") trial " << trial;
+      ASSERT_EQ(want_rows, got_rows)
+          << simd->name << " phase (" << hx << "," << hy << ") trial "
+          << trial;
+    }
+  }
+}
+
+TEST(Kernels, McPredictMatchesScalarForAllPhasesAndBlockSizes) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  PixelField ref(80);
+  common::Pcg32 rng(81);
+  for (const KernelTable* simd : simd_tables()) {
+    for (int trial = 0; trial < 1000; ++trial) {
+      const int w = trial % 2 == 0 ? 16 : 8;
+      const int h = w;
+      int rx = rng.next_in_range(0, ref.stride - (w + 1));
+      int ry = rng.next_in_range(0, ref.rows - (h + 1));
+      const int hx = (trial >> 1) & 1;
+      const int hy = (trial >> 2) & 1;
+      std::uint8_t want[16 * 16], got[16 * 16];
+      std::memset(want, 0xAB, sizeof(want));
+      std::memset(got, 0xCD, sizeof(got));
+      scalar.mc_predict(ref.at(rx, ry), ref.stride, want, w, h, hx, hy);
+      simd->mc_predict(ref.at(rx, ry), ref.stride, got, w, h, hx, hy);
+      ASSERT_EQ(0, std::memcmp(want, got, static_cast<std::size_t>(w) * h))
+          << simd->name << " w " << w << " phase (" << hx << "," << hy
+          << ") trial " << trial;
+    }
+  }
+}
+
+TEST(Kernels, ResidualKernelsMatchScalar) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  PixelField cur(90), pred(91);
+  common::Pcg32 rng(92);
+  for (const KernelTable* simd : simd_tables()) {
+    for (int trial = 0; trial < 500; ++trial) {
+      int cx = rng.next_in_range(0, cur.stride - 8);
+      int cy = rng.next_in_range(0, cur.rows - 8);
+      int px = rng.next_in_range(0, pred.stride - 8);
+      int py = rng.next_in_range(0, pred.rows - 8);
+
+      std::int16_t want_res[64], got_res[64];
+      scalar.sub_pred_8x8(cur.at(cx, cy), cur.stride, pred.at(px, py),
+                          pred.stride, want_res);
+      simd->sub_pred_8x8(cur.at(cx, cy), cur.stride, pred.at(px, py),
+                         pred.stride, got_res);
+      ASSERT_EQ(0, std::memcmp(want_res, got_res, sizeof(want_res)))
+          << simd->name << " sub trial " << trial;
+
+      // IDCT-range residuals, including ones that clamp on both ends.
+      std::int16_t residual[64];
+      for (std::int16_t& v : residual) {
+        v = static_cast<std::int16_t>(rng.next_in_range(-2048, 2047));
+      }
+      std::uint8_t want_px[8 * 9], got_px[8 * 9];
+      std::memset(want_px, 0x11, sizeof(want_px));
+      std::memset(got_px, 0x22, sizeof(got_px));
+      const int dst_stride = 9;  // deliberately != 8: checks stride handling
+      scalar.add_pred_8x8(want_px, dst_stride, pred.at(px, py), pred.stride,
+                          residual);
+      simd->add_pred_8x8(got_px, dst_stride, pred.at(px, py), pred.stride,
+                         residual);
+      for (int row = 0; row < 8; ++row) {
+        ASSERT_EQ(0, std::memcmp(want_px + row * dst_stride,
+                                 got_px + row * dst_stride, 8))
+            << simd->name << " add row " << row << " trial " << trial;
+      }
+    }
+  }
+}
+
+// Edge clamping goes through the public MC entry points: vectors that land
+// outside the plane must produce identical predictions and identical
+// mc/halfpel pixel metering on every backend (the kernels only ever see
+// in-bounds memory; the wrapper's clamped-patch fallback is what's tested).
+TEST(Kernels, PredictBlockEdgeClampIdenticalAcrossBackends) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  video::YuvFrame frame = seq.frame_at(2);
+  const video::Plane& plane = frame.y();
+  const Backend original = codec::kernels::active_backend();
+
+  struct Run {
+    std::vector<std::uint8_t> pred;
+    energy::OpCounters ops;
+  };
+  std::vector<Run> runs;
+  for (Backend backend : codec::kernels::supported_backends()) {
+    ASSERT_TRUE(codec::kernels::set_active(backend));
+    Run run;
+    common::Pcg32 rng(100);  // same position stream per backend
+    std::uint8_t pred[16 * 16];
+    for (int trial = 0; trial < 400; ++trial) {
+      const int w = trial % 2 == 0 ? 16 : 8;
+      // Positions biased to straddle every plane edge, in half-pel units.
+      int x2 = rng.next_in_range(-40, 2 * plane.width() + 8);
+      int y2 = rng.next_in_range(-40, 2 * plane.height() + 8);
+      codec::predict_block(plane, x2, y2, w, w, pred, run.ops);
+      run.pred.insert(run.pred.end(), pred, pred + w * w);
+    }
+    runs.push_back(std::move(run));
+  }
+  ASSERT_TRUE(codec::kernels::set_active(original));
+
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].pred, runs[i].pred) << "backend index " << i;
+    EXPECT_EQ(runs[0].ops.mc_pixels, runs[i].ops.mc_pixels);
+    EXPECT_EQ(runs[0].ops.mc_halfpel_pixels, runs[i].ops.mc_halfpel_pixels);
+  }
+}
+
+TEST(Kernels, HalfpelSadEdgeClampIdenticalAcrossBackends) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kForemanLike);
+  video::YuvFrame a = seq.frame_at(2);
+  video::YuvFrame b = seq.frame_at(3);
+  const Backend original = codec::kernels::active_backend();
+
+  struct Run {
+    std::int64_t sum = 0;
+    energy::OpCounters ops;
+  };
+  std::vector<Run> runs;
+  for (Backend backend : codec::kernels::supported_backends()) {
+    ASSERT_TRUE(codec::kernels::set_active(backend));
+    Run run;
+    common::Pcg32 rng(110);
+    for (int trial = 0; trial < 400; ++trial) {
+      int cx = 16 * rng.next_in_range(0, a.y().width() / 16 - 1);
+      int cy = 16 * rng.next_in_range(0, a.y().height() / 16 - 1);
+      int rx2 = rng.next_in_range(-36, 2 * b.y().width() + 4);
+      int ry2 = rng.next_in_range(-36, 2 * b.y().height() + 4);
+      std::int64_t cutoff =
+          trial % 3 == 0 ? rng.next_in_range(1, 4000) : 1'000'000;
+      run.sum += codec::sad_16x16_halfpel(a.y(), cx, cy, b.y(), rx2, ry2,
+                                          cutoff, run.ops);
+    }
+    runs.push_back(run);
+  }
+  ASSERT_TRUE(codec::kernels::set_active(original));
+
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].sum, runs[i].sum) << "backend index " << i;
+    EXPECT_EQ(runs[0].ops.sad_halfpel_ops, runs[i].ops.sad_halfpel_ops);
+  }
+}
+
+TEST(Kernels, ScalarTableOriginsAreAllScalar) {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  for (int i = 0; i < codec::kernels::kNumKernels; ++i) {
+    const auto id = static_cast<codec::kernels::KernelId>(i);
+    EXPECT_EQ(scalar.origin_of(id), Backend::kScalar)
+        << codec::kernels::kernel_name(id);
+  }
+}
+
 TEST(Kernels, QuantizeMatchesScalarForAllQp) {
   const KernelTable& scalar = codec::kernels::scalar_table();
   common::Pcg32 rng(30);
@@ -277,6 +497,49 @@ TEST(Kernels, EncoderBitstreamIdenticalAcrossBackends) {
     EXPECT_EQ(runs[0].bytes, runs[i].bytes) << "backend index " << i;
     EXPECT_EQ(runs[0].sad_ops, runs[i].sad_ops);
     EXPECT_EQ(runs[0].quant, runs[i].quant);
+  }
+}
+
+// Same digest contract through the other search shape: diamond descent
+// (batched neighbor sets) plus half-pel refinement (interpolating SAD
+// kernel), with the full OpCounters block compared — not just sad ops.
+TEST(Kernels, EncoderDigestIdenticalAcrossBackendsDiamondHalfpel) {
+  video::SyntheticSequence seq =
+      video::make_paper_sequence(video::SequenceKind::kGardenLike);
+  const Backend original = codec::kernels::active_backend();
+
+  struct EncodeRun {
+    std::vector<std::uint8_t> bytes;
+    energy::OpCounters ops;
+  };
+  std::vector<EncodeRun> runs;
+  for (Backend backend : codec::kernels::supported_backends()) {
+    ASSERT_TRUE(codec::kernels::set_active(backend));
+    codec::EncoderConfig config;
+    config.qp = 8;
+    config.search.strategy = codec::SearchStrategy::kDiamondSearch;
+    config.search.range = 15;
+    config.search.half_pel = true;
+    std::unique_ptr<codec::RefreshPolicy> policy = sim::make_policy(
+        sim::SchemeSpec::no_resilience(), config.width / 16,
+        config.height / 16);
+    codec::Encoder encoder(config, policy.get());
+    EncodeRun run;
+    for (int i = 0; i < 5; ++i) {
+      codec::EncodedFrame frame = encoder.encode_frame(seq.frame_at(i));
+      run.bytes.insert(run.bytes.end(), frame.bytes.begin(),
+                       frame.bytes.end());
+    }
+    run.ops = encoder.ops();
+    runs.push_back(std::move(run));
+  }
+  ASSERT_TRUE(codec::kernels::set_active(original));
+
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].bytes, runs[i].bytes) << "backend index " << i;
+    EXPECT_EQ(0, std::memcmp(&runs[0].ops, &runs[i].ops,
+                             sizeof(energy::OpCounters)))
+        << "backend index " << i;
   }
 }
 

@@ -67,6 +67,11 @@ int main(int argc, char** argv) {
                 "current report\n",
                 name.c_str());
   }
+  for (const std::string& name : comparison.unknown_kernels) {
+    std::printf("WARNING: kernel \"%s\" has no baseline row yet (measured "
+                "but not gated; refresh %s to start gating it)\n",
+                name.c_str(), baseline_path.c_str());
+  }
 
   if (!comparison.ok()) {
     std::printf("FAIL: ns/call regression beyond +%.0f%% (or missing "

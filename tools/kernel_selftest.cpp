@@ -1,0 +1,204 @@
+// kernel_selftest — dependency-free cross-backend equivalence check.
+//
+// Verifies that every supported backend reproduces the scalar reference
+// bit-for-bit on every kernel in the dispatch table: SAD values, early-exit
+// row counts, batched-SAD lanes, half-pel phases, DCT/IDCT coefficients,
+// quant levels and nonzero counts, MC predictions, and residual blocks.
+//
+// This is deliberately NOT a gtest binary: it is the smoke test the CI
+// aarch64 cross-compile job runs under qemu-user, where only the standard
+// library exists for the target. It registers with ctest in every build
+// mode, so the same binary guards native runs too. Exit 0 = all backends
+// bit-identical; exit 1 = mismatch (details on stdout).
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "codec/kernels/kernels.h"
+#include "codec/quant.h"
+#include "common/rng.h"
+
+using namespace pbpair;
+using codec::kernels::Backend;
+using codec::kernels::KernelTable;
+
+namespace {
+
+constexpr int kStride = 61;  // odd: exercises every load alignment
+constexpr int kRows = 96;
+
+struct Field {
+  std::vector<std::uint8_t> data;
+  explicit Field(std::uint64_t seed) : data(kStride * kRows) {
+    common::Pcg32 rng(seed);
+    for (std::uint8_t& p : data) {
+      p = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+  }
+  const std::uint8_t* at(int x, int y) const {
+    return data.data() + static_cast<std::size_t>(y) * kStride + x;
+  }
+};
+
+int g_failures = 0;
+
+void fail(const char* backend, const char* kernel, int trial) {
+  std::printf("MISMATCH: %s disagrees with scalar on %s (trial %d)\n",
+              backend, kernel, trial);
+  ++g_failures;
+}
+
+void check_backend(const KernelTable& scalar, const KernelTable& simd) {
+  const Field cur(1), ref(2);
+  common::Pcg32 rng(3);
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const int cx = rng.next_in_range(0, kStride - 17);
+    const int cy = rng.next_in_range(0, kRows - 17);
+    const int rx = rng.next_in_range(0, kStride - 17);
+    const int ry = rng.next_in_range(0, kRows - 17);
+    std::int64_t cutoff;
+    switch (trial % 4) {
+      case 0: cutoff = rng.next_in_range(-5, 5); break;
+      case 1: cutoff = rng.next_in_range(1, 4000); break;
+      case 2: cutoff = rng.next_in_range(4000, 40000); break;
+      default: cutoff = 1'000'000; break;
+    }
+
+    if (scalar.sad_16x16(cur.at(cx, cy), kStride, ref.at(rx, ry), kStride) !=
+        simd.sad_16x16(cur.at(cx, cy), kStride, ref.at(rx, ry), kStride)) {
+      fail(simd.name, "sad_16x16", trial);
+    }
+    if (scalar.sad_self_16x16(cur.at(cx, cy), kStride) !=
+        simd.sad_self_16x16(cur.at(cx, cy), kStride)) {
+      fail(simd.name, "sad_self_16x16", trial);
+    }
+    int want_rows = -1, got_rows = -1;
+    std::int64_t want =
+        scalar.sad_16x16_cutoff(cur.at(cx, cy), kStride, ref.at(rx, ry),
+                                kStride, cutoff, &want_rows);
+    std::int64_t got = simd.sad_16x16_cutoff(
+        cur.at(cx, cy), kStride, ref.at(rx, ry), kStride, cutoff, &got_rows);
+    if (want != got || want_rows != got_rows) {
+      fail(simd.name, "sad_16x16_cutoff", trial);
+    }
+
+    const int hx = trial & 1;
+    const int hy = (trial >> 1) & 1;
+    want = scalar.sad_16x16_hpel_cutoff(cur.at(cx, cy), kStride,
+                                        ref.at(rx, ry), kStride, hx, hy,
+                                        cutoff, &want_rows);
+    got = simd.sad_16x16_hpel_cutoff(cur.at(cx, cy), kStride, ref.at(rx, ry),
+                                     kStride, hx, hy, cutoff, &got_rows);
+    if (want != got || want_rows != got_rows) {
+      fail(simd.name, "sad_16x16_hpel_cutoff", trial);
+    }
+
+    const std::uint8_t* refs[8];
+    std::int64_t lane_want[8], lane4[4], lane8[8];
+    for (int i = 0; i < 8; ++i) {
+      refs[i] = ref.at((rx + 3 * i) % (kStride - 16),
+                       (ry + 5 * i) % (kRows - 16));
+      lane_want[i] = scalar.sad_16x16(cur.at(cx, cy), kStride, refs[i],
+                                      kStride);
+    }
+    simd.sad_16x16_x4(cur.at(cx, cy), kStride, refs, kStride, lane4);
+    simd.sad_16x16_x8(cur.at(cx, cy), kStride, refs, kStride, lane8);
+    for (int i = 0; i < 4; ++i) {
+      if (lane_want[i] != lane4[i]) fail(simd.name, "sad_16x16_x4", trial);
+    }
+    for (int i = 0; i < 8; ++i) {
+      if (lane_want[i] != lane8[i]) fail(simd.name, "sad_16x16_x8", trial);
+    }
+
+    const int w = trial % 2 == 0 ? 16 : 8;
+    std::uint8_t pred_want[16 * 16], pred_got[16 * 16];
+    scalar.mc_predict(ref.at(rx, ry), kStride, pred_want, w, w, hx, hy);
+    simd.mc_predict(ref.at(rx, ry), kStride, pred_got, w, w, hx, hy);
+    if (std::memcmp(pred_want, pred_got, static_cast<std::size_t>(w) * w) !=
+        0) {
+      fail(simd.name, "mc_predict", trial);
+    }
+
+    std::int16_t res_want[64], res_got[64];
+    scalar.sub_pred_8x8(cur.at(cx, cy), kStride, ref.at(rx, ry), kStride,
+                        res_want);
+    simd.sub_pred_8x8(cur.at(cx, cy), kStride, ref.at(rx, ry), kStride,
+                      res_got);
+    if (std::memcmp(res_want, res_got, sizeof(res_want)) != 0) {
+      fail(simd.name, "sub_pred_8x8", trial);
+    }
+    std::int16_t residual[64];
+    for (std::int16_t& v : residual) {
+      v = static_cast<std::int16_t>(rng.next_in_range(-2048, 2047));
+    }
+    std::uint8_t px_want[64], px_got[64];
+    scalar.add_pred_8x8(px_want, 8, ref.at(rx, ry), kStride, residual);
+    simd.add_pred_8x8(px_got, 8, ref.at(rx, ry), kStride, residual);
+    if (std::memcmp(px_want, px_got, sizeof(px_want)) != 0) {
+      fail(simd.name, "add_pred_8x8", trial);
+    }
+
+    std::int16_t block[64], dct_want[64], dct_got[64];
+    const int lo = trial % 3 == 0 ? 0 : (trial % 3 == 1 ? -255 : -2048);
+    const int hi = trial % 3 == 0 ? 255 : (trial % 3 == 1 ? 255 : 2047);
+    for (std::int16_t& v : block) {
+      v = static_cast<std::int16_t>(rng.next_in_range(lo, hi));
+    }
+    scalar.forward_dct_8x8(block, dct_want);
+    simd.forward_dct_8x8(block, dct_got);
+    if (std::memcmp(dct_want, dct_got, sizeof(dct_want)) != 0) {
+      fail(simd.name, "forward_dct_8x8", trial);
+    }
+    scalar.inverse_dct_8x8(block, dct_want);
+    simd.inverse_dct_8x8(block, dct_got);
+    if (std::memcmp(dct_want, dct_got, sizeof(dct_want)) != 0) {
+      fail(simd.name, "inverse_dct_8x8", trial);
+    }
+
+    const int qp = codec::kMinQp +
+                   trial % (codec::kMaxQp - codec::kMinQp + 1);
+    const bool intra = (trial & 1) != 0;
+    const int first = intra ? 1 : 0;
+    std::int16_t q_want[64], q_got[64];
+    std::memcpy(q_want, block, sizeof(block));
+    std::memcpy(q_got, block, sizeof(block));
+    const int nz_want = scalar.quantize_ac(q_want, first, qp, intra);
+    const int nz_got = simd.quantize_ac(q_got, first, qp, intra);
+    if (nz_want != nz_got ||
+        std::memcmp(q_want, q_got, sizeof(q_want)) != 0) {
+      fail(simd.name, "quantize_ac", trial);
+    }
+    scalar.dequantize_ac(q_want, first, qp);
+    simd.dequantize_ac(q_got, first, qp);
+    if (std::memcmp(q_want, q_got, sizeof(q_want)) != 0) {
+      fail(simd.name, "dequantize_ac", trial);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const KernelTable& scalar = codec::kernels::scalar_table();
+  for (Backend backend : codec::kernels::supported_backends()) {
+    const KernelTable* table = codec::kernels::table_for(backend);
+    if (table == nullptr) {
+      std::printf("FAIL: supported backend %s has no table\n",
+                  codec::kernels::backend_name(backend));
+      return 1;
+    }
+    if (backend == Backend::kScalar) continue;
+    const int before = g_failures;
+    check_backend(scalar, *table);
+    std::printf("%-8s %s\n", table->name,
+                g_failures == before ? "bit-identical to scalar" : "FAILED");
+  }
+  if (codec::kernels::supported_backends().size() == 1) {
+    std::printf("scalar backend only on this machine; dispatch sanity ok\n");
+  }
+  std::printf(g_failures == 0 ? "kernel_selftest: OK\n"
+                              : "kernel_selftest: %d mismatches\n",
+              g_failures);
+  return g_failures == 0 ? 0 : 1;
+}
