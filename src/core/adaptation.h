@@ -98,4 +98,136 @@ class PowerAwareController {
   double last_plr_ = -1.0;
 };
 
+/// Joint Intra_Th + FEC-rate control (DESIGN.md §12.4).
+///
+/// With packet-level FEC in the pipeline there are two resilience knobs
+/// spending two different energies: repair packets spend TRANSMIT joules,
+/// intra refresh spends (negative) ENCODE joules but inflates the
+/// bitstream. The joint policy:
+///
+///  1. PLR feedback picks the smallest m whose predicted residual loss
+///     (the binomial tail of the (k+m)-packet window) meets
+///     `target_residual_plr`, capped by whatever the energy loop allows.
+///  2. Intra_Th then compensates for the RESIDUAL loss the decoder will
+///     actually see — not the raw network PLR — via the same
+///     hold-intra-rate rule as PowerAwareController. FEC soaking up loss
+///     lets Intra_Th stay near the compression-efficient base point.
+///  3. When projected energy exceeds the budget, FEC sheds first (repair
+///     bytes are pure overhead; dropping m is instant and reversible);
+///     only at m == 0 does Intra_Th start climbing (intra is cheaper to
+///     ENCODE). Under budget, the cap relaxes before Intra_Th returns to
+///     base.
+struct JointAdaptationConfig {
+  double base_intra_th = 0.85;  // the user's resiliency expectation
+  double base_plr = 0.10;       // residual PLR base_intra_th was chosen at
+  double plr_coupling = 1.0;    // dIntra_Th / dResidualPLR
+  double step = 0.02;           // per-update Intra_Th adjustment
+
+  int fec_k = 8;                 // window size the session's encoder uses
+  int max_fec_m = 8;             // net::kMaxFecM unless the scheme caps it
+  double target_residual_plr = 0.02;  // post-recovery loss the FEC aims for
+
+  double energy_budget_j = 0.0;  // 0 disables the energy loop
+  int planned_frames = 0;
+};
+
+class JointPowerAwareController {
+ public:
+  explicit JointPowerAwareController(const JointAdaptationConfig& config)
+      : config_(config),
+        intra_th_(config.base_intra_th),
+        m_cap_(config.max_fec_m) {
+    PB_CHECK(config.base_intra_th >= 0.0 && config.base_intra_th <= 1.0);
+    PB_CHECK(config.fec_k >= 1);
+    PB_CHECK(config.max_fec_m >= 0);
+    PB_CHECK(config.target_residual_plr >= 0.0);
+    if (config.energy_budget_j > 0.0) PB_CHECK(config.planned_frames > 0);
+  }
+
+  /// Expected fraction of DATA packets still lost after decoding a
+  /// (k+m)-window against i.i.d. per-packet loss `plr`: a window with i
+  /// losses recovers fully for i <= m, and loses i·k/(k+m) data packets
+  /// in expectation otherwise. m = 0 reduces to `plr` exactly.
+  static double residual_plr(double plr, int k, int m) {
+    PB_CHECK(k >= 1 && m >= 0);
+    const double p = common::clamp(plr, 0.0, 1.0);
+    if (m == 0 || p == 0.0) return p;
+    if (p == 1.0) return 1.0;
+    const int n = k + m;
+    // Walk the binomial pmf; accumulate E[i · 1{i > m}] / n.
+    double pmf = 1.0;  // C(n,0) p^0 q^n, scaled up incrementally
+    for (int i = 0; i < n; ++i) pmf *= (1.0 - p);
+    double expected_excess = 0.0;
+    for (int i = 1; i <= n; ++i) {
+      pmf *= static_cast<double>(n - i + 1) / static_cast<double>(i) * p /
+             (1.0 - p);
+      if (i > m) expected_excess += pmf * static_cast<double>(i);
+    }
+    return expected_excess / static_cast<double>(n);
+  }
+
+  /// Receiver feedback: measured NETWORK packet-loss rate changed.
+  void on_plr_update(double plr) {
+    last_plr_ = plr;
+    desired_m_ = pick_m(plr);
+    fec_m_ = common::clamp(desired_m_, 0, m_cap_);
+    const double residual = residual_plr(plr, config_.fec_k, fec_m_);
+    intra_th_ = common::clamp(
+        config_.base_intra_th -
+            config_.plr_coupling * (residual - config_.base_plr),
+        0.0, 1.0);
+  }
+
+  /// Energy telemetry: total Joules spent after `frames_done` frames.
+  void on_energy_update(double spent_j, int frames_done) {
+    if (config_.energy_budget_j <= 0.0 || frames_done <= 0) return;
+    const double projected = spent_j *
+                             static_cast<double>(config_.planned_frames) /
+                             frames_done;
+    if (projected > config_.energy_budget_j) {
+      if (fec_m_ > 0) {
+        // Shed transmit energy first: one fewer repair packet per window.
+        m_cap_ = fec_m_ - 1;
+        fec_m_ = m_cap_;
+      } else {
+        // No FEC left to shed; intra coding cuts ME energy.
+        intra_th_ = common::clamp(intra_th_ + config_.step, 0.0, 1.0);
+      }
+    } else if (projected < 0.9 * config_.energy_budget_j) {
+      if (m_cap_ < config_.max_fec_m && m_cap_ < desired_m_) {
+        // Headroom: restore protection before relaxing intra refresh.
+        ++m_cap_;
+        fec_m_ = common::clamp(desired_m_, 0, m_cap_);
+      } else if (intra_th_ > config_.base_intra_th) {
+        intra_th_ = common::clamp(intra_th_ - config_.step,
+                                  config_.base_intra_th, 1.0);
+      }
+    }
+  }
+
+  double intra_th() const { return intra_th_; }
+  int fec_m() const { return fec_m_; }
+  int fec_m_cap() const { return m_cap_; }
+  double last_plr() const { return last_plr_; }
+
+ private:
+  /// Smallest m in [0, max_fec_m] whose predicted residual loss meets the
+  /// target; max_fec_m when none does (best effort under heavy loss).
+  int pick_m(double plr) const {
+    for (int m = 0; m <= config_.max_fec_m; ++m) {
+      if (residual_plr(plr, config_.fec_k, m) <= config_.target_residual_plr) {
+        return m;
+      }
+    }
+    return config_.max_fec_m;
+  }
+
+  JointAdaptationConfig config_;
+  double intra_th_;
+  int fec_m_ = 0;
+  int desired_m_ = 0;
+  int m_cap_;
+  double last_plr_ = -1.0;
+};
+
 }  // namespace pbpair::core

@@ -1,0 +1,157 @@
+// Packet-level forward error correction: XOR parity and GF(256)
+// Reed–Solomon erasure coding over the RTP stream.
+//
+// The paper buys error resilience by spending encoder energy on intra MBs;
+// modern transports buy it with repair packets. FecEncoder groups each
+// frame's media packets into windows of at most k and appends m repair
+// packets per window; FecDecoder, sitting between the channel and the
+// depacketizer, uses whatever subset arrived to reconstruct missing media
+// packets — any k of the k+m window packets suffice — and re-injects them
+// into the normal receive path, so recovery is invisible to the decoder.
+//
+// Code construction (DESIGN.md §12): systematic, with repair row j of the
+// generator matrix taken from a Cauchy matrix over GF(256) —
+// c_{j,i} = 1 / (x_j ^ y_i) with y_i = i (data columns) and x_j = 255 - j
+// (repair rows). The x and y element sets are disjoint and internally
+// distinct, so every square submatrix is invertible and ANY k received
+// packets of a window determine the other m (the MDS property). XOR
+// parity is the m = 1 special case with an all-ones row; it is kept as a
+// distinct wire scheme because it needs no field multiplies at all.
+//
+// The protected symbol for a media packet is [u16 wire length | serialized
+// wire bytes | zero padding] — length-prefixing lets windows mix packet
+// sizes, and protecting the full wire image means a recovered packet
+// round-trips through parse_packet exactly like a delivered one. All
+// multi-byte fields are big-endian on the wire (the aarch64 CI job runs
+// the same property tests to keep the byte order honest off-x86).
+//
+// Repair packets are real RTP packets (payload type kPayloadTypeFec, own
+// SSRC offset, own sequence space), so the channel drops them like any
+// other packet, the fault injector damages them at the byte level, and
+// their wire bytes are metered by the transmit-energy model — FEC's energy
+// cost is accounted, which is what bench/fec_tradeoff trades off against
+// PBPAIR's intra-refresh energy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace pbpair::net {
+
+enum class FecScheme : std::uint8_t {
+  kXorParity = 1,    // m == 1, repair = XOR of the window
+  kReedSolomon = 2,  // any k of (k+m), Cauchy rows over GF(256)
+};
+
+/// Window geometry bounds. k + m must stay below 256 so the Cauchy element
+/// sets stay disjoint; the caps keep the solve cost (O(m^3 + m^2·L)) and
+/// the per-window latency bounded far below that.
+inline constexpr int kMaxFecK = 24;
+inline constexpr int kMaxFecM = 8;
+
+struct FecConfig {
+  FecScheme scheme = FecScheme::kReedSolomon;
+  int k = 8;  // data packets per window (1..kMaxFecK)
+  int m = 1;  // repair packets per window (0..kMaxFecM; 0 disables)
+  std::uint32_t ssrc_offset = 2;  // repair SSRC = media SSRC + this
+
+  bool enabled() const { return k > 0 && m > 0; }
+};
+
+/// Repair payload header (8 bytes, big-endian u16s), followed by
+/// symbol_len bytes of the FEC combination.
+struct FecRepairHeader {
+  std::uint8_t scheme = 0;
+  std::uint8_t k = 0;             // data packets in THIS window (may be < config k)
+  std::uint8_t m = 0;             // repair packets emitted for this window
+  std::uint8_t repair_index = 0;  // 0..m-1
+  std::uint16_t base_sequence = 0;  // media sequence of the window's first packet
+  std::uint16_t symbol_len = 0;     // bytes of FEC symbol following the header
+};
+
+inline constexpr std::size_t kFecRepairHeaderSize = 8;
+
+/// Serializes `header` in front of `symbol` as a repair payload.
+std::vector<std::uint8_t> serialize_repair_payload(
+    const FecRepairHeader& header, const std::vector<std::uint8_t>& symbol);
+
+/// Parses a repair packet's payload. Returns false when the payload is too
+/// short, the scheme byte is unknown, the geometry is out of bounds
+/// (k > kMaxFecK, m > kMaxFecM, repair_index >= m, k == 0), or the symbol
+/// bytes don't match symbol_len. `packet` is UNTRUSTED.
+bool parse_repair_header(const Packet& packet, FecRepairHeader* header);
+
+/// The Cauchy generator coefficient for repair row j, data column i.
+/// Exposed so tests can cross-check the decoder's solve against an
+/// independently built matrix.
+std::uint8_t fec_cauchy_coefficient(int repair_index, int data_index);
+
+struct FecEncoderStats {
+  std::uint64_t windows = 0;
+  std::uint64_t media_packets = 0;
+  std::uint64_t repair_packets = 0;
+  std::uint64_t repair_bytes = 0;  // wire bytes of emitted repair packets
+};
+
+class FecEncoder {
+ public:
+  explicit FecEncoder(const FecConfig& config);
+
+  /// Appends repair packets for one frame's media packets. Windows never
+  /// span frames: packets are grouped into ceil(n/k) windows in order, the
+  /// last window covering whatever remains (its header k is the actual
+  /// count). Returns the number of repair packets appended. With m == 0
+  /// (or an empty frame) this is a no-op.
+  int protect(std::vector<Packet>* packets);
+
+  /// Live adaptation hook (joint Intra_Th/FEC-rate control): changes the
+  /// repair count for FUTURE windows. Clamped to [0, kMaxFecM]; the XOR
+  /// scheme caps at 1 (a second identical parity row recovers nothing).
+  void set_m(int m);
+  int m() const { return config_.m; }
+  int k() const { return config_.k; }
+  const FecConfig& config() const { return config_; }
+  const FecEncoderStats& stats() const { return stats_; }
+
+ private:
+  FecConfig config_;
+  std::uint16_t next_repair_sequence_ = 0;
+  FecEncoderStats stats_;
+};
+
+struct FecDecoderStats {
+  std::uint64_t windows_seen = 0;         // distinct repair windows observed
+  std::uint64_t repair_packets_seen = 0;
+  std::uint64_t repair_packets_invalid = 0;  // malformed/conflicting headers
+  std::uint64_t packets_recovered = 0;       // media packets reconstructed
+  std::uint64_t windows_unrecoverable = 0;   // losses exceeded repair count
+  std::uint64_t recovered_unparseable = 0;   // solve output failed RTP parse
+};
+
+class FecDecoder {
+ public:
+  FecDecoder() = default;
+
+  /// Consumes the repair packets in `packets` (they never propagate
+  /// downstream), reconstructs whatever missing media packets the
+  /// surviving window subsets determine, and returns the media stream:
+  /// survivors in arrival order with each recovered packet (marked
+  /// Packet::recovered) spliced in by sequence. `packets` is UNTRUSTED —
+  /// conflicting window headers, duplicate or truncated repair packets,
+  /// stale base sequences, and corrupted symbols are counted and skipped,
+  /// never asserted on. Symbols damaged in ways FEC cannot see (bit flips
+  /// that still parse) produce wrong reconstructions; those that no longer
+  /// frame as RTP are dropped and counted (recovered_unparseable), the
+  /// rest are handed to the decoder, which conceals garbage like any
+  /// other hostile bytes.
+  std::vector<Packet> process(std::vector<Packet> packets);
+
+  const FecDecoderStats& stats() const { return stats_; }
+
+ private:
+  FecDecoderStats stats_;
+};
+
+}  // namespace pbpair::net

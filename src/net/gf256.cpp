@@ -1,0 +1,38 @@
+#include "net/gf256.h"
+
+namespace pbpair::net {
+
+void gf256_addmul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                  std::size_t len) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  // Hoist the log of the constant; the per-byte work is then one lookup
+  // chain the compiler unrolls. A 256-entry row table would be faster
+  // still, but repair windows are small enough that this never shows up
+  // next to the codec kernels.
+  const auto& t = gf256_detail::kTables;
+  const std::size_t log_c = t.log_[c];
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp_[log_c + t.log_[s]];
+  }
+}
+
+void gf256_scale(std::uint8_t* dst, std::uint8_t c, std::size_t len) {
+  if (c == 1) return;
+  if (c == 0) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] = 0;
+    return;
+  }
+  const auto& t = gf256_detail::kTables;
+  const std::size_t log_c = t.log_[c];
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t s = dst[i];
+    if (s != 0) dst[i] = t.exp_[log_c + t.log_[s]];
+  }
+}
+
+}  // namespace pbpair::net

@@ -1,0 +1,87 @@
+// GF(256) field arithmetic for the packet-level erasure code (net/fec.h).
+//
+// The field is GF(2^8) with the AES-adjacent primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D) and generator 2: every nonzero element
+// is 2^i for some i in [0, 254], so multiplication and division reduce to
+// one addition/subtraction of logarithms modulo 255 plus two table lookups
+// — the classic log/exp construction. Addition is XOR (characteristic 2),
+// which is why XOR parity is exactly the m=1 special case of the
+// Reed–Solomon code built on top of this field.
+//
+// The tables are built at compile time (constexpr), so the arithmetic is
+// available in every build mode with no init-order concerns, and the
+// hot-path region helper (gf256_addmul) is a plain byte loop the compiler
+// auto-vectorizes — repair windows are a few KB, nowhere near the codec
+// kernels on the profile.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pbpair::net {
+
+namespace gf256_detail {
+
+inline constexpr std::uint32_t kPoly = 0x11D;  // x^8+x^4+x^3+x^2+1
+
+struct Tables {
+  // exp_ is doubled so gf256_mul can index log[a]+log[b] (max 508)
+  // without reducing modulo 255 first.
+  std::array<std::uint8_t, 510> exp_{};
+  std::array<std::uint8_t, 256> log_{};
+};
+
+constexpr Tables build_tables() {
+  Tables t{};
+  std::uint32_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.exp_[static_cast<std::size_t>(i) + 255] = static_cast<std::uint8_t>(x);
+    t.log_[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  t.log_[0] = 0;  // log(0) is undefined; callers must branch on zero
+  return t;
+}
+
+inline constexpr Tables kTables = build_tables();
+
+}  // namespace gf256_detail
+
+/// a * b in GF(256).
+inline std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = gf256_detail::kTables;
+  return t.exp_[static_cast<std::size_t>(t.log_[a]) + t.log_[b]];
+}
+
+/// Multiplicative inverse of a (a != 0).
+inline std::uint8_t gf256_inv(std::uint8_t a) {
+  const auto& t = gf256_detail::kTables;
+  return t.exp_[255 - t.log_[a]];
+}
+
+/// a / b in GF(256) (b != 0).
+inline std::uint8_t gf256_div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  const auto& t = gf256_detail::kTables;
+  return t.exp_[static_cast<std::size_t>(t.log_[a]) + 255 - t.log_[b]];
+}
+
+/// Generator power 2^i (i reduced modulo 255).
+inline std::uint8_t gf256_exp(unsigned i) {
+  return gf256_detail::kTables.exp_[i % 255];
+}
+
+/// dst[i] ^= c * src[i] for i in [0, len) — the row operation both the
+/// encoder (building repair symbols) and the decoder (Gaussian
+/// elimination on received symbols) are made of.
+void gf256_addmul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                  std::size_t len);
+
+/// dst[i] = c * dst[i] for i in [0, len).
+void gf256_scale(std::uint8_t* dst, std::uint8_t c, std::size_t len);
+
+}  // namespace pbpair::net

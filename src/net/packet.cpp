@@ -28,7 +28,6 @@ std::uint32_t get_u32(const std::uint8_t* p) {
 }
 
 constexpr std::uint8_t kRtpVersion = 2;
-constexpr std::uint8_t kPayloadTypeH263 = 34;  // RFC 3551 static type
 
 }  // namespace
 
@@ -41,8 +40,8 @@ std::vector<std::uint8_t> serialize_packet(const Packet& packet) {
   wire.reserve(packet.wire_size());
   // Byte 0: V(2)=2, P=0, X=0, CC=0. Byte 1: M(1), PT(7).
   wire.push_back(kRtpVersion << 6);
-  wire.push_back(static_cast<std::uint8_t>((packet.header.marker ? 0x80 : 0) |
-                                           kPayloadTypeH263));
+  wire.push_back(static_cast<std::uint8_t>(
+      (packet.header.marker ? 0x80 : 0) | (packet.header.payload_type & 0x7F)));
   put_u16(wire, packet.header.sequence);
   put_u32(wire, packet.header.timestamp);
   put_u32(wire, packet.header.ssrc);
@@ -58,7 +57,11 @@ std::vector<std::uint8_t> serialize_packet(const Packet& packet) {
 bool parse_packet(const std::vector<std::uint8_t>& wire, Packet* packet) {
   if (wire.size() < kHeaderWireSize) return false;
   if ((wire[0] >> 6) != kRtpVersion) return false;
-  if ((wire[1] & 0x7F) != kPayloadTypeH263) return false;
+  const std::uint8_t payload_type = wire[1] & 0x7F;
+  if (payload_type != kPayloadTypeH263 && payload_type != kPayloadTypeFec) {
+    return false;
+  }
+  packet->header.payload_type = payload_type;
   packet->header.marker = (wire[1] & 0x80) != 0;
   packet->header.sequence = get_u16(&wire[2]);
   packet->header.timestamp = get_u32(&wire[4]);

@@ -13,14 +13,25 @@
 
 namespace pbpair::net {
 
+/// RFC 3551 static payload type for the H.263 media stream.
+inline constexpr std::uint8_t kPayloadTypeH263 = 34;
+/// Dynamic-range payload type carrying FEC repair symbols (net/fec.h).
+/// Repair packets share the RTP framing (so the channel, fault injector,
+/// and energy model treat them like any other wire bytes) but are consumed
+/// by the FEC decoder and never reach the depacketizer.
+inline constexpr std::uint8_t kPayloadTypeFec = 97;
+
 struct RtpHeader {
   // Core RTP fields (RFC 3550 subset).
   std::uint16_t sequence = 0;
   std::uint32_t timestamp = 0;  // frame index
   std::uint32_t ssrc = 0;
   bool marker = false;          // last packet of the frame
+  std::uint8_t payload_type = kPayloadTypeH263;
 
-  // H.263-style payload header (RFC 2190 mode B analogue).
+  // H.263-style payload header (RFC 2190 mode B analogue). For FEC repair
+  // packets these four bytes are repurposed by net/fec.h (the repair
+  // window header lives in the payload; these stay zero).
   std::uint8_t frame_type = 0;  // 0 = I, 1 = P
   std::uint8_t qp = 0;
   std::uint8_t first_gob = 0;
@@ -31,7 +42,16 @@ struct Packet {
   RtpHeader header;
   std::vector<std::uint8_t> payload;
 
+  /// Not a wire field: set by the FEC decoder on packets it reconstructed
+  /// from repair symbols, so the feedback loop can keep reporting the
+  /// NETWORK loss rate (a recovered packet was still lost on the wire).
+  bool recovered = false;
+
   std::size_t wire_size() const;  // serialized header + payload bytes
+
+  bool is_fec_repair() const {
+    return header.payload_type == kPayloadTypeFec;
+  }
 };
 
 /// Serialized size of the fixed header (12-byte RTP + 4-byte payload hdr).

@@ -88,6 +88,7 @@ codec::ReceivedFrame depacketize(const std::vector<Packet>& packets,
 
   std::uint64_t dropped_bad_header = 0;
   std::uint64_t dropped_orphan_continuation = 0;
+  std::uint64_t dropped_stray_fec = 0;
   bool have_meta = false;
   // Continuation packets (num_gobs == 0) re-join an oversized GOB split
   // by the packetizer. One is accepted only immediately after its
@@ -97,6 +98,15 @@ codec::ReceivedFrame depacketize(const std::vector<Packet>& packets,
   std::uint16_t expected_continuation_seq = 0;
 
   for (const Packet& packet : packets) {
+    if (packet.is_fec_repair()) {
+      // A repair packet only reaches the depacketizer when no FEC decoder
+      // ran (or damage forged the payload type); its payload is a FEC
+      // symbol, not GOB data, so it is dropped — counted separately from
+      // bad headers so the leak is visible in the metrics.
+      ++dropped_stray_fec;
+      continuation_gob = -1;
+      continue;
+    }
     if (packet.header.timestamp != static_cast<std::uint32_t>(frame_index)) {
       ++dropped_bad_header;
       continuation_gob = -1;
@@ -147,6 +157,10 @@ codec::ReceivedFrame depacketize(const std::vector<Packet>& packets,
       static obs::Counter* c =
           &obs::counter("net.dropped_orphan_continuation");
       c->add(dropped_orphan_continuation);
+    }
+    if (dropped_stray_fec > 0) {
+      static obs::Counter* c = &obs::counter("net.dropped_stray_fec");
+      c->add(dropped_stray_fec);
     }
   }
   return received;

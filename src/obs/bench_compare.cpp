@@ -17,6 +17,16 @@ bool is_ns_field(const std::string& key) {
   return key.size() > 3 && key.compare(key.size() - 3, 3, "_ns") == 0;
 }
 
+const common::JsonValue* find_fec_row(const common::JsonValue& report,
+                                      const std::string& name) {
+  const common::JsonValue* rows = report.find("fec_rows");
+  if (rows == nullptr || !rows->is_array()) return nullptr;
+  for (const common::JsonValue& entry : rows->items()) {
+    if (entry.string_at("name") == name) return &entry;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 BenchComparison compare_bench_reports(const common::JsonValue& baseline,
@@ -58,6 +68,65 @@ BenchComparison compare_bench_reports(const common::JsonValue& baseline,
       if (name.empty()) continue;
       if (find_kernel(baseline, name) == nullptr) {
         result.unknown_kernels.push_back(name);
+      }
+    }
+  }
+  return result;
+}
+
+FecComparison compare_fec_reports(const common::JsonValue& baseline,
+                                  const common::JsonValue& current,
+                                  double threshold) {
+  FecComparison result;
+  const common::JsonValue* base_rows = baseline.find("fec_rows");
+  if (base_rows == nullptr || !base_rows->is_array()) return result;
+
+  for (const common::JsonValue& base_entry : base_rows->items()) {
+    const std::string& name = base_entry.string_at("name");
+    if (name.empty()) continue;
+    const common::JsonValue* cur_entry = find_fec_row(current, name);
+    if (cur_entry == nullptr) {
+      result.missing_rows.push_back(name);
+      continue;
+    }
+    auto both = [&](const char* field, const common::JsonValue** base_value,
+                    const common::JsonValue** cur_value) {
+      *base_value = base_entry.find(field);
+      *cur_value = cur_entry->find(field);
+      return *base_value != nullptr && (*base_value)->is_number() &&
+             *cur_value != nullptr && (*cur_value)->is_number();
+    };
+    const common::JsonValue* base_value = nullptr;
+    const common::JsonValue* cur_value = nullptr;
+    // Recovery rate is a fraction in [0, 1]: gate on ABSOLUTE drop.
+    if (both("recovery_rate", &base_value, &cur_value)) {
+      FecDelta delta;
+      delta.row = name;
+      delta.field = "recovery_rate";
+      delta.baseline = base_value->as_number();
+      delta.current = cur_value->as_number();
+      delta.regression = delta.current < delta.baseline - threshold;
+      result.deltas.push_back(std::move(delta));
+    }
+    // Energy per frame: gate on RELATIVE growth, like the kernel timings.
+    if (both("j_per_frame", &base_value, &cur_value)) {
+      FecDelta delta;
+      delta.row = name;
+      delta.field = "j_per_frame";
+      delta.baseline = base_value->as_number();
+      delta.current = cur_value->as_number();
+      delta.regression = delta.baseline > 0.0 &&
+                         delta.current > delta.baseline * (1.0 + threshold);
+      result.deltas.push_back(std::move(delta));
+    }
+  }
+  const common::JsonValue* cur_rows = current.find("fec_rows");
+  if (cur_rows != nullptr && cur_rows->is_array()) {
+    for (const common::JsonValue& cur_entry : cur_rows->items()) {
+      const std::string& name = cur_entry.string_at("name");
+      if (name.empty()) continue;
+      if (find_fec_row(baseline, name) == nullptr) {
+        result.unknown_rows.push_back(name);
       }
     }
   }

@@ -55,4 +55,44 @@ BenchComparison compare_bench_reports(const common::JsonValue& baseline,
                                       const common::JsonValue& current,
                                       double threshold);
 
+/// One gated measurement of a BENCH_fec.json row. Unlike the kernel
+/// timings, FEC rows are fully deterministic (seeded loss, modeled
+/// energy), so the threshold only has to absorb cross-compiler
+/// floating-point noise, not scheduler jitter.
+struct FecDelta {
+  std::string row;        // e.g. "ge/hybrid/k8m2"
+  std::string field;      // "recovery_rate" | "j_per_frame"
+  double baseline = 0.0;
+  double current = 0.0;
+  bool regression = false;
+};
+
+struct FecComparison {
+  std::vector<FecDelta> deltas;
+  /// Rows in the baseline that the current report no longer emits
+  /// (failures: a vanished matrix cell hides a regression).
+  std::vector<std::string> missing_rows;
+  /// Rows measured now but absent from the committed baseline (warn-only:
+  /// a new operating point must not fail CI before its baseline row
+  /// lands).
+  std::vector<std::string> unknown_rows;
+
+  bool ok() const {
+    if (!missing_rows.empty()) return false;
+    for (const FecDelta& d : deltas) {
+      if (d.regression) return false;
+    }
+    return true;
+  }
+};
+
+/// Diffs two reports with the BENCH_fec.json schema ("fec_rows" array of
+/// {"name", "recovery_rate", "j_per_frame", ...}), matching rows by name.
+/// Regressions: recovery_rate falling more than `threshold` ABSOLUTE
+/// below baseline, or j_per_frame growing more than `threshold` RELATIVE
+/// above it. Improvements never fail.
+FecComparison compare_fec_reports(const common::JsonValue& baseline,
+                                  const common::JsonValue& current,
+                                  double threshold);
+
 }  // namespace pbpair::obs

@@ -13,6 +13,7 @@
 #include "common/json.h"
 #include "common/rng.h"
 #include "net/fault_injector.h"
+#include "net/fec.h"
 #include "net/packetizer.h"
 #include "obs/prometheus.h"
 #include "video/sequence.h"
@@ -253,6 +254,8 @@ std::uint64_t fuzz_packet_case(Pcg32& rng) {
   p.header.timestamp = rng.next_u32();
   p.header.ssrc = rng.next_u32();
   p.header.marker = rng.next_below(2) == 1;
+  p.header.payload_type = rng.next_below(2) == 0 ? net::kPayloadTypeH263
+                                                 : net::kPayloadTypeFec;
   p.header.frame_type = static_cast<std::uint8_t>(rng.next_u32());
   p.header.qp = static_cast<std::uint8_t>(rng.next_u32());
   p.header.first_gob = static_cast<std::uint8_t>(rng.next_u32());
@@ -264,11 +267,92 @@ std::uint64_t fuzz_packet_case(Pcg32& rng) {
            q.header.timestamp == p.header.timestamp &&
            q.header.ssrc == p.header.ssrc &&
            q.header.marker == p.header.marker &&
+           q.header.payload_type == p.header.payload_type &&
            q.header.frame_type == p.header.frame_type &&
            q.header.qp == p.header.qp &&
            q.header.first_gob == p.header.first_gob &&
            q.header.num_gobs == p.header.num_gobs && q.payload == p.payload);
   return rejects;
+}
+
+std::uint64_t fuzz_fec_case(Pcg32& rng, net::Packetizer& packetizer) {
+  const Corpus& corpus = Corpus::instance();
+
+  // Honest protected windows first, so the decoder has real structure to
+  // chew on (random geometry: both schemes, short last windows).
+  net::FecConfig config;
+  config.scheme = rng.next_below(2) == 0 ? net::FecScheme::kXorParity
+                                         : net::FecScheme::kReedSolomon;
+  config.k = 1 + static_cast<int>(rng.next_below(net::kMaxFecK));
+  config.m = config.scheme == net::FecScheme::kXorParity
+                 ? 1
+                 : 1 + static_cast<int>(rng.next_below(net::kMaxFecM));
+  net::FecEncoder encoder(config);
+  std::vector<net::Packet> packets = packetizer.packetize(corpus.pick(rng));
+  encoder.protect(&packets);
+
+  // Structural damage: drop / duplicate / adjacent swaps.
+  std::vector<net::Packet> stream;
+  for (net::Packet& packet : packets) {
+    if (rng.next_bernoulli(0.2)) continue;                   // dropped
+    if (rng.next_bernoulli(0.10)) stream.push_back(packet);  // duplicated
+    stream.push_back(std::move(packet));
+  }
+  for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+    if (rng.next_bernoulli(0.2)) std::swap(stream[i], stream[i + 1]);
+  }
+
+  // Targeted repair mutations: forged k/m/index geometry, truncated or
+  // padded symbols, stale window ids pointing at sequences that never
+  // existed.
+  for (net::Packet& packet : stream) {
+    if (!packet.is_fec_repair() || packet.payload.empty()) continue;
+    if (rng.next_bernoulli(0.3)) {
+      const std::uint32_t pos = rng.next_below(
+          static_cast<std::uint32_t>(std::min<std::size_t>(
+              packet.payload.size(), net::kFecRepairHeaderSize)));
+      packet.payload[pos] = static_cast<std::uint8_t>(rng.next_u32());
+    }
+    if (rng.next_bernoulli(0.15)) {  // truncate the symbol
+      packet.payload.resize(rng.next_below(
+          static_cast<std::uint32_t>(packet.payload.size() + 1)));
+    }
+    if (rng.next_bernoulli(0.1)) {  // stale window id
+      packet.payload[4] = static_cast<std::uint8_t>(rng.next_u32());
+      packet.payload[5] = static_cast<std::uint8_t>(rng.next_u32());
+    }
+  }
+  // Byte-level damage through the wire-honest injector (hits media and
+  // repair packets alike, including the RTP payload-type bits).
+  net::FaultInjectorConfig faults;
+  faults.seed = rng.next_u32();
+  faults.p_bit_flip = 0.2;
+  faults.p_truncate = 0.1;
+  faults.p_header_corrupt = 0.15;
+  net::FaultInjector injector(faults);
+  stream = injector.apply(std::move(stream));
+  // Occasionally a pure-garbage "repair" packet.
+  if (rng.next_bernoulli(0.25)) {
+    net::Packet alien;
+    alien.header.payload_type = net::kPayloadTypeFec;
+    alien.header.sequence = static_cast<std::uint16_t>(rng.next_u32());
+    alien.header.timestamp = rng.next_u32();
+    alien.payload = random_bytes(rng, 512);
+    stream.insert(stream.begin() + static_cast<std::ptrdiff_t>(rng.next_below(
+                      static_cast<std::uint32_t>(stream.size() + 1))),
+                  std::move(alien));
+  }
+
+  net::FecDecoder fec_decoder;
+  const std::vector<net::Packet> out = fec_decoder.process(std::move(stream));
+  // Contract: repair packets never propagate downstream, and the decoder
+  // never fabricates repair-typed media.
+  for (const net::Packet& packet : out) {
+    PB_CHECK(!packet.is_fec_repair());
+  }
+  const net::FecDecoderStats& stats = fec_decoder.stats();
+  PB_CHECK(stats.repair_packets_invalid <= stats.repair_packets_seen);
+  return stats.repair_packets_invalid;
 }
 
 // Representative exposition text covering every shape the renderer
@@ -379,7 +463,15 @@ std::uint64_t target_stream(std::uint64_t seed, const char* name) {
 }  // namespace
 
 bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
-  enum TargetId { kBitReader, kDecoder, kDepacketize, kPacket, kProm, kJson };
+  enum TargetId {
+    kBitReader,
+    kDecoder,
+    kDepacketize,
+    kPacket,
+    kFec,
+    kProm,
+    kJson
+  };
   struct Target {
     TargetId id;
     const char* name;
@@ -387,7 +479,8 @@ bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
   static constexpr Target kTargets[] = {
       {kBitReader, "bitreader"},     {kDecoder, "decoder"},
       {kDepacketize, "depacketize"}, {kPacket, "packet"},
-      {kProm, "prometheus"},         {kJson, "json"},
+      {kFec, "fec"},                 {kProm, "prometheus"},
+      {kJson, "json"},
   };
   const auto want = [&](const Target& t) {
     return options.target == "all" || options.target == t.name;
@@ -403,6 +496,9 @@ bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
   net::PacketizerConfig packetizer_config;
   packetizer_config.mtu = 320;  // small MTU: exercises GOB continuations
   net::Packetizer packetizer(packetizer_config);
+  // The FEC target gets its own packetizer so its sequence-number state
+  // never perturbs the depacketize target's streams (or vice versa).
+  net::Packetizer fec_packetizer(packetizer_config);
 
   for (const Target& t : kTargets) {
     if (!want(t)) continue;
@@ -417,6 +513,9 @@ bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
           fuzz_depacketize_case(rng, packetizer, depack_decoder);
           break;
         case kPacket: report->parse_rejects += fuzz_packet_case(rng); break;
+        case kFec:
+          report->parse_rejects += fuzz_fec_case(rng, fec_packetizer);
+          break;
         case kProm: report->parse_rejects += fuzz_prometheus_case(rng); break;
         case kJson: report->parse_rejects += fuzz_json_case(rng); break;
       }

@@ -2,8 +2,10 @@
 //
 // `run_fuzz` drives the library's untrusted-input surfaces with hostile
 // bytes: the bit reader, the decoder (mutations of a valid bitstream plus
-// pure garbage), the RTP parse/depacketize path, the Prometheus text
-// parser, and the JSON parser. A pass is simply surviving: any PB_CHECK
+// pure garbage), the RTP parse/depacketize path, the FEC repair-packet
+// decoder (forged window geometry, duplicated/truncated repair packets,
+// stale window ids), the Prometheus text parser, and the JSON parser. A
+// pass is simply surviving: any PB_CHECK
 // abort, sanitizer report, or violated invariant (checked with PB_CHECK
 // inside the targets) kills the process and fails the run.
 //
@@ -25,7 +27,7 @@ struct FuzzOptions {
   std::uint64_t seed = 2005;
   /// Iterations per target (each target runs this many cases).
   int iterations = 2000;
-  /// "all" or one of: bitreader, decoder, depacketize, packet,
+  /// "all" or one of: bitreader, decoder, depacketize, packet, fec,
   /// prometheus, json.
   std::string target = "all";
   /// When non-empty, the current case is written to

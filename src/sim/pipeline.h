@@ -22,6 +22,7 @@
 #include "energy/energy_model.h"
 #include "net/channel.h"
 #include "net/fault_injector.h"
+#include "net/fec.h"
 #include "net/packetizer.h"
 #include "net/rtcp.h"
 #include "obs/health.h"
@@ -87,6 +88,18 @@ struct PipelineConfig {
   /// Unset (or all-zero) leaves the pipeline untouched — reports stay
   /// byte-identical to a build without the injector.
   std::optional<net::FaultInjectorConfig> faults;
+
+  /// Packet-level forward error correction (net/fec.h). When set with
+  /// m > 0, the session inserts a "fec_encode" stage after "packetize"
+  /// (appends repair packets per window of k media packets) and a
+  /// "fec_decode" stage before "depacketize" (consumes surviving repair
+  /// packets, reconstructs missing media, splices it back in by sequence).
+  /// Repair packets traverse the channel and the fault injector like any
+  /// other wire bytes, so their transmit energy and their exposure to
+  /// hostile damage are both real. Unset (or m == 0) leaves the stage
+  /// list — and every output byte — identical to a FEC-free build
+  /// (tests/test_fec.cpp asserts this at 1, 2 and 8 threads).
+  std::optional<net::FecConfig> fec;
 };
 
 /// Per-frame trace row (Fig. 6 plots these directly).
@@ -99,9 +112,14 @@ struct FrameTrace {
   int pre_me_intra_mbs = 0;    // intra MBs that skipped motion estimation
   int packets_sent = 0;        // offered to the channel
   int packets_delivered = 0;   // survived it
-  bool lost = false;           // at least one packet of this frame dropped
+  bool lost = false;           // at least one MEDIA packet missing post-FEC
   double psnr_db = 0.0;        // decoder output vs original
   std::uint64_t bad_pixels = 0;
+
+  // FEC accounting (all zero when PipelineConfig::fec is unset).
+  int fec_repair_sent = 0;          // repair packets appended this frame
+  int fec_recovered = 0;            // media packets reconstructed
+  int fec_unrecoverable_windows = 0;  // windows whose losses exceeded m
 };
 
 struct PipelineResult {
@@ -118,6 +136,10 @@ struct PipelineResult {
   energy::EnergyBreakdown encode_energy;  // on the configured device
   double tx_energy_j = 0.0;
   net::ChannelStats channel;
+
+  // FEC totals (default-initialized when PipelineConfig::fec is unset).
+  net::FecEncoderStats fec_encode;
+  net::FecDecoderStats fec_decode;
 
   double total_energy_j() const {
     return encode_energy.total_j() + tx_energy_j;

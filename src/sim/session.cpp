@@ -12,8 +12,11 @@ namespace pbpair::sim {
 namespace {
 
 // One FrameTrace as a JSONL row. Deterministic fields only: no clocks, no
-// pointers — reruns with the same seed produce a byte-identical file.
-void append_frame_trace_jsonl(std::ofstream& out, const FrameTrace& trace) {
+// pointers — reruns with the same seed produce a byte-identical file. The
+// FEC fields appear only when the session has FEC stages, so a FEC-off run
+// stays byte-identical to a build without FEC at all.
+void append_frame_trace_jsonl(std::ofstream& out, const FrameTrace& trace,
+                              bool fec) {
   char psnr[32];
   std::snprintf(psnr, sizeof(psnr), "%.4f", trace.psnr_db);
   out << "{\"frame\":" << trace.index << ",\"type\":\""
@@ -22,8 +25,13 @@ void append_frame_trace_jsonl(std::ofstream& out, const FrameTrace& trace) {
       << ",\"intra_mbs\":" << trace.intra_mbs
       << ",\"pre_me_intra_mbs\":" << trace.pre_me_intra_mbs
       << ",\"lost\":" << (trace.lost ? "true" : "false")
-      << ",\"psnr_db\":" << psnr << ",\"bad_pixels\":" << trace.bad_pixels
-      << "}\n";
+      << ",\"psnr_db\":" << psnr << ",\"bad_pixels\":" << trace.bad_pixels;
+  if (fec) {
+    out << ",\"fec_repair\":" << trace.fec_repair_sent
+        << ",\"fec_recovered\":" << trace.fec_recovered
+        << ",\"fec_unrecoverable\":" << trace.fec_unrecoverable_windows;
+  }
+  out << "}\n";
 }
 
 }  // namespace
@@ -121,6 +129,20 @@ void StreamSession::init() {
   stages_.push_back({"packetize", [](FrameContext& ctx, StreamSession& s) {
                        ctx.packets = s.packetizer_->packetize(ctx.encoded);
                      }});
+  // FEC protection sits between the packetizer and the channel, so repair
+  // packets ride the same lossy wire (and the same transmit-energy meter)
+  // as the media they protect. With config_.fec unset or m == 0 neither
+  // stage exists and the session is byte-identical to a FEC-free build.
+  if (config_.fec.has_value() && config_.fec->enabled()) {
+    fec_encoder_ = std::make_unique<net::FecEncoder>(*config_.fec);
+    fec_decoder_ = std::make_unique<net::FecDecoder>();
+    stages_.push_back({"fec_encode", [](FrameContext& ctx, StreamSession& s) {
+                         ctx.media_packets_sent =
+                             static_cast<int>(ctx.packets.size());
+                         ctx.trace.fec_repair_sent =
+                             s.fec_encoder_->protect(&ctx.packets);
+                       }});
+  }
   stages_.push_back({"transmit", [](FrameContext& ctx, StreamSession& s) {
                        obs::ScopedSpan span("pipeline.transmit", ctx.index,
                                             "frame");
@@ -135,6 +157,18 @@ void StreamSession::init() {
     stages_.push_back(
         {"inject_faults", [](FrameContext& ctx, StreamSession& s) {
            ctx.delivered = s.fault_injector_->apply(std::move(ctx.delivered));
+         }});
+  }
+  if (fec_decoder_ != nullptr) {
+    stages_.push_back(
+        {"fec_decode", [](FrameContext& ctx, StreamSession& s) {
+           const net::FecDecoderStats before = s.fec_decoder_->stats();
+           ctx.delivered = s.fec_decoder_->process(std::move(ctx.delivered));
+           const net::FecDecoderStats& after = s.fec_decoder_->stats();
+           ctx.trace.fec_recovered = static_cast<int>(
+               after.packets_recovered - before.packets_recovered);
+           ctx.trace.fec_unrecoverable_windows = static_cast<int>(
+               after.windows_unrecoverable - before.windows_unrecoverable);
          }});
   }
   stages_.push_back({"depacketize", [](FrameContext& ctx, StreamSession&) {
@@ -159,7 +193,15 @@ void StreamSession::init() {
          }
          trace.packets_sent = static_cast<int>(ctx.packets.size());
          trace.packets_delivered = static_cast<int>(ctx.delivered.size());
-         trace.lost = ctx.delivered.size() != ctx.packets.size();
+         // With FEC stages, `delivered` holds the post-recovery media
+         // stream (repair consumed, reconstructions spliced in): a frame
+         // is lost only if a media packet is STILL missing. Without them,
+         // media_packets_sent is -1 and this is the historical formula.
+         const std::size_t media_sent =
+             ctx.media_packets_sent >= 0
+                 ? static_cast<std::size_t>(ctx.media_packets_sent)
+                 : ctx.packets.size();
+         trace.lost = ctx.delivered.size() != media_sent;
          trace.psnr_db = video::psnr_luma(ctx.original, *ctx.output);
          trace.bad_pixels = video::bad_pixel_count(
              ctx.original, *ctx.output, s.config_.bad_pixel_threshold);
@@ -203,7 +245,13 @@ void StreamSession::write_frame_trace_header() {
       << "\",\"seed\":" << config_.frame_trace_seed
       << ",\"width\":" << config_.encoder.width
       << ",\"height\":" << config_.encoder.height
-      << ",\"frames\":" << config_.frames << "}}\n";
+      << ",\"frames\":" << config_.frames;
+  if (config_.fec.has_value() && config_.fec->enabled()) {
+    out << ",\"fec\":{\"scheme\":"
+        << static_cast<int>(config_.fec->scheme)
+        << ",\"k\":" << config_.fec->k << ",\"m\":" << config_.fec->m << "}";
+  }
+  out << "}}\n";
 }
 
 void StreamSession::deliver_due_feedback(int frame) {
@@ -214,6 +262,11 @@ void StreamSession::deliver_due_feedback(int frame) {
 
 void StreamSession::observe_delivery(const FrameContext& ctx) {
   for (const net::Packet& packet : ctx.delivered) {
+    // The feedback loop reports NETWORK loss: a packet the FEC decoder
+    // reconstructed was still lost on the wire, so it must stay invisible
+    // here (and repair packets live in their own sequence space). Without
+    // FEC stages neither predicate ever fires.
+    if (packet.recovered || packet.is_fec_repair()) continue;
     plr_estimator_->on_packet_received(packet.header.sequence);
     highest_sequence_ = packet.header.sequence;
   }
@@ -254,7 +307,8 @@ void StreamSession::accumulate(const FrameTrace& trace) {
   result_.total_bad_pixels += trace.bad_pixels;
   result_.total_intra_mbs += static_cast<std::uint64_t>(trace.intra_mbs);
   if (frame_trace_out_ != nullptr && frame_trace_out_->is_open()) {
-    append_frame_trace_jsonl(*frame_trace_out_, trace);
+    append_frame_trace_jsonl(*frame_trace_out_, trace,
+                             fec_encoder_ != nullptr);
   }
   result_.frames.push_back(trace);
   update_telemetry(trace);
@@ -326,6 +380,8 @@ PipelineResult StreamSession::take_result() {
     result_.tx_energy_j =
         energy::tx_energy_j(channel_->stats().bytes_sent, *config_.profile);
     result_.concealed_mbs = decoder_->concealed_mbs();
+    if (fec_encoder_ != nullptr) result_.fec_encode = fec_encoder_->stats();
+    if (fec_decoder_ != nullptr) result_.fec_decode = fec_decoder_->stats();
     if (frame_trace_out_ != nullptr && frame_trace_out_->is_open()) {
       frame_trace_out_->flush();
       frame_trace_out_->close();

@@ -38,8 +38,12 @@ struct FrameContext {
   int index = 0;
   video::YuvFrame original;              // from the frame source
   codec::EncodedFrame encoded;           // after "encode"
-  std::vector<net::Packet> packets;      // after "packetize"
+  std::vector<net::Packet> packets;      // after "packetize" (+FEC repair)
   std::vector<net::Packet> delivered;    // after "transmit"
+  /// Media packet count before "fec_encode" appended repair packets;
+  /// -1 when the session has no FEC stages. "measure" uses it so frame
+  /// loss means "a MEDIA packet is still missing after recovery".
+  int media_packets_sent = -1;
   codec::ReceivedFrame received;         // after "depacketize"
   const video::YuvFrame* output = nullptr;  // after "decode"
   FrameTrace trace;                      // filled by "measure"
@@ -105,6 +109,10 @@ class StreamSession {
   net::Channel& channel() { return *channel_; }
   /// Non-null only when config().faults is set and enabled.
   net::FaultInjector* fault_injector() { return fault_injector_.get(); }
+  /// Non-null only when config().fec is set and enabled. The encoder's
+  /// set_m() is the joint adaptation loop's FEC-rate actuator.
+  net::FecEncoder* fec_encoder() { return fec_encoder_.get(); }
+  net::FecDecoder* fec_decoder() { return fec_decoder_.get(); }
   const PipelineConfig& config() const { return config_; }
   const SchemeSpec& scheme() const { return scheme_; }
   const std::string& label() const { return label_; }
@@ -131,6 +139,8 @@ class StreamSession {
   std::unique_ptr<net::NoLoss> no_loss_;
   std::unique_ptr<net::Channel> channel_;
   std::unique_ptr<net::FaultInjector> fault_injector_;
+  std::unique_ptr<net::FecEncoder> fec_encoder_;
+  std::unique_ptr<net::FecDecoder> fec_decoder_;
   std::optional<codec::RateController> rate_;
 
   // Receiver-side feedback loop (active only when config_.on_feedback).

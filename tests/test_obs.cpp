@@ -503,6 +503,68 @@ TEST(BenchCompare, MissingKernelIsAFailureMissingFieldIsNot) {
   EXPECT_FALSE(result.deltas[0].regression);
 }
 
+TEST(BenchCompare, FecGatesRecoveryAbsoluteAndEnergyRelative) {
+  const char* baseline_text = R"({"fec_rows": [
+      {"name": "ge/hybrid/k8m2", "recovery_rate": 0.60, "j_per_frame": 0.010},
+      {"name": "iid/fec/k8m1", "recovery_rate": 0.90, "j_per_frame": 0.011}]})";
+  // Row 1: recovery fell 0.60 -> 0.20 (beyond a 0.25 absolute drop) while
+  // energy improved. Row 2: recovery improved but energy grew +45%.
+  const char* current_text = R"({"fec_rows": [
+      {"name": "ge/hybrid/k8m2", "recovery_rate": 0.20, "j_per_frame": 0.009},
+      {"name": "iid/fec/k8m1", "recovery_rate": 0.95, "j_per_frame": 0.016}]})";
+  common::JsonValue baseline, current;
+  ASSERT_TRUE(common::JsonValue::parse(baseline_text, &baseline));
+  ASSERT_TRUE(common::JsonValue::parse(current_text, &current));
+
+  obs::FecComparison result =
+      obs::compare_fec_reports(baseline, current, 0.25);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.deltas.size(), 4u);
+  int regressions = 0;
+  for (const obs::FecDelta& d : result.deltas) {
+    if (!d.regression) continue;
+    ++regressions;
+    if (d.row == "ge/hybrid/k8m2") {
+      EXPECT_EQ(d.field, "recovery_rate");
+    } else {
+      EXPECT_EQ(d.row, "iid/fec/k8m1");
+      EXPECT_EQ(d.field, "j_per_frame");
+    }
+  }
+  EXPECT_EQ(regressions, 2);
+
+  // Generous thresholds accept the same pair.
+  EXPECT_TRUE(obs::compare_fec_reports(baseline, current, 0.50).ok());
+}
+
+TEST(BenchCompare, FecMissingRowFailsUnknownRowOnlyWarns) {
+  const char* baseline_text = R"({"fec_rows": [
+      {"name": "ge/pbpair", "recovery_rate": 0.0, "j_per_frame": 0.010},
+      {"name": "ge/fec/k4m2", "recovery_rate": 0.7, "j_per_frame": 0.011}]})";
+  // ge/fec/k4m2 vanished (failure); ge/hybrid/k4m4 is new (warn-only, so
+  // a freshly added operating point cannot fail CI before its baseline
+  // row is committed).
+  const char* current_text = R"({"fec_rows": [
+      {"name": "ge/pbpair", "recovery_rate": 0.0, "j_per_frame": 0.010},
+      {"name": "ge/hybrid/k4m4", "recovery_rate": 0.9, "j_per_frame": 0.012}]})";
+  common::JsonValue baseline, current;
+  ASSERT_TRUE(common::JsonValue::parse(baseline_text, &baseline));
+  ASSERT_TRUE(common::JsonValue::parse(current_text, &current));
+
+  obs::FecComparison result =
+      obs::compare_fec_reports(baseline, current, 0.25);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.missing_rows.size(), 1u);
+  EXPECT_EQ(result.missing_rows[0], "ge/fec/k4m2");
+  ASSERT_EQ(result.unknown_rows.size(), 1u);
+  EXPECT_EQ(result.unknown_rows[0], "ge/hybrid/k4m4");
+
+  // With the missing row restored, the unknown row alone stays green.
+  obs::FecComparison unknown_only =
+      obs::compare_fec_reports(current, current, 0.25);
+  EXPECT_TRUE(unknown_only.ok());
+}
+
 TEST(Json, ParserHandlesCoreGrammarAndRejectsGarbage) {
   common::JsonValue v;
   std::string error;

@@ -1,15 +1,19 @@
-// check_bench_regression — CI gate over BENCH_kernels.json.
+// check_bench_regression — CI gate over BENCH_*.json reports.
 //
 //   check_bench_regression --baseline BENCH_kernels.json
 //                          --current build/BENCH_kernels.json
-//                          [--threshold 0.25]
+//                          [--threshold 0.25] [--mode kernels|fec]
 //
-// Diffs the fresh report against the committed baseline and exits 1 when
-// any kernel's ns/call grew by more than the threshold (default +25%) or a
-// baseline kernel vanished from the current report. Exit 2 = usage/parse
-// error. Faster-than-baseline results are reported but never fail — the
-// committed baseline is refreshed by re-running bench/micro_kernels and
-// committing the new file.
+// Mode "kernels" (default) diffs per-kernel ns/call numbers and exits 1
+// when any grew by more than the threshold (default +25%) or a baseline
+// kernel vanished from the current report. Mode "fec" diffs the
+// BENCH_fec.json trade-off matrix row by row: recovery_rate may not fall
+// more than the threshold ABSOLUTE below the baseline, j_per_frame may
+// not grow more than the threshold RELATIVE above it, and a vanished row
+// fails while a row with no committed baseline only warns. Exit 2 =
+// usage/parse error. Better-than-baseline results are reported but never
+// fail — baselines are refreshed by re-running the bench and committing
+// the new file.
 #include <cstdio>
 #include <string>
 
@@ -25,10 +29,12 @@ int main(int argc, char** argv) {
   const std::string baseline_path = args.get("baseline");
   const std::string current_path = args.get("current");
   const double threshold = args.get_double("threshold", 0.25);
-  if (baseline_path.empty() || current_path.empty() || threshold < 0.0) {
+  const std::string mode = args.get("mode", "kernels");
+  if (baseline_path.empty() || current_path.empty() || threshold < 0.0 ||
+      (mode != "kernels" && mode != "fec")) {
     std::fprintf(stderr,
                  "usage: check_bench_regression --baseline FILE --current "
-                 "FILE [--threshold 0.25]\n");
+                 "FILE [--threshold 0.25] [--mode kernels|fec]\n");
     return 2;
   }
 
@@ -43,6 +49,50 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "current %s: %s\n", current_path.c_str(),
                  error.c_str());
     return 2;
+  }
+
+  if (mode == "fec") {
+    obs::FecComparison comparison =
+        obs::compare_fec_reports(baseline, current, threshold);
+    if (comparison.deltas.empty() && comparison.missing_rows.empty()) {
+      std::fprintf(stderr, "no comparable fec_rows found in %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    sim::Table table(
+        {"row", "field", "baseline", "current", "delta", "verdict"});
+    for (const obs::FecDelta& d : comparison.deltas) {
+      const bool relative = d.field == "j_per_frame";
+      table.add_row(
+          {d.row, d.field, sim::format("%.4f", d.baseline),
+           sim::format("%.4f", d.current),
+           relative ? sim::format("%+.1f%%", d.baseline > 0.0
+                                                 ? (d.current / d.baseline -
+                                                    1.0) * 100.0
+                                                 : 0.0)
+                    : sim::format("%+.3f", d.current - d.baseline),
+           d.regression ? "REGRESSION" : "ok"});
+    }
+    table.print();
+    for (const std::string& name : comparison.missing_rows) {
+      std::printf("MISSING: row \"%s\" is in the baseline but not in the "
+                  "current report\n",
+                  name.c_str());
+    }
+    for (const std::string& name : comparison.unknown_rows) {
+      std::printf("WARNING: row \"%s\" has no baseline yet (measured but "
+                  "not gated; refresh %s to start gating it)\n",
+                  name.c_str(), baseline_path.c_str());
+    }
+    if (!comparison.ok()) {
+      std::printf("FAIL: FEC recovery_rate / J-per-frame regression beyond "
+                  "threshold %.2f (or missing row) vs %s\n",
+                  threshold, baseline_path.c_str());
+      return 1;
+    }
+    std::printf("OK: all FEC rows within threshold %.2f of the baseline\n",
+                threshold);
+    return 0;
   }
 
   obs::BenchComparison comparison =

@@ -90,12 +90,14 @@ int usage() {
       "           | --from scrape1.txt --to scrape2.txt [--interval SEC]\n"
       "  fuzz     [--seed N] [--iters N] [--crash-dir DIR]\n"
       "           [--fuzz-target all|bitreader|decoder|depacketize|\n"
-      "                         packet|prometheus|json]\n"
+      "                         packet|fec|prometheus|json]\n"
       "  common:  [--log-json FILE] [--log-level debug|info|warn|error]\n"
       "           [--verbose]\n"
       "  faults (simulate/serve): [--fault-bit-flip X] [--fault-truncate X]\n"
       "           [--fault-header X] [--fault-duplicate X]\n"
       "           [--fault-reorder X] [--fault-seed N]\n"
+      "  fec (simulate/serve): [--fec-m M] [--fec-k K] [--fec-scheme xor|rs]\n"
+      "           (m=0, the default, disables the FEC stages entirely)\n"
       "  schemes: pbpair (default), no, gop-N, air-N, pgop-N\n");
   return 2;
 }
@@ -139,6 +141,38 @@ void apply_fault_flags(const common::ArgParser& args,
   faults.p_reorder = args.get_double("fault-reorder", 0.0);
   faults.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
   if (faults.enabled()) config->faults = faults;
+}
+
+/// Reads the --fec-* flags into PipelineConfig::fec. --fec-m 0 (the
+/// default) leaves the optional unset, so the stage list — and every
+/// output byte — matches a FEC-free build. Returns false on a bad value.
+bool apply_fec_flags(const common::ArgParser& args,
+                     sim::PipelineConfig* config) {
+  net::FecConfig fec;
+  fec.m = args.get_int("fec-m", 0);
+  fec.k = args.get_int("fec-k", 8);
+  const std::string scheme = args.get("fec-scheme", "rs");
+  if (scheme == "rs") {
+    fec.scheme = net::FecScheme::kReedSolomon;
+  } else if (scheme == "xor") {
+    fec.scheme = net::FecScheme::kXorParity;
+  } else {
+    std::fprintf(stderr, "unknown --fec-scheme %s (want xor|rs)\n",
+                 scheme.c_str());
+    return false;
+  }
+  if (fec.m < 0 || fec.m > static_cast<int>(net::kMaxFecM) ||
+      fec.k < 1 || fec.k > static_cast<int>(net::kMaxFecK) ||
+      (fec.scheme == net::FecScheme::kXorParity && fec.m > 1)) {
+    std::fprintf(stderr,
+                 "bad FEC geometry: --fec-k in [1,%d], --fec-m in [0,%d], "
+                 "xor allows m<=1\n",
+                 static_cast<int>(net::kMaxFecK),
+                 static_cast<int>(net::kMaxFecM));
+    return false;
+  }
+  if (fec.enabled()) config->fec = fec;
+  return true;
 }
 
 /// Surfaces span-buffer overflow after a trace export: a truncated trace
@@ -317,6 +351,7 @@ int cmd_simulate(const common::ArgParser& args) {
   config.frame_trace_seed =
       static_cast<std::uint64_t>(args.get_int("seed", 2005));
   apply_fault_flags(args, &config);
+  if (!apply_fec_flags(args, &config)) return 2;
 
   video::SyntheticSequence sequence = video::make_paper_sequence(kind);
   net::UniformFrameLoss loss(plr, static_cast<std::uint64_t>(
@@ -359,6 +394,18 @@ int cmd_simulate(const common::ArgParser& args) {
        sim::format("%.3f", r.encode_energy.total_j()),
        sim::format("%.3f", r.tx_energy_j)});
   table.print();
+  // FEC line: only when the stages ran, so a FEC-free run keeps the
+  // classic output byte-for-byte.
+  if (config.fec.has_value()) {
+    std::printf(
+        "fec: windows %llu  repair sent %llu (%.1f KB)  recovered %llu  "
+        "unrecoverable windows %llu\n",
+        static_cast<unsigned long long>(r.fec_encode.windows),
+        static_cast<unsigned long long>(r.fec_encode.repair_packets),
+        static_cast<double>(r.fec_encode.repair_bytes) / 1024.0,
+        static_cast<unsigned long long>(r.fec_decode.packets_recovered),
+        static_cast<unsigned long long>(r.fec_decode.windows_unrecoverable));
+  }
   return 0;
 }
 
@@ -437,6 +484,7 @@ int cmd_serve(const common::ArgParser& args) {
     spec.config.encoder.qp = args.get_int("qp", 10);
     spec.config.health = obs::HealthConfig{};
     apply_fault_flags(args, &spec.config);
+    if (!apply_fec_flags(args, &spec.config)) return 2;
     if (spec.config.faults.has_value()) {
       // Per-session offset so concurrent sessions damage independently.
       spec.config.faults->seed += static_cast<std::uint64_t>(i);
