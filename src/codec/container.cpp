@@ -121,7 +121,9 @@ bool ContainerReader::read_frame(ReceivedFrame* frame) {
   ReceivedFrame::GobSpan span;
   span.first_gob = 0;
   span.bytes.resize(len);
-  if (std::fread(span.bytes.data(), 1, len, file_) != len) return false;
+  if (std::fread(span.bytes.mutable_data(), 1, len, file_) != len) {
+    return false;
+  }
   frame->spans.push_back(std::move(span));
   return true;
 }

@@ -208,7 +208,7 @@ void Decoder::decode_span(const ReceivedFrame::GobSpan& span, FrameType type,
                           int qp, std::vector<std::uint8_t>* row_done) {
   const int mb_cols = config_.width / 16;
   const int mb_rows = config_.height / 16;
-  BitReader reader(span.bytes);
+  BitReader reader(span.bytes.data(), span.bytes.size());
   int gob = span.first_gob;
   while (gob < mb_rows && !reader.exhausted()) {
     std::uint32_t header = 0;
@@ -281,9 +281,9 @@ const video::YuvFrame& Decoder::decode_frame(const EncodedFrame& encoded) {
   ReceivedFrame::GobSpan span;
   span.first_gob = 0;
   PB_CHECK(!encoded.gob_offsets.empty() && encoded.gob_offsets[0] > 0);
-  span.bytes.assign(encoded.bytes.begin() +
-                        static_cast<std::ptrdiff_t>(encoded.gob_offsets[0]),
-                    encoded.bytes.end());
+  span.bytes.assign(
+      encoded.bytes.data() + encoded.gob_offsets[0],
+      encoded.bytes.data() + encoded.bytes.size());
   received.spans.push_back(std::move(span));
   return decode_frame(received);
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "codec/motion.h"
+#include "common/buffer.h"
 
 namespace pbpair::codec {
 
@@ -79,7 +80,10 @@ struct ReceivedFrame {
 
   struct GobSpan {
     int first_gob = 0;
-    std::vector<std::uint8_t> bytes;  // contiguous GOBs starting at first_gob
+    // Contiguous GOBs starting at first_gob. An arena-backed slice: the
+    // depacketizer hands out views into the delivered packet payloads
+    // instead of copying the bitstream a third time.
+    common::BufferRef bytes;
   };
   std::vector<GobSpan> spans;
 };

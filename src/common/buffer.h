@@ -1,0 +1,227 @@
+// Arena-backed, reference-counted immutable byte buffers for the wire path.
+//
+// A BufferArena owns a pool of large slabs and hands out BufferRef slices.
+// Copying a BufferRef bumps an atomic refcount instead of copying bytes, and
+// sub-slicing (packet payloads inside a staged frame, FEC symbols inside a
+// recovered slab) shares the same allocation. Slabs recycle onto a free list
+// once every allocation they host has been released, so a long-lived session
+// reaches a steady state with zero heap traffic per frame.
+//
+// Mutation is explicit: mutable_data() / resize() / assign() unshare the
+// bytes first when anyone else holds a reference (copy-on-write), which is
+// what makes the fault injector's copy-on-corrupt rule safe — damaging one
+// duplicated packet can never scribble on its twin.
+//
+// Under ASan, recycled slab memory is poisoned until re-allocated, so a
+// stale BufferRef that outlives its bytes faults immediately instead of
+// reading garbage. The arena destructor PB_CHECKs that no references leak.
+//
+// The process-wide copy ledger (ledger_copied / ledger_legacy) counts actual
+// payload bytes copied by this code against the bytes the pre-arena wire
+// path would have copied at the same sites; bench/wire_path asserts the
+// ratio stays below 0.3.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pbpair::common {
+
+class BufferArena;
+class BufferRef;
+
+namespace internal {
+
+struct Slab;
+
+// Lives at the head of every allocation inside a slab. All BufferRefs that
+// slice one allocation share this header; when refs hits zero the slab's
+// live-allocation count drops, and when that hits zero the slab recycles.
+struct RangeHeader {
+  std::atomic<std::uint32_t> refs;
+  std::uint32_t capacity;  // usable bytes following this header
+  Slab* slab;
+};
+
+struct Slab {
+  std::unique_ptr<std::uint8_t[]> memory;
+  std::size_t size = 0;
+  std::size_t used = 0;
+  std::atomic<std::uint32_t> live{0};  // allocations with refs outstanding
+  BufferArena* arena = nullptr;
+};
+
+void release_range(RangeHeader* header);
+
+}  // namespace internal
+
+// Process-wide ledger of payload bytes copied on the wire path. "copied"
+// counts memcpy work the arena code actually performs; "legacy" is bumped at
+// the historical copy sites with the bytes the pre-arena code would have
+// copied there, so copied/legacy measures the zero-copy win directly.
+struct CopyLedgerSnapshot {
+  std::uint64_t copied_bytes = 0;
+  std::uint64_t legacy_bytes = 0;
+};
+
+void ledger_copied(std::uint64_t bytes);
+void ledger_legacy(std::uint64_t bytes);
+CopyLedgerSnapshot copy_ledger();
+void reset_copy_ledger();
+
+// A slab-pool allocator for BufferRefs. allocate() bump-allocates from the
+// current slab under a mutex; releases are lock-free until the last
+// reference on a slab, which re-locks to push it onto the free list. One
+// arena per StreamSession keeps sessions independent; scratch() is a
+// never-destroyed process-wide arena for code with no session context
+// (tests, conversions from std::vector).
+class BufferArena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = 64 * 1024;
+
+  explicit BufferArena(std::size_t slab_bytes = kDefaultSlabBytes);
+  ~BufferArena();  // PB_CHECKs that no BufferRef outlives the arena
+
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+  // Returns a writable, exclusively-owned ref of `size` uninitialized
+  // bytes. Size zero returns an empty ref with no backing allocation.
+  BufferRef allocate(std::size_t size);
+
+  // allocate() + memcpy; the copy is charged to the ledger.
+  BufferRef copy(const std::uint8_t* data, std::size_t size);
+
+  // Process-wide arena that is never destroyed (intentionally leaked, like
+  // the obs registry) so refs created from temporaries stay valid for the
+  // life of the process.
+  static BufferArena& scratch();
+
+  struct Stats {
+    std::uint64_t slabs_created = 0;
+    std::uint64_t slabs_recycled = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t bytes_allocated = 0;
+  };
+  Stats stats() const;
+
+  // Number of allocations whose references are still live, across all
+  // slabs. Zero once every BufferRef has been destroyed.
+  std::uint64_t live_allocations() const;
+
+ private:
+  friend void internal::release_range(internal::RangeHeader*);
+
+  void maybe_recycle(internal::Slab* slab);
+
+  mutable std::mutex mutex_;
+  std::size_t slab_bytes_;
+  std::vector<std::unique_ptr<internal::Slab>> slabs_;
+  std::vector<internal::Slab*> free_;
+  internal::Slab* current_ = nullptr;
+  Stats stats_;
+};
+
+// A shared, slice-able view of bytes inside a BufferArena allocation.
+// Copying shares (refcount bump); slicing shares; mutation unshares first.
+// The API mirrors the std::vector<std::uint8_t> surface the wire path used
+// before the arena refactor so call sites stay idiomatic.
+class BufferRef {
+ public:
+  BufferRef() = default;
+
+  // Implicit conversion from a byte vector copies into the scratch arena.
+  // Kept implicit on purpose: tests and cold paths keep building payloads
+  // as vectors, and the copy is charged to the ledger.
+  BufferRef(const std::vector<std::uint8_t>& bytes);  // NOLINT
+  BufferRef(const std::uint8_t* data, std::size_t size);
+
+  BufferRef(const BufferRef& other);
+  BufferRef& operator=(const BufferRef& other);
+  BufferRef(BufferRef&& other) noexcept;
+  BufferRef& operator=(BufferRef&& other) noexcept;
+  ~BufferRef();
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::uint8_t* data() const { return data_; }
+  const std::uint8_t* begin() const { return data_; }
+  const std::uint8_t* end() const { return data_ + size_; }
+  std::uint8_t operator[](std::size_t i) const {
+    PB_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  // Writable pointer to the bytes. If any other BufferRef shares the
+  // allocation, the bytes are first copied into a fresh exclusive
+  // allocation (copy-on-write); otherwise this is free.
+  std::uint8_t* mutable_data();
+
+  // Shrinking narrows the view in place; growing reallocates (unshared)
+  // and zero-fills the tail, matching std::vector::resize semantics.
+  void resize(std::size_t new_size);
+
+  void assign(std::size_t count, std::uint8_t value);
+  template <typename It>
+  void assign(It first, It last) {
+    assign_bytes(&*first, static_cast<std::size_t>(last - first));
+  }
+  void clear();
+
+  // Appends `other`'s bytes. When `other` directly continues this ref
+  // inside the same allocation (packetizer continuation slices of one
+  // staged frame) the view just widens — zero bytes move.
+  void append(const BufferRef& other);
+
+  // Returns a ref sharing this allocation, viewing [offset, offset+len).
+  BufferRef slice(std::size_t offset, std::size_t len) const;
+
+  bool operator==(const BufferRef& other) const;
+  bool operator!=(const BufferRef& other) const { return !(*this == other); }
+  bool operator==(const std::vector<std::uint8_t>& v) const;
+  bool operator!=(const std::vector<std::uint8_t>& v) const {
+    return !(*this == v);
+  }
+
+  std::vector<std::uint8_t> to_vector() const {
+    return std::vector<std::uint8_t>(data_, data_ + size_);
+  }
+
+  // True when both refs share one allocation (test hook for the zero-copy
+  // guarantees).
+  bool shares_storage_with(const BufferRef& other) const {
+    return hdr_ != nullptr && hdr_ == other.hdr_;
+  }
+
+ private:
+  friend class BufferArena;
+
+  BufferRef(internal::RangeHeader* hdr, std::uint8_t* data, std::size_t size)
+      : hdr_(hdr), data_(data), size_(size) {}
+
+  void assign_bytes(const std::uint8_t* data, std::size_t size);
+  void unshare(std::size_t keep, std::size_t new_size);
+  BufferArena& home_arena() const;
+  void release();
+
+  internal::RangeHeader* hdr_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+inline bool operator==(const std::vector<std::uint8_t>& v,
+                       const BufferRef& ref) {
+  return ref == v;
+}
+inline bool operator!=(const std::vector<std::uint8_t>& v,
+                       const BufferRef& ref) {
+  return !(ref == v);
+}
+
+}  // namespace pbpair::common

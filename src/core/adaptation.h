@@ -178,6 +178,18 @@ class JointPowerAwareController {
         0.0, 1.0);
   }
 
+  /// Corruption-aware feedback (CRC wire format): `erasure_plr` is the
+  /// total unusable-packet rate (true losses plus CRC-dropped corruption —
+  /// the RR's fraction_lost, which is what the FEC window must survive);
+  /// `corrupted_plr` is the portion of it that was verified corruption.
+  /// Before CRC framing, bit-flipped packets parsed fine and decoded as
+  /// garbage without ever entering the loss rate — this overload is where
+  /// the residual-PLR model finally sees them.
+  void on_plr_update(double erasure_plr, double corrupted_plr) {
+    last_corrupted_plr_ = common::clamp(corrupted_plr, 0.0, 1.0);
+    on_plr_update(erasure_plr);
+  }
+
   /// Energy telemetry: total Joules spent after `frames_done` frames.
   void on_energy_update(double spent_j, int frames_done) {
     if (config_.energy_budget_j <= 0.0 || frames_done <= 0) return;
@@ -209,6 +221,8 @@ class JointPowerAwareController {
   int fec_m() const { return fec_m_; }
   int fec_m_cap() const { return m_cap_; }
   double last_plr() const { return last_plr_; }
+  /// -1 until a corruption-aware update arrives.
+  double last_corrupted_plr() const { return last_corrupted_plr_; }
 
  private:
   /// Smallest m in [0, max_fec_m] whose predicted residual loss meets the
@@ -228,6 +242,7 @@ class JointPowerAwareController {
   int desired_m_ = 0;
   int m_cap_;
   double last_plr_ = -1.0;
+  double last_corrupted_plr_ = -1.0;
 };
 
 }  // namespace pbpair::core

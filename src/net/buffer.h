@@ -1,0 +1,14 @@
+// Wire-path buffer types. The implementation lives in common/buffer.h so
+// the codec layer (GobSpan payloads) can use the same arena without a
+// dependency cycle (pbpair_net links pbpair_codec, not the other way
+// around); this header gives net code its idiomatic spelling.
+#pragma once
+
+#include "common/buffer.h"
+
+namespace pbpair::net {
+
+using BufferArena = common::BufferArena;
+using BufferRef = common::BufferRef;
+
+}  // namespace pbpair::net

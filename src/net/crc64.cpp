@@ -1,0 +1,63 @@
+// Slice-by-8 CRC64 kernel (see crc64.h). Tables are built once at first
+// use; table 0 is the classic byte-at-a-time table and tables 1..7 are its
+// compositions, so eight table lookups advance the state by eight bytes.
+#include "net/crc64.h"
+
+namespace pbpair::net {
+namespace {
+
+struct Crc64Tables {
+  std::uint64_t t[8][256];
+
+  Crc64Tables() {
+    for (unsigned i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kCrc64Poly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (unsigned i = 0; i < 256; ++i) {
+      std::uint64_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc64Tables& tables() {
+  static const Crc64Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+Crc64State crc64_update(Crc64State state, const std::uint8_t* data,
+                        std::size_t size) {
+  const Crc64Tables& tab = tables();
+  std::uint64_t crc = state;
+  while (size >= 8) {
+    crc ^= static_cast<std::uint64_t>(data[0]) |
+           (static_cast<std::uint64_t>(data[1]) << 8) |
+           (static_cast<std::uint64_t>(data[2]) << 16) |
+           (static_cast<std::uint64_t>(data[3]) << 24) |
+           (static_cast<std::uint64_t>(data[4]) << 32) |
+           (static_cast<std::uint64_t>(data[5]) << 40) |
+           (static_cast<std::uint64_t>(data[6]) << 48) |
+           (static_cast<std::uint64_t>(data[7]) << 56);
+    crc = tab.t[7][crc & 0xFF] ^ tab.t[6][(crc >> 8) & 0xFF] ^
+          tab.t[5][(crc >> 16) & 0xFF] ^ tab.t[4][(crc >> 24) & 0xFF] ^
+          tab.t[3][(crc >> 32) & 0xFF] ^ tab.t[2][(crc >> 40) & 0xFF] ^
+          tab.t[1][(crc >> 48) & 0xFF] ^ tab.t[0][(crc >> 56) & 0xFF];
+    data += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = tab.t[0][(crc ^ *data++) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace pbpair::net

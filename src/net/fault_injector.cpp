@@ -29,7 +29,12 @@ bool FaultInjector::damage_packet(Packet* packet) {
   const bool truncate = rng_.next_bernoulli(config_.p_truncate);
   if (!corrupt_header && !flip_bits && !truncate) return true;
 
+  // Copy-on-corrupt: only a packet actually selected for damage gets its
+  // bytes materialized (and re-parsed into fresh storage below), so a
+  // duplicated twin sharing the same payload ref is never scribbled on.
   std::vector<std::uint8_t> wire = serialize_packet(*packet);
+  common::ledger_copied(packet->payload.size());
+  common::ledger_legacy(packet->payload.size());
   std::uint64_t bits_flipped = 0;
   std::uint64_t headers_corrupted = 0;
   std::uint64_t payloads_truncated = 0;
@@ -70,7 +75,10 @@ bool FaultInjector::damage_packet(Packet* packet) {
   bump("net.fault.payloads_truncated", payloads_truncated);
 
   Packet damaged;
-  if (!parse_packet(wire, &damaged)) {
+  common::ledger_legacy(wire.size() > kHeaderWireSize
+                            ? wire.size() - kHeaderWireSize
+                            : 0);
+  if (!parse_packet(wire, &damaged, config_.expect_crc)) {
     stats_.packets_dropped_unparseable += 1;
     bump("net.fault.dropped_unparseable", 1);
     return false;
@@ -89,7 +97,8 @@ std::vector<Packet> FaultInjector::apply(std::vector<Packet> packets) {
     if (duplicate) {
       stats_.packets_duplicated += 1;
       bump("net.fault.packets_duplicated", 1);
-      out.push_back(packet);
+      common::ledger_legacy(packet.payload.size());
+      out.push_back(packet);  // twin shares the payload ref
     }
     out.push_back(std::move(packet));
   }

@@ -39,6 +39,12 @@ struct FaultInjectorConfig {
 
   int max_bit_flips = 8;          // bits flipped per bit-flip event (1..N)
 
+  /// Re-parse damaged wire bytes with CRC verification (set by the
+  /// session when WireConfig::crc is on). Purely a parse-side flag: it
+  /// changes no RNG draw, so seeded damage replays identically with or
+  /// without CRC framing.
+  bool expect_crc = false;
+
   bool enabled() const {
     return p_bit_flip > 0.0 || p_truncate > 0.0 || p_header_corrupt > 0.0 ||
            p_duplicate > 0.0 || p_reorder > 0.0;

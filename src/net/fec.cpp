@@ -1,6 +1,7 @@
 #include "net/fec.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <tuple>
 #include <utility>
@@ -21,17 +22,48 @@ void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v & 0xFF));
 }
 
-/// The protected symbol of one media packet: big-endian wire length, the
-/// wire bytes, zero padding to `symbol_len`.
-std::vector<std::uint8_t> media_symbol(const Packet& packet,
-                                       std::size_t symbol_len) {
-  std::vector<std::uint8_t> symbol;
-  symbol.reserve(symbol_len);
-  const std::vector<std::uint8_t> wire = serialize_packet(packet);
-  put_u16(symbol, static_cast<std::uint16_t>(wire.size()));
-  symbol.insert(symbol.end(), wire.begin(), wire.end());
-  symbol.resize(symbol_len, 0);
-  return symbol;
+// The protected symbol of a media packet — [u16 wire length | wire bytes |
+// zero padding] — decomposed into the slices it is made of, so the GF(256)
+// kernels can stream over them without materializing the symbol: a small
+// stack prefix (length + serialized header), the borrowed payload ref, and
+// the optional CRC trailer. Zero padding is skipped outright (addmul of
+// zeros is the identity).
+struct SymbolPieces {
+  std::uint8_t prefix[2 + kHeaderWireSize];
+  const BufferRef* payload;
+  std::uint8_t trailer[kCrcTrailerSize];
+  std::size_t trailer_len;
+};
+
+SymbolPieces make_symbol_pieces(const Packet& packet) {
+  SymbolPieces pieces;
+  const std::size_t wire = packet.wire_size();
+  pieces.prefix[0] = static_cast<std::uint8_t>(wire >> 8);
+  pieces.prefix[1] = static_cast<std::uint8_t>(wire & 0xFF);
+  serialize_header(packet, pieces.prefix + 2);
+  pieces.payload = &packet.payload;
+  pieces.trailer_len = 0;
+  if (packet.crc_present) {
+    const std::uint64_t crc = packet_crc64(packet);
+    for (int i = 0; i < 8; ++i) {
+      pieces.trailer[i] = static_cast<std::uint8_t>(crc >> (56 - 8 * i));
+    }
+    pieces.trailer_len = kCrcTrailerSize;
+  }
+  return pieces;
+}
+
+// dst ^= c * symbol(pieces), streamed piece by piece. The caller
+// guarantees the symbol fits (wire_size + 2 <= symbol_len).
+void addmul_pieces(std::uint8_t* dst, const SymbolPieces& pieces,
+                   std::uint8_t c) {
+  gf256_addmul(dst, pieces.prefix, c, sizeof(pieces.prefix));
+  gf256_addmul(dst + sizeof(pieces.prefix), pieces.payload->data(), c,
+               pieces.payload->size());
+  if (pieces.trailer_len > 0) {
+    gf256_addmul(dst + sizeof(pieces.prefix) + pieces.payload->size(),
+                 pieces.trailer, c, pieces.trailer_len);
+  }
 }
 
 std::uint8_t coefficient(FecScheme scheme, int repair_index, int data_index) {
@@ -68,7 +100,7 @@ std::vector<std::uint8_t> serialize_repair_payload(
 }
 
 bool parse_repair_header(const Packet& packet, FecRepairHeader* header) {
-  const std::vector<std::uint8_t>& p = packet.payload;
+  const BufferRef& p = packet.payload;
   if (p.size() < kFecRepairHeaderSize) return false;
   header->scheme = p[0];
   header->k = p[1];
@@ -95,7 +127,9 @@ bool parse_repair_header(const Packet& packet, FecRepairHeader* header) {
   return true;
 }
 
-FecEncoder::FecEncoder(const FecConfig& config) : config_(config) {
+FecEncoder::FecEncoder(const FecConfig& config, BufferArena* arena)
+    : config_(config),
+      arena_(arena != nullptr ? arena : &BufferArena::scratch()) {
   PB_CHECK(config.k >= 1 && config.k <= kMaxFecK);
   PB_CHECK(config.m >= 0 && config.m <= kMaxFecM);
   PB_CHECK(config.scheme == FecScheme::kXorParity ||
@@ -125,34 +159,45 @@ int FecEncoder::protect(std::vector<Packet>* packets) {
     }
     const std::size_t symbol_len = 2 + max_wire;
 
-    std::vector<std::vector<std::uint8_t>> symbols;
-    symbols.reserve(static_cast<std::size_t>(count));
+    // One pieces descriptor per media packet (18-byte stack prefix + a
+    // borrowed payload slice); the pre-arena encoder materialized every
+    // packet's padded symbol here — two copies of each wire image.
+    std::vector<SymbolPieces> pieces;
+    pieces.reserve(static_cast<std::size_t>(count));
     for (int j = 0; j < count; ++j) {
-      symbols.push_back(media_symbol((*packets)[begin + j], symbol_len));
+      const Packet& p = (*packets)[begin + j];
+      pieces.push_back(make_symbol_pieces(p));
+      common::ledger_legacy(2 * p.wire_size());
     }
 
     const Packet& first = (*packets)[begin];
     for (int r = 0; r < config_.m; ++r) {
-      std::vector<std::uint8_t> symbol(symbol_len, 0);
-      for (int j = 0; j < count; ++j) {
-        gf256_addmul(symbol.data(), symbols[static_cast<std::size_t>(j)].data(),
-                     coefficient(config_.scheme, r, j), symbol_len);
-      }
-
-      FecRepairHeader header;
-      header.scheme = static_cast<std::uint8_t>(config_.scheme);
-      header.k = static_cast<std::uint8_t>(count);
-      header.m = static_cast<std::uint8_t>(config_.m);
-      header.repair_index = static_cast<std::uint8_t>(r);
-      header.base_sequence = first.header.sequence;
-      header.symbol_len = static_cast<std::uint16_t>(symbol_len);
-
+      // Build the repair payload in place: header bytes, then the symbol
+      // accumulated directly into the arena allocation.
       Packet repair;
+      repair.payload = arena_->allocate(kFecRepairHeaderSize + symbol_len);
+      std::uint8_t* d = repair.payload.mutable_data();
+      d[0] = static_cast<std::uint8_t>(config_.scheme);
+      d[1] = static_cast<std::uint8_t>(count);
+      d[2] = static_cast<std::uint8_t>(config_.m);
+      d[3] = static_cast<std::uint8_t>(r);
+      d[4] = static_cast<std::uint8_t>(first.header.sequence >> 8);
+      d[5] = static_cast<std::uint8_t>(first.header.sequence & 0xFF);
+      d[6] = static_cast<std::uint8_t>(symbol_len >> 8);
+      d[7] = static_cast<std::uint8_t>(symbol_len & 0xFF);
+      std::uint8_t* symbol = d + kFecRepairHeaderSize;
+      std::memset(symbol, 0, symbol_len);
+      for (int j = 0; j < count; ++j) {
+        addmul_pieces(symbol, pieces[static_cast<std::size_t>(j)],
+                      coefficient(config_.scheme, r, j));
+      }
+      common::ledger_legacy(symbol_len);  // old serialize_repair_payload copy
+
       repair.header.payload_type = kPayloadTypeFec;
       repair.header.sequence = next_repair_sequence_++;
       repair.header.timestamp = first.header.timestamp;
       repair.header.ssrc = first.header.ssrc + config_.ssrc_offset;
-      repair.payload = serialize_repair_payload(header, symbol);
+      repair.crc_present = first.crc_present;
       stats_.repair_bytes += repair.wire_size();
       repairs.push_back(std::move(repair));
     }
@@ -168,13 +213,17 @@ int FecEncoder::protect(std::vector<Packet>* packets) {
   return appended;
 }
 
+FecDecoder::FecDecoder(BufferArena* arena, bool expect_crc)
+    : arena_(arena != nullptr ? arena : &BufferArena::scratch()),
+      expect_crc_(expect_crc) {}
+
 std::vector<Packet> FecDecoder::process(std::vector<Packet> packets) {
   std::vector<Packet> media;
   media.reserve(packets.size());
 
   struct RepairEntry {
     FecRepairHeader header;
-    std::vector<std::uint8_t> symbol;
+    BufferRef symbol;  // borrowed slice of the repair packet's payload
   };
   // Window key: everything a consistent window must agree on. std::map
   // keys keep recovery order deterministic regardless of arrival order.
@@ -210,9 +259,9 @@ std::vector<Packet> FecDecoder::process(std::vector<Packet> packets) {
     if (duplicate) continue;
     RepairEntry entry;
     entry.header = header;
-    entry.symbol.assign(packet.payload.begin() +
-                            static_cast<std::ptrdiff_t>(kFecRepairHeaderSize),
-                        packet.payload.end());
+    entry.symbol = packet.payload.slice(
+        kFecRepairHeaderSize, packet.payload.size() - kFecRepairHeaderSize);
+    common::ledger_legacy(entry.symbol.size());
     entries.push_back(std::move(entry));
   }
   stats_.repair_packets_invalid += invalid;
@@ -266,7 +315,9 @@ std::vector<Packet> FecDecoder::process(std::vector<Packet> packets) {
         window_ok = false;
         break;
       }
-      std::vector<std::uint8_t> b = entry.symbol;
+      std::vector<std::uint8_t> b = entry.symbol.to_vector();
+      common::ledger_copied(b.size());
+      common::ledger_legacy(b.size());
       for (int j = 0; j < k; ++j) {
         const Packet* p = present[static_cast<std::size_t>(j)];
         if (p == nullptr) continue;
@@ -277,10 +328,12 @@ std::vector<Packet> FecDecoder::process(std::vector<Packet> packets) {
           window_ok = false;
           break;
         }
-        const std::vector<std::uint8_t> sym = media_symbol(*p, symbol_len);
-        gf256_addmul(b.data(), sym.data(),
-                     coefficient(scheme, entry.header.repair_index, j),
-                     symbol_len);
+        // Stream the packet's symbol through the kernel instead of
+        // materializing it (the pre-arena decoder built a padded copy of
+        // every present packet for every equation).
+        addmul_pieces(b.data(), make_symbol_pieces(*p),
+                      coefficient(scheme, entry.header.repair_index, j));
+        common::ledger_legacy(2 * p->wire_size());
       }
       if (!window_ok) break;
       rhs.push_back(std::move(b));
@@ -334,14 +387,25 @@ std::vector<Packet> FecDecoder::process(std::vector<Packet> packets) {
       Packet recovered;
       bool ok = len >= kHeaderWireSize && len + 2 <= symbol.size();
       if (ok) {
-        const std::vector<std::uint8_t> wire(symbol.begin() + 2,
-                                             symbol.begin() + 2 +
-                                                 static_cast<std::ptrdiff_t>(len));
-        ok = parse_packet(wire, &recovered) && !recovered.is_fec_repair();
+        // The recovered wire image goes into the arena once; the parsed
+        // payload is a slice of it (the pre-arena decoder copied the wire
+        // out of the symbol and then copied the payload out of the wire).
+        const BufferRef wire = arena_->copy(symbol.data() + 2, len);
+        common::ledger_legacy(len + (len - kHeaderWireSize));
+        ok = parse_packet_ref(wire, &recovered, expect_crc_) &&
+             !recovered.is_fec_repair();
       }
       if (!ok) {
         stats_.recovered_unparseable += 1;
         bump("net.fec.recovered_unparseable", 1);
+        continue;
+      }
+      if (expect_crc_ && !(recovered.crc_present && recovered.crc_ok)) {
+        // The solve produced bytes whose own trailer disagrees (or whose
+        // X bit vanished) — symbol damage FEC could not see. Never hand
+        // garbage downstream; recovered packets bypass the verify stage.
+        stats_.recovered_crc_failed += 1;
+        bump("net.fec.recovered_crc_failed", 1);
         continue;
       }
       recovered.recovered = true;

@@ -21,7 +21,9 @@
 // The protected symbol for a media packet is [u16 wire length | serialized
 // wire bytes | zero padding] — length-prefixing lets windows mix packet
 // sizes, and protecting the full wire image means a recovered packet
-// round-trips through parse_packet exactly like a delivered one. All
+// round-trips through parse_packet exactly like a delivered one (when CRC
+// framing is on, the wire image includes the CRC64 trailer, so a
+// reconstruction is verifiable end to end). All
 // multi-byte fields are big-endian on the wire (the aarch64 CI job runs
 // the same property tests to keep the byte order honest off-x86).
 //
@@ -97,7 +99,11 @@ struct FecEncoderStats {
 
 class FecEncoder {
  public:
-  explicit FecEncoder(const FecConfig& config);
+  /// `arena` backs the repair payloads (null = process scratch arena).
+  /// Repair symbols are accumulated directly into the arena allocation by
+  /// streaming GF(256) addmul over each media packet's [length | header]
+  /// prefix and borrowed payload slice — no per-packet symbol buffers.
+  explicit FecEncoder(const FecConfig& config, BufferArena* arena = nullptr);
 
   /// Appends repair packets for one frame's media packets. Windows never
   /// span frames: packets are grouped into ceil(n/k) windows in order, the
@@ -117,6 +123,7 @@ class FecEncoder {
 
  private:
   FecConfig config_;
+  BufferArena* arena_;
   std::uint16_t next_repair_sequence_ = 0;
   FecEncoderStats stats_;
 };
@@ -128,11 +135,18 @@ struct FecDecoderStats {
   std::uint64_t packets_recovered = 0;       // media packets reconstructed
   std::uint64_t windows_unrecoverable = 0;   // losses exceeded repair count
   std::uint64_t recovered_unparseable = 0;   // solve output failed RTP parse
+  std::uint64_t recovered_crc_failed = 0;    // solve output failed its CRC
 };
 
 class FecDecoder {
  public:
-  FecDecoder() = default;
+  /// `arena` receives recovered wire images (each reconstructed packet's
+  /// payload is a slice into its recovered slab); null = process scratch
+  /// arena. With `expect_crc`, a reconstruction whose CRC64 trailer does
+  /// not match is dropped and counted (recovered_crc_failed) — a
+  /// mis-solve caused by undetected symbol damage can no longer smuggle
+  /// garbage past the verify stage, which runs before FEC decode.
+  explicit FecDecoder(BufferArena* arena = nullptr, bool expect_crc = false);
 
   /// Consumes the repair packets in `packets` (they never propagate
   /// downstream), reconstructs whatever missing media packets the
@@ -151,6 +165,8 @@ class FecDecoder {
   const FecDecoderStats& stats() const { return stats_; }
 
  private:
+  BufferArena* arena_;
+  bool expect_crc_;
   FecDecoderStats stats_;
 };
 

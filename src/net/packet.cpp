@@ -1,19 +1,13 @@
 #include "net/packet.h"
 
 #include "common/check.h"
+#include "net/crc64.h"
 
 namespace pbpair::net {
 namespace {
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
-  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
   out.push_back(static_cast<std::uint8_t>(v & 0xFF));
 }
 
@@ -27,39 +21,23 @@ std::uint32_t get_u32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
 }
 
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(get_u32(p)) << 32) | get_u32(p + 4);
+}
+
 constexpr std::uint8_t kRtpVersion = 2;
+constexpr std::uint8_t kExtensionBit = 0x10;  // X: CRC64 trailer present
 
-}  // namespace
-
-std::size_t Packet::wire_size() const {
-  return kHeaderWireSize + payload.size();
-}
-
-std::vector<std::uint8_t> serialize_packet(const Packet& packet) {
-  std::vector<std::uint8_t> wire;
-  wire.reserve(packet.wire_size());
-  // Byte 0: V(2)=2, P=0, X=0, CC=0. Byte 1: M(1), PT(7).
-  wire.push_back(kRtpVersion << 6);
-  wire.push_back(static_cast<std::uint8_t>(
-      (packet.header.marker ? 0x80 : 0) | (packet.header.payload_type & 0x7F)));
-  put_u16(wire, packet.header.sequence);
-  put_u32(wire, packet.header.timestamp);
-  put_u32(wire, packet.header.ssrc);
-  // Payload header: frame_type, qp, first_gob, num_gobs.
-  wire.push_back(packet.header.frame_type);
-  wire.push_back(packet.header.qp);
-  wire.push_back(packet.header.first_gob);
-  wire.push_back(packet.header.num_gobs);
-  wire.insert(wire.end(), packet.payload.begin(), packet.payload.end());
-  return wire;
-}
-
-bool parse_packet(const std::vector<std::uint8_t>& wire, Packet* packet) {
-  if (wire.size() < kHeaderWireSize) return false;
-  if ((wire[0] >> 6) != kRtpVersion) return false;
+// Shared field decode for all parse entry points. Returns the end of the
+// payload region (size minus any verified trailer) or 0 on malformed
+// input.
+std::size_t parse_common(const std::uint8_t* wire, std::size_t size,
+                         Packet* packet, bool expect_crc) {
+  if (size < kHeaderWireSize) return 0;
+  if ((wire[0] >> 6) != kRtpVersion) return 0;
   const std::uint8_t payload_type = wire[1] & 0x7F;
   if (payload_type != kPayloadTypeH263 && payload_type != kPayloadTypeFec) {
-    return false;
+    return 0;
   }
   packet->header.payload_type = payload_type;
   packet->header.marker = (wire[1] & 0x80) != 0;
@@ -70,7 +48,97 @@ bool parse_packet(const std::vector<std::uint8_t>& wire, Packet* packet) {
   packet->header.qp = wire[13];
   packet->header.first_gob = wire[14];
   packet->header.num_gobs = wire[15];
-  packet->payload.assign(wire.begin() + kHeaderWireSize, wire.end());
+  packet->crc_present = false;
+  packet->crc_ok = true;
+  std::size_t payload_end = size;
+  if (expect_crc && (wire[0] & kExtensionBit) != 0) {
+    packet->crc_present = true;
+    if (size >= kHeaderWireSize + kCrcTrailerSize) {
+      payload_end = size - kCrcTrailerSize;
+      packet->crc_ok =
+          crc64(wire, payload_end) == get_u64(wire + payload_end);
+    } else {
+      packet->crc_ok = false;  // trailer truncated away in flight
+    }
+  }
+  return payload_end;
+}
+
+}  // namespace
+
+std::size_t Packet::wire_size() const {
+  return kHeaderWireSize + payload.size() +
+         (crc_present ? kCrcTrailerSize : 0);
+}
+
+void serialize_header(const Packet& packet,
+                      std::uint8_t out[kHeaderWireSize]) {
+  // Byte 0: V(2)=2, P=0, X=crc_present, CC=0. Byte 1: M(1), PT(7).
+  out[0] = static_cast<std::uint8_t>(
+      (kRtpVersion << 6) | (packet.crc_present ? kExtensionBit : 0));
+  out[1] = static_cast<std::uint8_t>((packet.header.marker ? 0x80 : 0) |
+                                     (packet.header.payload_type & 0x7F));
+  out[2] = static_cast<std::uint8_t>(packet.header.sequence >> 8);
+  out[3] = static_cast<std::uint8_t>(packet.header.sequence & 0xFF);
+  out[4] = static_cast<std::uint8_t>(packet.header.timestamp >> 24);
+  out[5] = static_cast<std::uint8_t>((packet.header.timestamp >> 16) & 0xFF);
+  out[6] = static_cast<std::uint8_t>((packet.header.timestamp >> 8) & 0xFF);
+  out[7] = static_cast<std::uint8_t>(packet.header.timestamp & 0xFF);
+  out[8] = static_cast<std::uint8_t>(packet.header.ssrc >> 24);
+  out[9] = static_cast<std::uint8_t>((packet.header.ssrc >> 16) & 0xFF);
+  out[10] = static_cast<std::uint8_t>((packet.header.ssrc >> 8) & 0xFF);
+  out[11] = static_cast<std::uint8_t>(packet.header.ssrc & 0xFF);
+  out[12] = packet.header.frame_type;
+  out[13] = packet.header.qp;
+  out[14] = packet.header.first_gob;
+  out[15] = packet.header.num_gobs;
+}
+
+std::uint64_t packet_crc64(const Packet& packet) {
+  std::uint8_t header[kHeaderWireSize];
+  serialize_header(packet, header);
+  Crc64State state = crc64_update(crc64_init(), header, kHeaderWireSize);
+  state = crc64_update(state, packet.payload.data(), packet.payload.size());
+  return crc64_final(state);
+}
+
+std::vector<std::uint8_t> serialize_packet(const Packet& packet) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(packet.wire_size());
+  wire.resize(kHeaderWireSize);
+  serialize_header(packet, wire.data());
+  wire.insert(wire.end(), packet.payload.begin(), packet.payload.end());
+  if (packet.crc_present) {
+    const std::uint64_t crc = crc64(wire.data(), wire.size());
+    put_u16(wire, static_cast<std::uint16_t>(crc >> 48));
+    put_u16(wire, static_cast<std::uint16_t>((crc >> 32) & 0xFFFF));
+    put_u16(wire, static_cast<std::uint16_t>((crc >> 16) & 0xFFFF));
+    put_u16(wire, static_cast<std::uint16_t>(crc & 0xFFFF));
+  }
+  return wire;
+}
+
+bool parse_packet(const std::uint8_t* wire, std::size_t size, Packet* packet,
+                  bool expect_crc) {
+  const std::size_t payload_end = parse_common(wire, size, packet, expect_crc);
+  if (payload_end == 0) return false;
+  packet->payload = BufferArena::scratch().copy(
+      wire + kHeaderWireSize, payload_end - kHeaderWireSize);
+  return true;
+}
+
+bool parse_packet(const std::vector<std::uint8_t>& wire, Packet* packet,
+                  bool expect_crc) {
+  return parse_packet(wire.data(), wire.size(), packet, expect_crc);
+}
+
+bool parse_packet_ref(const BufferRef& wire, Packet* packet,
+                      bool expect_crc) {
+  const std::size_t payload_end =
+      parse_common(wire.data(), wire.size(), packet, expect_crc);
+  if (payload_end == 0) return false;
+  packet->payload =
+      wire.slice(kHeaderWireSize, payload_end - kHeaderWireSize);
   return true;
 }
 

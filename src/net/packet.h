@@ -6,10 +6,22 @@
 // (frame type, QP, GOB range) for each packet to be decoded independently
 // of its siblings, so losing one fragment of a frame costs only the GOBs
 // it carried.
+//
+// Payloads are arena-backed BufferRef slices (net/buffer.h): parsing a wire
+// image held in an arena yields a packet whose payload borrows the same
+// bytes, and copying a packet bumps a refcount instead of copying bytes.
+//
+// Optional integrity framing: when a sender sets crc_present, the RTP X bit
+// (byte 0, mask 0x10) is raised and an 8-byte big-endian CRC64 trailer over
+// header+payload follows the payload. Parsing only honours the X bit when
+// the caller passes expect_crc — the default parse is bit-for-bit the
+// pre-CRC behaviour, which is what keeps zero-CRC configs byte-identical.
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "net/buffer.h"
 
 namespace pbpair::net {
 
@@ -40,14 +52,20 @@ struct RtpHeader {
 
 struct Packet {
   RtpHeader header;
-  std::vector<std::uint8_t> payload;
+  BufferRef payload;
 
   /// Not a wire field: set by the FEC decoder on packets it reconstructed
   /// from repair symbols, so the feedback loop can keep reporting the
   /// NETWORK loss rate (a recovered packet was still lost on the wire).
   bool recovered = false;
 
-  std::size_t wire_size() const;  // serialized header + payload bytes
+  /// Wire X bit: an 8-byte CRC64 trailer follows the payload.
+  bool crc_present = false;
+  /// Set by parse_packet when expect_crc is passed; false means the
+  /// trailer did not match the bytes (the packet is corrupted).
+  bool crc_ok = true;
+
+  std::size_t wire_size() const;  // header + payload (+ trailer) bytes
 
   bool is_fec_repair() const {
     return header.payload_type == kPayloadTypeFec;
@@ -56,11 +74,56 @@ struct Packet {
 
 /// Serialized size of the fixed header (12-byte RTP + 4-byte payload hdr).
 inline constexpr std::size_t kHeaderWireSize = 16;
+/// Size of the optional CRC64 integrity trailer.
+inline constexpr std::size_t kCrcTrailerSize = 8;
 
-/// Serializes header+payload to wire format.
+/// Optional wire-format features, threaded through PipelineConfig.
+struct WireConfig {
+  /// CRC64-frame every packet and verify at the receiver, classifying
+  /// damaged-in-flight packets as corrupted instead of silently decoding
+  /// garbage (or conflating them with losses).
+  bool crc = true;
+
+  bool enabled() const { return crc; }
+};
+
+/// Receiver-side integrity tally (verify stage of sim::StreamSession).
+struct WireStats {
+  std::uint64_t packets_checked = 0;
+  std::uint64_t crc_corrupted = 0;  // dropped: trailer mismatch or missing
+};
+
+/// Serializes header+payload (+CRC trailer when crc_present) to wire
+/// format.
 std::vector<std::uint8_t> serialize_packet(const Packet& packet);
 
-/// Parses wire format back; returns false on malformed input.
-bool parse_packet(const std::vector<std::uint8_t>& wire, Packet* packet);
+/// Writes the 16 fixed header bytes (no payload, no trailer) into `out`.
+/// The zero-copy FEC path streams [header | payload | trailer] slices
+/// through the GF(256) kernels without materializing the wire image.
+void serialize_header(const Packet& packet,
+                      std::uint8_t out[kHeaderWireSize]);
+
+/// CRC64 over the serialized header + payload — the value the wire trailer
+/// carries when crc_present.
+std::uint64_t packet_crc64(const Packet& packet);
+
+/// Parses wire format back; returns false on malformed input. The payload
+/// is copied into the scratch arena. With expect_crc, a raised X bit makes
+/// the parser verify the trailer and record the verdict in packet->crc_ok
+/// (parsing still succeeds — classification is the receiver's job).
+/// Without expect_crc the X bit is ignored, exactly as before CRC framing
+/// existed.
+bool parse_packet(const std::uint8_t* wire, std::size_t size, Packet* packet,
+                  bool expect_crc = false);
+
+/// Convenience overload over a byte vector (tests, fault injector).
+bool parse_packet(const std::vector<std::uint8_t>& wire, Packet* packet,
+                  bool expect_crc = false);
+
+/// Zero-copy parse: the packet's payload becomes a slice of `wire` — no
+/// bytes move. `wire` is the arena-backed wire image (recovered FEC slab,
+/// staged frame, ...).
+bool parse_packet_ref(const BufferRef& wire, Packet* packet,
+                      bool expect_crc = false);
 
 }  // namespace pbpair::net

@@ -7,8 +7,11 @@
 
 namespace pbpair::net {
 
-Packetizer::Packetizer(const PacketizerConfig& config) : config_(config) {
-  PB_CHECK(config.mtu > kHeaderWireSize);
+Packetizer::Packetizer(const PacketizerConfig& config, BufferArena* arena)
+    : config_(config),
+      arena_(arena != nullptr ? arena : &BufferArena::scratch()) {
+  PB_CHECK(config.mtu >
+           kHeaderWireSize + (config.crc ? kCrcTrailerSize : 0));
 }
 
 std::vector<Packet> Packetizer::packetize(const codec::EncodedFrame& frame) {
@@ -19,8 +22,15 @@ std::vector<Packet> Packetizer::packetize(const codec::EncodedFrame& frame) {
   PB_CHECK_MSG(frame.gob_offsets.size() <= 255,
                "frame has more than 255 GOBs; payload header cannot "
                "address them (reduce height or extend the wire format)");
-  const std::size_t max_payload = config_.mtu - kHeaderWireSize;
+  const std::size_t max_payload = config_.mtu - kHeaderWireSize -
+                                  (config_.crc ? kCrcTrailerSize : 0);
   const int gobs = static_cast<int>(frame.gob_offsets.size());
+
+  // Stage the frame's bitstream into the arena once; every payload below
+  // is a zero-copy slice of this allocation. The pre-arena packetizer
+  // copied each payload out of the frame individually.
+  const BufferRef staged =
+      arena_->copy(frame.bytes.data(), frame.bytes.size());
 
   auto gob_end = [&](int gob) -> std::size_t {
     return gob + 1 < gobs ? frame.gob_offsets[gob + 1] : frame.bytes.size();
@@ -38,9 +48,9 @@ std::vector<Packet> Packetizer::packetize(const codec::EncodedFrame& frame) {
     packet.header.qp = static_cast<std::uint8_t>(frame.qp);
     packet.header.first_gob = static_cast<std::uint8_t>(first_gob);
     packet.header.num_gobs = static_cast<std::uint8_t>(num_gobs);
-    packet.payload.assign(
-        frame.bytes.begin() + static_cast<std::ptrdiff_t>(begin),
-        frame.bytes.begin() + static_cast<std::ptrdiff_t>(end));
+    packet.crc_present = config_.crc;
+    packet.payload = staged.slice(begin, end - begin);
+    common::ledger_legacy(end - begin);
     packets.push_back(std::move(packet));
   };
 
@@ -117,9 +127,10 @@ codec::ReceivedFrame depacketize(const std::vector<Packet>& packets,
           packet.header.first_gob == continuation_gob &&
           packet.header.sequence == expected_continuation_seq &&
           !received.spans.empty()) {
-        std::vector<std::uint8_t>& bytes = received.spans.back().bytes;
-        bytes.insert(bytes.end(), packet.payload.begin(),
-                     packet.payload.end());
+        // Continuation slices of one staged frame are contiguous in the
+        // arena, so this join usually just widens the span's view.
+        received.spans.back().bytes.append(packet.payload);
+        common::ledger_legacy(packet.payload.size());
         expected_continuation_seq =
             static_cast<std::uint16_t>(packet.header.sequence + 1);
       } else {
@@ -137,7 +148,8 @@ codec::ReceivedFrame depacketize(const std::vector<Packet>& packets,
     }
     codec::ReceivedFrame::GobSpan span;
     span.first_gob = packet.header.first_gob;
-    span.bytes = packet.payload;
+    span.bytes = packet.payload;  // refcount share, no bytes copied
+    common::ledger_legacy(packet.payload.size());
     received.spans.push_back(std::move(span));
     // Only a single-GOB packet can be continued (the packetizer never
     // splits a multi-GOB payload).

@@ -16,11 +16,18 @@ namespace pbpair::net {
 struct PacketizerConfig {
   std::size_t mtu = 1400;       // max wire size per packet (header incl.)
   std::uint32_t ssrc = 0x50425041;  // "PBPA"
+  /// Stamp every outgoing packet with a CRC64 trailer (raises the RTP X
+  /// bit and spends kCrcTrailerSize of the MTU per packet).
+  bool crc = false;
 };
 
 class Packetizer {
  public:
-  explicit Packetizer(const PacketizerConfig& config);
+  /// `arena` backs the staged frame bytes every payload slices into; null
+  /// falls back to the process-wide scratch arena. A per-session arena
+  /// (sim::StreamSession owns one) keeps slab reuse session-local.
+  explicit Packetizer(const PacketizerConfig& config,
+                      BufferArena* arena = nullptr);
 
   /// Splits one encoded frame into >= 1 packets, none exceeding the MTU.
   /// GOB boundaries are never broken; a GOB larger than the MTU is split
@@ -35,6 +42,7 @@ class Packetizer {
 
  private:
   PacketizerConfig config_;
+  BufferArena* arena_;
   std::uint16_t next_sequence_ = 0;
 };
 

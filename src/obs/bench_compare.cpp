@@ -27,6 +27,16 @@ const common::JsonValue* find_fec_row(const common::JsonValue& report,
   return nullptr;
 }
 
+const common::JsonValue* find_wire_row(const common::JsonValue& report,
+                                       const std::string& name) {
+  const common::JsonValue* rows = report.find("wire_rows");
+  if (rows == nullptr || !rows->is_array()) return nullptr;
+  for (const common::JsonValue& entry : rows->items()) {
+    if (entry.string_at("name") == name) return &entry;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 BenchComparison compare_bench_reports(const common::JsonValue& baseline,
@@ -126,6 +136,49 @@ FecComparison compare_fec_reports(const common::JsonValue& baseline,
       const std::string& name = cur_entry.string_at("name");
       if (name.empty()) continue;
       if (find_fec_row(baseline, name) == nullptr) {
+        result.unknown_rows.push_back(name);
+      }
+    }
+  }
+  return result;
+}
+
+WireComparison compare_wire_reports(const common::JsonValue& baseline,
+                                    const common::JsonValue& current,
+                                    double threshold) {
+  WireComparison result;
+  const common::JsonValue* base_rows = baseline.find("wire_rows");
+  if (base_rows == nullptr || !base_rows->is_array()) return result;
+
+  for (const common::JsonValue& base_entry : base_rows->items()) {
+    const std::string& name = base_entry.string_at("name");
+    if (name.empty()) continue;
+    const common::JsonValue* cur_entry = find_wire_row(current, name);
+    if (cur_entry == nullptr) {
+      result.missing_rows.push_back(name);
+      continue;
+    }
+    const common::JsonValue* base_value = base_entry.find("copy_reduction");
+    const common::JsonValue* cur_value = cur_entry->find("copy_reduction");
+    if (base_value == nullptr || !base_value->is_number() ||
+        cur_value == nullptr || !cur_value->is_number()) {
+      continue;
+    }
+    WireDelta delta;
+    delta.row = name;
+    delta.field = "copy_reduction";
+    delta.baseline = base_value->as_number();
+    delta.current = cur_value->as_number();
+    // A fraction in [0, 1]: gate on ABSOLUTE drop, like recovery_rate.
+    delta.regression = delta.current < delta.baseline - threshold;
+    result.deltas.push_back(std::move(delta));
+  }
+  const common::JsonValue* cur_rows = current.find("wire_rows");
+  if (cur_rows != nullptr && cur_rows->is_array()) {
+    for (const common::JsonValue& cur_entry : cur_rows->items()) {
+      const std::string& name = cur_entry.string_at("name");
+      if (name.empty()) continue;
+      if (find_wire_row(baseline, name) == nullptr) {
         result.unknown_rows.push_back(name);
       }
     }

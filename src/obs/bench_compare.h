@@ -95,4 +95,42 @@ FecComparison compare_fec_reports(const common::JsonValue& baseline,
                                   const common::JsonValue& current,
                                   double threshold);
 
+/// One gated measurement of a BENCH_wire.json row. copy_reduction is the
+/// deterministic fraction of per-frame payload-copy bytes the arena path
+/// eliminates (copy-ledger counts, not timing), so like the FEC rows the
+/// threshold only absorbs cross-compiler noise. packets_per_s in the same
+/// report is wall-clock and stays informational — never gated.
+struct WireDelta {
+  std::string row;        // e.g. "ge/hybrid/k8m2"
+  std::string field;      // "copy_reduction"
+  double baseline = 0.0;
+  double current = 0.0;
+  bool regression = false;
+};
+
+struct WireComparison {
+  std::vector<WireDelta> deltas;
+  /// Rows in the baseline that the current report no longer emits
+  /// (failures: a vanished scenario hides a regression).
+  std::vector<std::string> missing_rows;
+  /// Rows measured now but absent from the committed baseline (warn-only).
+  std::vector<std::string> unknown_rows;
+
+  bool ok() const {
+    if (!missing_rows.empty()) return false;
+    for (const WireDelta& d : deltas) {
+      if (d.regression) return false;
+    }
+    return true;
+  }
+};
+
+/// Diffs two reports with the BENCH_wire.json schema ("wire_rows" array of
+/// {"name", "copy_reduction", ...}), matching rows by name. Regression:
+/// copy_reduction falling more than `threshold` ABSOLUTE below baseline
+/// (it is a fraction in [0, 1]). Improvements never fail.
+WireComparison compare_wire_reports(const common::JsonValue& baseline,
+                                    const common::JsonValue& current,
+                                    double threshold);
+
 }  // namespace pbpair::obs

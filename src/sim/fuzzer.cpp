@@ -162,10 +162,12 @@ void fuzz_decoder_case(Pcg32& rng, codec::Decoder& decoder) {
       case 0:  // valid payload under hostile metadata
         span.bytes = gob_payload(corpus.pick(rng));
         break;
-      case 1:  // bit-flipped valid payload
-        span.bytes = gob_payload(corpus.pick(rng));
-        flip_bits(rng, &span.bytes, 1 + static_cast<int>(rng.next_below(64)));
+      case 1: {  // bit-flipped valid payload
+        std::vector<std::uint8_t> noisy = gob_payload(corpus.pick(rng));
+        flip_bits(rng, &noisy, 1 + static_cast<int>(rng.next_below(64)));
+        span.bytes = noisy;
         break;
+      }
       case 2:  // truncated valid payload
         span.bytes = gob_payload(corpus.pick(rng));
         span.bytes.resize(
@@ -311,15 +313,18 @@ std::uint64_t fuzz_fec_case(Pcg32& rng, net::Packetizer& packetizer) {
       const std::uint32_t pos = rng.next_below(
           static_cast<std::uint32_t>(std::min<std::size_t>(
               packet.payload.size(), net::kFecRepairHeaderSize)));
-      packet.payload[pos] = static_cast<std::uint8_t>(rng.next_u32());
+      packet.payload.mutable_data()[pos] =
+          static_cast<std::uint8_t>(rng.next_u32());
     }
     if (rng.next_bernoulli(0.15)) {  // truncate the symbol
       packet.payload.resize(rng.next_below(
           static_cast<std::uint32_t>(packet.payload.size() + 1)));
     }
-    if (rng.next_bernoulli(0.1)) {  // stale window id
-      packet.payload[4] = static_cast<std::uint8_t>(rng.next_u32());
-      packet.payload[5] = static_cast<std::uint8_t>(rng.next_u32());
+    if (rng.next_bernoulli(0.1) && packet.payload.size() >= 6) {
+      // Stale window id.
+      std::uint8_t* bytes = packet.payload.mutable_data();
+      bytes[4] = static_cast<std::uint8_t>(rng.next_u32());
+      bytes[5] = static_cast<std::uint8_t>(rng.next_u32());
     }
   }
   // Byte-level damage through the wire-honest injector (hits media and
@@ -353,6 +358,97 @@ std::uint64_t fuzz_fec_case(Pcg32& rng, net::Packetizer& packetizer) {
   const net::FecDecoderStats& stats = fec_decoder.stats();
   PB_CHECK(stats.repair_packets_invalid <= stats.repair_packets_seen);
   return stats.repair_packets_invalid;
+}
+
+std::uint64_t fuzz_wire_case(Pcg32& rng, net::Packetizer& packetizer) {
+  const Corpus& corpus = Corpus::instance();
+  std::uint64_t rejects = 0;
+
+  // Random bytes through the CRC-expecting parser: reject or classify,
+  // never crash.
+  {
+    const std::vector<std::uint8_t> garbage = random_bytes(rng, 64);
+    net::Packet parsed;
+    if (!net::parse_packet(garbage, &parsed, /*expect_crc=*/true)) ++rejects;
+  }
+
+  std::vector<net::Packet> packets = packetizer.packetize(corpus.pick(rng));
+  PB_CHECK(!packets.empty());
+  const net::Packet& pick =
+      packets[rng.next_below(static_cast<std::uint32_t>(packets.size()))];
+  const std::vector<std::uint8_t> wire = net::serialize_packet(pick);
+
+  // An intact CRC frame round-trips clean.
+  {
+    net::Packet parsed;
+    PB_CHECK(net::parse_packet(wire, &parsed, /*expect_crc=*/true));
+    PB_CHECK(parsed.crc_present && parsed.crc_ok);
+    PB_CHECK(parsed.payload == pick.payload);
+  }
+
+  // Hostile trailer/body: CRC64 detects EVERY single-bit error, so any
+  // one-bit flip that leaves the X bit itself alone must parse as
+  // corrupted (or not parse at all) — whether it hit the header, the
+  // payload, or the trailer.
+  {
+    const std::uint32_t bit =
+        rng.next_below(static_cast<std::uint32_t>(wire.size() * 8));
+    std::vector<std::uint8_t> flipped = wire;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const bool x_bit_hit = bit / 8 == 0 && (1u << (bit % 8)) == 0x10u;
+    net::Packet parsed;
+    if (net::parse_packet(flipped, &parsed, /*expect_crc=*/true) &&
+        !x_bit_hit) {
+      PB_CHECK(parsed.crc_present);
+      PB_CHECK(!parsed.crc_ok);
+    }
+  }
+
+  // Truncated frames: chopping any tail byte off a CRC frame must never
+  // parse clean (the recomputed CRC covers a different byte span than
+  // whatever 8 bytes now sit at the end).
+  {
+    const std::size_t cut =
+        rng.next_below(static_cast<std::uint32_t>(wire.size()));
+    const std::vector<std::uint8_t> truncated(
+        wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    net::Packet parsed;
+    if (!net::parse_packet(truncated, &parsed, /*expect_crc=*/true)) {
+      ++rejects;
+    } else {
+      PB_CHECK(parsed.crc_present && !parsed.crc_ok);
+    }
+  }
+
+  // Refcount abuse: duplicated packets share one payload allocation.
+  // Drive the twins through the wire-honest injector — copy-on-corrupt
+  // must unshare the damaged twin, never scribble on the survivor — then
+  // touch every surviving payload byte so ASan validates the storage.
+  {
+    std::vector<net::Packet> stream;
+    for (net::Packet& packet : packets) {
+      if (rng.next_bernoulli(0.5)) stream.push_back(packet);  // shared twin
+      stream.push_back(std::move(packet));
+    }
+    net::FaultInjectorConfig faults;
+    faults.seed = rng.next_u32();
+    faults.p_bit_flip = 0.3;
+    faults.p_truncate = 0.15;
+    faults.p_header_corrupt = 0.2;
+    faults.p_duplicate = 0.2;
+    faults.expect_crc = true;
+    net::FaultInjector injector(faults);
+    stream = injector.apply(std::move(stream));
+    std::uint64_t checksum = 0;
+    for (const net::Packet& packet : stream) {
+      for (const std::uint8_t b : packet.payload) checksum += b;
+      if (!packet.crc_ok) ++rejects;
+    }
+    // Consuming the sum keeps the walk observable; it cannot reach
+    // UINT64_MAX (that would take 2^56 payload bytes).
+    PB_CHECK(checksum != ~std::uint64_t{0});
+  }
+  return rejects;
 }
 
 // Representative exposition text covering every shape the renderer
@@ -469,6 +565,7 @@ bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
     kDepacketize,
     kPacket,
     kFec,
+    kWire,
     kProm,
     kJson
   };
@@ -479,8 +576,8 @@ bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
   static constexpr Target kTargets[] = {
       {kBitReader, "bitreader"},     {kDecoder, "decoder"},
       {kDepacketize, "depacketize"}, {kPacket, "packet"},
-      {kFec, "fec"},                 {kProm, "prometheus"},
-      {kJson, "json"},
+      {kFec, "fec"},                 {kWire, "wire"},
+      {kProm, "prometheus"},         {kJson, "json"},
   };
   const auto want = [&](const Target& t) {
     return options.target == "all" || options.target == t.name;
@@ -499,6 +596,10 @@ bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
   // The FEC target gets its own packetizer so its sequence-number state
   // never perturbs the depacketize target's streams (or vice versa).
   net::Packetizer fec_packetizer(packetizer_config);
+  // The wire target frames with CRC trailers (its own sequence space).
+  net::PacketizerConfig wire_packetizer_config = packetizer_config;
+  wire_packetizer_config.crc = true;
+  net::Packetizer wire_packetizer(wire_packetizer_config);
 
   for (const Target& t : kTargets) {
     if (!want(t)) continue;
@@ -515,6 +616,9 @@ bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
         case kPacket: report->parse_rejects += fuzz_packet_case(rng); break;
         case kFec:
           report->parse_rejects += fuzz_fec_case(rng, fec_packetizer);
+          break;
+        case kWire:
+          report->parse_rejects += fuzz_wire_case(rng, wire_packetizer);
           break;
         case kProm: report->parse_rejects += fuzz_prometheus_case(rng); break;
         case kJson: report->parse_rejects += fuzz_json_case(rng); break;

@@ -4,7 +4,9 @@
 // bytes: the bit reader, the decoder (mutations of a valid bitstream plus
 // pure garbage), the RTP parse/depacketize path, the FEC repair-packet
 // decoder (forged window geometry, duplicated/truncated repair packets,
-// stale window ids), the Prometheus text parser, and the JSON parser. A
+// stale window ids), the CRC wire framing (hostile trailers, truncated
+// frames, refcount abuse via duplicated packets through the fault
+// injector), the Prometheus text parser, and the JSON parser. A
 // pass is simply surviving: any PB_CHECK
 // abort, sanitizer report, or violated invariant (checked with PB_CHECK
 // inside the targets) kills the process and fails the run.
@@ -28,7 +30,7 @@ struct FuzzOptions {
   /// Iterations per target (each target runs this many cases).
   int iterations = 2000;
   /// "all" or one of: bitreader, decoder, depacketize, packet, fec,
-  /// prometheus, json.
+  /// wire, prometheus, json.
   std::string target = "all";
   /// When non-empty, the current case is written to
   /// `<crash_dir>/case.txt` (target, seed, iteration) before execution,

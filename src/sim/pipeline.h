@@ -100,6 +100,19 @@ struct PipelineConfig {
   /// list — and every output byte — identical to a FEC-free build
   /// (tests/test_fec.cpp asserts this at 1, 2 and 8 threads).
   std::optional<net::FecConfig> fec;
+
+  /// Wire-format integrity (net/packet.h). When set with crc on, every
+  /// outgoing packet carries a CRC64 trailer (the packetizer spends
+  /// kCrcTrailerSize of each MTU on it), and the session inserts a
+  /// "verify_integrity" stage after the channel/fault stages and BEFORE
+  /// fec_decode: packets whose trailer is missing or mismatched are
+  /// dropped as CORRUPTED (net.crc.corrupted) — they become erasures FEC
+  /// can repair, instead of garbage the decoder conceals — and the
+  /// corrupted-vs-lost split rides the RTCP corruption extension back to
+  /// the sender. Unset (or crc off) leaves the stage list and every
+  /// output byte identical to a build without wire framing
+  /// (tests/test_wire.cpp asserts this at 1, 2 and 8 threads).
+  std::optional<net::WireConfig> wire;
 };
 
 /// Per-frame trace row (Fig. 6 plots these directly).
@@ -120,6 +133,9 @@ struct FrameTrace {
   int fec_repair_sent = 0;          // repair packets appended this frame
   int fec_recovered = 0;            // media packets reconstructed
   int fec_unrecoverable_windows = 0;  // windows whose losses exceeded m
+
+  // Wire integrity accounting (zero when PipelineConfig::wire is unset).
+  int crc_corrupted = 0;  // packets dropped by verify_integrity this frame
 };
 
 struct PipelineResult {
@@ -140,6 +156,9 @@ struct PipelineResult {
   // FEC totals (default-initialized when PipelineConfig::fec is unset).
   net::FecEncoderStats fec_encode;
   net::FecDecoderStats fec_decode;
+
+  // Wire-integrity totals (zero when PipelineConfig::wire is unset).
+  net::WireStats wire;
 
   double total_energy_j() const {
     return encode_energy.total_j() + tx_energy_j;

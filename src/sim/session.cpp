@@ -13,10 +13,10 @@ namespace {
 
 // One FrameTrace as a JSONL row. Deterministic fields only: no clocks, no
 // pointers — reruns with the same seed produce a byte-identical file. The
-// FEC fields appear only when the session has FEC stages, so a FEC-off run
-// stays byte-identical to a build without FEC at all.
+// FEC and wire fields appear only when the session has those stages, so a
+// FEC-off, CRC-off run stays byte-identical to a build without either.
 void append_frame_trace_jsonl(std::ofstream& out, const FrameTrace& trace,
-                              bool fec) {
+                              bool fec, bool wire) {
   char psnr[32];
   std::snprintf(psnr, sizeof(psnr), "%.4f", trace.psnr_db);
   out << "{\"frame\":" << trace.index << ",\"type\":\""
@@ -30,6 +30,9 @@ void append_frame_trace_jsonl(std::ofstream& out, const FrameTrace& trace,
     out << ",\"fec_repair\":" << trace.fec_repair_sent
         << ",\"fec_recovered\":" << trace.fec_recovered
         << ",\"fec_unrecoverable\":" << trace.fec_unrecoverable_windows;
+  }
+  if (wire) {
+    out << ",\"crc_corrupted\":" << trace.crc_corrupted;
   }
   out << "}\n";
 }
@@ -89,7 +92,14 @@ void StreamSession::init() {
   encoder_ = std::make_unique<codec::Encoder>(config_.encoder, policy_.get());
   decoder_ = std::make_unique<codec::Decoder>(codec::DecoderConfig{
       config_.encoder.width, config_.encoder.height, config_.concealment});
-  packetizer_ = std::make_unique<net::Packetizer>(config_.packetizer);
+  // One arena per session: payload refs never cross sessions, so the
+  // SessionManager's threads never contend on each other's slabs.
+  const bool crc_on = config_.wire.has_value() && config_.wire->enabled();
+  arena_ = std::make_unique<net::BufferArena>();
+  net::PacketizerConfig packetizer_config = config_.packetizer;
+  packetizer_config.crc = crc_on;
+  packetizer_ =
+      std::make_unique<net::Packetizer>(packetizer_config, arena_.get());
   if (config_.rate_control.has_value()) rate_.emplace(*config_.rate_control);
 
   if (config_.on_feedback) {
@@ -134,8 +144,9 @@ void StreamSession::init() {
   // as the media they protect. With config_.fec unset or m == 0 neither
   // stage exists and the session is byte-identical to a FEC-free build.
   if (config_.fec.has_value() && config_.fec->enabled()) {
-    fec_encoder_ = std::make_unique<net::FecEncoder>(*config_.fec);
-    fec_decoder_ = std::make_unique<net::FecDecoder>();
+    fec_encoder_ =
+        std::make_unique<net::FecEncoder>(*config_.fec, arena_.get());
+    fec_decoder_ = std::make_unique<net::FecDecoder>(arena_.get(), crc_on);
     stages_.push_back({"fec_encode", [](FrameContext& ctx, StreamSession& s) {
                          ctx.media_packets_sent =
                              static_cast<int>(ctx.packets.size());
@@ -153,10 +164,42 @@ void StreamSession::init() {
   // asked for: with config_.faults unset the stage list — and therefore
   // every output byte — is identical to a faultless build.
   if (config_.faults.has_value() && config_.faults->enabled()) {
-    fault_injector_ = std::make_unique<net::FaultInjector>(*config_.faults);
+    net::FaultInjectorConfig faults_config = *config_.faults;
+    faults_config.expect_crc = crc_on;  // parse-side only: same RNG draws
+    fault_injector_ = std::make_unique<net::FaultInjector>(faults_config);
     stages_.push_back(
         {"inject_faults", [](FrameContext& ctx, StreamSession& s) {
            ctx.delivered = s.fault_injector_->apply(std::move(ctx.delivered));
+         }});
+  }
+  // CRC verification sits where the receiver first trusts the bytes:
+  // after every source of wire damage (channel, fault injector), BEFORE
+  // fec_decode — a corrupted packet must become an ERASURE the FEC can
+  // repair, never a poisoned equation in its solve. Off (the default)
+  // the stage does not exist and the session is byte-identical to a
+  // build without wire framing.
+  if (crc_on) {
+    stages_.push_back(
+        {"verify_integrity", [](FrameContext& ctx, StreamSession& s) {
+           std::vector<net::Packet> kept;
+           kept.reserve(ctx.delivered.size());
+           for (net::Packet& packet : ctx.delivered) {
+             s.wire_stats_.packets_checked += 1;
+             if (packet.crc_present && packet.crc_ok) {
+               kept.push_back(std::move(packet));
+               continue;
+             }
+             s.wire_stats_.crc_corrupted += 1;
+             s.crc_corrupted_interval_ += 1;
+             ctx.trace.crc_corrupted += 1;
+           }
+           if (obs::enabled()) {
+             static obs::Counter* c_ok = &obs::counter("net.crc.ok");
+             static obs::Counter* c_bad = &obs::counter("net.crc.corrupted");
+             c_ok->add(kept.size());
+             c_bad->add(ctx.delivered.size() - kept.size());
+           }
+           ctx.delivered = std::move(kept);
          }});
   }
   if (fec_decoder_ != nullptr) {
@@ -251,6 +294,9 @@ void StreamSession::write_frame_trace_header() {
         << static_cast<int>(config_.fec->scheme)
         << ",\"k\":" << config_.fec->k << ",\"m\":" << config_.fec->m << "}";
   }
+  if (config_.wire.has_value() && config_.wire->enabled()) {
+    out << ",\"wire\":{\"crc\":true}";
+  }
   out << "}}\n";
 }
 
@@ -271,8 +317,16 @@ void StreamSession::observe_delivery(const FrameContext& ctx) {
     highest_sequence_ = packet.header.sequence;
   }
   if ((ctx.index + 1) % config_.feedback_interval_frames == 0) {
+    // CRC-dropped packets are sequence gaps to the estimator, so
+    // fraction_lost already covers them; the corruption split tells the
+    // sender how much of that loss was verified corruption. Both args
+    // are zero without the verify_integrity stage, which keeps the
+    // serialized report byte-identical to the pre-CRC layout.
     net::ReceiverReport report =
-        report_builder_->build(*plr_estimator_, highest_sequence_);
+        report_builder_->build(*plr_estimator_, highest_sequence_,
+                               crc_corrupted_interval_,
+                               wire_stats_.crc_corrupted);
+    crc_corrupted_interval_ = 0;
     // Round-trip the RFC 3550 wire format so the loop exercises exactly
     // what a real receiver would put on the wire.
     net::ReceiverReport parsed;
@@ -307,8 +361,9 @@ void StreamSession::accumulate(const FrameTrace& trace) {
   result_.total_bad_pixels += trace.bad_pixels;
   result_.total_intra_mbs += static_cast<std::uint64_t>(trace.intra_mbs);
   if (frame_trace_out_ != nullptr && frame_trace_out_->is_open()) {
-    append_frame_trace_jsonl(*frame_trace_out_, trace,
-                             fec_encoder_ != nullptr);
+    append_frame_trace_jsonl(
+        *frame_trace_out_, trace, fec_encoder_ != nullptr,
+        config_.wire.has_value() && config_.wire->enabled());
   }
   result_.frames.push_back(trace);
   update_telemetry(trace);
@@ -341,6 +396,13 @@ void StreamSession::update_telemetry(const FrameTrace& trace) {
         .add(static_cast<std::uint64_t>(trace.intra_mbs));
     obs::counter(obs::session_metric(label_, "mbs"))
         .add(static_cast<std::uint64_t>(mbs_per_frame_));
+    // Present (even at zero) whenever CRC framing is on, so the monitor
+    // can show a corrupted column per session; absent when off to keep
+    // the metric namespace byte-identical to a pre-CRC build.
+    if (config_.wire.has_value() && config_.wire->enabled()) {
+      obs::counter(obs::session_metric(label_, "crc_corrupted"))
+          .add(static_cast<std::uint64_t>(trace.crc_corrupted));
+    }
     // Energy as an integer microjoule counter (counters are uint64):
     // emit the delta of the rounded cumulative total so the counter
     // tracks it without accumulating rounding drift.
@@ -382,6 +444,7 @@ PipelineResult StreamSession::take_result() {
     result_.concealed_mbs = decoder_->concealed_mbs();
     if (fec_encoder_ != nullptr) result_.fec_encode = fec_encoder_->stats();
     if (fec_decoder_ != nullptr) result_.fec_decode = fec_decoder_->stats();
+    result_.wire = wire_stats_;
     if (frame_trace_out_ != nullptr && frame_trace_out_->is_open()) {
       frame_trace_out_->flush();
       frame_trace_out_->close();

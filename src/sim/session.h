@@ -113,6 +113,9 @@ class StreamSession {
   /// set_m() is the joint adaptation loop's FEC-rate actuator.
   net::FecEncoder* fec_encoder() { return fec_encoder_.get(); }
   net::FecDecoder* fec_decoder() { return fec_decoder_.get(); }
+  /// Running CRC verification totals (all zero unless config().wire is
+  /// set with crc on — the "verify_integrity" stage is the only writer).
+  const net::WireStats& wire_stats() const { return wire_stats_; }
   const PipelineConfig& config() const { return config_; }
   const SchemeSpec& scheme() const { return scheme_; }
   const std::string& label() const { return label_; }
@@ -131,6 +134,12 @@ class StreamSession {
   FrameSource source_;
   std::string label_;
 
+  // Backs every payload BufferRef this session creates — packetizer
+  // slices, FEC repair symbols, recovered-packet slabs. Declared FIRST so
+  // it is destroyed LAST: the components below may still hold refs into
+  // it (the arena's destructor checks live_allocations() == 0).
+  std::unique_ptr<net::BufferArena> arena_;
+
   std::unique_ptr<codec::RefreshPolicy> policy_;
   std::unique_ptr<codec::Encoder> encoder_;
   std::unique_ptr<codec::Decoder> decoder_;
@@ -148,6 +157,11 @@ class StreamSession {
   std::unique_ptr<net::ReceiverReportBuilder> report_builder_;
   std::unique_ptr<net::DelayedFeedback<net::ReceiverReport>> feedback_queue_;
   std::uint16_t highest_sequence_ = 0;
+
+  // CRC verification totals ("verify_integrity" stage); the interval
+  // count resets every receiver report and feeds its corruption split.
+  net::WireStats wire_stats_;
+  std::uint64_t crc_corrupted_interval_ = 0;
 
   std::vector<FrameStage> stages_;
   std::unique_ptr<std::ofstream> frame_trace_out_;

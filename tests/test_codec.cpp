@@ -284,7 +284,7 @@ TEST(Decoder, CorruptSpanConcealsFromFailurePoint) {
                     frame.bytes.end());
   // Corrupt the second GOB's sync byte: rows 1.. are abandoned.
   std::size_t second = frame.gob_offsets[1] - frame.gob_offsets[0];
-  span.bytes[second] = 0xEE;
+  span.bytes.mutable_data()[second] = 0xEE;
   received.spans.push_back(std::move(span));
 
   decoder.decode_frame(received);

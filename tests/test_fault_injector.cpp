@@ -233,8 +233,8 @@ TEST(Fuzzer, SmokeRunCoversAllTargets) {
   options.iterations = 8;
   sim::FuzzReport report;
   ASSERT_TRUE(sim::run_fuzz(options, &report));
-  EXPECT_EQ(report.total_iterations, 7u * 8u);
-  EXPECT_EQ(report.iterations_per_target.size(), 7u);
+  EXPECT_EQ(report.total_iterations, 8u * 8u);
+  EXPECT_EQ(report.iterations_per_target.size(), 8u);
   for (const auto& [name, count] : report.iterations_per_target) {
     EXPECT_EQ(count, 8u) << name;
   }

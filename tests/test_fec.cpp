@@ -112,7 +112,10 @@ std::vector<Packet> make_media_packets(int count, Pcg32& rng,
     p.header.marker = i == count - 1;
     const std::uint32_t len = vary_sizes ? 20 + rng.next_below(200) : 64;
     p.payload.resize(len);
-    for (auto& b : p.payload) b = static_cast<std::uint8_t>(rng.next_u32());
+    std::uint8_t* bytes = p.payload.mutable_data();
+    for (std::uint32_t j = 0; j < len; ++j) {
+      bytes[j] = static_cast<std::uint8_t>(rng.next_u32());
+    }
     packets.push_back(std::move(p));
   }
   return packets;
@@ -429,22 +432,22 @@ TEST(FecDecoder, MalformedRepairHeadersAreCountedNotFatal) {
   Packet repair = window[3];
   {  // k out of bounds
     Packet p = repair;
-    p.payload[1] = kMaxFecK + 1;
+    p.payload.mutable_data()[1] = kMaxFecK + 1;
     expect_invalid(std::move(p));
   }
   {  // m out of bounds
     Packet p = repair;
-    p.payload[2] = kMaxFecM + 1;
+    p.payload.mutable_data()[2] = kMaxFecM + 1;
     expect_invalid(std::move(p));
   }
   {  // repair_index >= m
     Packet p = repair;
-    p.payload[3] = p.payload[2];
+    p.payload.mutable_data()[3] = p.payload[2];
     expect_invalid(std::move(p));
   }
   {  // unknown scheme
     Packet p = repair;
-    p.payload[0] = 9;
+    p.payload.mutable_data()[0] = 9;
     expect_invalid(std::move(p));
   }
   {  // truncated symbol
@@ -491,8 +494,8 @@ TEST(FecDecoder, StaleWindowIdNeverInventsPackets) {
   // both "data packets" of that forged window are missing, which exceeds
   // m=1 and must be unrecoverable — never a fabricated packet.
   Packet stale = window[2];
-  stale.payload[4] = 0xBE;
-  stale.payload[5] = 0xEF;
+  stale.payload.mutable_data()[4] = 0xBE;
+  stale.payload.mutable_data()[5] = 0xEF;
   FecDecoder decoder;
   std::vector<Packet> out =
       decoder.process({window[0], window[1], std::move(stale)});

@@ -212,7 +212,10 @@ TEST(Robustness, HostileFramesLeaveDecoderUsable) {
     ReceivedFrame::GobSpan span;
     span.first_gob = static_cast<int>(rng.next_below(300)) - 100;
     span.bytes.resize(rng.next_below(500) + 1);
-    for (auto& b : span.bytes) b = static_cast<std::uint8_t>(rng.next_u32());
+    std::uint8_t* bytes = span.bytes.mutable_data();
+    for (std::size_t j = 0; j < span.bytes.size(); ++j) {
+      bytes[j] = static_cast<std::uint8_t>(rng.next_u32());
+    }
     hostile.spans.push_back(std::move(span));
     decoder.decode_frame(hostile);
 

@@ -1,0 +1,414 @@
+// End-to-end wire integrity (DESIGN.md §13): CRC64 known answers and a
+// bitwise cross-check, trailer round trips, every fault-injector damage
+// mode classified by the CRC, the corruption-aware RTCP extension and
+// controller overload, and the arena wire path's byte-identity and
+// buffer-lifetime guarantees under a threaded SessionManager.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptation.h"
+#include "net/crc64.h"
+#include "net/fault_injector.h"
+#include "net/fec.h"
+#include "net/loss_model.h"
+#include "net/packet.h"
+#include "net/rtcp.h"
+#include "sim/session_manager.h"
+
+namespace pbpair {
+namespace {
+
+// Reference bit-at-a-time CRC-64/XZ (reflected ECMA-182): the slice-by-8
+// kernel must agree with this on every input.
+std::uint64_t crc64_bitwise(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t crc = ~0ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ net::kCrc64Poly : crc >> 1;
+    }
+  }
+  return ~crc;
+}
+
+std::vector<std::uint8_t> pattern(std::size_t size) {
+  std::vector<std::uint8_t> out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<std::uint8_t>(i * 131u + 89u);
+  }
+  return out;
+}
+
+TEST(Crc64, KnownAnswer) {
+  // The CRC-64/XZ check value over the canonical "123456789".
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8',
+                                 '9'};
+  EXPECT_EQ(net::crc64(digits, sizeof(digits)), 0x995DC9BBDF1939FAULL);
+  EXPECT_EQ(crc64_bitwise(digits, sizeof(digits)), 0x995DC9BBDF1939FAULL);
+}
+
+TEST(Crc64, SliceBy8MatchesBitwiseReference) {
+  for (const std::size_t size : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u}) {
+    const std::vector<std::uint8_t> bytes = pattern(size);
+    EXPECT_EQ(net::crc64(bytes.data(), bytes.size()),
+              crc64_bitwise(bytes.data(), bytes.size()))
+        << "size=" << size;
+  }
+}
+
+TEST(Crc64, StreamingOverDisjointSlicesMatchesOneShot) {
+  const std::vector<std::uint8_t> bytes = pattern(777);
+  const std::uint64_t expected = net::crc64(bytes.data(), bytes.size());
+  for (const std::size_t chunk : {1u, 3u, 8u, 13u, 64u, 500u}) {
+    net::Crc64State state = net::crc64_init();
+    for (std::size_t pos = 0; pos < bytes.size(); pos += chunk) {
+      const std::size_t n =
+          pos + chunk <= bytes.size() ? chunk : bytes.size() - pos;
+      state = net::crc64_update(state, bytes.data() + pos, n);
+    }
+    EXPECT_EQ(net::crc64_final(state), expected) << "chunk=" << chunk;
+  }
+}
+
+net::Packet make_crc_packet(std::uint16_t seq, std::size_t payload_size) {
+  net::Packet p;
+  p.header.sequence = seq;
+  p.header.timestamp = seq / 4u;
+  p.header.ssrc = 0x50425041;
+  p.header.marker = (seq % 4u) == 3u;
+  p.header.frame_type = 1;
+  p.header.qp = 10;
+  p.header.first_gob = 0;
+  p.header.num_gobs = 3;
+  p.payload = pattern(payload_size);
+  p.crc_present = true;
+  return p;
+}
+
+TEST(PacketCrc, TrailerRoundTripsAndStaysPreCrcCompatible) {
+  const net::Packet p = make_crc_packet(4242, 100);
+  const std::vector<std::uint8_t> wire = net::serialize_packet(p);
+  ASSERT_EQ(wire.size(),
+            net::kHeaderWireSize + 100 + net::kCrcTrailerSize);
+  EXPECT_EQ(p.wire_size(), wire.size());
+  EXPECT_NE(wire[0] & 0x10, 0);  // RTP X bit announces the trailer
+
+  net::Packet checked;
+  ASSERT_TRUE(net::parse_packet(wire, &checked, /*expect_crc=*/true));
+  EXPECT_TRUE(checked.crc_present);
+  EXPECT_TRUE(checked.crc_ok);
+  EXPECT_EQ(checked.payload, p.payload);
+  EXPECT_EQ(checked.header.sequence, p.header.sequence);
+
+  // The default parse ignores the X bit — bit-for-bit the pre-CRC
+  // behaviour, so the trailer bytes simply ride along as payload tail.
+  net::Packet legacy;
+  ASSERT_TRUE(net::parse_packet(wire, &legacy));
+  EXPECT_FALSE(legacy.crc_present);
+  EXPECT_EQ(legacy.payload.size(), 100 + net::kCrcTrailerSize);
+}
+
+TEST(PacketCrc, EverySingleBitFlipIsClassifiedCorrupted) {
+  const net::Packet p = make_crc_packet(7, 24);
+  const std::vector<std::uint8_t> wire = net::serialize_packet(p);
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::vector<std::uint8_t> damaged = wire;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    net::Packet parsed;
+    if (!net::parse_packet(damaged, &parsed, /*expect_crc=*/true)) {
+      continue;  // framing broke: the receiver drops it anyway
+    }
+    // CRC64 detects all single-bit errors; a flip of the X bit itself
+    // surfaces as a missing trailer. Either way the receiver's
+    // crc_present && crc_ok acceptance test must fail.
+    EXPECT_FALSE(parsed.crc_present && parsed.crc_ok) << "bit=" << bit;
+  }
+}
+
+TEST(PacketCrc, TruncatedTrailerIsCorruptedNotAccepted) {
+  const net::Packet p = make_crc_packet(9, 40);
+  const std::vector<std::uint8_t> wire = net::serialize_packet(p);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(wire.begin(),
+                                        wire.begin() +
+                                            static_cast<std::ptrdiff_t>(cut));
+    net::Packet parsed;
+    const bool ok = net::parse_packet(truncated, &parsed,
+                                      /*expect_crc=*/true);
+    if (cut < net::kHeaderWireSize) {
+      EXPECT_FALSE(ok) << "cut=" << cut;
+    } else {
+      // Any cut that leaves a parseable header — including one inside the
+      // trailer itself — must fail verification.
+      ASSERT_TRUE(ok) << "cut=" << cut;
+      EXPECT_TRUE(parsed.crc_present) << "cut=" << cut;
+      EXPECT_FALSE(parsed.crc_ok) << "cut=" << cut;
+    }
+  }
+}
+
+std::vector<net::Packet> crc_stream(int count, std::size_t payload_size) {
+  std::vector<net::Packet> packets;
+  for (int i = 0; i < count; ++i) {
+    packets.push_back(
+        make_crc_packet(static_cast<std::uint16_t>(i), payload_size));
+  }
+  return packets;
+}
+
+TEST(FaultInjectorCrc, EveryDamageModeIsClassifiedCorrupted) {
+  // Force each byte-damaging fault class onto every packet: whatever the
+  // injector still delivers must fail the receiver's acceptance test
+  // (crc_present && crc_ok) — corruption can never impersonate a healthy
+  // packet.
+  struct Mode {
+    const char* name;
+    void (*arm)(net::FaultInjectorConfig*);
+  };
+  const Mode modes[] = {
+      {"bit_flip", [](net::FaultInjectorConfig* c) { c->p_bit_flip = 1.0; }},
+      {"truncate", [](net::FaultInjectorConfig* c) { c->p_truncate = 1.0; }},
+      {"header_corrupt",
+       [](net::FaultInjectorConfig* c) { c->p_header_corrupt = 1.0; }},
+  };
+  for (const Mode& mode : modes) {
+    net::FaultInjectorConfig config;
+    config.seed = 77;
+    config.expect_crc = true;
+    mode.arm(&config);
+    net::FaultInjector injector(config);
+    const std::vector<net::Packet> out =
+        injector.apply(crc_stream(64, 120));
+    EXPECT_FALSE(out.empty()) << mode.name;
+    for (const net::Packet& packet : out) {
+      EXPECT_FALSE(packet.crc_present && packet.crc_ok)
+          << mode.name << " seq=" << packet.header.sequence;
+    }
+  }
+}
+
+TEST(FaultInjectorCrc, DuplicateTwinsSharePayloadStorage) {
+  // Duplication is the refcount-abuse case: twins must share one payload
+  // allocation (zero copy), stay individually valid, and — because
+  // damage is copy-on-corrupt — never be scribbled on through each other.
+  net::FaultInjectorConfig config;
+  config.seed = 5;
+  config.p_duplicate = 1.0;
+  config.expect_crc = true;
+  net::FaultInjector injector(config);
+  const std::vector<net::Packet> out = injector.apply(crc_stream(16, 80));
+  ASSERT_EQ(out.size(), 32u);
+  for (std::size_t i = 0; i < out.size(); i += 2) {
+    EXPECT_EQ(out[i].header.sequence, out[i + 1].header.sequence);
+    EXPECT_TRUE(out[i].payload.shares_storage_with(out[i + 1].payload));
+    EXPECT_TRUE(out[i].crc_present && out[i].crc_ok);
+  }
+}
+
+TEST(Rtcp, CorruptionExtensionRoundTripsAndStaysOffWhenZero) {
+  net::ReceiverReport rr;
+  rr.reporter_ssrc = 0x11111111;
+  rr.reportee_ssrc = 0x22222222;
+  rr.fraction_lost = 64;
+  rr.cumulative_lost = 1000;
+  rr.highest_sequence = 4242;
+  rr.fraction_corrupted = 32;
+  rr.cumulative_corrupted = 77;
+  const std::vector<std::uint8_t> wire = net::serialize_receiver_report(rr);
+
+  net::ReceiverReport parsed;
+  ASSERT_TRUE(net::parse_receiver_report(wire, &parsed));
+  EXPECT_EQ(parsed.reporter_ssrc, rr.reporter_ssrc);
+  EXPECT_EQ(parsed.reportee_ssrc, rr.reportee_ssrc);
+  EXPECT_EQ(parsed.fraction_lost, rr.fraction_lost);
+  EXPECT_EQ(parsed.cumulative_lost, rr.cumulative_lost);
+  EXPECT_EQ(parsed.highest_sequence, rr.highest_sequence);
+  EXPECT_EQ(parsed.fraction_corrupted, rr.fraction_corrupted);
+  EXPECT_EQ(parsed.cumulative_corrupted, rr.cumulative_corrupted);
+
+  // An all-zero split keeps the classic pre-CRC wire image: same bytes,
+  // no extension, and the parse round-trips the zeros.
+  rr.fraction_corrupted = 0;
+  rr.cumulative_corrupted = 0;
+  const std::vector<std::uint8_t> classic =
+      net::serialize_receiver_report(rr);
+  EXPECT_LT(classic.size(), wire.size());
+  ASSERT_TRUE(net::parse_receiver_report(classic, &parsed));
+  EXPECT_EQ(parsed.fraction_corrupted, 0);
+  EXPECT_EQ(parsed.cumulative_corrupted, 0u);
+}
+
+TEST(JointController, CorruptionAwareOverloadMatchesAndRecordsTheSplit) {
+  core::JointAdaptationConfig config;
+  core::JointPowerAwareController plain(config);
+  core::JointPowerAwareController split(config);
+  EXPECT_EQ(split.last_corrupted_plr(), -1.0);
+
+  plain.on_plr_update(0.20);
+  split.on_plr_update(0.20, 0.08);
+  // The erasure rate drives the FEC/Intra_Th math identically — the
+  // corruption share is recorded, not double-counted.
+  EXPECT_DOUBLE_EQ(split.intra_th(), plain.intra_th());
+  EXPECT_EQ(split.fec_m(), plain.fec_m());
+  EXPECT_DOUBLE_EQ(split.last_plr(), 0.20);
+  EXPECT_DOUBLE_EQ(split.last_corrupted_plr(), 0.08);
+}
+
+// --- arena wire path under SessionManager --------------------------------
+
+// Same %.17g idiom as test_session_manager.cpp, extended with the wire
+// stats and per-frame corruption counts: any bit difference anywhere in
+// the report shows up as a string difference.
+std::string serialize(const std::vector<sim::PipelineResult>& results) {
+  std::string out;
+  char buf[256];
+  for (const sim::PipelineResult& r : results) {
+    std::snprintf(buf, sizeof(buf), "total %llu %.17g %llu %llu %llu\n",
+                  static_cast<unsigned long long>(r.total_bytes),
+                  r.avg_psnr_db,
+                  static_cast<unsigned long long>(r.total_bad_pixels),
+                  static_cast<unsigned long long>(r.total_intra_mbs),
+                  static_cast<unsigned long long>(r.concealed_mbs));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "energy %.17g %.17g\n",
+                  r.encode_energy.total_j(), r.tx_energy_j);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "wire %llu %llu\n",
+                  static_cast<unsigned long long>(r.wire.packets_checked),
+                  static_cast<unsigned long long>(r.wire.crc_corrupted));
+    out += buf;
+    for (const sim::FrameTrace& f : r.frames) {
+      std::snprintf(buf, sizeof(buf), "f %d %zu %d %d %.17g %llu %d\n",
+                    f.index, f.bytes, f.intra_mbs, f.lost ? 1 : 0, f.psnr_db,
+                    static_cast<unsigned long long>(f.bad_pixels),
+                    f.crc_corrupted);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+enum class WireMode { kUnset, kCrcOff, kCrcOn };
+
+// A fleet that exercises every arena-touching stage: PBPAIR refresh, FEC
+// windows, the lossy channel, and the fault injector's bit flips /
+// truncation / duplicates.
+std::vector<sim::SessionSpec> wire_specs(int sessions, int frames,
+                                         WireMode mode) {
+  const video::SequenceKind kinds[3] = {video::SequenceKind::kForemanLike,
+                                        video::SequenceKind::kAkiyoLike,
+                                        video::SequenceKind::kGardenLike};
+  std::vector<sim::SessionSpec> specs;
+  for (int i = 0; i < sessions; ++i) {
+    sim::SessionSpec spec;
+    core::PbpairConfig pbpair;
+    pbpair.intra_th = 0.9;
+    pbpair.plr = 0.10;
+    spec.scheme = sim::SchemeSpec::pbpair(pbpair);
+    spec.config.frames = frames;
+
+    net::FaultInjectorConfig faults;
+    faults.seed = 9 + static_cast<std::uint64_t>(i);
+    faults.p_bit_flip = 0.30;
+    faults.p_truncate = 0.15;
+    faults.p_duplicate = 0.20;
+    spec.config.faults = faults;
+
+    net::FecConfig fec;
+    fec.scheme = net::FecScheme::kReedSolomon;
+    fec.k = 4;
+    fec.m = 1;
+    spec.config.fec = fec;
+
+    if (mode == WireMode::kCrcOff) {
+      net::WireConfig wire;
+      wire.crc = false;
+      spec.config.wire = wire;
+    } else if (mode == WireMode::kCrcOn) {
+      spec.config.wire = net::WireConfig{};
+    }
+
+    video::SyntheticSequence seq = video::make_paper_sequence(kinds[i % 3]);
+    spec.source = [seq](int index) { return seq.frame_at(index); };
+    const std::uint64_t seed = 2005 + static_cast<std::uint64_t>(i);
+    spec.make_loss = [seed] {
+      return std::make_unique<net::UniformFrameLoss>(0.12, seed);
+    };
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(WirePath, CrcOffConfigIsByteIdenticalToUnsetAcrossThreads) {
+  const int kSessions = 5;
+  const int kFrames = 8;
+  sim::SessionManagerOptions reference_options;
+  reference_options.threads = 1;
+  const std::string reference = serialize(
+      sim::SessionManager(wire_specs(kSessions, kFrames, WireMode::kUnset))
+          .run(reference_options));
+
+  // A WireConfig with crc off must leave the stage list — and every
+  // reported bit — identical to never setting the optional, at any worker
+  // count (the arena swap underneath is invisible).
+  for (const WireMode mode : {WireMode::kUnset, WireMode::kCrcOff}) {
+    for (const int threads : {1, 2, 8}) {
+      sim::SessionManagerOptions options;
+      options.threads = threads;
+      EXPECT_EQ(serialize(sim::SessionManager(
+                              wire_specs(kSessions, kFrames, mode))
+                              .run(options)),
+                reference)
+          << "mode=" << static_cast<int>(mode) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(WirePath, CrcOnClassifiesCorruptionDeterministicallyAcrossThreads) {
+  // The CRC-on fleet runs the full zero-copy chain — packetize slices, FEC
+  // repair slabs, fault-injector duplicates sharing payload refs — and
+  // every session's arena must outlive every ref at 1, 2 and 8 workers
+  // (the arena destructor PB_CHECKs live_allocations()==0; ASan enforces
+  // the poisoning). The report must not depend on the worker count.
+  const int kSessions = 5;
+  const int kFrames = 10;
+  sim::SessionManagerOptions reference_options;
+  reference_options.threads = 1;
+  const std::vector<sim::PipelineResult> reference =
+      sim::SessionManager(wire_specs(kSessions, kFrames, WireMode::kCrcOn))
+          .run(reference_options);
+  const std::string reference_report = serialize(reference);
+
+  std::uint64_t checked = 0;
+  std::uint64_t corrupted = 0;
+  for (const sim::PipelineResult& r : reference) {
+    checked += r.wire.packets_checked;
+    corrupted += r.wire.crc_corrupted;
+    // The per-frame trace splits add back up to the session total.
+    std::uint64_t trace_sum = 0;
+    for (const sim::FrameTrace& f : r.frames) {
+      trace_sum += static_cast<std::uint64_t>(f.crc_corrupted);
+    }
+    EXPECT_EQ(trace_sum, r.wire.crc_corrupted);
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_GT(corrupted, 0u);  // the bit flips really were classified
+
+  for (const int threads : {2, 8}) {
+    sim::SessionManagerOptions options;
+    options.threads = threads;
+    EXPECT_EQ(serialize(sim::SessionManager(
+                            wire_specs(kSessions, kFrames, WireMode::kCrcOn))
+                            .run(options)),
+              reference_report)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace pbpair

@@ -2,7 +2,7 @@
 //
 //   check_bench_regression --baseline BENCH_kernels.json
 //                          --current build/BENCH_kernels.json
-//                          [--threshold 0.25] [--mode kernels|fec]
+//                          [--threshold 0.25] [--mode kernels|fec|wire]
 //
 // Mode "kernels" (default) diffs per-kernel ns/call numbers and exits 1
 // when any grew by more than the threshold (default +25%) or a baseline
@@ -10,10 +10,12 @@
 // BENCH_fec.json trade-off matrix row by row: recovery_rate may not fall
 // more than the threshold ABSOLUTE below the baseline, j_per_frame may
 // not grow more than the threshold RELATIVE above it, and a vanished row
-// fails while a row with no committed baseline only warns. Exit 2 =
-// usage/parse error. Better-than-baseline results are reported but never
-// fail — baselines are refreshed by re-running the bench and committing
-// the new file.
+// fails while a row with no committed baseline only warns. Mode "wire"
+// diffs BENCH_wire.json the same way: copy_reduction may not fall more
+// than the threshold ABSOLUTE below the baseline (packets_per_s is
+// wall-clock and never gated). Exit 2 = usage/parse error.
+// Better-than-baseline results are reported but never fail — baselines
+// are refreshed by re-running the bench and committing the new file.
 #include <cstdio>
 #include <string>
 
@@ -31,10 +33,10 @@ int main(int argc, char** argv) {
   const double threshold = args.get_double("threshold", 0.25);
   const std::string mode = args.get("mode", "kernels");
   if (baseline_path.empty() || current_path.empty() || threshold < 0.0 ||
-      (mode != "kernels" && mode != "fec")) {
+      (mode != "kernels" && mode != "fec" && mode != "wire")) {
     std::fprintf(stderr,
                  "usage: check_bench_regression --baseline FILE --current "
-                 "FILE [--threshold 0.25] [--mode kernels|fec]\n");
+                 "FILE [--threshold 0.25] [--mode kernels|fec|wire]\n");
     return 2;
   }
 
@@ -91,6 +93,44 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("OK: all FEC rows within threshold %.2f of the baseline\n",
+                threshold);
+    return 0;
+  }
+
+  if (mode == "wire") {
+    obs::WireComparison comparison =
+        obs::compare_wire_reports(baseline, current, threshold);
+    if (comparison.deltas.empty() && comparison.missing_rows.empty()) {
+      std::fprintf(stderr, "no comparable wire_rows found in %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    sim::Table table(
+        {"row", "field", "baseline", "current", "delta", "verdict"});
+    for (const obs::WireDelta& d : comparison.deltas) {
+      table.add_row({d.row, d.field, sim::format("%.4f", d.baseline),
+                     sim::format("%.4f", d.current),
+                     sim::format("%+.3f", d.current - d.baseline),
+                     d.regression ? "REGRESSION" : "ok"});
+    }
+    table.print();
+    for (const std::string& name : comparison.missing_rows) {
+      std::printf("MISSING: row \"%s\" is in the baseline but not in the "
+                  "current report\n",
+                  name.c_str());
+    }
+    for (const std::string& name : comparison.unknown_rows) {
+      std::printf("WARNING: row \"%s\" has no baseline yet (measured but "
+                  "not gated; refresh %s to start gating it)\n",
+                  name.c_str(), baseline_path.c_str());
+    }
+    if (!comparison.ok()) {
+      std::printf("FAIL: copy_reduction regression beyond threshold %.2f "
+                  "(or missing row) vs %s\n",
+                  threshold, baseline_path.c_str());
+      return 1;
+    }
+    std::printf("OK: all wire rows within threshold %.2f of the baseline\n",
                 threshold);
     return 0;
   }

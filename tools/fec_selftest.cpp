@@ -107,7 +107,7 @@ void check_wire_format() {
   }
   // Hostile geometry must be rejected, not trusted.
   net::Packet bad = packet;
-  bad.payload[1] = net::kMaxFecK + 1;
+  bad.payload.mutable_data()[1] = net::kMaxFecK + 1;
   if (net::parse_repair_header(bad, &parsed)) {
     fail("out-of-bounds k accepted by parse_repair_header");
   }
@@ -129,8 +129,9 @@ std::vector<net::Packet> make_window(int k, common::Pcg32& rng) {
     p.header.num_gobs = 1;
     p.header.marker = i == k - 1;
     p.payload.resize(8 + rng.next_below(120));
-    for (std::uint8_t& b : p.payload) {
-      b = static_cast<std::uint8_t>(rng.next_u32());
+    std::uint8_t* bytes = p.payload.mutable_data();
+    for (std::size_t j = 0; j < p.payload.size(); ++j) {
+      bytes[j] = static_cast<std::uint8_t>(rng.next_u32());
     }
     packets.push_back(std::move(p));
   }

@@ -6,12 +6,12 @@
 //   pbpair decode --in clip.pbs --out clip.yuv [--deblocking]
 //   pbpair simulate [--clip foreman|akiyo|garden] [--frames 120]
 //                   [--plr 0.1] [--scheme ...] [--intra-th 0.9]
-//                   [--mtu 1400] [--seed 2005] [--qp 10]
+//                   [--mtu 1400] [--seed 2005] [--qp 10] [--crc]
 //                   [--trace] [--trace-json t.json] [--metrics-json m.json]
 //                   [--frame-trace f.jsonl] [--deterministic]
 //   pbpair serve    --sessions N [--frames 60] [--plr 0.1] [--scheme ...]
 //                   [--intra-th 0.9] [--threads T] [--slice K] [--rtt R]
-//                   [--seed 2005] [--qp 10] [--metrics-port P|auto]
+//                   [--seed 2005] [--qp 10] [--crc] [--metrics-port P|auto]
 //                   [--metrics-linger SEC]
 //   pbpair monitor  --port P [--host H] [--interval SEC]
 //                   | --from scrape1.txt --to scrape2.txt [--interval SEC]
@@ -39,13 +39,21 @@
 // prints a damage line when fault counters moved between scrapes, and
 // `pbpair fuzz` replays the seeded robustness campaign that CI runs under
 // ASan/UBSan.
+//
+// Wire integrity (DESIGN.md §13): --crc puts an 8-byte CRC64 trailer on
+// every packet and inserts the verify_integrity stage, so damage that
+// reaches the receiver is classified corrupted (net.crc.corrupted) rather
+// than folded into loss. monitor then grows lost/s + corrupt/s columns and
+// a wire line with CRC verdict rates and net.wire.ns p50/p99 latency.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "codec/container.h"
 #include "codec/decoder.h"
@@ -79,18 +87,18 @@ int usage() {
       "           [--rate-kbps K] [--deblocking]\n"
       "  decode   --in f.pbs --out f.yuv [--deblocking]\n"
       "  simulate [--clip C] [--frames N] [--plr X] [--scheme S]\n"
-      "           [--intra-th X] [--mtu N] [--seed N] [--qp N]\n"
+      "           [--intra-th X] [--mtu N] [--seed N] [--qp N] [--crc]\n"
       "           [--trace] [--trace-json FILE] [--metrics-json FILE]\n"
       "           [--frame-trace FILE] [--deterministic]\n"
       "  serve    --sessions N [--frames N] [--plr X] [--scheme S]\n"
       "           [--intra-th X] [--threads T] [--slice K] [--rtt R]\n"
-      "           [--seed N] [--qp N] [--metrics-port P|auto]\n"
+      "           [--seed N] [--qp N] [--crc] [--metrics-port P|auto]\n"
       "           [--metrics-linger SEC]\n"
       "  monitor  --port P [--host H] [--interval SEC]\n"
       "           | --from scrape1.txt --to scrape2.txt [--interval SEC]\n"
       "  fuzz     [--seed N] [--iters N] [--crash-dir DIR]\n"
       "           [--fuzz-target all|bitreader|decoder|depacketize|\n"
-      "                         packet|fec|prometheus|json]\n"
+      "                         packet|fec|wire|prometheus|json]\n"
       "  common:  [--log-json FILE] [--log-level debug|info|warn|error]\n"
       "           [--verbose]\n"
       "  faults (simulate/serve): [--fault-bit-flip X] [--fault-truncate X]\n"
@@ -98,6 +106,9 @@ int usage() {
       "           [--fault-reorder X] [--fault-seed N]\n"
       "  fec (simulate/serve): [--fec-m M] [--fec-k K] [--fec-scheme xor|rs]\n"
       "           (m=0, the default, disables the FEC stages entirely)\n"
+      "  wire (simulate/serve): [--crc] frames every packet with a CRC64\n"
+      "           trailer; corrupted deliveries drop to erasures and are\n"
+      "           counted apart from losses (off keeps the classic bytes)\n"
       "  schemes: pbpair (default), no, gop-N, air-N, pgop-N\n");
   return 2;
 }
@@ -352,6 +363,9 @@ int cmd_simulate(const common::ArgParser& args) {
       static_cast<std::uint64_t>(args.get_int("seed", 2005));
   apply_fault_flags(args, &config);
   if (!apply_fec_flags(args, &config)) return 2;
+  // Leaving the optional unset (no --crc) keeps the stage list and every
+  // output byte identical to a build without wire framing.
+  if (args.has("crc")) config.wire = net::WireConfig{};
 
   video::SyntheticSequence sequence = video::make_paper_sequence(kind);
   net::UniformFrameLoss loss(plr, static_cast<std::uint64_t>(
@@ -405,6 +419,13 @@ int cmd_simulate(const common::ArgParser& args) {
         static_cast<double>(r.fec_encode.repair_bytes) / 1024.0,
         static_cast<unsigned long long>(r.fec_decode.packets_recovered),
         static_cast<unsigned long long>(r.fec_decode.windows_unrecoverable));
+  }
+  // CRC line, same deal: only a --crc run prints it.
+  if (config.wire.has_value()) {
+    std::printf(
+        "crc: packets checked %llu  corrupted %llu (dropped to erasures)\n",
+        static_cast<unsigned long long>(r.wire.packets_checked),
+        static_cast<unsigned long long>(r.wire.crc_corrupted));
   }
   return 0;
 }
@@ -485,6 +506,7 @@ int cmd_serve(const common::ArgParser& args) {
     spec.config.health = obs::HealthConfig{};
     apply_fault_flags(args, &spec.config);
     if (!apply_fec_flags(args, &spec.config)) return 2;
+    if (args.has("crc")) spec.config.wire = net::WireConfig{};
     if (spec.config.faults.has_value()) {
       // Per-session offset so concurrent sessions damage independently.
       spec.config.faults->seed += static_cast<std::uint64_t>(i);
@@ -517,18 +539,30 @@ int cmd_serve(const common::ArgParser& args) {
   std::vector<sim::PipelineResult> results = manager.run(options);
 
   if (sessions <= 16) {
-    sim::Table table({"session", "clip", "scheme", "PSNR_dB", "size_KB",
-                      "lost_pkts", "encode_J", "tx_J"});
+    // With --crc the table splits wire damage out of loss: lost_pkts stays
+    // the channel drops, crc_bad is what arrived corrupted.
+    const bool crc_on = args.has("crc");
+    std::vector<std::string> header = {"session", "clip",      "scheme",
+                                       "PSNR_dB", "size_KB",   "lost_pkts",
+                                       "encode_J", "tx_J"};
+    if (crc_on) header.insert(header.begin() + 6, "crc_bad");
+    sim::Table table(std::move(header));
     for (int i = 0; i < sessions; ++i) {
       const sim::PipelineResult& r = results[static_cast<std::size_t>(i)];
-      table.add_row(
-          {sim::format("s%03d", i), kind_names[i % 3], scheme.label(),
-           sim::format("%.2f", r.avg_psnr_db),
-           sim::format("%.1f", static_cast<double>(r.total_bytes) / 1024.0),
-           sim::format("%llu", static_cast<unsigned long long>(
-                                   r.channel.packets_dropped)),
-           sim::format("%.3f", r.encode_energy.total_j()),
-           sim::format("%.3f", r.tx_energy_j)});
+      std::vector<std::string> row = {
+          sim::format("s%03d", i), kind_names[i % 3], scheme.label(),
+          sim::format("%.2f", r.avg_psnr_db),
+          sim::format("%.1f", static_cast<double>(r.total_bytes) / 1024.0),
+          sim::format("%llu", static_cast<unsigned long long>(
+                                  r.channel.packets_dropped)),
+          sim::format("%.3f", r.encode_energy.total_j()),
+          sim::format("%.3f", r.tx_energy_j)};
+      if (crc_on) {
+        row.insert(row.begin() + 6,
+                   sim::format("%llu", static_cast<unsigned long long>(
+                                           r.wire.crc_corrupted)));
+      }
+      table.add_row(std::move(row));
     }
     table.print();
   }
@@ -651,8 +685,24 @@ int cmd_monitor(const common::ArgParser& args) {
     return 1;
   }
 
-  sim::Table table({"session", "frames/s", "PSNR_dB", "eff_PLR", "intra",
-                    "J/frame", "health"});
+  // CRC-framed sessions (DESIGN.md §13) export a crc_corrupted counter
+  // (present even at zero), which splits wire damage out of loss: lost/s
+  // counts packets that never arrived, corrupt/s the ones that arrived but
+  // failed their CRC64 trailer. Without it the classic table is printed
+  // unchanged.
+  bool crc_on = false;
+  for (const auto& [label, now] : after) {
+    crc_on = crc_on ||
+             now.values.count("pbpair_session_crc_corrupted_total") > 0;
+  }
+  std::vector<std::string> header = {"session", "frames/s", "PSNR_dB",
+                                     "eff_PLR"};
+  if (crc_on) {
+    header.push_back("lost/s");
+    header.push_back("corrupt/s");
+  }
+  header.insert(header.end(), {"intra", "J/frame", "health"});
+  sim::Table table(std::move(header));
   for (const auto& [label, now] : after) {
     const MonitorSample& then = before.count(label)
                                     ? before.at(label)
@@ -673,13 +723,24 @@ int cmd_monitor(const common::ArgParser& args) {
     const double eff_plr = d_sent > 0 ? 1.0 - d_delivered / d_sent : 0.0;
     const int state =
         static_cast<int>(now.get("pbpair_session_health_state") + 0.5);
-    table.add_row(
-        {label, sim::format("%.1f", d_frames / interval),
-         sim::format("%.2f", now.get("pbpair_session_psnr_db")),
-         sim::format("%.3f", eff_plr),
-         sim::format("%.3f", d_mbs > 0 ? d_intra / d_mbs : 0.0),
-         sim::format("%.4f", d_frames > 0 ? d_uj / 1e6 / d_frames : 0.0),
-         obs::health_state_name(static_cast<obs::HealthState>(state))});
+    std::vector<std::string> row = {
+        label, sim::format("%.1f", d_frames / interval),
+        sim::format("%.2f", now.get("pbpair_session_psnr_db")),
+        sim::format("%.3f", eff_plr)};
+    if (crc_on) {
+      const double d_corrupt =
+          now.get("pbpair_session_crc_corrupted_total") -
+          then.get("pbpair_session_crc_corrupted_total");
+      const double d_lost = d_sent - d_delivered;
+      row.push_back(sim::format("%.1f", d_lost / interval));
+      row.push_back(sim::format("%.1f", d_corrupt / interval));
+    }
+    row.push_back(sim::format("%.3f", d_mbs > 0 ? d_intra / d_mbs : 0.0));
+    row.push_back(
+        sim::format("%.4f", d_frames > 0 ? d_uj / 1e6 / d_frames : 0.0));
+    row.push_back(
+        obs::health_state_name(static_cast<obs::HealthState>(state)));
+    table.add_row(std::move(row));
   }
   table.print();
 
@@ -713,6 +774,49 @@ int cmd_monitor(const common::ArgParser& args) {
         d_bits / interval, d_hdrs / interval, d_trunc / interval,
         d_dup / interval, d_reord / interval, d_unparse / interval,
         d_badhdr / interval, d_orphan / interval);
+  }
+
+  // Wire line (DESIGN.md §13): CRC verdict rates plus the per-packet
+  // net.wire.ns latency quantiles, from the histogram's cumulative bucket
+  // deltas. Printed only when packets were CRC-checked between the
+  // scrapes, so a CRC-off serve keeps the classic output.
+  const double d_crc_ok = delta("pbpair_net_crc_ok_total");
+  const double d_crc_bad = delta("pbpair_net_crc_corrupted_total");
+  if (d_crc_ok + d_crc_bad > 0.0) {
+    // (le upper bound, delta of the cumulative count), sorted by le. The
+    // parser keeps non-session labels on the family string, so bucket
+    // families look like `pbpair_net_wire_ns_bucket{le="1024"}`.
+    const std::string bucket_prefix = "pbpair_net_wire_ns_bucket{le=\"";
+    std::map<double, double> buckets;
+    for (const auto& [family, value] : g_now) {
+      if (family.compare(0, bucket_prefix.size(), bucket_prefix) != 0) {
+        continue;
+      }
+      std::string le_text = family.substr(bucket_prefix.size());
+      le_text.resize(le_text.find('"'));
+      const double le =
+          le_text == "+Inf" ? 1e308 : std::atof(le_text.c_str());
+      const auto then_it = g_then.find(family);
+      buckets[le] =
+          value - (then_it == g_then.end() ? 0.0 : then_it->second);
+    }
+    const double d_count = delta("pbpair_net_wire_ns_count");
+    const auto quantile = [&](double q) {
+      for (const auto& [le, cumulative] : buckets) {
+        if (cumulative >= q * d_count) return le;
+      }
+      return 1e308;
+    };
+    std::printf("wire/s: crc_ok %.1f  crc_corrupt %.1f", d_crc_ok / interval,
+                d_crc_bad / interval);
+    if (d_count > 0.0 && !buckets.empty()) {
+      const double p50 = quantile(0.50);
+      const double p99 = quantile(0.99);
+      std::printf("  p50<=%s  p99<=%s",
+                  p50 >= 1e308 ? ">max" : sim::format("%.0fns", p50).c_str(),
+                  p99 >= 1e308 ? ">max" : sim::format("%.0fns", p99).c_str());
+    }
+    std::printf("\n");
   }
   return 0;
 }
