@@ -68,8 +68,13 @@ std::vector<Packet> Channel::transmit(const std::vector<Packet>& packets) {
     if (dropped > 0) {
       c_dropped->add(dropped);
       // Per-model drop attribution, e.g. net.packets_dropped.gilbert-elliott.
-      obs::counter(std::string("net.packets_dropped.") + loss_->name())
-          .add(dropped);
+      // Resolved once per channel (one map lookup), then each add() is a
+      // lock-free bump on the calling thread's shard.
+      if (drop_counter_ == nullptr) {
+        drop_counter_ =
+            &obs::counter(std::string("net.packets_dropped.") + loss_->name());
+      }
+      drop_counter_->add(dropped);
     }
   }
   return delivered;

@@ -9,6 +9,10 @@
 #include "net/loss_model.h"
 #include "net/packet.h"
 
+namespace pbpair::obs {
+class Counter;
+}
+
 namespace pbpair::net {
 
 struct ChannelStats {
@@ -38,6 +42,10 @@ class Channel {
  private:
   LossModel* loss_;
   ChannelStats stats_;
+  // Cached handle for the per-model drop counter (the name depends on
+  // loss_->name(), so it cannot be a function-local static). Looked up
+  // once; each add() then lands lock-free on the calling thread's shard.
+  obs::Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace pbpair::net

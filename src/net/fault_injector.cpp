@@ -9,11 +9,20 @@ namespace {
 // other consumer seeded from the same experiment seed.
 constexpr std::uint64_t kFaultStream = 0xFA01'7D05'2005'0001ULL;
 
-void bump(const char* name, std::uint64_t n) {
-  if (n > 0 && obs::enabled()) obs::counter(name).add(n);
-}
-
 }  // namespace
+
+// Per-site cached-handle counter bump: the function-local static resolves
+// the name once, then add() is a lock-free bump on the calling thread's
+// shard. A macro so each expansion gets its own static (a shared helper
+// would redo the registry map lookup on every call).
+#define PB_BUMP(name, n)                                     \
+  do {                                                       \
+    const std::uint64_t pb_bump_n_ = (n);                    \
+    if (pb_bump_n_ > 0 && obs::enabled()) {                  \
+      static obs::Counter* pb_bump_c_ = &obs::counter(name); \
+      pb_bump_c_->add(pb_bump_n_);                           \
+    }                                                        \
+  } while (0)
 
 FaultInjector::FaultInjector(const FaultInjectorConfig& config)
     : config_(config), rng_(config.seed, kFaultStream) {}
@@ -70,9 +79,9 @@ bool FaultInjector::damage_packet(Packet* packet) {
   stats_.bits_flipped += bits_flipped;
   stats_.headers_corrupted += headers_corrupted;
   stats_.payloads_truncated += payloads_truncated;
-  bump("net.fault.bits_flipped", bits_flipped);
-  bump("net.fault.headers_corrupted", headers_corrupted);
-  bump("net.fault.payloads_truncated", payloads_truncated);
+  PB_BUMP("net.fault.bits_flipped", bits_flipped);
+  PB_BUMP("net.fault.headers_corrupted", headers_corrupted);
+  PB_BUMP("net.fault.payloads_truncated", payloads_truncated);
 
   Packet damaged;
   common::ledger_legacy(wire.size() > kHeaderWireSize
@@ -80,7 +89,7 @@ bool FaultInjector::damage_packet(Packet* packet) {
                             : 0);
   if (!parse_packet(wire, &damaged, config_.expect_crc)) {
     stats_.packets_dropped_unparseable += 1;
-    bump("net.fault.dropped_unparseable", 1);
+    PB_BUMP("net.fault.dropped_unparseable", 1);
     return false;
   }
   *packet = std::move(damaged);
@@ -96,7 +105,7 @@ std::vector<Packet> FaultInjector::apply(std::vector<Packet> packets) {
     if (!damage_packet(&packet)) continue;
     if (duplicate) {
       stats_.packets_duplicated += 1;
-      bump("net.fault.packets_duplicated", 1);
+      PB_BUMP("net.fault.packets_duplicated", 1);
       common::ledger_legacy(packet.payload.size());
       out.push_back(packet);  // twin shares the payload ref
     }
@@ -108,7 +117,7 @@ std::vector<Packet> FaultInjector::apply(std::vector<Packet> packets) {
     if (rng_.next_bernoulli(config_.p_reorder)) {
       std::swap(out[i], out[i + 1]);
       stats_.packets_reordered += 1;
-      bump("net.fault.packets_reordered", 1);
+      PB_BUMP("net.fault.packets_reordered", 1);
     }
   }
   return out;

@@ -13,10 +13,6 @@
 namespace pbpair::net {
 namespace {
 
-void bump(const char* name, std::uint64_t n) {
-  if (n > 0 && obs::enabled()) obs::counter(name).add(n);
-}
-
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 8));
   out.push_back(static_cast<std::uint8_t>(v & 0xFF));
@@ -73,6 +69,19 @@ std::uint8_t coefficient(FecScheme scheme, int repair_index, int data_index) {
 }
 
 }  // namespace
+
+// Per-site cached-handle counter bump: the function-local static resolves
+// the name once, then add() is a lock-free bump on the calling thread's
+// shard. A macro so each expansion gets its own static (a shared helper
+// would redo the registry map lookup on every call).
+#define PB_BUMP(name, n)                                     \
+  do {                                                       \
+    const std::uint64_t pb_bump_n_ = (n);                    \
+    if (pb_bump_n_ > 0 && obs::enabled()) {                  \
+      static obs::Counter* pb_bump_c_ = &obs::counter(name); \
+      pb_bump_c_->add(pb_bump_n_);                           \
+    }                                                        \
+  } while (0)
 
 std::uint8_t fec_cauchy_coefficient(int repair_index, int data_index) {
   // Cauchy element sets: data columns y_i = i (i < kMaxFecK), repair rows
@@ -206,8 +215,8 @@ int FecEncoder::protect(std::vector<Packet>* packets) {
   }
 
   stats_.repair_packets += repairs.size();
-  bump("net.fec.windows_encoded", repairs.empty() ? 0 : 1);
-  bump("net.fec.repair_packets_sent", repairs.size());
+  PB_BUMP("net.fec.windows_encoded", repairs.empty() ? 0 : 1);
+  PB_BUMP("net.fec.repair_packets_sent", repairs.size());
   const int appended = static_cast<int>(repairs.size());
   for (Packet& repair : repairs) packets->push_back(std::move(repair));
   return appended;
@@ -265,7 +274,7 @@ std::vector<Packet> FecDecoder::process(std::vector<Packet> packets) {
     entries.push_back(std::move(entry));
   }
   stats_.repair_packets_invalid += invalid;
-  bump("net.fec.repair_invalid", invalid);
+  PB_BUMP("net.fec.repair_invalid", invalid);
   if (windows.empty()) return media;
 
   std::vector<Packet> recovered_packets;
@@ -293,7 +302,7 @@ std::vector<Packet> FecDecoder::process(std::vector<Packet> packets) {
     if (missing.empty()) continue;  // nothing to do; repairs are consumed
     if (missing.size() > entries.size()) {
       stats_.windows_unrecoverable += 1;
-      bump("net.fec.windows_unrecoverable", 1);
+      PB_BUMP("net.fec.windows_unrecoverable", 1);
       continue;
     }
 
@@ -376,7 +385,7 @@ std::vector<Packet> FecDecoder::process(std::vector<Packet> packets) {
     }
     if (!window_ok) {
       stats_.windows_unrecoverable += 1;
-      bump("net.fec.windows_unrecoverable", 1);
+      PB_BUMP("net.fec.windows_unrecoverable", 1);
       continue;
     }
 
@@ -397,7 +406,7 @@ std::vector<Packet> FecDecoder::process(std::vector<Packet> packets) {
       }
       if (!ok) {
         stats_.recovered_unparseable += 1;
-        bump("net.fec.recovered_unparseable", 1);
+        PB_BUMP("net.fec.recovered_unparseable", 1);
         continue;
       }
       if (expect_crc_ && !(recovered.crc_present && recovered.crc_ok)) {
@@ -405,12 +414,12 @@ std::vector<Packet> FecDecoder::process(std::vector<Packet> packets) {
         // X bit vanished) — symbol damage FEC could not see. Never hand
         // garbage downstream; recovered packets bypass the verify stage.
         stats_.recovered_crc_failed += 1;
-        bump("net.fec.recovered_crc_failed", 1);
+        PB_BUMP("net.fec.recovered_crc_failed", 1);
         continue;
       }
       recovered.recovered = true;
       stats_.packets_recovered += 1;
-      bump("net.fec.packets_recovered", 1);
+      PB_BUMP("net.fec.packets_recovered", 1);
       recovered_packets.push_back(std::move(recovered));
     }
   }

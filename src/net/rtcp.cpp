@@ -128,7 +128,8 @@ ReceiverReport ReceiverReportBuilder::build(
     c_reports->add(1);
     // The sender-visible PLR estimate (gauges are last-writer-wins and
     // stripped from deterministic metric output).
-    obs::gauge("net.feedback.plr").set(estimator.estimate());
+    static obs::Gauge* g_plr = &obs::gauge("net.feedback.plr");
+    g_plr->set(estimator.estimate());
   }
   return rr;
 }

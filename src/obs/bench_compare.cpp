@@ -37,6 +37,16 @@ const common::JsonValue* find_wire_row(const common::JsonValue& report,
   return nullptr;
 }
 
+const common::JsonValue* find_obs_row(const common::JsonValue& report,
+                                      const std::string& name) {
+  const common::JsonValue* rows = report.find("obs_rows");
+  if (rows == nullptr || !rows->is_array()) return nullptr;
+  for (const common::JsonValue& entry : rows->items()) {
+    if (entry.string_at("name") == name) return &entry;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 BenchComparison compare_bench_reports(const common::JsonValue& baseline,
@@ -179,6 +189,52 @@ WireComparison compare_wire_reports(const common::JsonValue& baseline,
       const std::string& name = cur_entry.string_at("name");
       if (name.empty()) continue;
       if (find_wire_row(baseline, name) == nullptr) {
+        result.unknown_rows.push_back(name);
+      }
+    }
+  }
+  return result;
+}
+
+ObsComparison compare_obs_reports(const common::JsonValue& baseline,
+                                  const common::JsonValue& current,
+                                  double threshold) {
+  ObsComparison result;
+  const common::JsonValue* base_rows = baseline.find("obs_rows");
+  if (base_rows == nullptr || !base_rows->is_array()) return result;
+
+  for (const common::JsonValue& base_entry : base_rows->items()) {
+    const std::string& name = base_entry.string_at("name");
+    if (name.empty()) continue;
+    const common::JsonValue* cur_entry = find_obs_row(current, name);
+    if (cur_entry == nullptr) {
+      result.missing_rows.push_back(name);
+      continue;
+    }
+    // Both gated fields are "smaller is better" costs: relative growth.
+    for (const char* field : {"ns_per_op", "overhead_ratio"}) {
+      const common::JsonValue* base_value = base_entry.find(field);
+      const common::JsonValue* cur_value = cur_entry->find(field);
+      if (base_value == nullptr || !base_value->is_number() ||
+          cur_value == nullptr || !cur_value->is_number()) {
+        continue;
+      }
+      ObsDelta delta;
+      delta.row = name;
+      delta.field = field;
+      delta.baseline = base_value->as_number();
+      delta.current = cur_value->as_number();
+      delta.regression = delta.baseline > 0.0 &&
+                         delta.current > delta.baseline * (1.0 + threshold);
+      result.deltas.push_back(std::move(delta));
+    }
+  }
+  const common::JsonValue* cur_rows = current.find("obs_rows");
+  if (cur_rows != nullptr && cur_rows->is_array()) {
+    for (const common::JsonValue& cur_entry : cur_rows->items()) {
+      const std::string& name = cur_entry.string_at("name");
+      if (name.empty()) continue;
+      if (find_obs_row(baseline, name) == nullptr) {
         result.unknown_rows.push_back(name);
       }
     }

@@ -133,4 +133,41 @@ WireComparison compare_wire_reports(const common::JsonValue& baseline,
                                     const common::JsonValue& current,
                                     double threshold);
 
+/// One gated measurement of a BENCH_obs.json row. The bump/* rows gate
+/// ns_per_op (the sharded counter/histogram fast path); the pipeline/*
+/// rows gate overhead_ratio (full pipeline with obs on over obs off).
+/// Both are wall-clock, so the CI threshold absorbs scheduler jitter.
+struct ObsDelta {
+  std::string row;        // e.g. "bump/t8", "pipeline/t2"
+  std::string field;      // "ns_per_op" | "overhead_ratio"
+  double baseline = 0.0;
+  double current = 0.0;
+  bool regression = false;
+};
+
+struct ObsComparison {
+  std::vector<ObsDelta> deltas;
+  /// Rows in the baseline that the current report no longer emits
+  /// (failures: a vanished thread count hides a scaling regression).
+  std::vector<std::string> missing_rows;
+  /// Rows measured now but absent from the committed baseline (warn-only).
+  std::vector<std::string> unknown_rows;
+
+  bool ok() const {
+    if (!missing_rows.empty()) return false;
+    for (const ObsDelta& d : deltas) {
+      if (d.regression) return false;
+    }
+    return true;
+  }
+};
+
+/// Diffs two reports with the BENCH_obs.json schema ("obs_rows" array of
+/// {"name", "ns_per_op"?, "overhead_ratio"?, ...}), matching rows by name.
+/// Both gated fields regress on RELATIVE growth beyond `threshold`
+/// (current > baseline * (1 + threshold)). Improvements never fail.
+ObsComparison compare_obs_reports(const common::JsonValue& baseline,
+                                  const common::JsonValue& current,
+                                  double threshold);
+
 }  // namespace pbpair::obs

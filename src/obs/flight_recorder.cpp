@@ -1,0 +1,195 @@
+#include "obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace pbpair::obs {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  if (n < 2) return 2;
+  return std::bit_ceil(n);
+}
+
+/// Formats one record as a JSONL line into `buf`. Returns the line length
+/// (snprintf-truncated lines are still valid JSON-free output for a crash
+/// dump, but the buffer is sized so truncation cannot happen for sane
+/// labels). Shared by the allocating and async-signal-safe dump paths.
+int format_record(char* buf, std::size_t cap, const char* label,
+                  const FlightRecord& rec) {
+  return std::snprintf(
+      buf, cap,
+      "{\"session\":\"%s\",\"seq\":%llu,\"frame\":%d,\"event\":\"%s\","
+      "\"a\":%lld,\"b\":%lld}\n",
+      label, static_cast<unsigned long long>(rec.seq), rec.frame,
+      flight_event_name(rec.event), static_cast<long long>(rec.a),
+      static_cast<long long>(rec.b));
+}
+
+}  // namespace
+
+const char* flight_event_name(FlightEvent event) {
+  switch (event) {
+    case FlightEvent::kFrameEncoded: return "frame_encoded";
+    case FlightEvent::kFrameDecoded: return "frame_decoded";
+    case FlightEvent::kFrameLost: return "frame_lost";
+    case FlightEvent::kPlrUpdate: return "plr_update";
+    case FlightEvent::kFecDecision: return "fec_decision";
+    case FlightEvent::kCrcCorruption: return "crc_corruption";
+    case FlightEvent::kHealthTransition: return "health_transition";
+    case FlightEvent::kFuzzCase: return "fuzz_case";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::string label, std::size_t capacity)
+    : label_(std::move(label)), mask_(round_up_pow2(capacity) - 1) {
+  slots_ = std::make_unique<Slot[]>(mask_ + 1);
+}
+
+void FlightRecorder::record(FlightEvent event, std::int32_t frame,
+                            std::int64_t a, std::int64_t b) {
+  const std::uint64_t seq = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[seq & mask_];
+  // Relaxed stores: atomics only so a concurrent snapshot() is race-free;
+  // the ordering the reader needs comes from the release store of head_.
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.frame.store(frame, std::memory_order_relaxed);
+  slot.event.store(static_cast<std::uint8_t>(event),
+                   std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  head_.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  const std::size_t cap = mask_ + 1;
+  const std::uint64_t head1 = head_.load(std::memory_order_acquire);
+  const std::uint64_t begin = head1 > cap ? head1 - cap : 0;
+  std::vector<FlightRecord> out;
+  out.reserve(static_cast<std::size_t>(head1 - begin));
+  for (std::uint64_t seq = begin; seq < head1; ++seq) {
+    const Slot& slot = slots_[seq & mask_];
+    FlightRecord rec;
+    rec.seq = slot.seq.load(std::memory_order_relaxed);
+    rec.frame = slot.frame.load(std::memory_order_relaxed);
+    rec.event =
+        static_cast<FlightEvent>(slot.event.load(std::memory_order_relaxed));
+    rec.a = slot.a.load(std::memory_order_relaxed);
+    rec.b = slot.b.load(std::memory_order_relaxed);
+    if (rec.seq == seq) out.push_back(rec);
+  }
+  // A writer that lapped us during the copy may have produced mixed-seq
+  // field reads above. Any slot it could have touched belongs to a seq
+  // now older than head2's window, so dropping those removes every
+  // potentially-torn record.
+  const std::uint64_t head2 = head_.load(std::memory_order_acquire);
+  const std::uint64_t begin2 = head2 > cap ? head2 - cap : 0;
+  if (begin2 > begin) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [begin2](const FlightRecord& r) {
+                               return r.seq < begin2;
+                             }),
+              out.end());
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_jsonl() const {
+  std::string out;
+  char line[256];
+  for (const FlightRecord& rec : snapshot()) {
+    const int n = format_record(line, sizeof(line), label_.c_str(), rec);
+    if (n > 0) out.append(line, std::min<std::size_t>(
+                                    static_cast<std::size_t>(n),
+                                    sizeof(line) - 1));
+  }
+  return out;
+}
+
+bool FlightRecorder::dump_to_path(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string body = dump_jsonl();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void FlightRecorder::dump_unsafe(int fd) const {
+  const std::size_t cap = mask_ + 1;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t begin = head > cap ? head - cap : 0;
+  char line[256];
+  for (std::uint64_t seq = begin; seq < head; ++seq) {
+    const Slot& slot = slots_[seq & mask_];
+    FlightRecord rec;
+    rec.seq = slot.seq.load(std::memory_order_relaxed);
+    rec.frame = slot.frame.load(std::memory_order_relaxed);
+    rec.event =
+        static_cast<FlightEvent>(slot.event.load(std::memory_order_relaxed));
+    rec.a = slot.a.load(std::memory_order_relaxed);
+    rec.b = slot.b.load(std::memory_order_relaxed);
+    if (rec.seq != seq) continue;
+    const int n = format_record(line, sizeof(line), label_.c_str(), rec);
+    if (n > 0) {
+      // Best effort from a signal handler; a short write loses tail
+      // lines, never corrupts earlier ones.
+      const ssize_t written [[maybe_unused]] =
+          ::write(fd, line, std::min<std::size_t>(
+                                static_cast<std::size_t>(n),
+                                sizeof(line) - 1));
+    }
+  }
+}
+
+FlightRegistry& FlightRegistry::global() {
+  static FlightRegistry* registry = new FlightRegistry();  // never destroyed
+  return *registry;
+}
+
+FlightRecorder* FlightRegistry::create(const std::string& label,
+                                       std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = recorders_[label];
+  if (slot) {
+    slot->reset();
+  } else {
+    slot = std::make_unique<FlightRecorder>(label, capacity);
+  }
+  return slot.get();
+}
+
+FlightRecorder* FlightRegistry::find(const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = recorders_.find(label);
+  return it == recorders_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> FlightRegistry::labels() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(recorders_.size());
+  for (const auto& [label, recorder] : recorders_) out.push_back(label);
+  return out;  // std::map iteration is already sorted
+}
+
+void FlightRegistry::set_dump_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dump_dir_ = dir;
+}
+
+std::string FlightRegistry::dump_dir() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dump_dir_;
+}
+
+void FlightRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recorders_.clear();
+  dump_dir_.clear();
+}
+
+}  // namespace pbpair::obs

@@ -1,13 +1,21 @@
-// Minimal blocking HTTP/1.0 responder for the telemetry endpoints, plus
-// the matching one-shot client (`pbpair monitor` and tests scrape with
-// it). POSIX sockets only, no dependencies, loopback by default.
+// Epoll-based HTTP/1.0 responder for the telemetry endpoints, plus the
+// matching one-shot client (`pbpair monitor` and tests scrape with it).
+// POSIX sockets only, no dependencies, loopback by default.
 //
-// The exporter is deliberately tiny: one dedicated thread, one connection
-// at a time, GET only, Connection: close. That is exactly enough for a
-// Prometheus scraper or curl, and keeps the serving path — which must
-// never perturb the workload — free of thread pools and state. Handlers
-// run on the exporter thread and must only READ (the registry snapshot
-// and health registry are both safe to read concurrently).
+// The exporter runs one dedicated thread driving an epoll loop over
+// non-blocking sockets: N scrapers can be in flight at once, each as a
+// small read->respond->write state machine, so one slow or wedged client
+// never blocks the others (it gets closed at its per-connection
+// deadline instead). GET only, Connection: close. Handlers run on the
+// exporter thread and must only READ (the registry snapshot and health
+// registry are both safe to read concurrently).
+//
+// When observability is enabled the exporter reports on itself:
+//   obs.http.requests            counter, completed responses
+//   obs.http.bytes               counter, header+body bytes written
+//   obs.http.timeouts            counter, connections closed at deadline
+//   obs.http.active_connections  gauge, open client connections
+//   obs.http.scrape_ns           histogram, accept-to-last-byte latency
 #pragma once
 
 #include <atomic>
@@ -26,6 +34,15 @@ struct HttpResponse {
 /// Maps a request path ("/metrics", "/healthz") to a response.
 using HttpHandler = std::function<HttpResponse(const std::string& path)>;
 
+struct HttpExporterOptions {
+  /// Open client connections beyond this are accepted and immediately
+  /// closed (cheap shed; the scraper retries).
+  int max_connections = 64;
+  /// A connection that has not completed its request/response within
+  /// this budget is closed and counted in obs.http.timeouts.
+  int slow_client_timeout_ms = 2000;
+};
+
 class HttpExporter {
  public:
   HttpExporter() = default;
@@ -38,8 +55,10 @@ class HttpExporter {
   /// starts the serving thread. False on bind/listen failure. The actual
   /// port is available from port() afterwards.
   bool start(int port, HttpHandler handler);
+  bool start(int port, HttpHandler handler, const HttpExporterOptions& options);
 
-  /// Stops the serving thread and closes the socket. Idempotent.
+  /// Stops the serving thread, closes every client connection and the
+  /// listen socket. Idempotent.
   void stop();
 
   bool running() const { return running_.load(std::memory_order_relaxed); }
@@ -49,6 +68,7 @@ class HttpExporter {
   void serve_loop();
 
   HttpHandler handler_;
+  HttpExporterOptions options_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};

@@ -20,6 +20,7 @@ constexpr double kLogRefillPerSec = 2.0;
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
 std::atomic<bool> g_deterministic{false};
 std::atomic<std::uint64_t> g_suppressed_total{0};
+std::atomic<std::uint64_t> g_suppressing_sites{0};
 
 // Guards the sink (file handle swaps and record writes) and the per-site
 // bucket math. Logging is rare by construction, so one mutex is fine.
@@ -43,6 +44,24 @@ const char* basename_of(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
+
+// Exit summary: suppression must never be silent, even when nobody
+// scrapes the registry. One stderr line, only when something was dropped.
+void print_suppression_summary() {
+  const std::uint64_t total = g_suppressed_total.load(std::memory_order_relaxed);
+  if (total == 0) return;
+  const std::uint64_t sites =
+      g_suppressing_sites.load(std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "pbpair: log rate limiter suppressed %llu record(s) across "
+               "%llu site(s); see obs.log.suppressed.* counters\n",
+               static_cast<unsigned long long>(total),
+               static_cast<unsigned long long>(sites));
+}
+
+// Registered on the first suppression (not at static-init time) so quiet
+// processes never pay for it and ordering vs other atexit hooks is moot.
+std::once_flag g_summary_once;
 
 }  // namespace
 
@@ -92,7 +111,8 @@ std::uint64_t log_suppressed_total() {
   return g_suppressed_total.load(std::memory_order_relaxed);
 }
 
-bool log_should_emit(LogSite& site, LogLevel level) {
+bool log_should_emit(LogSite& site, LogLevel level, const char* file,
+                     int line) {
   if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
     return false;
   }
@@ -115,7 +135,21 @@ bool log_should_emit(LogSite& site, LogLevel level) {
     site.tokens.store(tokens, std::memory_order_relaxed);
     site.suppressed.fetch_add(1, std::memory_order_relaxed);
     g_suppressed_total.fetch_add(1, std::memory_order_relaxed);
-    counter("obs.log_suppressed").add(1);
+    counter("obs.log.suppressed").add(1);
+    // Per-site counter, resolved once per site (we hold g_mutex, so the
+    // first-suppression bookkeeping below cannot race another thread).
+    Counter* per_site = site.suppressed_counter.load(std::memory_order_relaxed);
+    if (per_site == nullptr) {
+      char name[192];
+      std::snprintf(name, sizeof(name), "obs.log.suppressed.%s:%d",
+                    basename_of(file), line);
+      per_site = &counter(name);
+      site.suppressed_counter.store(per_site, std::memory_order_relaxed);
+      g_suppressing_sites.fetch_add(1, std::memory_order_relaxed);
+      std::call_once(g_summary_once,
+                     [] { std::atexit(print_suppression_summary); });
+    }
+    per_site->add(1);
     return false;
   }
   site.tokens.store(tokens - 1.0, std::memory_order_relaxed);

@@ -12,8 +12,10 @@
 //  - Each PB_LOG_* expansion site owns a token bucket (kLogBurst tokens,
 //    kLogRefillPerSec refill): a hot loop that logs per packet degrades to
 //    a few records per second plus a "suppressed" count on the next record
-//    that gets through, never an unbounded stream. Suppressed records are
-//    also counted in the obs.log_suppressed registry counter.
+//    that gets through, never an unbounded stream. Suppression is never
+//    silent: drops are counted in the obs.log.suppressed registry counter
+//    AND per site (obs.log.suppressed.<file>:<line>), and a one-line
+//    summary goes to stderr at process exit when anything was dropped.
 //  - Logging is independent of obs::enabled(): diagnostics must work even
 //    when the metrics/trace layer is off. The level gate is one relaxed
 //    atomic load, so disabled levels cost nothing on hot paths.
@@ -24,6 +26,8 @@
 #include <string>
 
 namespace pbpair::obs {
+
+class Counter;
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
@@ -60,10 +64,15 @@ struct LogSite {
   std::atomic<std::int64_t> last_refill_ns{-1};
   std::atomic<double> tokens{-1.0};  // -1: bucket not yet initialized
   std::atomic<std::uint64_t> suppressed{0};
+  /// Per-site "obs.log.suppressed.<file>:<line>" handle, resolved on the
+  /// site's first suppression (the slow path already holds the log mutex).
+  std::atomic<Counter*> suppressed_counter{nullptr};
 };
 
 /// Level gate + token bucket. True when the record should be emitted.
-bool log_should_emit(LogSite& site, LogLevel level);
+/// `file`/`line` name the site's per-site suppression counter.
+bool log_should_emit(LogSite& site, LogLevel level, const char* file,
+                     int line);
 
 /// Formats and writes one record (printf semantics for `fmt`). Any count
 /// the site suppressed since its last emitted record is attached as
@@ -76,7 +85,8 @@ void log_emit(LogSite& site, LogLevel level, const char* file, int line,
 #define PB_LOG_AT(level_, ...)                                              \
   do {                                                                      \
     static ::pbpair::obs::LogSite pb_log_site_;                             \
-    if (::pbpair::obs::log_should_emit(pb_log_site_, (level_))) {           \
+    if (::pbpair::obs::log_should_emit(pb_log_site_, (level_), __FILE__,    \
+                                       __LINE__)) {                         \
       ::pbpair::obs::log_emit(pb_log_site_, (level_), __FILE__, __LINE__,   \
                               __VA_ARGS__);                                 \
     }                                                                       \

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <array>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +45,53 @@ bool has_ns_suffix(const std::string& name) {
   return name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
 }
 
+std::uint64_t next_registry_uid() {
+  // Starts at 1 so uid 0 can mean "cache empty". Never reused, so a
+  // thread-local cache keyed by uid can never alias a destroyed registry
+  // (test-local registries come and go; the global one is leaked).
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// One histogram's per-thread accumulation cell.
+struct HistCell {
+  std::atomic<std::uint64_t> buckets[Histogram::kBucketCount + 1] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::int64_t> sum{0};
+};
+
+/// Per-thread pointer cache: metric id -> this thread's shard cell in the
+/// registry identified by `uid`. One cache per thread (not per
+/// thread×registry): switching registries resets it, which only costs a
+/// re-fill through the slow path — the hot path runs against a single
+/// registry. Stale pointers from a previous uid are never dereferenced
+/// because the uid check fails first.
+struct TlsCache {
+  std::uint64_t uid = 0;
+  std::vector<std::atomic<std::uint64_t>*> counters;
+  std::vector<HistCell*> hists;
+};
+
+TlsCache& tls_cache() {
+  thread_local TlsCache cache;
+  return cache;
+}
+
+int histogram_bucket_index(std::int64_t value_ns) {
+  // Bucket i holds values < 2^(kFirstBucketLog2 + i), so the bucket index
+  // is just the value's bit width — one CLZ instead of a 28-way scan,
+  // cheap enough to time every packet on the wire path.
+  int bucket = 0;
+  if (value_ns >= (std::int64_t{1} << Histogram::kFirstBucketLog2)) {
+    bucket = std::bit_width(static_cast<std::uint64_t>(value_ns)) -
+             Histogram::kFirstBucketLog2;
+    if (bucket > Histogram::kBucketCount) {
+      bucket = Histogram::kBucketCount;  // overflow slot
+    }
+  }
+  return bucket;
+}
+
 }  // namespace
 
 bool enabled() {
@@ -59,26 +107,114 @@ void set_enabled(bool on) {
   g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
 }
 
-void Histogram::observe(std::int64_t value_ns) {
-  // Bucket i holds values < 2^(kFirstBucketLog2 + i), so the bucket index
-  // is just the value's bit width — one CLZ instead of a 28-way scan,
-  // cheap enough to time every packet on the wire path.
-  int bucket = 0;
-  if (value_ns >= (std::int64_t{1} << kFirstBucketLog2)) {
-    bucket = std::bit_width(static_cast<std::uint64_t>(value_ns)) -
-             kFirstBucketLog2;
-    if (bucket > kBucketCount) bucket = kBucketCount;  // overflow slot
+/// One thread's slice of a registry: chunked cell storage indexed by the
+/// metric's dense id. Chunks are heap blocks that never move or shrink, so
+/// cell addresses handed to the thread-local cache stay valid for the
+/// registry's lifetime. All chunk growth happens under the registry mutex
+/// (slow path); the owning thread's lock-free writes touch only cells it
+/// already holds pointers to.
+struct Registry::Shard {
+  static constexpr std::size_t kCounterChunk = 64;
+  static constexpr std::size_t kHistChunk = 8;
+
+  explicit Shard(int tid_in) : tid(tid_in) {}
+
+  int tid;  // obs::current_thread_id() of the owning thread
+  std::vector<std::unique_ptr<std::array<std::atomic<std::uint64_t>,
+                                         kCounterChunk>>>
+      counter_chunks;
+  std::vector<std::unique_ptr<std::array<HistCell, kHistChunk>>> hist_chunks;
+
+  std::atomic<std::uint64_t>* counter_cell(std::uint32_t id) {
+    const std::size_t chunk = id / kCounterChunk;
+    while (counter_chunks.size() <= chunk) {
+      counter_chunks.push_back(
+          std::make_unique<
+              std::array<std::atomic<std::uint64_t>, kCounterChunk>>());
+    }
+    return &(*counter_chunks[chunk])[id % kCounterChunk];
   }
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(value_ns, std::memory_order_relaxed);
+
+  HistCell* hist_cell(std::uint32_t id) {
+    const std::size_t chunk = id / kHistChunk;
+    while (hist_chunks.size() <= chunk) {
+      hist_chunks.push_back(
+          std::make_unique<std::array<HistCell, kHistChunk>>());
+    }
+    return &(*hist_chunks[chunk])[id % kHistChunk];
+  }
+
+  std::uint64_t counter_value(std::uint32_t id) const {
+    const std::size_t chunk = id / kCounterChunk;
+    if (chunk >= counter_chunks.size()) return 0;
+    return (*counter_chunks[chunk])[id % kCounterChunk].load(
+        std::memory_order_relaxed);
+  }
+
+  const HistCell* hist_cell_or_null(std::uint32_t id) const {
+    const std::size_t chunk = id / kHistChunk;
+    if (chunk >= hist_chunks.size()) return nullptr;
+    return &(*hist_chunks[chunk])[id % kHistChunk];
+  }
+
+  void reset() {
+    for (auto& chunk : counter_chunks) {
+      for (auto& cell : *chunk) cell.store(0, std::memory_order_relaxed);
+    }
+    for (auto& chunk : hist_chunks) {
+      for (HistCell& cell : *chunk) {
+        for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+        cell.count.store(0, std::memory_order_relaxed);
+        cell.sum.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+void Counter::add(std::uint64_t n) {
+  TlsCache& cache = tls_cache();
+  if (cache.uid == owner_->uid_ && id_ < cache.counters.size()) {
+    std::atomic<std::uint64_t>* cell = cache.counters[id_];
+    if (cell != nullptr) {
+      cell->fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+  }
+  owner_->counter_add_slow(id_, n);
 }
 
-void Histogram::reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
+std::uint64_t Counter::value() const { return owner_->counter_value(id_); }
+
+void Counter::reset() { owner_->counter_reset(id_); }
+
+void Histogram::observe(std::int64_t value_ns) {
+  const int bucket = histogram_bucket_index(value_ns);
+  TlsCache& cache = tls_cache();
+  if (cache.uid == owner_->uid_ && id_ < cache.hists.size()) {
+    HistCell* cell = cache.hists[id_];
+    if (cell != nullptr) {
+      cell->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+      cell->count.fetch_add(1, std::memory_order_relaxed);
+      cell->sum.fetch_add(value_ns, std::memory_order_relaxed);
+      return;
+    }
+  }
+  owner_->hist_observe_slow(id_, bucket, value_ns);
 }
+
+std::uint64_t Histogram::count() const { return owner_->hist_count(id_); }
+
+std::int64_t Histogram::sum() const { return owner_->hist_sum(id_); }
+
+std::uint64_t Histogram::bucket(int i) const {
+  return owner_->hist_bucket(id_, i);
+}
+
+void Histogram::reset() { owner_->hist_reset(id_); }
+
+Registry::Registry() : uid_(next_registry_uid()) {}
+
+Registry::~Registry() = default;
 
 Registry& Registry::global() {
   static Registry* registry = new Registry();  // never destroyed
@@ -88,7 +224,7 @@ Registry& Registry::global() {
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
+  if (!slot) slot.reset(new Counter(this, next_counter_id_++));
   return *slot;
 }
 
@@ -102,15 +238,141 @@ Gauge& Registry::gauge(const std::string& name) {
 Histogram& Registry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>();
+  if (!slot) slot.reset(new Histogram(this, next_hist_id_++));
   return *slot;
+}
+
+Registry::Shard* Registry::shard_for_current_thread_locked() {
+  const int tid = current_thread_id();
+  // Linear scan: shards_ has one entry per thread that ever wrote here,
+  // and this only runs on the cache-miss slow path.
+  for (auto& shard : shards_) {
+    if (shard->tid == tid) return shard.get();
+  }
+  shards_.push_back(std::make_unique<Shard>(tid));
+  return shards_.back().get();
+}
+
+void Registry::counter_add_slow(std::uint32_t id, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Shard* shard = shard_for_current_thread_locked();
+  std::atomic<std::uint64_t>* cell = shard->counter_cell(id);
+  TlsCache& cache = tls_cache();
+  if (cache.uid != uid_) {
+    cache.uid = uid_;
+    cache.counters.clear();
+    cache.hists.clear();
+  }
+  if (cache.counters.size() <= id) cache.counters.resize(id + 1, nullptr);
+  cache.counters[id] = cell;
+  cell->fetch_add(n, std::memory_order_relaxed);
+}
+
+void Registry::hist_observe_slow(std::uint32_t id, int bucket,
+                                 std::int64_t value_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Shard* shard = shard_for_current_thread_locked();
+  HistCell* cell = shard->hist_cell(id);
+  TlsCache& cache = tls_cache();
+  if (cache.uid != uid_) {
+    cache.uid = uid_;
+    cache.counters.clear();
+    cache.hists.clear();
+  }
+  if (cache.hists.size() <= id) cache.hists.resize(id + 1, nullptr);
+  cache.hists[id] = cell;
+  cell->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell->count.fetch_add(1, std::memory_order_relaxed);
+  cell->sum.fetch_add(value_ns, std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::counter_value_locked(std::uint32_t id) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->counter_value(id);
+  return total;
+}
+
+std::uint64_t Registry::hist_count_locked(std::uint32_t id) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (const HistCell* cell = shard->hist_cell_or_null(id)) {
+      total += cell->count.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::int64_t Registry::hist_sum_locked(std::uint32_t id) const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (const HistCell* cell = shard->hist_cell_or_null(id)) {
+      total += cell->sum.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::uint64_t Registry::hist_bucket_locked(std::uint32_t id,
+                                           int bucket) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (const HistCell* cell = shard->hist_cell_or_null(id)) {
+      total += cell->buckets[bucket].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::uint64_t Registry::counter_value(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counter_value_locked(id);
+}
+
+void Registry::counter_reset(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& shard : shards_) {
+    const std::size_t chunk = id / Shard::kCounterChunk;
+    if (chunk >= shard->counter_chunks.size()) continue;
+    (*shard->counter_chunks[chunk])[id % Shard::kCounterChunk].store(
+        0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Registry::hist_count(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hist_count_locked(id);
+}
+
+std::int64_t Registry::hist_sum(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hist_sum_locked(id);
+}
+
+std::uint64_t Registry::hist_bucket(std::uint32_t id, int bucket) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hist_bucket_locked(id, bucket);
+}
+
+void Registry::hist_reset(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& shard : shards_) {
+    const std::size_t chunk = id / Shard::kHistChunk;
+    if (chunk >= shard->hist_chunks.size()) continue;
+    HistCell& cell = (*shard->hist_chunks[chunk])[id % Shard::kHistChunk];
+    for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Registry::reset_locked() {
+  for (auto& shard : shards_) shard->reset();
+  for (auto& [name, g] : gauges_) g->reset();
 }
 
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
-  for (auto& [name, h] : histograms_) h->reset();
+  reset_locked();
 }
 
 void Registry::reset_all() {
@@ -118,12 +380,17 @@ void Registry::reset_all() {
   clear_trace();
 }
 
+std::size_t Registry::shard_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_.size();
+}
+
 RegistrySnapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   RegistrySnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
-    snap.counters.emplace_back(name, c->value());
+    snap.counters.emplace_back(name, counter_value_locked(c->id_));
   }
   snap.gauges.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) {
@@ -133,11 +400,11 @@ RegistrySnapshot Registry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     HistogramSnapshot hist;
     hist.name = name;
-    hist.count = h->count();
-    hist.sum_ns = h->sum();
+    hist.count = hist_count_locked(h->id_);
+    hist.sum_ns = hist_sum_locked(h->id_);
     hist.buckets.reserve(Histogram::kBucketCount + 1);
     for (int i = 0; i <= Histogram::kBucketCount; ++i) {
-      hist.buckets.push_back(h->bucket(i));
+      hist.buckets.push_back(hist_bucket_locked(h->id_, i));
     }
     snap.histograms.push_back(std::move(hist));
   }
@@ -153,7 +420,7 @@ std::string Registry::to_json(bool deterministic) const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + name + "\": ";
-    append_uint(&out, c->value());
+    append_uint(&out, counter_value_locked(c->id_));
   }
   out += first ? "}" : "\n  }";
   if (deterministic) {
@@ -177,15 +444,15 @@ std::string Registry::to_json(bool deterministic) const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + name + "\": {\"count\": ";
-    append_uint(&out, h->count());
+    append_uint(&out, hist_count_locked(h->id_));
     out += ", \"sum_ns\": ";
-    append_int(&out, h->sum());
+    append_int(&out, hist_sum_locked(h->id_));
     out += ", \"first_bucket_log2\": ";
     append_int(&out, Histogram::kFirstBucketLog2);
     out += ", \"buckets\": [";
     for (int i = 0; i <= Histogram::kBucketCount; ++i) {
       if (i > 0) out += ", ";
-      append_uint(&out, h->bucket(i));
+      append_uint(&out, hist_bucket_locked(h->id_, i));
     }
     out += "]}";
   }

@@ -76,7 +76,7 @@ void record_span(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
   const int tid = assign_thread_id();
   std::lock_guard<std::mutex> lock(g_mutex);
   if (spans().size() >= g_max_spans.load(std::memory_order_relaxed)) {
-    counter("obs.trace_dropped_spans").add(1);
+    counter("obs.trace.dropped").add(1);
     return;
   }
   spans().push_back(Span{name, start_ns, dur_ns, tid, arg,

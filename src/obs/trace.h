@@ -29,7 +29,7 @@ void set_thread_name(const std::string& name);
 /// Appends one complete span. `name` must outlive the trace buffer (string
 /// literals only). When `arg` >= 0 it is exported as args:{<arg_name>: arg}
 /// (arg_name defaults to "i"). The buffer is bounded; spans past the cap
-/// are dropped and counted in the `obs.trace_dropped_spans` counter.
+/// are dropped and counted in the `obs.trace.dropped` counter.
 void record_span(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
                  std::int64_t arg = -1, const char* arg_name = nullptr);
 

@@ -1,6 +1,10 @@
 #include "sim/fuzzer.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <utility>
 #include <vector>
@@ -15,6 +19,7 @@
 #include "net/fault_injector.h"
 #include "net/fec.h"
 #include "net/packetizer.h"
+#include "obs/flight_recorder.h"
 #include "obs/prometheus.h"
 #include "video/sequence.h"
 
@@ -531,6 +536,27 @@ std::uint64_t fuzz_json_case(Pcg32& rng) {
 
 // --- driver --------------------------------------------------------------
 
+// Crash-dump plumbing for the SIGABRT handler: PB_CHECK failures (and
+// assert) abort, and a signal handler may only touch pre-resolved state —
+// no allocation, no registry lookups. The recorder pointer is registry-
+// owned and stable; the dump path is snprintf'd into a fixed buffer
+// before the campaign starts.
+obs::FlightRecorder* g_fuzz_flight = nullptr;
+char g_fuzz_flight_dump_path[512] = {0};
+
+extern "C" void fuzz_abort_handler(int) {
+  if (g_fuzz_flight != nullptr && g_fuzz_flight_dump_path[0] != '\0') {
+    const int fd = ::open(g_fuzz_flight_dump_path,
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      g_fuzz_flight->dump_unsafe(fd);
+      ::close(fd);
+    }
+  }
+  // Returning is deliberate: abort() restores the default disposition and
+  // re-raises, so the process still dies with SIGABRT after the dump.
+}
+
 void write_breadcrumb(const std::string& crash_dir, const char* target,
                       std::uint64_t seed, int iteration) {
   if (crash_dir.empty()) return;
@@ -586,6 +612,16 @@ bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
   for (const Target& t : kTargets) any = any || want(t);
   if (!any) return false;
 
+  // With a crash dir configured, keep a flight ring of recent cases and
+  // dump it from the SIGABRT handler: the breadcrumb file names the one
+  // case to replay, the flight tail shows the path that led there.
+  if (!options.crash_dir.empty()) {
+    g_fuzz_flight = obs::FlightRegistry::global().create("fuzz", 1024);
+    std::snprintf(g_fuzz_flight_dump_path, sizeof(g_fuzz_flight_dump_path),
+                  "%s/flight.jsonl", options.crash_dir.c_str());
+    std::signal(SIGABRT, fuzz_abort_handler);
+  }
+
   // Long-lived state: the decoders survive the whole campaign, proving
   // hostile frames leave them usable for the next one.
   codec::Decoder decoder(codec::DecoderConfig{});
@@ -607,6 +643,11 @@ bool run_fuzz(const FuzzOptions& options, FuzzReport* report) {
     Pcg32 rng(salt.next(), salt.next());
     for (int i = 0; i < options.iterations; ++i) {
       write_breadcrumb(options.crash_dir, t.name, options.seed, i);
+      if (g_fuzz_flight != nullptr) {
+        g_fuzz_flight->record(obs::FlightEvent::kFuzzCase, i,
+                              static_cast<std::int64_t>(options.seed),
+                              static_cast<std::int64_t>(t.id));
+      }
       switch (t.id) {
         case kBitReader: fuzz_bitreader_case(rng); break;
         case kDecoder: fuzz_decoder_case(rng, decoder); break;

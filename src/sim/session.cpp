@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "net/loss_model.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -83,9 +85,46 @@ void StreamSession::init() {
   const int mb_cols = config_.encoder.width / 16;
   const int mb_rows = config_.encoder.height / 16;
   mbs_per_frame_ = mb_cols * mb_rows;
+  if (!label_.empty()) {
+    flight_ = obs::FlightRegistry::global().create(label_);
+  }
   if (config_.health.has_value()) {
+    obs::HealthConfig health_config = *config_.health;
+    if (flight_ != nullptr) {
+      // Wrap (don't replace) any user transition hook: record the
+      // transition in the flight ring and, when the session goes
+      // CRITICAL with a dump dir configured, write the post-mortem
+      // JSONL right at the moment of failure. Captures the registry-
+      // owned recorder pointer, never `this` — sessions stay movable.
+      obs::FlightRecorder* flight = flight_;
+      auto user_hook = health_config.on_transition;
+      health_config.on_transition =
+          [flight, user_hook](const std::string& label, obs::HealthState from,
+                              obs::HealthState to,
+                              const obs::HealthSnapshot& snap) {
+            flight->record(obs::FlightEvent::kHealthTransition,
+                           static_cast<std::int32_t>(snap.frames),
+                           static_cast<std::int64_t>(from),
+                           static_cast<std::int64_t>(to));
+            if (to == obs::HealthState::kCritical) {
+              const std::string dir = obs::FlightRegistry::global().dump_dir();
+              if (!dir.empty()) {
+                const std::string path = dir + "/flight_" + label + ".jsonl";
+                if (flight->dump_to_path(path)) {
+                  PB_LOG_WARN("session %s went CRITICAL; flight dump at %s",
+                              label.c_str(), path.c_str());
+                } else {
+                  PB_LOG_WARN("session %s went CRITICAL; flight dump to %s "
+                              "failed",
+                              label.c_str(), path.c_str());
+                }
+              }
+            }
+            if (user_hook) user_hook(label, from, to, snap);
+          };
+    }
     health_ = obs::HealthRegistry::global().create(
-        label_.empty() ? "default" : label_, *config_.health);
+        label_.empty() ? "default" : label_, health_config);
   }
 
   policy_ = make_policy(scheme_, mb_cols, mb_rows);
@@ -302,6 +341,10 @@ void StreamSession::write_frame_trace_header() {
 
 void StreamSession::deliver_due_feedback(int frame) {
   for (const net::ReceiverReport& report : feedback_queue_->take_due(frame)) {
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightEvent::kPlrUpdate, frame,
+                      report.fraction_lost, report.fraction_corrupted);
+    }
     config_.on_feedback(frame, report, *policy_);
   }
 }
@@ -370,6 +413,31 @@ void StreamSession::accumulate(const FrameTrace& trace) {
 }
 
 void StreamSession::update_telemetry(const FrameTrace& trace) {
+  if (flight_ != nullptr) {
+    // Always-on breadcrumbs (a few ns each, no clock, no allocation):
+    // enough recent context to reconstruct WHY a session degraded from
+    // the post-mortem dump alone.
+    flight_->record(obs::FlightEvent::kFrameEncoded, trace.index,
+                    static_cast<std::int64_t>(trace.bytes), trace.intra_mbs);
+    flight_->record(obs::FlightEvent::kFrameDecoded, trace.index,
+                    static_cast<std::int64_t>(trace.psnr_db * 1000.0),
+                    static_cast<std::int64_t>(trace.bad_pixels));
+    if (trace.lost) {
+      flight_->record(obs::FlightEvent::kFrameLost, trace.index,
+                      trace.packets_sent - trace.packets_delivered,
+                      trace.packets_sent);
+    }
+    if (trace.crc_corrupted > 0) {
+      flight_->record(obs::FlightEvent::kCrcCorruption, trace.index,
+                      trace.crc_corrupted, trace.packets_sent);
+    }
+    if (trace.fec_repair_sent > 0) {
+      flight_->record(obs::FlightEvent::kFecDecision, trace.index,
+                      trace.fec_repair_sent,
+                      trace.packets_sent - trace.fec_repair_sent);
+    }
+  }
+
   const bool want_counters = !label_.empty() && obs::enabled();
   if (!want_counters && health_ == nullptr) return;
 
@@ -383,33 +451,45 @@ void StreamSession::update_telemetry(const FrameTrace& trace) {
   energy_reported_j_ = energy_total_j;
 
   if (want_counters) {
-    obs::counter(obs::session_metric(label_, "frames")).add(1);
-    obs::counter(obs::session_metric(label_, "bytes")).add(trace.bytes);
-    if (trace.lost) {
-      obs::counter(obs::session_metric(label_, "lost_frames")).add(1);
+    // Resolve the handles once per session (name build + map lookup),
+    // then every frame is a handful of lock-free shard bumps.
+    if (c_frames_ == nullptr) {
+      c_frames_ = &obs::counter(obs::session_metric(label_, "frames"));
+      c_bytes_ = &obs::counter(obs::session_metric(label_, "bytes"));
+      c_lost_frames_ =
+          &obs::counter(obs::session_metric(label_, "lost_frames"));
+      c_packets_sent_ =
+          &obs::counter(obs::session_metric(label_, "packets_sent"));
+      c_packets_delivered_ =
+          &obs::counter(obs::session_metric(label_, "packets_delivered"));
+      c_intra_mbs_ = &obs::counter(obs::session_metric(label_, "intra_mbs"));
+      c_mbs_ = &obs::counter(obs::session_metric(label_, "mbs"));
+      // Present (even at zero) whenever CRC framing is on, so the monitor
+      // can show a corrupted column per session; absent when off to keep
+      // the metric namespace byte-identical to a pre-CRC build.
+      if (config_.wire.has_value() && config_.wire->enabled()) {
+        c_crc_corrupted_ =
+            &obs::counter(obs::session_metric(label_, "crc_corrupted"));
+      }
+      c_energy_uj_ = &obs::counter(obs::session_metric(label_, "energy_uj"));
     }
-    obs::counter(obs::session_metric(label_, "packets_sent"))
-        .add(static_cast<std::uint64_t>(trace.packets_sent));
-    obs::counter(obs::session_metric(label_, "packets_delivered"))
-        .add(static_cast<std::uint64_t>(trace.packets_delivered));
-    obs::counter(obs::session_metric(label_, "intra_mbs"))
-        .add(static_cast<std::uint64_t>(trace.intra_mbs));
-    obs::counter(obs::session_metric(label_, "mbs"))
-        .add(static_cast<std::uint64_t>(mbs_per_frame_));
-    // Present (even at zero) whenever CRC framing is on, so the monitor
-    // can show a corrupted column per session; absent when off to keep
-    // the metric namespace byte-identical to a pre-CRC build.
-    if (config_.wire.has_value() && config_.wire->enabled()) {
-      obs::counter(obs::session_metric(label_, "crc_corrupted"))
-          .add(static_cast<std::uint64_t>(trace.crc_corrupted));
+    c_frames_->add(1);
+    c_bytes_->add(trace.bytes);
+    if (trace.lost) c_lost_frames_->add(1);
+    c_packets_sent_->add(static_cast<std::uint64_t>(trace.packets_sent));
+    c_packets_delivered_->add(
+        static_cast<std::uint64_t>(trace.packets_delivered));
+    c_intra_mbs_->add(static_cast<std::uint64_t>(trace.intra_mbs));
+    c_mbs_->add(static_cast<std::uint64_t>(mbs_per_frame_));
+    if (c_crc_corrupted_ != nullptr) {
+      c_crc_corrupted_->add(static_cast<std::uint64_t>(trace.crc_corrupted));
     }
     // Energy as an integer microjoule counter (counters are uint64):
     // emit the delta of the rounded cumulative total so the counter
     // tracks it without accumulating rounding drift.
     const std::uint64_t total_uj =
         static_cast<std::uint64_t>(energy_total_j * 1e6);
-    obs::counter(obs::session_metric(label_, "energy_uj"))
-        .add(total_uj - energy_reported_uj_);
+    c_energy_uj_->add(total_uj - energy_reported_uj_);
     energy_reported_uj_ = total_uj;
   }
 

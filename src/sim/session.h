@@ -27,6 +27,11 @@
 #include "net/feedback.h"
 #include "sim/pipeline.h"
 
+namespace pbpair::obs {
+class Counter;
+class FlightRecorder;
+}
+
 namespace pbpair::sim {
 
 class StreamSession;
@@ -173,6 +178,26 @@ class StreamSession {
   double energy_reported_j_ = 0.0;
   std::uint64_t energy_reported_uj_ = 0;
   int mbs_per_frame_ = 0;
+
+  // Always-on post-mortem ring (obs/flight_recorder.h), created for
+  // labeled sessions only: an unlabeled session has no stable identity to
+  // dump under (and parallel unlabeled sessions would share one ring).
+  // Registry-owned, so the pointer stays valid across session moves and
+  // outlives the session for post-mortem reads.
+  obs::FlightRecorder* flight_ = nullptr;
+
+  // Cached handles for the per-frame "session.<label>.*" counters: one
+  // name build + map lookup per session instead of per frame; the add()s
+  // land on the stepping thread's shard. (Registry-owned, move-safe.)
+  obs::Counter* c_frames_ = nullptr;
+  obs::Counter* c_bytes_ = nullptr;
+  obs::Counter* c_lost_frames_ = nullptr;
+  obs::Counter* c_packets_sent_ = nullptr;
+  obs::Counter* c_packets_delivered_ = nullptr;
+  obs::Counter* c_intra_mbs_ = nullptr;
+  obs::Counter* c_mbs_ = nullptr;
+  obs::Counter* c_crc_corrupted_ = nullptr;
+  obs::Counter* c_energy_uj_ = nullptr;
 
   int next_frame_ = 0;
   double psnr_sum_ = 0.0;

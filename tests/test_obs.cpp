@@ -10,6 +10,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codec/encoder.h"
@@ -63,7 +64,11 @@ std::string temp_path(const char* name) {
 }
 
 TEST(ObsMetrics, CounterGaugeHistogramBasics) {
-  obs::Counter c;
+  // Counters/histograms are registry-owned handles (their adds land on
+  // per-thread shards), so even "bare" metric tests go through a local
+  // registry.
+  obs::Registry registry;
+  obs::Counter& c = registry.counter("basics.count");
   c.add();
   c.add(41);
   EXPECT_EQ(c.value(), 42u);
@@ -74,7 +79,7 @@ TEST(ObsMetrics, CounterGaugeHistogramBasics) {
   g.set(0.25);
   EXPECT_DOUBLE_EQ(g.value(), 0.25);
 
-  obs::Histogram h;
+  obs::Histogram& h = registry.histogram("basics.latency_ns");
   h.observe(100);            // < 256 -> bucket 0
   h.observe(300);            // < 512 -> bucket 1
   h.observe(std::int64_t{1} << 62);  // past every bound -> overflow bucket
@@ -83,6 +88,55 @@ TEST(ObsMetrics, CounterGaugeHistogramBasics) {
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(1), 1u);
   EXPECT_EQ(h.bucket(obs::Histogram::kBucketCount), 1u);
+}
+
+TEST(ObsMetrics, ShardMergeMatchesSingleRegistryBitForBit) {
+  // The tentpole invariant: N threads bumping per-thread shards must merge
+  // into EXACTLY the state one thread produces — same counts, same
+  // buckets, same rendered bytes — because every reader (snapshot, JSON,
+  // Prometheus) sums shards in id order under one lock.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+
+  obs::Registry sharded;
+  obs::Counter& sc = sharded.counter("merge.count");
+  obs::Histogram& sh = sharded.histogram("merge.latency_ns");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sc, &sh, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        sc.add(1);
+        sh.observe(static_cast<std::int64_t>((i + std::uint64_t(t)) % 4096));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // One shard per writing thread (the main thread only read).
+  EXPECT_EQ(sharded.shard_count(), static_cast<std::size_t>(kThreads));
+
+  obs::Registry single;
+  obs::Counter& oc = single.counter("merge.count");
+  obs::Histogram& oh = single.histogram("merge.latency_ns");
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      oc.add(1);
+      oh.observe(static_cast<std::int64_t>((i + std::uint64_t(t)) % 4096));
+    }
+  }
+
+  EXPECT_EQ(sc.value(), oc.value());
+  EXPECT_EQ(sh.count(), oh.count());
+  EXPECT_EQ(sh.sum(), oh.sum());
+  for (int b = 0; b <= obs::Histogram::kBucketCount; ++b) {
+    EXPECT_EQ(sh.bucket(b), oh.bucket(b)) << "bucket " << b;
+  }
+  EXPECT_EQ(sharded.to_json(false), single.to_json(false));
+  EXPECT_EQ(sharded.to_json(true), single.to_json(true));
+
+  // reset() zeroes every shard, not just the merged view.
+  sharded.reset();
+  EXPECT_EQ(sc.value(), 0u);
+  EXPECT_EQ(sh.count(), 0u);
 }
 
 TEST(ObsMetrics, RegistryReferencesAreStableAcrossLookups) {
@@ -261,7 +315,7 @@ TEST_F(GlobalObs, SpanBufferOverflowDropsAndCounts) {
   obs::set_trace_capacity(4);
   for (int i = 0; i < 10; ++i) obs::record_span("overflow.span", i, 1);
   EXPECT_EQ(obs::trace_span_count(), 4u);  // buffer stays bounded
-  EXPECT_EQ(obs::counter("obs.trace_dropped_spans").value(), 6u);
+  EXPECT_EQ(obs::counter("obs.trace.dropped").value(), 6u);
 
   // The exported trace still writes (truncated, not corrupt).
   const std::string path = temp_path("trace_overflow.json");
@@ -563,6 +617,59 @@ TEST(BenchCompare, FecMissingRowFailsUnknownRowOnlyWarns) {
   obs::FecComparison unknown_only =
       obs::compare_fec_reports(current, current, 0.25);
   EXPECT_TRUE(unknown_only.ok());
+}
+
+TEST(BenchCompare, ObsGatesNsPerOpAndOverheadRatioRelative) {
+  const char* baseline_text = R"({"obs_rows": [
+      {"name": "bump/t8", "ns_per_op": 10.0, "mops_per_s": 100.0},
+      {"name": "pipeline/t2", "overhead_ratio": 1.05, "off_ms": 200.0}]})";
+  // bump/t8 ns_per_op grew +80% (regression at 0.5); pipeline/t2's ratio
+  // improved, which must never fail.
+  const char* current_text = R"({"obs_rows": [
+      {"name": "bump/t8", "ns_per_op": 18.0, "mops_per_s": 55.0},
+      {"name": "pipeline/t2", "overhead_ratio": 1.01, "off_ms": 900.0}]})";
+  common::JsonValue baseline, current;
+  ASSERT_TRUE(common::JsonValue::parse(baseline_text, &baseline));
+  ASSERT_TRUE(common::JsonValue::parse(current_text, &current));
+
+  obs::ObsComparison result =
+      obs::compare_obs_reports(baseline, current, 0.5);
+  EXPECT_FALSE(result.ok());
+  // Only the gated fields compare: mops_per_s and off_ms never produce
+  // deltas, so one row contributes at most two.
+  ASSERT_EQ(result.deltas.size(), 2u);
+  int regressions = 0;
+  for (const obs::ObsDelta& d : result.deltas) {
+    if (!d.regression) continue;
+    ++regressions;
+    EXPECT_EQ(d.row, "bump/t8");
+    EXPECT_EQ(d.field, "ns_per_op");
+  }
+  EXPECT_EQ(regressions, 1);
+
+  // A generous threshold accepts the same pair.
+  EXPECT_TRUE(obs::compare_obs_reports(baseline, current, 1.0).ok());
+}
+
+TEST(BenchCompare, ObsMissingRowFailsUnknownRowOnlyWarns) {
+  const char* baseline_text = R"({"obs_rows": [
+      {"name": "bump/t1", "ns_per_op": 10.0},
+      {"name": "bump/t8", "ns_per_op": 12.0}]})";
+  const char* current_text = R"({"obs_rows": [
+      {"name": "bump/t1", "ns_per_op": 10.0},
+      {"name": "pipeline/t1", "overhead_ratio": 1.02}]})";
+  common::JsonValue baseline, current;
+  ASSERT_TRUE(common::JsonValue::parse(baseline_text, &baseline));
+  ASSERT_TRUE(common::JsonValue::parse(current_text, &current));
+
+  obs::ObsComparison result =
+      obs::compare_obs_reports(baseline, current, 0.5);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.missing_rows.size(), 1u);
+  EXPECT_EQ(result.missing_rows[0], "bump/t8");
+  ASSERT_EQ(result.unknown_rows.size(), 1u);
+  EXPECT_EQ(result.unknown_rows[0], "pipeline/t1");
+  EXPECT_TRUE(obs::compare_obs_reports(current, current, 0.5).ok());
 }
 
 TEST(Json, ParserHandlesCoreGrammarAndRejectsGarbage) {

@@ -13,7 +13,11 @@
 // fails while a row with no committed baseline only warns. Mode "wire"
 // diffs BENCH_wire.json the same way: copy_reduction may not fall more
 // than the threshold ABSOLUTE below the baseline (packets_per_s is
-// wall-clock and never gated). Exit 2 = usage/parse error.
+// wall-clock and never gated). Mode "obs" diffs BENCH_obs.json: the
+// bump/* rows' ns_per_op and the pipeline/* rows' overhead_ratio may not
+// grow more than the threshold RELATIVE above the baseline (both are
+// wall-clock, so CI uses a generous threshold). Exit 2 = usage/parse
+// error.
 // Better-than-baseline results are reported but never fail — baselines
 // are refreshed by re-running the bench and committing the new file.
 #include <cstdio>
@@ -33,10 +37,11 @@ int main(int argc, char** argv) {
   const double threshold = args.get_double("threshold", 0.25);
   const std::string mode = args.get("mode", "kernels");
   if (baseline_path.empty() || current_path.empty() || threshold < 0.0 ||
-      (mode != "kernels" && mode != "fec" && mode != "wire")) {
+      (mode != "kernels" && mode != "fec" && mode != "wire" &&
+       mode != "obs")) {
     std::fprintf(stderr,
                  "usage: check_bench_regression --baseline FILE --current "
-                 "FILE [--threshold 0.25] [--mode kernels|fec|wire]\n");
+                 "FILE [--threshold 0.25] [--mode kernels|fec|wire|obs]\n");
     return 2;
   }
 
@@ -131,6 +136,47 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("OK: all wire rows within threshold %.2f of the baseline\n",
+                threshold);
+    return 0;
+  }
+
+  if (mode == "obs") {
+    obs::ObsComparison comparison =
+        obs::compare_obs_reports(baseline, current, threshold);
+    if (comparison.deltas.empty() && comparison.missing_rows.empty()) {
+      std::fprintf(stderr, "no comparable obs_rows found in %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    sim::Table table(
+        {"row", "field", "baseline", "current", "delta", "verdict"});
+    for (const obs::ObsDelta& d : comparison.deltas) {
+      table.add_row(
+          {d.row, d.field, sim::format("%.4f", d.baseline),
+           sim::format("%.4f", d.current),
+           sim::format("%+.1f%%", d.baseline > 0.0
+                                      ? (d.current / d.baseline - 1.0) * 100.0
+                                      : 0.0),
+           d.regression ? "REGRESSION" : "ok"});
+    }
+    table.print();
+    for (const std::string& name : comparison.missing_rows) {
+      std::printf("MISSING: row \"%s\" is in the baseline but not in the "
+                  "current report\n",
+                  name.c_str());
+    }
+    for (const std::string& name : comparison.unknown_rows) {
+      std::printf("WARNING: row \"%s\" has no baseline yet (measured but "
+                  "not gated; refresh %s to start gating it)\n",
+                  name.c_str(), baseline_path.c_str());
+    }
+    if (!comparison.ok()) {
+      std::printf("FAIL: obs ns_per_op / overhead_ratio regression beyond "
+                  "threshold %.2f (or missing row) vs %s\n",
+                  threshold, baseline_path.c_str());
+      return 1;
+    }
+    std::printf("OK: all obs rows within threshold %.2f of the baseline\n",
                 threshold);
     return 0;
   }

@@ -60,7 +60,9 @@
 #include "codec/encoder.h"
 #include "codec/rate_control.h"
 #include "common/args.h"
+#include "common/json.h"
 #include "net/loss_model.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/http_exporter.h"
 #include "obs/log.h"
@@ -93,8 +95,9 @@ int usage() {
       "  serve    --sessions N [--frames N] [--plr X] [--scheme S]\n"
       "           [--intra-th X] [--threads T] [--slice K] [--rtt R]\n"
       "           [--seed N] [--qp N] [--crc] [--metrics-port P|auto]\n"
-      "           [--metrics-linger SEC]\n"
-      "  monitor  --port P [--host H] [--interval SEC]\n"
+      "           [--metrics-linger SEC] [--flight-dir DIR]\n"
+      "           (exporter also serves /healthz and /flightrecorder[/S])\n"
+      "  monitor  --port P [--host H] [--interval SEC] [--json]\n"
       "           | --from scrape1.txt --to scrape2.txt [--interval SEC]\n"
       "  fuzz     [--seed N] [--iters N] [--crash-dir DIR]\n"
       "           [--fuzz-target all|bitreader|decoder|depacketize|\n"
@@ -190,7 +193,7 @@ bool apply_fec_flags(const common::ArgParser& args,
 /// silently missing spans is worse than a loud one.
 void warn_if_spans_dropped() {
   const std::uint64_t dropped =
-      obs::counter("obs.trace_dropped_spans").value();
+      obs::counter("obs.trace.dropped").value();
   if (dropped > 0) {
     std::printf("warning: %llu spans dropped (buffer full); trace is "
                 "truncated\n",
@@ -468,6 +471,14 @@ int cmd_serve(const common::ArgParser& args) {
   const bool metrics_on = metrics_auto || metrics_port > 0;
   const int metrics_linger = args.get_int("metrics-linger", 0);
 
+  // Post-mortem dumps (DESIGN.md §14): with --flight-dir, a session that
+  // transitions to CRITICAL writes its flight-recorder ring to
+  // DIR/flight_<label>.jsonl automatically.
+  const std::string flight_dir = args.get("flight-dir");
+  if (!flight_dir.empty()) {
+    obs::FlightRegistry::global().set_dump_dir(flight_dir);
+  }
+
   obs::HttpExporter exporter;
   if (metrics_on) {
     // /metrics is only useful with the metrics layer collecting.
@@ -480,6 +491,32 @@ int cmd_serve(const common::ArgParser& args) {
       } else if (path == "/healthz") {
         response.content_type = "application/json";
         response.body = obs::HealthRegistry::global().healthz_json() + "\n";
+      } else if (path == "/flightrecorder") {
+        // Index: the labels a /flightrecorder/<label> read can target.
+        response.content_type = "application/json";
+        std::string body = "{\"sessions\": [";
+        bool first = true;
+        for (const std::string& label :
+             obs::FlightRegistry::global().labels()) {
+          if (!first) body += ", ";
+          first = false;
+          body += "\"" + common::json_escape(label) + "\"";
+        }
+        body += "]}\n";
+        response.body = std::move(body);
+      } else if (path.compare(0, 16, "/flightrecorder/") == 0) {
+        const std::string label = path.substr(16);
+        const obs::FlightRecorder* recorder =
+            obs::FlightRegistry::global().find(label);
+        if (recorder == nullptr) {
+          response.status = 404;
+          response.content_type = "text/plain";
+          response.body = "no flight recorder for session \"" + label +
+                          "\"\n";
+        } else {
+          response.content_type = "application/x-ndjson";
+          response.body = recorder->dump_jsonl();
+        }
       } else {
         response.status = 404;
         response.content_type = "text/plain";
@@ -631,6 +668,7 @@ int cmd_monitor(const common::ArgParser& args) {
   const std::string to = args.get("to");
   const std::string host = args.get("host", "127.0.0.1");
   const int port = args.get_int("port", 0);
+  const bool json_mode = args.has("json");
   const double interval = args.get_double("interval", 2.0);
   if (interval <= 0.0) {
     PB_LOG_ERROR("--interval must be positive");
@@ -723,6 +761,26 @@ int cmd_monitor(const common::ArgParser& args) {
     const double eff_plr = d_sent > 0 ? 1.0 - d_delivered / d_sent : 0.0;
     const int state =
         static_cast<int>(now.get("pbpair_session_health_state") + 0.5);
+    if (json_mode) {
+      // One JSONL object per session per refresh, stable schema (the
+      // lost/corrupt rates are present even without --crc, at zero) so
+      // downstream pipelines never branch on table shape.
+      const double d_corrupt =
+          now.get("pbpair_session_crc_corrupted_total") -
+          then.get("pbpair_session_crc_corrupted_total");
+      std::printf(
+          "{\"session\": \"%s\", \"frames_per_s\": %.3f, "
+          "\"psnr_db\": %.2f, \"eff_plr\": %.4f, \"lost_per_s\": %.3f, "
+          "\"corrupt_per_s\": %.3f, \"intra_ratio\": %.4f, "
+          "\"j_per_frame\": %.6f, \"health\": \"%s\"}\n",
+          common::json_escape(label).c_str(), d_frames / interval,
+          now.get("pbpair_session_psnr_db"), eff_plr,
+          (d_sent - d_delivered) / interval, d_corrupt / interval,
+          d_mbs > 0 ? d_intra / d_mbs : 0.0,
+          d_frames > 0 ? d_uj / 1e6 / d_frames : 0.0,
+          obs::health_state_name(static_cast<obs::HealthState>(state)));
+      continue;
+    }
     std::vector<std::string> row = {
         label, sim::format("%.1f", d_frames / interval),
         sim::format("%.2f", now.get("pbpair_session_psnr_db")),
@@ -741,6 +799,12 @@ int cmd_monitor(const common::ArgParser& args) {
     row.push_back(
         obs::health_state_name(static_cast<obs::HealthState>(state)));
     table.add_row(std::move(row));
+  }
+  if (json_mode) {
+    // Machine mode is per-session JSONL only: the damage/wire summary
+    // lines below are human-format prose and would corrupt the stream.
+    std::fflush(stdout);
+    return 0;
   }
   table.print();
 
