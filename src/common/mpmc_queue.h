@@ -1,0 +1,121 @@
+// Bounded lock-free multi-producer/multi-consumer queue (Vyukov's array
+// queue): a power-of-two ring of cells, each carrying a sequence number
+// that encodes whether the cell is free to write or ready to read. Both
+// try_push and try_pop are one CAS on the respective position counter in
+// the uncontended case; neither ever blocks, allocates, or takes a lock.
+//
+// The sharded session engine (sim/session_manager.cpp) keeps one of these
+// per shard as its run queue of session slots: workers pop from their own
+// shard and steal from a neighbour's only when theirs drains. Capacity is
+// fixed at construction — a full queue rejects the push, which is exactly
+// the backpressure signal admission control consumes.
+//
+// Determinism note: the queue orders *scheduling*, never results. Every
+// value this repo routes through it addresses a self-contained session, so
+// pop order (and therefore contention) cannot change one output byte.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pbpair::common {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (>= 2).
+  explicit MpmcQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// False when the queue is full (the value is NOT consumed).
+  bool try_push(T value) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                  static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        // Cell is free at our ticket; claim the position.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full: the cell still holds a value a lap behind
+      } else {
+        pos = head_.load(std::memory_order_relaxed);  // lost the race
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the queue is empty.
+  bool try_pop(T* out) {
+    PB_DCHECK(out != nullptr);
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                  static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty: the producer has not filled this cell yet
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate — monitoring and admission watermarks only, never
+  /// a correctness signal (by the time the caller acts, it may be stale).
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  // Head (producers) and tail (consumers) sit on their own cache lines so
+  // pushers and poppers do not false-share one counter.
+  static constexpr std::size_t kCacheLine = 64;
+  std::size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace pbpair::common

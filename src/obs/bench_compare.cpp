@@ -47,6 +47,16 @@ const common::JsonValue* find_obs_row(const common::JsonValue& report,
   return nullptr;
 }
 
+const common::JsonValue* find_sessions_row(const common::JsonValue& report,
+                                           const std::string& name) {
+  const common::JsonValue* rows = report.find("sessions_rows");
+  if (rows == nullptr || !rows->is_array()) return nullptr;
+  for (const common::JsonValue& entry : rows->items()) {
+    if (entry.string_at("name") == name) return &entry;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 BenchComparison compare_bench_reports(const common::JsonValue& baseline,
@@ -235,6 +245,70 @@ ObsComparison compare_obs_reports(const common::JsonValue& baseline,
       const std::string& name = cur_entry.string_at("name");
       if (name.empty()) continue;
       if (find_obs_row(baseline, name) == nullptr) {
+        result.unknown_rows.push_back(name);
+      }
+    }
+  }
+  return result;
+}
+
+SessionsComparison compare_sessions_reports(const common::JsonValue& baseline,
+                                            const common::JsonValue& current,
+                                            double threshold) {
+  SessionsComparison result;
+  const common::JsonValue* base_rows = baseline.find("sessions_rows");
+  if (base_rows == nullptr || !base_rows->is_array()) return result;
+
+  for (const common::JsonValue& base_entry : base_rows->items()) {
+    const std::string& name = base_entry.string_at("name");
+    if (name.empty()) continue;
+    const common::JsonValue* cur_entry = find_sessions_row(current, name);
+    if (cur_entry == nullptr) {
+      result.missing_rows.push_back(name);
+      continue;
+    }
+    const common::JsonValue* base_value = nullptr;
+    const common::JsonValue* cur_value = nullptr;
+    auto both = [&](const char* field) {
+      base_value = base_entry.find(field);
+      cur_value = cur_entry->find(field);
+      return base_value != nullptr && base_value->is_number() &&
+             cur_value != nullptr && cur_value->is_number();
+    };
+    // Throughput floor: fail when the baseline exceeds the current rate by
+    // the threshold factor. Phrased as baseline > current * (1 + t) rather
+    // than current < baseline * (1 - t) so thresholds above 1.0 (needed by
+    // the latency gate's bucket quantization) keep a meaningful floor.
+    if (both("sessions_per_sec")) {
+      SessionsDelta delta;
+      delta.row = name;
+      delta.field = "sessions_per_sec";
+      delta.baseline = base_value->as_number();
+      delta.current = cur_value->as_number();
+      delta.regression = delta.current > 0.0 &&
+                         delta.baseline > delta.current * (1.0 + threshold);
+      result.deltas.push_back(std::move(delta));
+    }
+    // Latency ceiling: relative growth, like the kernel timings. The p99
+    // sits on power-of-two bucket bounds, so one bucket jump doubles it —
+    // callers gate with threshold >= 1.0.
+    if (both("p99_frame_ms")) {
+      SessionsDelta delta;
+      delta.row = name;
+      delta.field = "p99_frame_ms";
+      delta.baseline = base_value->as_number();
+      delta.current = cur_value->as_number();
+      delta.regression = delta.baseline > 0.0 &&
+                         delta.current > delta.baseline * (1.0 + threshold);
+      result.deltas.push_back(std::move(delta));
+    }
+  }
+  const common::JsonValue* cur_rows = current.find("sessions_rows");
+  if (cur_rows != nullptr && cur_rows->is_array()) {
+    for (const common::JsonValue& cur_entry : cur_rows->items()) {
+      const std::string& name = cur_entry.string_at("name");
+      if (name.empty()) continue;
+      if (find_sessions_row(baseline, name) == nullptr) {
         result.unknown_rows.push_back(name);
       }
     }

@@ -170,4 +170,46 @@ ObsComparison compare_obs_reports(const common::JsonValue& baseline,
                                   const common::JsonValue& current,
                                   double threshold);
 
+/// One gated measurement of a BENCH_sessions.json row. sessions_per_sec
+/// is a throughput FLOOR (bigger is better), p99_frame_ms a latency
+/// CEILING (smaller is better). Both are wall-clock; p99 additionally
+/// comes from log2-bucket histograms whose quantiles sit on power-of-two
+/// plateaus, so a CI threshold must allow at least one bucket jump
+/// (a 2x ratio — use threshold >= 1.0 for the sessions gate).
+struct SessionsDelta {
+  std::string row;        // e.g. "n256", "n10000"
+  std::string field;      // "sessions_per_sec" | "p99_frame_ms"
+  double baseline = 0.0;
+  double current = 0.0;
+  bool regression = false;
+};
+
+struct SessionsComparison {
+  std::vector<SessionsDelta> deltas;
+  /// Rows in the baseline that the current report no longer emits
+  /// (failures: a vanished scaling point hides a capacity regression).
+  std::vector<std::string> missing_rows;
+  /// Rows measured now but absent from the committed baseline (warn-only).
+  std::vector<std::string> unknown_rows;
+
+  bool ok() const {
+    if (!missing_rows.empty()) return false;
+    for (const SessionsDelta& d : deltas) {
+      if (d.regression) return false;
+    }
+    return true;
+  }
+};
+
+/// Diffs two reports with the BENCH_sessions.json schema ("sessions_rows"
+/// array of {"name", "sessions_per_sec", "p99_frame_ms", ...}), matching
+/// rows by name. Regressions: sessions_per_sec falling so that
+/// baseline > current * (1 + threshold) (throughput floor, symmetric with
+/// the growth gates so thresholds > 1 stay meaningful), or p99_frame_ms
+/// growing beyond baseline * (1 + threshold) (latency ceiling).
+/// Improvements never fail.
+SessionsComparison compare_sessions_reports(const common::JsonValue& baseline,
+                                            const common::JsonValue& current,
+                                            double threshold);
+
 }  // namespace pbpair::obs

@@ -41,6 +41,7 @@ const char* flight_event_name(FlightEvent event) {
     case FlightEvent::kCrcCorruption: return "crc_corruption";
     case FlightEvent::kHealthTransition: return "health_transition";
     case FlightEvent::kFuzzCase: return "fuzz_case";
+    case FlightEvent::kSessionShed: return "session_shed";
   }
   return "unknown";
 }

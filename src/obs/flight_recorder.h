@@ -35,6 +35,7 @@ enum class FlightEvent : std::uint8_t {
   kCrcCorruption,        // a = corrupted packets, b = packets checked
   kHealthTransition,     // a = from state, b = to state (HealthState ints)
   kFuzzCase,             // a = iteration, b = target ordinal
+  kSessionShed,          // a = session slot index, b = target shard
 };
 
 /// Stable lowercase name for dumps ("frame_encoded", "plr_update", ...).

@@ -190,6 +190,18 @@ std::vector<std::shared_ptr<SessionHealth>> HealthRegistry::sessions() const {
   return out;
 }
 
+HealthStateCounts HealthRegistry::state_counts() const {
+  HealthStateCounts counts;
+  for (const std::shared_ptr<SessionHealth>& session : sessions()) {
+    switch (session->snapshot().state) {
+      case HealthState::kHealthy: ++counts.healthy; break;
+      case HealthState::kDegraded: ++counts.degraded; break;
+      case HealthState::kCritical: ++counts.critical; break;
+    }
+  }
+  return counts;
+}
+
 std::string HealthRegistry::healthz_json() const {
   int counts[3] = {0, 0, 0};
   std::string out = "{\"sessions\": [";

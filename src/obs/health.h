@@ -140,6 +140,21 @@ class SessionHealth {
   std::uint64_t transitions_ = 0;
 };
 
+/// Fleet-wide health distribution at one instant — the aggregate signal
+/// admission control (sim/admission.h) keys its shedding decisions off.
+struct HealthStateCounts {
+  int healthy = 0;
+  int degraded = 0;
+  int critical = 0;
+
+  int total() const { return healthy + degraded + critical; }
+  /// Fraction of sessions at or past DEGRADED; 0 when no sessions exist.
+  double pressure() const {
+    const int n = total();
+    return n > 0 ? static_cast<double>(degraded + critical) / n : 0.0;
+  }
+};
+
 /// Process-wide directory of live sessions, keyed by obs label — what
 /// GET /healthz renders. Sessions register on construction (create
 /// replaces any previous holder of the same label, e.g. across repeated
@@ -154,6 +169,10 @@ class HealthRegistry {
 
   /// Snapshot of every registered session, sorted by label.
   std::vector<std::shared_ptr<SessionHealth>> sessions() const;
+
+  /// Per-state session counts across the whole registry — one snapshot()
+  /// per session, so the result is as consistent as /healthz itself.
+  HealthStateCounts state_counts() const;
 
   /// {"sessions": [{"session": "s000", "state": "healthy", ...}, ...],
   ///  "states": {"healthy": N, "degraded": N, "critical": N}}

@@ -461,6 +461,27 @@ std::string Registry::to_json(bool deterministic) const {
   return out;
 }
 
+double histogram_quantile_ns(const Histogram& hist, double q) {
+  const std::uint64_t count = hist.count();
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile observation, 1-based, rounded up (the classic
+  // "smallest bound covering at least q of the mass").
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count) + 0.9999999999);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kBucketCount; ++i) {
+    cumulative += hist.bucket(i);
+    if (cumulative >= rank && cumulative > 0) {
+      return static_cast<double>(1ull << (Histogram::kFirstBucketLog2 + i));
+    }
+  }
+  // Overflow bucket: no finite bound; report one doubling past the last.
+  return static_cast<double>(
+      1ull << (Histogram::kFirstBucketLog2 + Histogram::kBucketCount));
+}
+
 std::string session_metric(const std::string& label,
                            const std::string& metric) {
   return "session." + label + "." + metric;

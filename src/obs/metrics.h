@@ -201,6 +201,14 @@ class Registry {
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+/// Upper-bound estimate of the q-quantile (q in [0, 1]) of `hist` in
+/// nanoseconds: walks the fixed log2 bucket layout until the cumulative
+/// count covers q and returns that bucket's upper bound (the overflow
+/// bucket reports twice the last finite bound). 0 when the histogram is
+/// empty. Coarse by design — the layout doubles per bucket — but stable:
+/// the same data always maps to the same bound, so benches can gate on it.
+double histogram_quantile_ns(const Histogram& hist, double q);
+
 /// Per-session metric name: "session.<label>.<metric>". Multi-session runs
 /// (sim::SessionManager) register each stream's counters under this
 /// namespace so the exported JSON can be broken down per session; labels

@@ -1,0 +1,125 @@
+#include "sim/admission.h"
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace pbpair::sim {
+namespace {
+
+// FNV-1a 64 over the label bytes; the per-shard weight mixes the label
+// hash with the shard index through a splitmix64 finalizer. No wall clock,
+// no pointers — the weight is a pure function of (label, shard).
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+obs::FlightRecorder* admission_ring() {
+  // find-then-create: create() resets an existing ring, and shed history
+  // should survive repeated runs within one process.
+  obs::FlightRecorder* ring = obs::FlightRegistry::global().find("admission");
+  if (ring == nullptr) {
+    ring = obs::FlightRegistry::global().create("admission");
+  }
+  return ring;
+}
+
+}  // namespace
+
+const char* admit_decision_name(AdmitDecision decision) {
+  switch (decision) {
+    case AdmitDecision::kAccepted: return "accepted";
+    case AdmitDecision::kQueued: return "queued";
+    case AdmitDecision::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+std::size_t rendezvous_shard(const std::string& label, std::size_t shards) {
+  PB_CHECK(shards > 0);
+  if (shards == 1) return 0;
+  const std::uint64_t label_hash = fnv1a(label);
+  std::size_t best = 0;
+  std::uint64_t best_weight = 0;
+  for (std::size_t k = 0; k < shards; ++k) {
+    const std::uint64_t weight = mix64(label_hash ^ mix64(k));
+    if (k == 0 || weight > best_weight) {
+      best = k;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+SessionAdmission::SessionAdmission(AdmissionConfig config)
+    : config_(config) {}
+
+void SessionAdmission::sample_fleet() {
+  fleet_ = obs::HealthRegistry::global().state_counts();
+}
+
+AdmitDecision SessionAdmission::admit(std::size_t slot,
+                                      const std::string& label,
+                                      bool sheddable, std::size_t shard,
+                                      std::size_t pinned_depth) {
+  AdmitDecision decision = AdmitDecision::kAccepted;
+
+  // Health-driven shedding considers only DEGRADED-eligible sessions; a
+  // non-sheddable session rides the queue path no matter how sick the
+  // fleet is.
+  const bool fleet_pressed =
+      (config_.shed_on_critical && fleet_.critical > 0) ||
+      fleet_.pressure() >= config_.shed_pressure;
+  if (sheddable && fleet_pressed) {
+    decision = AdmitDecision::kShed;
+  } else if (config_.shed_queue_depth > 0 &&
+             pinned_depth >= config_.shed_queue_depth) {
+    decision =
+        sheddable ? AdmitDecision::kShed : AdmitDecision::kQueued;
+  } else if (config_.max_live_per_shard > 0 &&
+             pinned_depth >= config_.max_live_per_shard) {
+    // Admitted, but the shard's live cap means it waits for a slot.
+    decision = AdmitDecision::kQueued;
+  }
+
+  if (obs::enabled()) {
+    switch (decision) {
+      case AdmitDecision::kAccepted:
+        obs::counter("sim.admit.accepted").add();
+        break;
+      case AdmitDecision::kQueued:
+        obs::counter("sim.admit.queued").add();
+        break;
+      case AdmitDecision::kShed:
+        obs::counter("sim.admit.shed").add();
+        break;
+    }
+  }
+  if (decision == AdmitDecision::kShed) {
+    admission_ring()->record(obs::FlightEvent::kSessionShed, -1,
+                             static_cast<std::int64_t>(slot),
+                             static_cast<std::int64_t>(shard));
+    PB_LOG_WARN("admission: shed session %zu (%s) targeting shard %zu "
+                "(depth %zu, fleet %d/%d/%d)",
+                slot, label.c_str(), shard, pinned_depth, fleet_.healthy,
+                fleet_.degraded, fleet_.critical);
+  }
+  return decision;
+}
+
+}  // namespace pbpair::sim

@@ -90,6 +90,29 @@ TEST(ObsMetrics, CounterGaugeHistogramBasics) {
   EXPECT_EQ(h.bucket(obs::Histogram::kBucketCount), 1u);
 }
 
+TEST(ObsMetrics, HistogramQuantileReportsBucketUpperBounds) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("quantile.latency_ns");
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_ns(h, 0.99), 0.0) << "empty";
+
+  // 99 observations in the 256..512 bucket, 1 in the 8192..16384 bucket:
+  // p50 and p90 report the small bucket's upper bound, p100 the tail's.
+  for (int i = 0; i < 99; ++i) h.observe(300);
+  h.observe(10000);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_ns(h, 0.50), 512.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_ns(h, 0.90), 512.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile_ns(h, 1.00), 16384.0);
+
+  // Overflow observations report twice the last finite bound — a sentinel
+  // for "beyond the instrumented range", not a measurement.
+  h.observe(std::int64_t{1} << 62);
+  EXPECT_DOUBLE_EQ(
+      obs::histogram_quantile_ns(h, 1.00),
+      static_cast<double>(
+          std::uint64_t{1} << (obs::Histogram::kFirstBucketLog2 +
+                               obs::Histogram::kBucketCount)));
+}
+
 TEST(ObsMetrics, ShardMergeMatchesSingleRegistryBitForBit) {
   // The tentpole invariant: N threads bumping per-thread shards must merge
   // into EXACTLY the state one thread produces — same counts, same
@@ -670,6 +693,72 @@ TEST(BenchCompare, ObsMissingRowFailsUnknownRowOnlyWarns) {
   ASSERT_EQ(result.unknown_rows.size(), 1u);
   EXPECT_EQ(result.unknown_rows[0], "pipeline/t1");
   EXPECT_TRUE(obs::compare_obs_reports(current, current, 0.5).ok());
+}
+
+TEST(BenchCompare, SessionsGatesThroughputFloorAndLatencyCeiling) {
+  const char* baseline_text = R"({"sessions_rows": [
+      {"name": "n8", "sessions_per_sec": 100.0, "frames_per_sec": 2400.0,
+       "p50_frame_ms": 2.1, "p99_frame_ms": 4.2},
+      {"name": "n256", "sessions_per_sec": 50.0, "frames_per_sec": 600.0,
+       "p50_frame_ms": 2.1, "p99_frame_ms": 4.2}]})";
+  // n8's throughput collapsed to 40/s (floor breach at threshold 1.0:
+  // 100 > 40 * 2) while its p99 improved; n256's p99 tripled (ceiling
+  // breach: 12.6 > 4.2 * 2) while its throughput improved. Improvements
+  // must never fail, breaches must.
+  const char* current_text = R"({"sessions_rows": [
+      {"name": "n8", "sessions_per_sec": 40.0, "frames_per_sec": 960.0,
+       "p50_frame_ms": 1.0, "p99_frame_ms": 2.1},
+      {"name": "n256", "sessions_per_sec": 120.0, "frames_per_sec": 1400.0,
+       "p50_frame_ms": 2.1, "p99_frame_ms": 12.6}]})";
+  common::JsonValue baseline, current;
+  ASSERT_TRUE(common::JsonValue::parse(baseline_text, &baseline));
+  ASSERT_TRUE(common::JsonValue::parse(current_text, &current));
+
+  obs::SessionsComparison result =
+      obs::compare_sessions_reports(baseline, current, 1.0);
+  EXPECT_FALSE(result.ok());
+  // Only sessions_per_sec and p99_frame_ms gate: two rows, four deltas.
+  ASSERT_EQ(result.deltas.size(), 4u);
+  int regressions = 0;
+  for (const obs::SessionsDelta& d : result.deltas) {
+    if (!d.regression) continue;
+    ++regressions;
+    if (d.row == "n8") {
+      EXPECT_EQ(d.field, "sessions_per_sec");
+    } else {
+      EXPECT_EQ(d.row, "n256");
+      EXPECT_EQ(d.field, "p99_frame_ms");
+    }
+  }
+  EXPECT_EQ(regressions, 2);
+
+  // A threshold wide enough for both movements accepts the same pair.
+  EXPECT_TRUE(obs::compare_sessions_reports(baseline, current, 2.5).ok());
+  // Identity always passes.
+  EXPECT_TRUE(obs::compare_sessions_reports(baseline, baseline, 1.0).ok());
+}
+
+TEST(BenchCompare, SessionsMissingRowFailsUnknownRowOnlyWarns) {
+  const char* baseline_text = R"({"sessions_rows": [
+      {"name": "n8", "sessions_per_sec": 100.0, "p99_frame_ms": 4.2},
+      {"name": "n10000", "sessions_per_sec": 30.0, "p99_frame_ms": 8.4}]})";
+  // The 10k point vanished (a capacity regression could hide there: FAIL)
+  // and a new 1k point appeared (no baseline yet: warn only).
+  const char* current_text = R"({"sessions_rows": [
+      {"name": "n8", "sessions_per_sec": 100.0, "p99_frame_ms": 4.2},
+      {"name": "n1024", "sessions_per_sec": 45.0, "p99_frame_ms": 4.2}]})";
+  common::JsonValue baseline, current;
+  ASSERT_TRUE(common::JsonValue::parse(baseline_text, &baseline));
+  ASSERT_TRUE(common::JsonValue::parse(current_text, &current));
+
+  obs::SessionsComparison result =
+      obs::compare_sessions_reports(baseline, current, 1.0);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.missing_rows.size(), 1u);
+  EXPECT_EQ(result.missing_rows[0], "n10000");
+  ASSERT_EQ(result.unknown_rows.size(), 1u);
+  EXPECT_EQ(result.unknown_rows[0], "n1024");
+  EXPECT_TRUE(obs::compare_sessions_reports(current, current, 1.0).ok());
 }
 
 TEST(Json, ParserHandlesCoreGrammarAndRejectsGarbage) {

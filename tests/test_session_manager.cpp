@@ -2,10 +2,13 @@
 // and any scheduling interleaving (DESIGN.md §9).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "net/loss_model.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
@@ -208,6 +211,70 @@ TEST(SessionManager, PerSessionObsCountersUseLabels) {
   EXPECT_GT(obs::counter(obs::session_metric("gold", "energy_uj")).value(),
             0u);
   obs::Registry::global().reset_all();
+}
+
+// Regression: to_json used a fixed 512-byte snprintf buffer, so counters
+// big enough to overflow it (10k-session fleets, or any pathological
+// double) silently truncated the string into invalid JSON. The rewritten
+// formatter has no length ceiling — huge values must round-trip through
+// the JSON parser.
+TEST(SessionManager, AggregateToJsonRoundTripsHugeValues) {
+  SessionAggregate agg;
+  agg.sessions = 10000;
+  agg.total_frames = 3000000;
+  agg.total_bytes = ~0ull;
+  agg.total_bad_pixels = ~0ull;
+  agg.total_intra_mbs = ~0ull;
+  agg.concealed_mbs = ~0ull;
+  agg.packets_sent = ~0ull;
+  agg.packets_dropped = ~0ull;
+  agg.mean_psnr_db = 1e300;  // %.6f renders this as 300+ digits
+  agg.encode_energy_j = 1e250;
+  agg.tx_energy_j = 12345.678901;
+
+  const std::string json = agg.to_json();
+  EXPECT_GT(json.size(), 512u) << "must exceed the old truncation ceiling";
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.back(), '}');
+
+  common::JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(common::JsonValue::parse(json, &parsed, &error)) << error;
+  EXPECT_DOUBLE_EQ(parsed.number_at("sessions", 0.0), 10000.0);
+  EXPECT_DOUBLE_EQ(parsed.number_at("total_frames", 0.0), 3000000.0);
+  EXPECT_DOUBLE_EQ(parsed.number_at("total_bytes", 0.0),
+                   static_cast<double>(~0ull));
+  EXPECT_DOUBLE_EQ(parsed.number_at("mean_psnr_db", 0.0), 1e300);
+  EXPECT_DOUBLE_EQ(parsed.number_at("encode_energy_j", 0.0), 1e250);
+  EXPECT_DOUBLE_EQ(parsed.number_at("tx_energy_j", 0.0), 12345.678901);
+}
+
+// Regression: default labels were hard-wired to "s%03zu", so at >= 1000
+// sessions "s1000" sorted before "s999" and label-keyed listings (metrics
+// dumps, monitor rows) interleaved fleets out of order. The width now
+// grows with the fleet.
+TEST(SessionManager, DefaultLabelsSortLexicographicallyUpTo1500) {
+  const std::size_t kCount = 1500;
+  std::vector<std::string> labels;
+  labels.reserve(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    labels.push_back(SessionManager::default_label(i, kCount));
+  }
+  EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()))
+      << "lexicographic label order must equal numeric session order";
+  EXPECT_EQ(std::set<std::string>(labels.begin(), labels.end()).size(),
+            kCount)
+      << "labels must be unique";
+  EXPECT_EQ(labels.front(), "s0000");
+  EXPECT_EQ(labels.back(), "s1499");
+
+  // Historical floor: fleets up to 1000 keep the three-digit "s000" form
+  // that dashboards, monitor filters, and committed goldens grep for.
+  EXPECT_EQ(SessionManager::default_label(0, 1), "s000");
+  EXPECT_EQ(SessionManager::default_label(0, 1000), "s000");
+  EXPECT_EQ(SessionManager::default_label(999, 1000), "s999");
+  EXPECT_EQ(SessionManager::default_label(0, 1001), "s0000");
+  EXPECT_EQ(SessionManager::default_label(9999, 10000), "s9999");
 }
 
 }  // namespace

@@ -1,0 +1,287 @@
+// Sharded session engine under stress: the MPMC run queues, rendezvous
+// pinning, admission shedding, and the 512-session slice-1 determinism
+// contract (DESIGN.md §15).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "net/loss_model.h"
+#include "obs/health.h"
+#include "sim/admission.h"
+#include "sim/session_manager.h"
+#include "video/frame.h"
+
+namespace pbpair::sim {
+namespace {
+
+// Same %.17g idiom as test_session_manager.cpp: any bit difference in any
+// reported field shows up as a string difference.
+std::string serialize(const std::vector<PipelineResult>& results) {
+  std::string out;
+  char buf[256];
+  for (const PipelineResult& r : results) {
+    std::snprintf(buf, sizeof(buf), "total %llu %.17g %llu %llu %llu\n",
+                  static_cast<unsigned long long>(r.total_bytes),
+                  r.avg_psnr_db,
+                  static_cast<unsigned long long>(r.total_bad_pixels),
+                  static_cast<unsigned long long>(r.total_intra_mbs),
+                  static_cast<unsigned long long>(r.concealed_mbs));
+    out += buf;
+    for (const FrameTrace& f : r.frames) {
+      std::snprintf(buf, sizeof(buf), "f %d %zu %d %d %.17g %llu\n", f.index,
+                    f.bytes, f.intra_mbs, f.lost ? 1 : 0, f.psnr_db,
+                    static_cast<unsigned long long>(f.bad_pixels));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+// 32x32 (2x2 macroblocks) synthetic frames: big enough to exercise the
+// full pipeline, small enough that a 512-session fleet runs in seconds.
+video::YuvFrame tiny_frame(int index, int phase) {
+  video::YuvFrame frame(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      frame.y().set(x, y,
+                    static_cast<std::uint8_t>(
+                        (x * 3 + y * 5 + index * 7 + phase * 11) & 0xff));
+    }
+  }
+  frame.u().fill(static_cast<std::uint8_t>(128 + phase));
+  frame.v().fill(static_cast<std::uint8_t>(64 + index));
+  return frame;
+}
+
+std::vector<SessionSpec> tiny_specs(int sessions, int frames) {
+  std::vector<SessionSpec> specs;
+  specs.reserve(static_cast<std::size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    SessionSpec spec;
+    if (i % 2 == 0) {
+      core::PbpairConfig pbpair;
+      pbpair.intra_th = 0.9;
+      pbpair.plr = 0.10;
+      spec.scheme = SchemeSpec::pbpair(pbpair);
+    } else {
+      spec.scheme = SchemeSpec::gop(4);
+    }
+    spec.config.frames = frames;
+    spec.config.encoder.width = 32;
+    spec.config.encoder.height = 32;
+    const int phase = i % 17;
+    spec.source = [phase](int index) { return tiny_frame(index, phase); };
+    const std::uint64_t seed = 77 + static_cast<std::uint64_t>(i);
+    spec.make_loss = [seed] {
+      return std::make_unique<net::UniformFrameLoss>(0.2, seed);
+    };
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(MpmcQueue, FifoAndBoundedSingleThread) {
+  common::MpmcQueue<std::uint32_t> queue(4);
+  EXPECT_EQ(queue.size_approx(), 0u);
+  std::uint32_t value = 0;
+  EXPECT_FALSE(queue.try_pop(&value));
+  for (std::uint32_t i = 1; i <= 4; ++i) EXPECT_TRUE(queue.try_push(i));
+  EXPECT_FALSE(queue.try_push(99)) << "queue is bounded at its capacity";
+  EXPECT_EQ(queue.size_approx(), 4u);
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(queue.try_pop(&value));
+    EXPECT_EQ(value, i) << "single-threaded pops come out in push order";
+  }
+  EXPECT_FALSE(queue.try_pop(&value));
+  // Wrap around the ring a few times: sequence numbers must keep working.
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(queue.try_push(static_cast<std::uint32_t>(round)));
+    ASSERT_TRUE(queue.try_pop(&value));
+    EXPECT_EQ(value, static_cast<std::uint32_t>(round));
+  }
+}
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  common::MpmcQueue<std::uint32_t> queue(5);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_TRUE(queue.try_push(i));
+  EXPECT_FALSE(queue.try_push(99));
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint32_t kPerProducer = 5000;
+  common::MpmcQueue<std::uint32_t> queue(256);
+  std::atomic<std::uint64_t> consumed_sum{0};
+  std::atomic<std::uint64_t> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue] {
+      for (std::uint32_t i = 1; i <= kPerProducer; ++i) {
+        while (!queue.try_push(i)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::uint32_t value = 0;
+      for (;;) {
+        if (queue.try_pop(&value)) {
+          consumed_sum.fetch_add(value, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (done.load(std::memory_order_acquire)) {
+          if (!queue.try_pop(&value)) break;
+          consumed_sum.fetch_add(value, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  done.store(true, std::memory_order_release);
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  const std::uint64_t per_producer_sum =
+      static_cast<std::uint64_t>(kPerProducer) * (kPerProducer + 1) / 2;
+  EXPECT_EQ(consumed_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(consumed_sum.load(), kProducers * per_producer_sum);
+}
+
+TEST(RendezvousShard, StableAndInRange) {
+  for (std::size_t shards : {1u, 2u, 3u, 8u}) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      const std::string label = SessionManager::default_label(i, 100);
+      const std::size_t shard = rendezvous_shard(label, shards);
+      EXPECT_LT(shard, shards);
+      EXPECT_EQ(shard, rendezvous_shard(label, shards))
+          << "pinning must be a pure function of the label";
+    }
+  }
+}
+
+TEST(RendezvousShard, CoversAllShardsAndMovesMinimally) {
+  constexpr std::size_t kShards = 8;
+  std::set<std::size_t> used;
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const std::string label = SessionManager::default_label(i, 1000);
+    const std::size_t at8 = rendezvous_shard(label, kShards);
+    used.insert(at8);
+    // The HRW property: dropping the last shard only moves sessions that
+    // were pinned to it — everyone else keeps their shard.
+    const std::size_t at7 = rendezvous_shard(label, kShards - 1);
+    if (at8 < kShards - 1) {
+      EXPECT_EQ(at7, at8) << label;
+    } else {
+      ++moved;
+    }
+  }
+  EXPECT_EQ(used.size(), kShards) << "1000 labels should land on all shards";
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, 1000 / 4) << "roughly 1/8 of sessions should move";
+}
+
+// The tentpole contract at stress scale: 512 sessions, slice 1 (maximum
+// rescheduling — every session requeues after every frame), 8 worker
+// shards with stealing, byte-identical to the 1-thread reference.
+TEST(ShardedServing, Stress512SessionsSliceOneEightThreads) {
+  const int kSessions = 512;
+  const int kFrames = 3;
+  SessionManagerOptions reference_options;
+  reference_options.threads = 1;
+  const std::string reference = serialize(
+      SessionManager(tiny_specs(kSessions, kFrames)).run(reference_options));
+
+  SessionManagerOptions options;
+  options.threads = 8;
+  options.frames_per_slice = 1;
+  const std::string sharded = serialize(
+      SessionManager(tiny_specs(kSessions, kFrames)).run(options));
+  EXPECT_EQ(sharded, reference);
+}
+
+// The per-shard live cap (what bounds a 10k fleet's memory) trickles
+// construction but must not change a single reported bit.
+TEST(ShardedServing, LiveCapDoesNotChangeResults) {
+  obs::HealthRegistry::global().clear();
+  const int kSessions = 64;
+  const int kFrames = 3;
+  SessionManagerOptions plain;
+  plain.threads = 1;
+  const std::string reference = serialize(
+      SessionManager(tiny_specs(kSessions, kFrames)).run(plain));
+
+  SessionManagerOptions capped;
+  capped.threads = 8;
+  capped.frames_per_slice = 1;
+  AdmissionConfig admission;
+  admission.max_live_per_shard = 2;
+  capped.admission = admission;
+  AdmissionReport report;
+  const std::vector<PipelineResult> results =
+      SessionManager(tiny_specs(kSessions, kFrames)).run(capped, &report);
+  // Beyond the cap, sessions are QUEUED (still served, construction
+  // deferred), never shed — nothing sheddable is in this fleet.
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_GT(report.accepted, 0u);
+  EXPECT_GT(report.queued, 0u);
+  EXPECT_EQ(report.accepted + report.queued,
+            static_cast<std::size_t>(kSessions));
+  EXPECT_EQ(serialize(results), reference);
+}
+
+// Shedding must be deterministic: same specs, same config, same fleet
+// state => the same sessions are shed every run, only sheddable sessions
+// are ever shed, and shed sessions leave empty results.
+TEST(ShardedServing, ShedDecisionsAreDeterministic) {
+  obs::HealthRegistry::global().clear();
+  const int kSessions = 48;
+  const int kFrames = 2;
+  auto make = [&] {
+    std::vector<SessionSpec> specs = tiny_specs(kSessions, kFrames);
+    for (int i = 0; i < kSessions; ++i) specs[i].sheddable = (i % 2 == 0);
+    return specs;
+  };
+  SessionManagerOptions options;
+  options.threads = 4;
+  options.frames_per_slice = 1;
+  AdmissionConfig admission;
+  admission.shed_queue_depth = 4;
+  options.admission = admission;
+
+  AdmissionReport first;
+  const std::vector<PipelineResult> results_a =
+      SessionManager(make()).run(options, &first);
+  AdmissionReport second;
+  const std::vector<PipelineResult> results_b =
+      SessionManager(make()).run(options, &second);
+
+  ASSERT_EQ(first.decisions.size(), static_cast<std::size_t>(kSessions));
+  EXPECT_EQ(first.decisions, second.decisions);
+  EXPECT_GT(first.shed, 0u) << "depth 4 x 4 shards must shed some of 48";
+  EXPECT_GT(first.accepted, 0u);
+  EXPECT_EQ(first.accepted + first.queued + first.shed,
+            static_cast<std::size_t>(kSessions));
+  for (int i = 0; i < kSessions; ++i) {
+    const bool shed = first.decisions[i] == AdmitDecision::kShed;
+    EXPECT_EQ(results_a[i].frames.empty(), shed) << "i=" << i;
+    if (shed) {
+      EXPECT_EQ(i % 2, 0) << "only sheddable sessions may be shed, i=" << i;
+    }
+  }
+  EXPECT_EQ(serialize(results_a), serialize(results_b));
+}
+
+}  // namespace
+}  // namespace pbpair::sim

@@ -16,8 +16,13 @@
 // wall-clock and never gated). Mode "obs" diffs BENCH_obs.json: the
 // bump/* rows' ns_per_op and the pipeline/* rows' overhead_ratio may not
 // grow more than the threshold RELATIVE above the baseline (both are
-// wall-clock, so CI uses a generous threshold). Exit 2 = usage/parse
-// error.
+// wall-clock, so CI uses a generous threshold). Mode "sessions" diffs
+// BENCH_sessions.json scaling-curve rows: sessions_per_sec may not fall
+// below current * (1 + threshold) under the baseline (throughput floor)
+// and p99_frame_ms may not grow more than the threshold RELATIVE above
+// it (latency ceiling; the p99 comes from log2-bucket histograms, so CI
+// gates with threshold >= 1.0 to allow one power-of-two bucket jump).
+// Exit 2 = usage/parse error.
 // Better-than-baseline results are reported but never fail — baselines
 // are refreshed by re-running the bench and committing the new file.
 #include <cstdio>
@@ -38,10 +43,11 @@ int main(int argc, char** argv) {
   const std::string mode = args.get("mode", "kernels");
   if (baseline_path.empty() || current_path.empty() || threshold < 0.0 ||
       (mode != "kernels" && mode != "fec" && mode != "wire" &&
-       mode != "obs")) {
-    std::fprintf(stderr,
-                 "usage: check_bench_regression --baseline FILE --current "
-                 "FILE [--threshold 0.25] [--mode kernels|fec|wire|obs]\n");
+       mode != "obs" && mode != "sessions")) {
+    std::fprintf(
+        stderr,
+        "usage: check_bench_regression --baseline FILE --current "
+        "FILE [--threshold 0.25] [--mode kernels|fec|wire|obs|sessions]\n");
     return 2;
   }
 
@@ -178,6 +184,48 @@ int main(int argc, char** argv) {
     }
     std::printf("OK: all obs rows within threshold %.2f of the baseline\n",
                 threshold);
+    return 0;
+  }
+
+  if (mode == "sessions") {
+    obs::SessionsComparison comparison =
+        obs::compare_sessions_reports(baseline, current, threshold);
+    if (comparison.deltas.empty() && comparison.missing_rows.empty()) {
+      std::fprintf(stderr, "no comparable sessions_rows found in %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    sim::Table table(
+        {"row", "field", "baseline", "current", "delta", "verdict"});
+    for (const obs::SessionsDelta& d : comparison.deltas) {
+      table.add_row(
+          {d.row, d.field, sim::format("%.3f", d.baseline),
+           sim::format("%.3f", d.current),
+           sim::format("%+.1f%%", d.baseline > 0.0
+                                      ? (d.current / d.baseline - 1.0) * 100.0
+                                      : 0.0),
+           d.regression ? "REGRESSION" : "ok"});
+    }
+    table.print();
+    for (const std::string& name : comparison.missing_rows) {
+      std::printf("MISSING: row \"%s\" is in the baseline but not in the "
+                  "current report\n",
+                  name.c_str());
+    }
+    for (const std::string& name : comparison.unknown_rows) {
+      std::printf("WARNING: row \"%s\" has no baseline yet (measured but "
+                  "not gated; refresh %s to start gating it)\n",
+                  name.c_str(), baseline_path.c_str());
+    }
+    if (!comparison.ok()) {
+      std::printf("FAIL: sessions/sec floor or p99 frame-latency ceiling "
+                  "breached beyond threshold %.2f (or missing row) vs %s\n",
+                  threshold, baseline_path.c_str());
+      return 1;
+    }
+    std::printf(
+        "OK: all sessions rows within threshold %.2f of the baseline\n",
+        threshold);
     return 0;
   }
 

@@ -96,6 +96,10 @@ int usage() {
       "           [--intra-th X] [--threads T] [--slice K] [--rtt R]\n"
       "           [--seed N] [--qp N] [--crc] [--metrics-port P|auto]\n"
       "           [--metrics-linger SEC] [--flight-dir DIR]\n"
+      "           [--admit-live N] [--admit-queue N] [--sheddable]\n"
+      "           (admission: --admit-live caps constructed sessions per\n"
+      "           shard, --admit-queue sheds/queues past that pinned depth,\n"
+      "           --sheddable marks sessions DEGRADED-eligible for shedding)\n"
       "           (exporter also serves /healthz and /flightrecorder[/S])\n"
       "  monitor  --port P [--host H] [--interval SEC] [--json]\n"
       "           | --from scrape1.txt --to scrape2.txt [--interval SEC]\n"
@@ -559,6 +563,9 @@ int cmd_serve(const common::ArgParser& args) {
         }
       };
     }
+    // --sheddable marks every session DEGRADED-eligible: admission may
+    // shed it under fleet pressure instead of serving it.
+    spec.sheddable = args.has("sheddable");
     video::SyntheticSequence sequence =
         video::make_paper_sequence(kinds[i % 3]);
     spec.source = [sequence](int f) { return sequence.frame_at(f); };
@@ -573,7 +580,27 @@ int cmd_serve(const common::ArgParser& args) {
   sim::SessionManagerOptions options;
   options.threads = args.get_int("threads", 0);
   options.frames_per_slice = args.get_int("slice", 0);
-  std::vector<sim::PipelineResult> results = manager.run(options);
+  // Admission control / load shedding (DESIGN.md §15): any of the three
+  // flags enables the policy; without them every session is admitted and
+  // construction is uncapped, exactly the pre-admission behaviour.
+  const int admit_live = args.get_int("admit-live", 0);
+  const int admit_queue = args.get_int("admit-queue", 0);
+  if (admit_live > 0 || admit_queue > 0 || args.has("sheddable")) {
+    sim::AdmissionConfig admission;
+    admission.max_live_per_shard =
+        admit_live > 0 ? static_cast<std::size_t>(admit_live) : 0;
+    admission.shed_queue_depth =
+        admit_queue > 0 ? static_cast<std::size_t>(admit_queue) : 0;
+    options.admission = admission;
+  }
+  sim::AdmissionReport admission_report;
+  std::vector<sim::PipelineResult> results =
+      manager.run(options, &admission_report);
+  if (options.admission.has_value()) {
+    std::printf("admission: accepted %zu, queued %zu, shed %zu\n",
+                admission_report.accepted, admission_report.queued,
+                admission_report.shed);
+  }
 
   if (sessions <= 16) {
     // With --crc the table splits wire damage out of loss: lost_pkts stays
@@ -586,8 +613,14 @@ int cmd_serve(const common::ArgParser& args) {
     sim::Table table(std::move(header));
     for (int i = 0; i < sessions; ++i) {
       const sim::PipelineResult& r = results[static_cast<std::size_t>(i)];
+      const std::string label = sim::SessionManager::default_label(
+          static_cast<std::size_t>(i), static_cast<std::size_t>(sessions));
+      const bool shed =
+          options.admission.has_value() &&
+          admission_report.decisions[static_cast<std::size_t>(i)] ==
+              sim::AdmitDecision::kShed;
       std::vector<std::string> row = {
-          sim::format("s%03d", i), kind_names[i % 3], scheme.label(),
+          label, kind_names[i % 3], shed ? "(shed)" : scheme.label(),
           sim::format("%.2f", r.avg_psnr_db),
           sim::format("%.1f", static_cast<double>(r.total_bytes) / 1024.0),
           sim::format("%llu", static_cast<unsigned long long>(
